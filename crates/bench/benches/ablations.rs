@@ -1,0 +1,124 @@
+//! Ablation benches for the design knobs DESIGN.md calls out: the
+//! hop-count slack of the MILP (paper §3.5, "hopᵢ should be incremented
+//! by 2 or more"), the Dijkstra weight constant `M` (paper §3.6), and
+//! the breadth of the CDG exploration. Each benchmark's *report line*
+//! carries the quality (MCL) in its id so `cargo bench` output doubles
+//! as the ablation table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bsor_cdg::{AcyclicCdg, TurnModel};
+use bsor_flow::{FlowNetwork, WeightParams};
+use bsor_lp::MilpOptions;
+use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
+use bsor_topology::Topology;
+use bsor_workloads::transpose;
+
+fn ablate_hop_slack(c: &mut Criterion) {
+    let mesh = Topology::mesh2d(4, 4);
+    let w = transpose(&mesh).expect("square");
+    let acyclic = AcyclicCdg::turn_model(&mesh, 1, &TurnModel::negative_first().mirrored_y())
+        .expect("valid");
+    let mut g = c.benchmark_group("hop_slack");
+    g.sample_size(10);
+    for slack in [0usize, 2, 4] {
+        let net = FlowNetwork::new(&mesh, &acyclic);
+        let selector = MilpSelector::new()
+            .with_hop_slack(slack)
+            .with_max_paths(60)
+            .with_options(MilpOptions {
+                max_nodes: 20,
+                time_limit: Some(Duration::from_secs(5)),
+                ..MilpOptions::default()
+            });
+        let (routes, _) = selector.select(&net, &w.flows).expect("solvable");
+        let mcl = routes.mcl(&mesh, &w.flows);
+        g.bench_with_input(
+            BenchmarkId::new(format!("slack_{slack}_mcl_{mcl:.0}"), slack),
+            &slack,
+            |b, _| {
+                b.iter(|| {
+                    let net = FlowNetwork::new(&mesh, &acyclic);
+                    selector.select(&net, &w.flows).expect("solvable")
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn ablate_weight_constant(c: &mut Criterion) {
+    let mesh = Topology::mesh2d(8, 8);
+    let w = transpose(&mesh).expect("square");
+    let acyclic = AcyclicCdg::turn_model(&mesh, 2, &TurnModel::negative_first().mirrored_y())
+        .expect("valid");
+    let mut g = c.benchmark_group("weight_m");
+    g.sample_size(20);
+    for m_const in [10.0, 100.0, 1000.0, 10_000.0] {
+        let selector = DijkstraSelector::new().with_weights(WeightParams {
+            m_const,
+            vc_bias: 0.001 / m_const,
+        });
+        let net = FlowNetwork::new(&mesh, &acyclic);
+        let routes = selector.select(&net, &w.flows).expect("routable");
+        let mcl = routes.mcl(&mesh, &w.flows);
+        let hops = routes.mean_hops();
+        g.bench_with_input(
+            BenchmarkId::new(format!("m_{m_const}_mcl_{mcl:.0}_hops_{hops:.2}"), m_const as u64),
+            &m_const,
+            |b, _| {
+                b.iter(|| {
+                    let net = FlowNetwork::new(&mesh, &acyclic);
+                    selector.select(&net, &w.flows).expect("routable")
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn ablate_exploration_breadth(c: &mut Criterion) {
+    let mesh = Topology::mesh2d(8, 8);
+    let w = transpose(&mesh).expect("square");
+    let models = TurnModel::valid_models(&mesh).expect("grid");
+    let mut g = c.benchmark_group("exploration");
+    g.sample_size(10);
+    for breadth in [1usize, 4, 12] {
+        let subset: Vec<_> = models.iter().take(breadth).cloned().collect();
+        // Quality of the best CDG within the subset.
+        let mut best = f64::INFINITY;
+        for m in &subset {
+            let acyclic = AcyclicCdg::turn_model(&mesh, 2, m).expect("valid");
+            let net = FlowNetwork::new(&mesh, &acyclic);
+            let routes = DijkstraSelector::new().select(&net, &w.flows).expect("routable");
+            best = best.min(routes.mcl(&mesh, &w.flows));
+        }
+        g.bench_with_input(
+            BenchmarkId::new(format!("breadth_{breadth}_best_{best:.0}"), breadth),
+            &breadth,
+            |b, _| {
+                b.iter(|| {
+                    let mut best = f64::INFINITY;
+                    for m in &subset {
+                        let acyclic = AcyclicCdg::turn_model(&mesh, 2, m).expect("valid");
+                        let net = FlowNetwork::new(&mesh, &acyclic);
+                        let routes =
+                            DijkstraSelector::new().select(&net, &w.flows).expect("routable");
+                        best = best.min(routes.mcl(&mesh, &w.flows));
+                    }
+                    best
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_hop_slack,
+    ablate_weight_constant,
+    ablate_exploration_breadth
+);
+criterion_main!(benches);

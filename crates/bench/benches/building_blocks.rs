@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks for the framework's building blocks:
+//! CDG construction and cycle breaking, the route selectors, the simplex
+//! core, and simulator speed. These complement the table/figure binaries
+//! by timing the pieces the paper's §3.6 scalability claims rest on
+//! ("the Dijkstra-based heuristic can be run on thousands of nodes
+//! within seconds").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+use bsor_cdg::{AcyclicCdg, Cdg, TurnModel};
+use bsor_flow::FlowNetwork;
+use bsor_lp::{Cmp, MilpOptions, Model, VarKind};
+use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
+use bsor_routing::Baseline;
+use bsor_sim::{SimConfig, Simulator, TrafficSpec};
+use bsor_topology::Topology;
+use bsor_workloads::transpose;
+
+fn bench_cdg(c: &mut Criterion) {
+    let mesh = Topology::mesh2d(8, 8);
+    let mut g = c.benchmark_group("cdg");
+    g.bench_function("build_8x8_2vc", |b| {
+        b.iter(|| Cdg::build(&mesh, 2));
+    });
+    g.bench_function("turn_model_8x8_2vc", |b| {
+        b.iter(|| AcyclicCdg::turn_model(&mesh, 2, &TurnModel::west_first()).expect("valid"));
+    });
+    g.bench_function("valid_models_enumeration_8x8", |b| {
+        b.iter(|| TurnModel::valid_models(&mesh).expect("grid"));
+    });
+    g.bench_function("ad_hoc_routable_8x8_2vc", |b| {
+        b.iter(|| AcyclicCdg::ad_hoc_routable(&mesh, 2, 7).expect("grid"));
+    });
+    g.finish();
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let mesh = Topology::mesh2d(8, 8);
+    let w = transpose(&mesh).expect("square");
+    let acyclic = AcyclicCdg::turn_model(&mesh, 2, &TurnModel::negative_first().mirrored_y())
+        .expect("valid");
+    let mut g = c.benchmark_group("selectors");
+    g.sample_size(20);
+    g.bench_function("dijkstra_transpose_8x8", |b| {
+        b.iter(|| {
+            let net = FlowNetwork::new(&mesh, &acyclic);
+            DijkstraSelector::new().select(&net, &w.flows).expect("routable")
+        });
+    });
+    g.bench_function("dijkstra_refined_transpose_8x8", |b| {
+        b.iter(|| {
+            let net = FlowNetwork::new(&mesh, &acyclic);
+            DijkstraSelector::new()
+                .with_refinement(2)
+                .select(&net, &w.flows)
+                .expect("routable")
+        });
+    });
+    g.bench_function("xy_baseline_transpose_8x8", |b| {
+        b.iter(|| Baseline::XY.select(&mesh, &w.flows, 2).expect("xy"));
+    });
+    g.sample_size(10);
+    g.bench_function("milp_transpose_4x4", |b| {
+        let mesh4 = Topology::mesh2d(4, 4);
+        let w4 = transpose(&mesh4).expect("square");
+        let acyclic4 =
+            AcyclicCdg::turn_model(&mesh4, 1, &TurnModel::west_first()).expect("valid");
+        b.iter(|| {
+            let net = FlowNetwork::new(&mesh4, &acyclic4);
+            MilpSelector::new()
+                .with_hop_slack(2)
+                .with_max_paths(40)
+                .with_options(MilpOptions {
+                    max_nodes: 10,
+                    time_limit: Some(Duration::from_secs(5)),
+                    ..MilpOptions::default()
+                })
+                .select(&net, &w4.flows)
+                .expect("solvable")
+        });
+    });
+    g.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp");
+    g.bench_function("simplex_dense_120x80", |b| {
+        // A dense feasible LP: min sum x, A x >= b with random-ish A.
+        b.iter_batched(
+            || {
+                let mut m = Model::minimize();
+                let vars: Vec<_> = (0..80)
+                    .map(|i| m.add_var(VarKind::Continuous, 0.0, f64::INFINITY, 1.0 + (i % 7) as f64 * 0.1))
+                    .collect();
+                for r in 0..120 {
+                    let terms: Vec<_> = vars
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| (j + r) % 3 != 0)
+                        .map(|(j, &v)| (v, 1.0 + ((r * 31 + j * 17) % 5) as f64 * 0.25))
+                        .collect();
+                    m.add_constraint(terms, Cmp::Ge, 10.0 + (r % 9) as f64);
+                }
+                m
+            },
+            |m| m.solve_relaxation().expect("feasible"),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("milp_knapsack_24", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Model::minimize();
+                let vars: Vec<_> = (0..24)
+                    .map(|i| m.add_binary(-(1.0 + ((i * 37) % 11) as f64)))
+                    .collect();
+                let weights: Vec<_> = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, 1.0 + ((i * 13) % 7) as f64))
+                    .collect();
+                m.add_constraint(weights, Cmp::Le, 30.0);
+                m
+            },
+            |m| m.solve().expect("feasible"),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mesh = Topology::mesh2d(8, 8);
+    let w = transpose(&mesh).expect("square");
+    let routes = Baseline::XY.select(&mesh, &w.flows, 2).expect("xy");
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("cycles_10k_8x8_xy", |b| {
+        b.iter(|| {
+            let traffic = TrafficSpec::proportional(&w.flows, 1.0);
+            let config = SimConfig::new(2).with_warmup(0).with_measurement(10_000);
+            Simulator::new(&mesh, &w.flows, &routes, traffic, config)
+                .expect("consistent")
+                .run()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cdg, bench_selectors, bench_lp, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates **Figure 6-3**: network throughput and average latency
+//! versus offered injection rate for the Shuffle workload
+//! under XY, YX, ROMM, Valiant and the two BSOR selectors (8×8 mesh,
+//! 2 VCs).
+//!
+//! ```text
+//! cargo run -p bsor-bench --release --bin fig_6_3 [--paper] [--csv]
+//! ```
+
+use bsor_bench::{paper_mode, print_figure, standard_mesh, standard_rates, SweepConfig};
+use bsor_workloads::shuffle;
+
+fn main() {
+    let topo = standard_mesh();
+    let workload = shuffle(&topo).expect("8x8 supports the workload");
+    let cfg = if paper_mode() {
+        SweepConfig::paper(2)
+    } else {
+        SweepConfig::quick(2)
+    };
+    print_figure(
+        "Figure 6-3: Shuffle — throughput & latency vs offered rate",
+        &topo,
+        &workload,
+        &cfg,
+        &standard_rates(),
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Figure 6-8**: algorithm performance under **10%**
+//! run-time bandwidth variation for transpose and the H.264 decoder.
+//! Routes stay fixed (computed from the original estimates, §5.3) while
+//! injection rates wander via the two-stage Markov-modulated process.
+//!
+//! ```text
+//! cargo run -p bsor-bench --release --bin fig_6_8 [--paper] [--csv]
+//! ```
+
+use bsor_bench::{paper_mode, print_figure, standard_mesh, standard_rates, SweepConfig};
+use bsor_sim::MarkovVariation;
+use bsor_workloads::{h264_decoder, transpose};
+
+fn main() {
+    let topo = standard_mesh();
+    let variation = MarkovVariation::new(0.10, 200.0);
+    for workload in [
+        transpose(&topo).expect("square"),
+        h264_decoder(&topo).expect("fits"),
+    ] {
+        let cfg = if paper_mode() {
+            SweepConfig::paper(2)
+        } else {
+            SweepConfig::quick(2)
+        }
+        .with_variation(variation);
+        print_figure(
+            &format!(
+                "Figure 6-8: {} with 10% bandwidth variation",
+                workload.name
+            ),
+            &topo,
+            &workload,
+            &cfg,
+            &standard_rates(),
+        );
+    }
+}

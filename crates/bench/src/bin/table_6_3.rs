@@ -1,0 +1,57 @@
+//! Regenerates **Table 6.3**: "Comparison of Maximum Channel Load (MCL)
+//! in MB/second presented by various routing algorithms" — XY, YX, ROMM,
+//! Valiant, BSOR_MILP and BSOR_Dijkstra (each BSOR taking the best CDG of
+//! its exploration, as in the paper). An O1TURN column is added as an
+//! extension.
+//!
+//! ```text
+//! cargo run -p bsor-bench --release --bin table_6_3 [--csv]
+//! ```
+
+use bsor_bench::{algorithm_routes, csv_mode, fmt_row, standard_mesh};
+use bsor_routing::Baseline;
+use bsor_workloads::all_six;
+
+fn main() {
+    let topo = standard_mesh();
+    let workloads = all_six(&topo).expect("8x8 supports all workloads");
+    let csv = csv_mode();
+
+    println!("Table 6.3: MCL (MB/s) by routing algorithm (+O1TURN extension)");
+    let header: Vec<String> = vec![
+        "Traffic".into(),
+        "XY".into(),
+        "YX".into(),
+        "ROMM".into(),
+        "Valiant".into(),
+        "BSOR-MILP".into(),
+        "BSOR-Dijkstra".into(),
+        "O1TURN".into(),
+    ];
+    let widths = [16usize, 8, 8, 8, 8, 10, 14, 8];
+    if csv {
+        println!("{}", header.join(","));
+    } else {
+        println!("{}", fmt_row(&header, &widths));
+    }
+    for w in &workloads {
+        let mut cells: Vec<String> = vec![w.name.clone()];
+        for (_, routes) in algorithm_routes(&topo, w, 2) {
+            cells.push(match routes {
+                Ok(r) => format!("{:.2}", r.mcl(&topo, &w.flows)),
+                Err(e) => format!("({e})"),
+            });
+        }
+        // O1TURN extension column.
+        let o1turn = Baseline::O1Turn { seed: 9 }.select(&topo, &w.flows, 2);
+        cells.push(match o1turn {
+            Ok(r) => format!("{:.2}", r.mcl(&topo, &w.flows)),
+            Err(e) => format!("({e})"),
+        });
+        if csv {
+            println!("{}", cells.join(","));
+        } else {
+            println!("{}", fmt_row(&cells, &widths));
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! # bsor-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Chapter 6). Each exhibit has a binary:
+//!
+//! | Exhibit | Binary | Output |
+//! |---|---|---|
+//! | Table 6.1 | `table_6_1` | min MCL per acyclic CDG, MILP selector |
+//! | Table 6.2 | `table_6_2` | min MCL per acyclic CDG, Dijkstra selector |
+//! | Table 6.3 | `table_6_3` | MCL of XY/YX/ROMM/Valiant/O1TURN/BSOR |
+//! | Fig. 6-1…6-6 | `fig_6_1` … `fig_6_6` | throughput & latency vs injection rate |
+//! | Fig. 6-7 | `fig_6_7` | VC-count sweep (transpose, H.264) |
+//! | Fig. 6-8…6-10 | `fig_6_8` … `fig_6_10` | 10/25/50 % bandwidth variation |
+//! | Fig. 5-4 | `fig_5_4` | bursty injection-rate trace |
+//!
+//! All binaries print whitespace-aligned tables (and CSV with `--csv`)
+//! to stdout. Criterion micro-benchmarks for the building blocks (CDG
+//! derivation, selectors, simplex, simulator speed) live in `benches/`.
+//!
+//! A note on turn-model naming: the paper's figures draw the mesh with
+//! the y-axis pointing down, so its "negative-first" corresponds to
+//! [`TurnModel::negative_first`]`.mirrored_y()` in this workspace's
+//! north-is-+y convention. The table binaries use the paper-oriented
+//! variants so the columns line up with the thesis tables.
+
+use bsor::{BsorBuilder, CdgStrategy, SelectorKind};
+use bsor_cdg::TurnModel;
+use bsor_flow::FlowSet;
+use bsor_lp::MilpOptions;
+use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
+use bsor_routing::{Baseline, RouteSet, SelectError};
+use bsor_sim::{MarkovVariation, SimConfig, Simulator, TrafficSpec};
+use bsor_topology::Topology;
+use bsor_workloads::Workload;
+use std::time::Duration;
+
+/// The paper's evaluation substrate: an 8×8 mesh (§6.1).
+pub fn standard_mesh() -> Topology {
+    Topology::mesh2d(8, 8)
+}
+
+/// The five acyclic CDGs of Tables 6.1/6.2, paper-oriented: north-last,
+/// west-first, negative-first, and two ad-hoc derivations.
+pub fn table_cdgs() -> Vec<(String, CdgStrategy)> {
+    vec![
+        (
+            "North-Last".into(),
+            CdgStrategy::TurnModel(TurnModel::north_last().mirrored_y()),
+        ),
+        (
+            "West-First".into(),
+            CdgStrategy::TurnModel(TurnModel::west_first().mirrored_y()),
+        ),
+        (
+            "Negative-First".into(),
+            CdgStrategy::TurnModel(TurnModel::negative_first().mirrored_y()),
+        ),
+        ("Ad Hoc 1".into(), CdgStrategy::AdHoc { seed: 1 }),
+        ("Ad Hoc 2".into(), CdgStrategy::AdHoc { seed: 2 }),
+    ]
+}
+
+/// MILP selector configuration used by the table/figure binaries:
+/// bounded so a full table regenerates in minutes, as the thesis's
+/// "ILP as heuristic" mode suggests for larger problems.
+pub fn table_milp() -> MilpSelector {
+    MilpSelector::new()
+        .with_hop_slack(2)
+        .with_max_paths(40)
+        .with_options(MilpOptions {
+            max_nodes: 20,
+            time_limit: Some(Duration::from_secs(5)),
+            ..MilpOptions::default()
+        })
+}
+
+/// Dijkstra selector configuration for the tables: two rip-up/reroute
+/// refinement passes on top of the paper's sequential heuristic.
+pub fn table_dijkstra() -> DijkstraSelector {
+    DijkstraSelector::new().with_refinement(2)
+}
+
+/// Runs one selector over one CDG strategy, returning the MCL (`Err`
+/// text when the CDG or selection fails).
+pub fn mcl_for(
+    topo: &Topology,
+    workload: &Workload,
+    vcs: u8,
+    strategy: &CdgStrategy,
+    selector: SelectorKind,
+) -> Result<f64, String> {
+    let result = BsorBuilder::new(topo, &workload.flows)
+        .vcs(vcs)
+        .strategies(vec![strategy.clone()])
+        .selector(selector)
+        .run()
+        .map_err(|e| e.to_string())?;
+    Ok(result.mcl)
+}
+
+/// The six routing algorithms compared throughout Chapter 6, in table
+/// order, each yielding a route set for the workload (errors as text).
+pub fn algorithm_routes(
+    topo: &Topology,
+    workload: &Workload,
+    vcs: u8,
+) -> Vec<(String, Result<RouteSet, String>)> {
+    let flows = &workload.flows;
+    let baseline = |b: Baseline| -> Result<RouteSet, String> {
+        b.select(topo, flows, vcs).map_err(|e: SelectError| e.to_string())
+    };
+    let bsor = |selector: SelectorKind| -> Result<RouteSet, String> {
+        BsorBuilder::new(topo, flows)
+            .vcs(vcs)
+            .selector(selector)
+            .run()
+            .map(|r| r.routes)
+            .map_err(|e| e.to_string())
+    };
+    vec![
+        ("XY".into(), baseline(Baseline::XY)),
+        ("YX".into(), baseline(Baseline::YX)),
+        ("ROMM".into(), baseline(Baseline::Romm { seed: 9 })),
+        ("Valiant".into(), baseline(Baseline::Valiant { seed: 9 })),
+        ("BSOR-MILP".into(), bsor(SelectorKind::Milp(table_milp()))),
+        (
+            "BSOR-Dijkstra".into(),
+            bsor(SelectorKind::Dijkstra(DijkstraSelector::new())),
+        ),
+    ]
+}
+
+/// One point of a load-sweep curve.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Offered aggregate injection rate, packets/cycle.
+    pub offered: f64,
+    /// Delivered throughput, packets/cycle.
+    pub throughput: f64,
+    /// Mean packet latency, cycles (`None` when nothing was delivered).
+    pub latency: Option<f64>,
+    /// Whether the run tripped the deadlock watchdog.
+    pub deadlocked: bool,
+}
+
+/// Simulation lengths for the figure sweeps. The paper uses 20k + 100k
+/// cycles; the default here is shorter so a figure regenerates in
+/// seconds — pass `--paper` to the binaries for full-length runs.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Warmup cycles.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measurement: u64,
+    /// Virtual channels.
+    pub vcs: u8,
+    /// Optional Markov-modulated bandwidth variation.
+    pub variation: Option<MarkovVariation>,
+}
+
+impl SweepConfig {
+    /// Quick settings (2k + 10k cycles).
+    pub fn quick(vcs: u8) -> SweepConfig {
+        SweepConfig {
+            warmup: 2_000,
+            measurement: 10_000,
+            vcs,
+            variation: None,
+        }
+    }
+
+    /// The paper's full-length settings (20k + 100k cycles).
+    pub fn paper(vcs: u8) -> SweepConfig {
+        SweepConfig {
+            warmup: 20_000,
+            measurement: 100_000,
+            vcs,
+            variation: None,
+        }
+    }
+
+    /// Adds bandwidth variation.
+    pub fn with_variation(mut self, variation: MarkovVariation) -> SweepConfig {
+        self.variation = Some(variation);
+        self
+    }
+}
+
+/// Simulates one route set across a range of offered loads.
+pub fn load_sweep(
+    topo: &Topology,
+    flows: &FlowSet,
+    routes: &RouteSet,
+    offered_rates: &[f64],
+    cfg: &SweepConfig,
+) -> Vec<SweepPoint> {
+    offered_rates
+        .iter()
+        .map(|&rate| {
+            let mut traffic = TrafficSpec::proportional(flows, rate);
+            if let Some(v) = cfg.variation {
+                traffic = traffic.with_variation(v);
+            }
+            let sim_cfg = SimConfig::new(cfg.vcs)
+                .with_warmup(cfg.warmup)
+                .with_measurement(cfg.measurement);
+            let report = Simulator::new(topo, flows, routes, traffic, sim_cfg)
+                .expect("consistent sweep inputs")
+                .run();
+            SweepPoint {
+                offered: rate,
+                throughput: report.throughput(),
+                latency: report.mean_latency(),
+                deadlocked: report.deadlocked,
+            }
+        })
+        .collect()
+}
+
+/// Standard offered-rate grid for the figure sweeps (packets/cycle,
+/// aggregate across the whole mesh).
+pub fn standard_rates() -> Vec<f64> {
+    vec![0.05, 0.1, 0.2, 0.4, 0.8, 1.2, 1.6, 2.0, 2.6, 3.2]
+}
+
+/// Prints one of the paper's throughput/latency figures: every algorithm
+/// of [`algorithm_routes`] swept over `rates` on `workload`.
+pub fn print_figure(
+    title: &str,
+    topo: &Topology,
+    workload: &Workload,
+    cfg: &SweepConfig,
+    rates: &[f64],
+) {
+    let csv = csv_mode();
+    println!("{title}");
+    if csv {
+        println!("algorithm,offered,throughput,latency,deadlocked");
+    } else {
+        println!(
+            "{}",
+            fmt_row(
+                &[
+                    "algorithm".into(),
+                    "offered".into(),
+                    "throughput".into(),
+                    "latency".into(),
+                ],
+                &[14, 9, 11, 9]
+            )
+        );
+    }
+    for (name, routes) in algorithm_routes(topo, workload, cfg.vcs) {
+        match routes {
+            Err(e) => println!("{name}: skipped ({e})"),
+            Ok(routes) => {
+                for p in load_sweep(topo, &workload.flows, &routes, rates, cfg) {
+                    let latency = p
+                        .latency
+                        .map(|l| format!("{l:.1}"))
+                        .unwrap_or_else(|| "-".into());
+                    if csv {
+                        println!(
+                            "{name},{:.3},{:.4},{latency},{}",
+                            p.offered, p.throughput, p.deadlocked
+                        );
+                    } else {
+                        println!(
+                            "{}",
+                            fmt_row(
+                                &[
+                                    name.clone(),
+                                    format!("{:.3}", p.offered),
+                                    format!("{:.4}", p.throughput),
+                                    latency,
+                                ],
+                                &[14, 9, 11, 9]
+                            )
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Formats a table row with fixed-width columns.
+pub fn fmt_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// True when the CLI asked for full-length paper runs.
+pub fn paper_mode() -> bool {
+    std::env::args().any(|a| a == "--paper")
+}
+
+/// True when the CLI asked for CSV output.
+pub fn csv_mode() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsor_workloads::transpose;
+
+    #[test]
+    fn table_cdgs_are_five() {
+        let cdgs = table_cdgs();
+        assert_eq!(cdgs.len(), 5);
+        assert_eq!(cdgs[2].0, "Negative-First");
+    }
+
+    #[test]
+    fn mcl_for_dijkstra_on_paper_negative_first() {
+        // The headline Table 6.1/6.2 cell: paper-oriented negative-first
+        // reaches MCL 75 on 8x8 transpose.
+        let topo = standard_mesh();
+        let w = transpose(&topo).expect("square");
+        let (_, strategy) = &table_cdgs()[2];
+        let mcl = mcl_for(
+            &topo,
+            &w,
+            2,
+            strategy,
+            SelectorKind::Dijkstra(DijkstraSelector::new()),
+        )
+        .expect("routable");
+        assert_eq!(mcl, 75.0);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_offered_axis() {
+        let topo = Topology::mesh2d(4, 4);
+        let w = bsor_workloads::transpose(&topo).expect("square");
+        let routes = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
+        let cfg = SweepConfig {
+            warmup: 200,
+            measurement: 1_000,
+            vcs: 2,
+            variation: None,
+        };
+        let points = load_sweep(&topo, &w.flows, &routes, &[0.05, 0.2], &cfg);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].offered < points[1].offered);
+        assert!(points.iter().all(|p| !p.deadlocked));
+    }
+
+    #[test]
+    fn fmt_row_aligns() {
+        let row = fmt_row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(row, "  a    bb");
+    }
+}

@@ -1,0 +1,90 @@
+//! GraphViz (DOT) rendering of channel dependence graphs — regenerates
+//! the paper's CDG illustrations (Figure 3-1: the full cyclic CDG of the
+//! 3×3 mesh; Figures 3-3/3-4: acyclic derivations) for any topology.
+
+use crate::acyclic::AcyclicCdg;
+use crate::cdg::Cdg;
+use bsor_topology::Topology;
+use std::fmt::Write as _;
+
+/// Human-readable vertex label: `A->B` style endpoint names (letters for
+/// up to 26 nodes, as in the paper's figures, falling back to numeric
+/// ids), with a `/vcN` suffix on multi-VC CDGs.
+fn vertex_label(cdg: &Cdg, v: bsor_netgraph::NodeId) -> String {
+    let cv = cdg.vertex(v);
+    let name = |n: bsor_topology::NodeId| -> String {
+        if n.0 < 26 {
+            char::from(b'A' + n.0 as u8).to_string()
+        } else {
+            format!("{}", n.0)
+        }
+    };
+    if cdg.vcs() > 1 {
+        format!("{}{}/vc{}", name(cv.src), name(cv.dst), cv.vc.0)
+    } else {
+        format!("{}{}", name(cv.src), name(cv.dst))
+    }
+}
+
+fn dot_of(cdg: &Cdg, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  label=\"{title}\";");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for v in cdg.graph().node_ids() {
+        let _ = writeln!(out, "  v{} [label=\"{}\"];", v.index(), vertex_label(cdg, v));
+    }
+    for (_, s, d, _) in cdg.graph().edges() {
+        let _ = writeln!(out, "  v{} -> v{};", s.index(), d.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the full (cyclic) CDG of a topology as DOT — paper Figure 3-1
+/// when called on the 3×3 mesh.
+pub fn cdg_to_dot(topo: &Topology, vcs: u8, title: &str) -> String {
+    dot_of(&Cdg::build(topo, vcs), title)
+}
+
+/// Renders an acyclic CDG as DOT — paper Figures 3-3/3-4 when called on
+/// turn-model / ad-hoc derivations over the 3×3 mesh.
+pub fn acyclic_to_dot(acyclic: &AcyclicCdg, title: &str) -> String {
+    dot_of(acyclic.cdg(), title)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turn::TurnModel;
+
+    #[test]
+    fn figure_3_1_dot_has_all_channels() {
+        let t = Topology::mesh2d(3, 3);
+        let dot = cdg_to_dot(&t, 1, "Figure 3-1");
+        // 24 vertices and 44 dependence edges.
+        assert_eq!(dot.matches("[label=").count(), 24);
+        assert_eq!(dot.matches(" -> ").count(), 44);
+        // Letters name the nodes as in the paper (A..I for 3x3).
+        assert!(dot.contains("\"AB\""));
+        assert!(dot.contains("digraph"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn figure_3_3_dot_prunes_prohibited_turns() {
+        let t = Topology::mesh2d(3, 3);
+        let a = crate::acyclic::AcyclicCdg::turn_model(&t, 1, &TurnModel::west_first())
+            .expect("valid");
+        let dot = acyclic_to_dot(&a, "Figure 3-3(b)");
+        assert_eq!(dot.matches(" -> ").count(), 44 - 8);
+    }
+
+    #[test]
+    fn multi_vc_labels_carry_the_vc() {
+        let t = Topology::mesh2d(2, 2);
+        let dot = cdg_to_dot(&t, 2, "Figure 3-6(a)");
+        assert!(dot.contains("/vc0"));
+        assert!(dot.contains("/vc1"));
+    }
+}

@@ -1,0 +1,328 @@
+//! The turn model (Glass & Ni) as a cycle-breaking strategy.
+//!
+//! On a 2-D grid the eight 90° turns form two abstract cycles:
+//!
+//! * clockwise: `N→E`, `E→S`, `S→W`, `W→N`
+//! * counter-clockwise: `E→N`, `N→W`, `W→S`, `S→E`
+//!
+//! Prohibiting one turn from each cycle yields 16 candidate routing
+//! restrictions; Glass & Ni showed exactly 12 of them are deadlock-free.
+//! This crate re-derives that result computationally:
+//! [`TurnModel::valid_models`] builds the CDG for each candidate and keeps
+//! the ones whose restricted CDG is acyclic.
+
+use crate::cdg::{Cdg, CdgError};
+use bsor_netgraph::algo;
+use bsor_topology::{Direction, Topology};
+use std::fmt;
+
+/// A 90° turn from one grid direction to another.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Turn {
+    /// Direction of the incoming channel.
+    pub from: Direction,
+    /// Direction of the outgoing channel.
+    pub to: Direction,
+}
+
+impl Turn {
+    /// Creates a turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics on straight "turns" (`from == to`) or 180° reversals.
+    pub fn new(from: Direction, to: Direction) -> Turn {
+        assert_ne!(from, to, "straight moves are not turns");
+        assert_ne!(from.opposite(), to, "180 degree turns are never permitted anyway");
+        Turn { from, to }
+    }
+
+    /// The four clockwise turns.
+    pub fn clockwise() -> [Turn; 4] {
+        use Direction::*;
+        [
+            Turn::new(North, East),
+            Turn::new(East, South),
+            Turn::new(South, West),
+            Turn::new(West, North),
+        ]
+    }
+
+    /// The four counter-clockwise turns.
+    pub fn counter_clockwise() -> [Turn; 4] {
+        use Direction::*;
+        [
+            Turn::new(East, North),
+            Turn::new(North, West),
+            Turn::new(West, South),
+            Turn::new(South, East),
+        ]
+    }
+}
+
+impl fmt::Display for Turn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// A set of prohibited turns defining a routing restriction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TurnModel {
+    name: String,
+    prohibited: Vec<Turn>,
+}
+
+impl TurnModel {
+    /// Creates a named turn model from an arbitrary prohibition set.
+    pub fn new(name: impl Into<String>, prohibited: Vec<Turn>) -> TurnModel {
+        TurnModel {
+            name: name.into(),
+            prohibited,
+        }
+    }
+
+    /// West-first: no turn into West (`S→W`, `N→W` prohibited).
+    pub fn west_first() -> TurnModel {
+        use Direction::*;
+        TurnModel::new(
+            "west-first",
+            vec![Turn::new(South, West), Turn::new(North, West)],
+        )
+    }
+
+    /// North-last: no turn out of North (`N→E`, `N→W` prohibited).
+    pub fn north_last() -> TurnModel {
+        use Direction::*;
+        TurnModel::new(
+            "north-last",
+            vec![Turn::new(North, East), Turn::new(North, West)],
+        )
+    }
+
+    /// Negative-first: no turn from a positive direction into a negative
+    /// one (`E→S`, `N→W` prohibited).
+    pub fn negative_first() -> TurnModel {
+        use Direction::*;
+        TurnModel::new(
+            "negative-first",
+            vec![Turn::new(East, South), Turn::new(North, West)],
+        )
+    }
+
+    /// The same routing restriction expressed in a coordinate frame whose
+    /// y-axis points the other way (North and South exchanged in every
+    /// prohibited turn).
+    ///
+    /// The paper's figures draw meshes with the y-axis growing downward,
+    /// so e.g. its "negative-first" model corresponds to
+    /// `TurnModel::negative_first().mirrored_y()` in this crate's
+    /// north-is-+y convention. The mirror of a deadlock-free model is
+    /// deadlock-free.
+    pub fn mirrored_y(&self) -> TurnModel {
+        use Direction::*;
+        let flip = |d: Direction| match d {
+            North => South,
+            South => North,
+            other => other,
+        };
+        TurnModel::new(
+            format!("{}-y-mirrored", self.name),
+            self.prohibited
+                .iter()
+                .map(|t| Turn::new(flip(t.from), flip(t.to)))
+                .collect(),
+        )
+    }
+
+    /// The name of this model.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The prohibited turns.
+    pub fn prohibited(&self) -> &[Turn] {
+        &self.prohibited
+    }
+
+    /// Whether the `(from, to)` turn is permitted.
+    pub fn allows(&self, from: Direction, to: Direction) -> bool {
+        !self
+            .prohibited
+            .iter()
+            .any(|t| t.from == from && t.to == to)
+    }
+
+    /// All 16 candidate two-turn prohibitions: one clockwise turn × one
+    /// counter-clockwise turn.
+    pub fn enumerate_two_turn() -> Vec<TurnModel> {
+        let mut models = Vec::with_capacity(16);
+        for cw in Turn::clockwise() {
+            for ccw in Turn::counter_clockwise() {
+                models.push(TurnModel::new(format!("{cw}+{ccw}"), vec![cw, ccw]));
+            }
+        }
+        models
+    }
+
+    /// The subset of the 16 two-turn candidates that actually produce an
+    /// acyclic CDG on `topo` — on a 2-D mesh, exactly the 12 deadlock-free
+    /// models of Glass & Ni.
+    ///
+    /// # Errors
+    ///
+    /// [`CdgError::NotAGrid`] if the topology's channels carry no grid
+    /// directions.
+    pub fn valid_models(topo: &Topology) -> Result<Vec<TurnModel>, CdgError> {
+        if topo.link_ids().any(|l| topo.link(l).direction.is_none()) {
+            return Err(CdgError::NotAGrid);
+        }
+        let mut valid = Vec::new();
+        for model in TurnModel::enumerate_two_turn() {
+            let mut cdg = Cdg::build(topo, 1);
+            apply(&mut cdg, &model);
+            if algo::is_acyclic(cdg.graph()) {
+                valid.push(model);
+            }
+        }
+        Ok(valid)
+    }
+}
+
+impl fmt::Display for TurnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Removes every CDG edge whose turn the model prohibits. Straight moves
+/// and direction-less edges are kept.
+pub(crate) fn apply(cdg: &mut Cdg, model: &TurnModel) {
+    let doomed: Vec<_> = cdg
+        .graph()
+        .edges()
+        .filter(|&(_, s, d, _)| {
+            match cdg.edge_turn(s, d) {
+                Some((from, to)) => !model.allows(from, to),
+                None => false,
+            }
+        })
+        .map(|(id, _, _, _)| id)
+        .collect();
+    for e in doomed {
+        cdg.graph_mut().remove_edge(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_models_allow_expected_turns() {
+        use Direction::*;
+        let wf = TurnModel::west_first();
+        assert!(!wf.allows(South, West));
+        assert!(!wf.allows(North, West));
+        assert!(wf.allows(West, North));
+        assert!(wf.allows(East, South));
+
+        let nl = TurnModel::north_last();
+        assert!(!nl.allows(North, East));
+        assert!(!nl.allows(North, West));
+        assert!(nl.allows(East, North));
+        assert!(nl.allows(West, North));
+
+        let nf = TurnModel::negative_first();
+        assert!(!nf.allows(East, South));
+        assert!(!nf.allows(North, West));
+        assert!(nf.allows(West, North));
+        assert!(nf.allows(South, East));
+    }
+
+    #[test]
+    fn sixteen_candidates() {
+        let all = TurnModel::enumerate_two_turn();
+        assert_eq!(all.len(), 16);
+        // All distinct prohibition sets.
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i].prohibited(), all[j].prohibited());
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_twelve_valid_on_mesh() {
+        // Glass & Ni's theorem, re-derived computationally; this is also
+        // the count of turn-model CDGs the paper explores (§6.2: "12 of
+        // these correspond to the DA's derived from D using the turn
+        // model").
+        let t = Topology::mesh2d(4, 4);
+        let valid = TurnModel::valid_models(&t).expect("mesh is a grid");
+        assert_eq!(valid.len(), 12);
+    }
+
+    #[test]
+    fn canonical_models_are_among_the_valid() {
+        let t = Topology::mesh2d(3, 3);
+        let valid = TurnModel::valid_models(&t).expect("mesh is a grid");
+        for m in [
+            TurnModel::west_first(),
+            TurnModel::north_last(),
+            TurnModel::negative_first(),
+        ] {
+            assert!(
+                valid.iter().any(|v| v.prohibited() == m.prohibited()),
+                "{} should be valid",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mirrored_models_are_valid_too() {
+        let t = Topology::mesh2d(4, 4);
+        let valid = TurnModel::valid_models(&t).expect("mesh is a grid");
+        for m in [
+            TurnModel::west_first(),
+            TurnModel::north_last(),
+            TurnModel::negative_first(),
+        ] {
+            let mirror = m.mirrored_y();
+            assert!(
+                valid.iter().any(|v| {
+                    let mut a = v.prohibited().to_vec();
+                    let mut b = mirror.prohibited().to_vec();
+                    let key = |t: &Turn| (t.from as u8, t.to as u8);
+                    a.sort_by_key(key);
+                    b.sort_by_key(key);
+                    a == b
+                }),
+                "mirror of {} must be deadlock-free",
+                m.name()
+            );
+        }
+        // West-first is symmetric under the mirror.
+        let wf = TurnModel::west_first();
+        assert_eq!(wf.mirrored_y().prohibited().len(), 2);
+    }
+
+    #[test]
+    fn ring_is_not_a_grid() {
+        let t = Topology::ring(4);
+        assert_eq!(TurnModel::valid_models(&t).unwrap_err(), CdgError::NotAGrid);
+    }
+
+    #[test]
+    #[should_panic(expected = "180 degree")]
+    fn uturn_rejected() {
+        Turn::new(Direction::North, Direction::South);
+    }
+
+    #[test]
+    fn turn_display() {
+        let t = Turn::new(Direction::North, Direction::East);
+        assert_eq!(t.to_string(), "N->E");
+    }
+}

@@ -1,0 +1,325 @@
+//! Flows and flow sets (paper Definition 1).
+
+use bsor_topology::{NodeId, Topology};
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a flow (data transfer) within a [`FlowSet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// Dense index of the flow.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// One data transfer: `Ki = (si, ti, di)` with an optional human-readable
+/// label (the paper names application flows `f1`, `f2`, …).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Flow {
+    /// Identifier; must equal the flow's position in its [`FlowSet`].
+    pub id: FlowId,
+    /// Source node `si`.
+    pub src: NodeId,
+    /// Sink node `ti`.
+    pub dst: NodeId,
+    /// Estimated bandwidth demand `di` in MB/s.
+    pub demand: f64,
+    /// Optional label, e.g. `"f7"`.
+    pub label: Option<String>,
+}
+
+impl Flow {
+    /// Creates an unlabeled flow.
+    pub fn new(id: FlowId, src: NodeId, dst: NodeId, demand: f64) -> Flow {
+        Flow {
+            id,
+            src,
+            dst,
+            demand,
+            label: None,
+        }
+    }
+
+    /// Creates a labeled flow.
+    pub fn labeled(
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        demand: f64,
+        label: impl Into<String>,
+    ) -> Flow {
+        Flow {
+            id,
+            src,
+            dst,
+            demand,
+            label: Some(label.into()),
+        }
+    }
+}
+
+/// Why a [`FlowSet`] failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlowSetError {
+    /// A flow's source equals its sink (`si ≠ ti` is assumed in the
+    /// paper).
+    SelfFlow(FlowId),
+    /// A flow's demand is zero, negative, or non-finite.
+    BadDemand(FlowId, f64),
+    /// A flow references a node outside the topology.
+    NodeOutOfRange(FlowId, NodeId),
+    /// A flow's id does not match its position.
+    MisnumberedFlow(FlowId, usize),
+}
+
+impl fmt::Display for FlowSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowSetError::SelfFlow(id) => write!(f, "flow {id} has identical source and sink"),
+            FlowSetError::BadDemand(id, d) => write!(f, "flow {id} has invalid demand {d}"),
+            FlowSetError::NodeOutOfRange(id, n) => {
+                write!(f, "flow {id} references node {n} outside the topology")
+            }
+            FlowSetError::MisnumberedFlow(id, pos) => {
+                write!(f, "flow {id} stored at position {pos}")
+            }
+        }
+    }
+}
+
+impl Error for FlowSetError {}
+
+/// An ordered collection of flows, `K = {K1, …, Kk}`.
+///
+/// Multiple flows may share a source/destination pair (paper: "We may have
+/// multiple flows with the same source and destination").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlowSet {
+    flows: Vec<Flow>,
+}
+
+impl FlowSet {
+    /// Creates an empty flow set.
+    pub fn new() -> FlowSet {
+        FlowSet::default()
+    }
+
+    /// Builds a flow set from `(src, dst, demand)` triples, assigning ids
+    /// in order.
+    pub fn from_triples(triples: impl IntoIterator<Item = (NodeId, NodeId, f64)>) -> FlowSet {
+        let mut fs = FlowSet::new();
+        for (src, dst, demand) in triples {
+            fs.push(src, dst, demand);
+        }
+        fs
+    }
+
+    /// Appends an unlabeled flow, returning its id.
+    pub fn push(&mut self, src: NodeId, dst: NodeId, demand: f64) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(Flow::new(id, src, dst, demand));
+        id
+    }
+
+    /// Appends a labeled flow, returning its id.
+    pub fn push_labeled(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        demand: f64,
+        label: impl Into<String>,
+    ) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(Flow::labeled(id, src, dst, demand, label));
+        id
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when there are no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The flow with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        &self.flows[id.index()]
+    }
+
+    /// Iterates over flows in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Flow> + '_ {
+        self.flows.iter()
+    }
+
+    /// Sum of all demands.
+    pub fn total_demand(&self) -> f64 {
+        self.flows.iter().map(|f| f.demand).sum()
+    }
+
+    /// The largest single demand — a lower bound on the achievable MCL for
+    /// unsplittable routing.
+    pub fn max_demand(&self) -> f64 {
+        self.flows.iter().map(|f| f.demand).fold(0.0, f64::max)
+    }
+
+    /// Returns a copy with every demand multiplied by `factor` (used by
+    /// the bandwidth-variation experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn scaled(&self, factor: f64) -> FlowSet {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut fs = self.clone();
+        for f in &mut fs.flows {
+            f.demand *= factor;
+        }
+        fs
+    }
+
+    /// Validates the set against a topology.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FlowSetError`] encountered, if any.
+    pub fn validate(&self, topo: &Topology) -> Result<(), FlowSetError> {
+        for (pos, f) in self.flows.iter().enumerate() {
+            if f.id.index() != pos {
+                return Err(FlowSetError::MisnumberedFlow(f.id, pos));
+            }
+            if f.src == f.dst {
+                return Err(FlowSetError::SelfFlow(f.id));
+            }
+            if !(f.demand.is_finite() && f.demand > 0.0) {
+                return Err(FlowSetError::BadDemand(f.id, f.demand));
+            }
+            for n in [f.src, f.dst] {
+                if n.index() >= topo.num_nodes() {
+                    return Err(FlowSetError::NodeOutOfRange(f.id, n));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a FlowSet {
+    type Item = &'a Flow;
+    type IntoIter = std::slice::Iter<'a, Flow>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.flows.iter()
+    }
+}
+
+impl FromIterator<(NodeId, NodeId, f64)> for FlowSet {
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId, f64)>>(iter: T) -> Self {
+        FlowSet::from_triples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut fs = FlowSet::new();
+        let a = fs.push(NodeId(0), NodeId(1), 25.0);
+        let b = fs.push_labeled(NodeId(1), NodeId(2), 50.0, "f2");
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs.flow(a).demand, 25.0);
+        assert_eq!(fs.flow(b).label.as_deref(), Some("f2"));
+        assert_eq!(fs.total_demand(), 75.0);
+        assert_eq!(fs.max_demand(), 50.0);
+    }
+
+    #[test]
+    fn validate_catches_problems() {
+        let topo = Topology::mesh2d(2, 2);
+        let mut fs = FlowSet::new();
+        let id = fs.push(NodeId(0), NodeId(0), 1.0);
+        assert_eq!(fs.validate(&topo), Err(FlowSetError::SelfFlow(id)));
+
+        let mut fs = FlowSet::new();
+        let id = fs.push(NodeId(0), NodeId(1), -3.0);
+        assert_eq!(fs.validate(&topo), Err(FlowSetError::BadDemand(id, -3.0)));
+
+        let mut fs = FlowSet::new();
+        let id = fs.push(NodeId(0), NodeId(99), 1.0);
+        assert_eq!(
+            fs.validate(&topo),
+            Err(FlowSetError::NodeOutOfRange(id, NodeId(99)))
+        );
+
+        let mut fs = FlowSet::new();
+        fs.push(NodeId(0), NodeId(1), 1.0);
+        assert_eq!(fs.validate(&topo), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_pairs_allowed() {
+        let topo = Topology::mesh2d(2, 2);
+        let mut fs = FlowSet::new();
+        fs.push(NodeId(0), NodeId(1), 1.0);
+        fs.push(NodeId(0), NodeId(1), 2.0);
+        assert_eq!(fs.validate(&topo), Ok(()));
+    }
+
+    #[test]
+    fn scaling() {
+        let mut fs = FlowSet::new();
+        fs.push(NodeId(0), NodeId(1), 10.0);
+        let scaled = fs.scaled(1.25);
+        assert!((scaled.flow(FlowId(0)).demand - 12.5).abs() < 1e-12);
+        // Original untouched.
+        assert_eq!(fs.flow(FlowId(0)).demand, 10.0);
+    }
+
+    #[test]
+    fn from_triples_and_iteration() {
+        let fs: FlowSet = vec![
+            (NodeId(0), NodeId(1), 1.0),
+            (NodeId(2), NodeId(3), 2.0),
+        ]
+        .into_iter()
+        .collect();
+        let ids: Vec<u32> = fs.iter().map(|f| f.id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!((&fs).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            FlowSetError::SelfFlow(FlowId(1)),
+            FlowSetError::BadDemand(FlowId(1), f64::NAN),
+            FlowSetError::NodeOutOfRange(FlowId(1), NodeId(9)),
+            FlowSetError::MisnumberedFlow(FlowId(1), 0),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

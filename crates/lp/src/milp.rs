@@ -1,0 +1,389 @@
+//! Branch-and-bound for mixed integer-linear models.
+//!
+//! Depth-first search branching on the most fractional integer variable,
+//! exploring the "round up" child first (a diving strategy that finds
+//! incumbents quickly for path-choice models). Node- and time-limits let
+//! callers use the solver as a bounded heuristic, mirroring the thesis's
+//! note that "the ILP solver can be used as a heuristic approach by
+//! limiting the number of iterations for large examples".
+
+use crate::problem::{LpError, Model, Solution, VarKind};
+use std::time::{Duration, Instant};
+
+/// Budget and tolerance knobs for [`solve`].
+#[derive(Clone, Debug)]
+pub struct MilpOptions {
+    /// Maximum branch-and-bound nodes to explore.
+    pub max_nodes: usize,
+    /// Wall-clock limit for the whole search.
+    pub time_limit: Option<Duration>,
+    /// Tolerance within which a value counts as integral.
+    pub int_tol: f64,
+    /// Absolute objective gap below which a node is pruned against the
+    /// incumbent.
+    pub gap_tol: f64,
+    /// Optional warm-start assignment (one value per variable). When
+    /// feasible, it seeds the incumbent so the search starts with an
+    /// upper bound and can only improve on it.
+    pub initial: Option<Vec<f64>>,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        MilpOptions {
+            max_nodes: 50_000,
+            time_limit: Some(Duration::from_secs(60)),
+            int_tol: 1e-6,
+            gap_tol: 1e-9,
+            initial: None,
+        }
+    }
+}
+
+/// Checks a candidate assignment against all bounds, integrality and
+/// constraints; returns its objective when feasible.
+fn check_initial(model: &Model, values: &[f64], int_tol: f64) -> Option<f64> {
+    if values.len() != model.vars.len() {
+        return None;
+    }
+    const FEAS: f64 = 1e-6;
+    let mut objective = 0.0;
+    for (v, &x) in model.vars.iter().zip(values) {
+        if x < v.lo - FEAS || x > v.hi + FEAS {
+            return None;
+        }
+        if v.kind != VarKind::Continuous && (x - x.round()).abs() > int_tol {
+            return None;
+        }
+        objective += v.obj * x;
+    }
+    for con in &model.constraints {
+        let lhs: f64 = con.terms.iter().map(|&(v, c)| c * values[v.index()]).sum();
+        let ok = match con.cmp {
+            crate::problem::Cmp::Le => lhs <= con.rhs + FEAS,
+            crate::problem::Cmp::Ge => lhs >= con.rhs - FEAS,
+            crate::problem::Cmp::Eq => (lhs - con.rhs).abs() <= FEAS,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    Some(objective)
+}
+
+/// Search statistics reported alongside a MILP solution.
+#[derive(Clone, Debug, Default)]
+pub struct MilpStats {
+    /// Nodes whose relaxation was solved.
+    pub nodes_explored: usize,
+    /// Whether the search completed within budget (so the incumbent is
+    /// proven optimal up to `gap_tol`).
+    pub proven_optimal: bool,
+    /// Objective of the root relaxation (a lower bound).
+    pub root_bound: f64,
+}
+
+#[derive(Clone)]
+struct NodeDecisions(Vec<(usize, f64, f64)>);
+
+/// Solves `model` by branch-and-bound.
+///
+/// # Errors
+///
+/// * [`LpError::Infeasible`] if no integer-feasible point exists (search
+///   completed).
+/// * [`LpError::BudgetExhausted`] if limits were hit before any incumbent
+///   was found.
+/// * [`LpError::Unbounded`] if the root relaxation is unbounded.
+pub fn solve(model: &Model, opts: &MilpOptions) -> Result<(Solution, MilpStats), LpError> {
+    let start = Instant::now();
+    let mut work = model.clone();
+    let int_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind != VarKind::Continuous)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut stats = MilpStats {
+        nodes_explored: 0,
+        proven_optimal: true,
+        root_bound: f64::NEG_INFINITY,
+    };
+    let mut incumbent: Option<Solution> = match &opts.initial {
+        Some(values) => check_initial(model, values, opts.int_tol).map(|objective| Solution {
+            values: values.clone(),
+            objective,
+        }),
+        None => None,
+    };
+    let mut stack: Vec<NodeDecisions> = vec![NodeDecisions(Vec::new())];
+
+    while let Some(node) = stack.pop() {
+        if stats.nodes_explored >= opts.max_nodes {
+            stats.proven_optimal = false;
+            break;
+        }
+        if let Some(limit) = opts.time_limit {
+            if start.elapsed() >= limit {
+                stats.proven_optimal = false;
+                break;
+            }
+        }
+        // Apply node bounds onto the working model.
+        let saved: Vec<(usize, f64, f64)> = node
+            .0
+            .iter()
+            .map(|&(i, _, _)| {
+                let v = &work.vars[i];
+                (i, v.lo, v.hi)
+            })
+            .collect();
+        for &(i, lo, hi) in &node.0 {
+            work.vars[i].lo = lo;
+            work.vars[i].hi = hi;
+        }
+        let relax = work.solve_relaxation();
+        // Restore before analyzing (so stack processing stays stateless).
+        for &(i, lo, hi) in saved.iter().rev() {
+            work.vars[i].lo = lo;
+            work.vars[i].hi = hi;
+        }
+        stats.nodes_explored += 1;
+
+        let sol = match relax {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => continue,
+            Err(LpError::Unbounded) if stats.nodes_explored == 1 => {
+                return Err(LpError::Unbounded);
+            }
+            Err(LpError::Unbounded) => continue,
+            Err(LpError::IterationLimit) => {
+                // Numerical trouble: skip the node but drop the optimality
+                // claim.
+                stats.proven_optimal = false;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if stats.nodes_explored == 1 {
+            stats.root_bound = sol.objective();
+        }
+        if let Some(inc) = &incumbent {
+            if sol.objective() >= inc.objective() - opts.gap_tol {
+                continue;
+            }
+        }
+        // Most fractional integer variable.
+        let mut branch: Option<(usize, f64)> = None;
+        let mut best_frac = opts.int_tol;
+        for &i in &int_vars {
+            let x = sol.values()[i];
+            let frac = (x - x.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch = Some((i, x));
+            }
+        }
+        match branch {
+            None => {
+                // Integral: snap values and accept as incumbent.
+                let mut values = sol.values().to_vec();
+                for &i in &int_vars {
+                    values[i] = values[i].round();
+                }
+                let objective = sol.objective();
+                let better = incumbent
+                    .as_ref()
+                    .is_none_or(|inc| objective < inc.objective() - opts.gap_tol);
+                if better {
+                    incumbent = Some(Solution { values, objective });
+                }
+            }
+            Some((i, x)) => {
+                let floor = x.floor();
+                let (lo, hi) = {
+                    let v = &model.vars[i];
+                    // Intersect with the node's own bounds if it re-branches
+                    // on the same variable.
+                    let nb = node
+                        .0
+                        .iter()
+                        .rev()
+                        .find(|&&(j, _, _)| j == i)
+                        .map(|&(_, l, h)| (l, h));
+                    nb.unwrap_or((v.lo, v.hi))
+                };
+                // Down child: x <= floor.
+                if floor >= lo - opts.int_tol {
+                    let mut d = node.0.clone();
+                    d.push((i, lo, floor.max(lo)));
+                    stack.push(NodeDecisions(d));
+                }
+                // Up child pushed last so it is explored first (diving).
+                if floor + 1.0 <= hi + opts.int_tol {
+                    let mut d = node.0.clone();
+                    d.push((i, (floor + 1.0).min(hi), hi));
+                    stack.push(NodeDecisions(d));
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some(sol) => Ok((sol, stats)),
+        None if stats.proven_optimal => Err(LpError::Infeasible),
+        None => Err(LpError::BudgetExhausted),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Model, VarKind};
+
+    #[test]
+    fn knapsack_optimum() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6 -> a + c (17) vs b+c (20).
+        let mut m = Model::minimize();
+        let a = m.add_binary(-10.0);
+        let b = m.add_binary(-13.0);
+        let c = m.add_binary(-7.0);
+        m.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+        let (sol, stats) = solve(&m, &MilpOptions::default()).expect("feasible");
+        assert!((sol.objective() + 20.0).abs() < 1e-6);
+        assert!(stats.proven_optimal);
+        assert!(sol.value(b) > 0.5 && sol.value(c) > 0.5 && sol.value(a) < 0.5);
+    }
+
+    #[test]
+    fn milp_differs_from_lp_relaxation() {
+        // max x, 2x <= 3, x integer in [0, 5]: LP gives 1.5, MILP 1.
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Integer, 0.0, 5.0, -1.0);
+        m.add_constraint(vec![(x, 2.0)], Cmp::Le, 3.0);
+        let relax = m.solve_relaxation().expect("lp");
+        assert!((relax.value(x) - 1.5).abs() < 1e-7);
+        let (sol, _) = solve(&m, &MilpOptions::default()).expect("milp");
+        assert!((sol.value(x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 2x = 1 with x binary has no integer solution.
+        let mut m = Model::minimize();
+        let x = m.add_binary(1.0);
+        m.add_constraint(vec![(x, 2.0)], Cmp::Eq, 1.0);
+        assert_eq!(solve(&m, &MilpOptions::default()).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn budget_exhausted_without_incumbent() {
+        let mut m = Model::minimize();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Eq, 2.0);
+        // Zero nodes allowed: no incumbent possible.
+        let opts = MilpOptions {
+            max_nodes: 0,
+            ..MilpOptions::default()
+        };
+        assert_eq!(solve(&m, &opts).unwrap_err(), LpError::BudgetExhausted);
+    }
+
+    #[test]
+    fn choice_rows_give_one_hot_solutions() {
+        // Two "flows", each choosing between 2 "paths"; shared resource
+        // makes one combination optimal. Mirrors the BSOR path MILP shape.
+        let mut m = Model::minimize();
+        let u = m.add_var(VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        let p = [m.add_binary(0.0), m.add_binary(0.0)];
+        let q = [m.add_binary(0.0), m.add_binary(0.0)];
+        for v in p.iter().chain(q.iter()) {
+            m.set_ub_implied(*v);
+        }
+        m.add_constraint(vec![(p[0], 1.0), (p[1], 1.0)], Cmp::Eq, 1.0);
+        m.add_constraint(vec![(q[0], 1.0), (q[1], 1.0)], Cmp::Eq, 1.0);
+        // Link A carries p0 and q0; link B carries p1; link C carries q1.
+        m.add_constraint(vec![(p[0], 5.0), (q[0], 5.0), (u, -1.0)], Cmp::Le, 0.0);
+        m.add_constraint(vec![(p[1], 5.0), (u, -1.0)], Cmp::Le, 0.0);
+        m.add_constraint(vec![(q[1], 5.0), (u, -1.0)], Cmp::Le, 0.0);
+        let (sol, stats) = solve(&m, &MilpOptions::default()).expect("feasible");
+        // Optimal: flows on different links, U = 5.
+        assert!((sol.objective() - 5.0).abs() < 1e-6);
+        assert!(stats.proven_optimal);
+        let one_hot =
+            |a: f64, b: f64| (a - 1.0).abs() < 1e-6 && b.abs() < 1e-6 || a.abs() < 1e-6 && (b - 1.0).abs() < 1e-6;
+        assert!(one_hot(sol.value(p[0]), sol.value(p[1])));
+        assert!(one_hot(sol.value(q[0]), sol.value(q[1])));
+    }
+
+    #[test]
+    fn general_integer_branching() {
+        // min 3x + 4y s.t. x + 2y >= 5, integers: candidates (5,0)=15,
+        // (3,1)=13, (1,2)=11.
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Integer, 0.0, 10.0, 3.0);
+        let y = m.add_var(VarKind::Integer, 0.0, 10.0, 4.0);
+        m.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 5.0);
+        let (sol, _) = solve(&m, &MilpOptions::default()).expect("feasible");
+        assert!((sol.objective() - 11.0).abs() < 1e-6);
+        assert!((sol.value(x) - 1.0).abs() < 1e-6);
+        assert!((sol.value(y) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn root_bound_reported() {
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Integer, 0.0, 5.0, -1.0);
+        m.add_constraint(vec![(x, 2.0)], Cmp::Le, 3.0);
+        let (_, stats) = solve(&m, &MilpOptions::default()).expect("feasible");
+        assert!((stats.root_bound + 1.5).abs() < 1e-6);
+        assert!(stats.nodes_explored >= 1);
+    }
+
+    #[test]
+    fn warm_start_seeds_incumbent() {
+        // With zero nodes allowed, the result IS the warm start.
+        let mut m = Model::minimize();
+        let a = m.add_binary(-1.0);
+        let b = m.add_binary(-1.0);
+        m.add_constraint(vec![(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
+        let opts = MilpOptions {
+            max_nodes: 0,
+            initial: Some(vec![1.0, 0.0]),
+            ..MilpOptions::default()
+        };
+        let (sol, _) = solve(&m, &opts).expect("warm start is feasible");
+        assert!((sol.objective() + 1.0).abs() < 1e-9);
+        // With full search, the optimum matches the warm start here.
+        let opts = MilpOptions {
+            initial: Some(vec![1.0, 0.0]),
+            ..MilpOptions::default()
+        };
+        let (sol, _) = solve(&m, &opts).expect("feasible");
+        assert!((sol.objective() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_warm_start_ignored() {
+        let mut m = Model::minimize();
+        let a = m.add_binary(-1.0);
+        m.add_constraint(vec![(a, 1.0)], Cmp::Le, 0.0);
+        let opts = MilpOptions {
+            initial: Some(vec![1.0]), // violates a <= 0
+            ..MilpOptions::default()
+        };
+        let (sol, _) = solve(&m, &opts).expect("search finds a = 0");
+        assert!(sol.value(a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_model_through_solve() {
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, 0.0, 4.0, -1.0);
+        let s = m.solve().expect("lp path");
+        assert!((s.value(x) - 4.0).abs() < 1e-7);
+    }
+}

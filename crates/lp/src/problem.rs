@@ -1,0 +1,306 @@
+//! Model-building API: variables, linear constraints, objective.
+
+use crate::milp;
+use crate::simplex;
+use std::error::Error;
+use std::fmt;
+
+/// Handle to a decision variable of a [`Model`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Continuity class of a variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Real-valued variable.
+    Continuous,
+    /// Variable restricted to {0, 1}.
+    Binary,
+    /// Variable restricted to non-negative integers within its bounds.
+    Integer,
+}
+
+/// Comparison sense of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Variable {
+    pub kind: VarKind,
+    pub lo: f64,
+    pub hi: f64,
+    pub obj: f64,
+    /// When `true`, the solver skips emitting an explicit `x <= hi` row
+    /// because the model's own constraints already imply it (e.g. path
+    /// variables covered by a `sum = 1` row). This is a performance hint
+    /// only; correctness of the hint is the caller's responsibility.
+    pub ub_implied: bool,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Constraint {
+    pub terms: Vec<(VarId, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// Error returned by the LP / MILP solvers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpError {
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+    /// Branch-and-bound exhausted its node or time budget with no incumbent.
+    BudgetExhausted,
+    /// The model is malformed (e.g. inverted or negative-infinite bounds).
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::BudgetExhausted => {
+                write!(f, "branch-and-bound budget exhausted without incumbent")
+            }
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+/// A linear or mixed-integer linear model, always in minimization sense.
+///
+/// Variables have bounds `lo <= x <= hi` with `lo >= 0` finite and `hi`
+/// finite or `f64::INFINITY`. Use negative objective coefficients to
+/// maximize.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty minimization model.
+    pub fn minimize() -> Self {
+        Model::default()
+    }
+
+    /// Adds a variable with bounds `[lo, hi]` and objective coefficient
+    /// `obj`; returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is negative or not finite, or `hi < lo`.
+    pub fn add_var(&mut self, kind: VarKind, lo: f64, hi: f64, obj: f64) -> VarId {
+        assert!(lo.is_finite() && lo >= 0.0, "lower bound must be finite and >= 0");
+        assert!(hi >= lo, "upper bound below lower bound");
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(Variable {
+            kind,
+            lo,
+            hi,
+            obj,
+            ub_implied: false,
+        });
+        id
+    }
+
+    /// Adds a binary variable with objective coefficient `obj`.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        self.add_var(VarKind::Binary, 0.0, 1.0, obj)
+    }
+
+    /// Marks a variable's upper bound as implied by other constraints, so
+    /// no explicit bound row is generated for it.
+    ///
+    /// This is a performance hint for large models (e.g. path-choice
+    /// variables already covered by a `sum = 1` constraint). Solutions are
+    /// only guaranteed to respect the bound if the hint is truthful.
+    pub fn set_ub_implied(&mut self, var: VarId) {
+        self.vars[var.index()].ub_implied = true;
+    }
+
+    /// Adds the linear constraint `sum(terms) cmp rhs`. Terms may repeat a
+    /// variable; coefficients are summed.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) {
+        for &(v, _) in &terms {
+            assert!(v.index() < self.vars.len(), "constraint references unknown variable");
+        }
+        self.constraints.push(Constraint { terms, cmp, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if any variable is binary or integer.
+    pub fn has_integers(&self) -> bool {
+        self.vars.iter().any(|v| v.kind != VarKind::Continuous)
+    }
+
+    /// Overrides a variable's bounds (used by branch-and-bound; also
+    /// useful for warm-editing a model between solves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are inverted or `lo` is negative.
+    pub fn set_bounds(&mut self, var: VarId, lo: f64, hi: f64) {
+        assert!(lo.is_finite() && lo >= 0.0 && hi >= lo, "invalid bounds");
+        let v = &mut self.vars[var.index()];
+        v.lo = lo;
+        v.hi = hi;
+    }
+
+    /// Returns a variable's bounds.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        let v = &self.vars[var.index()];
+        (v.lo, v.hi)
+    }
+
+    /// Solves the continuous relaxation with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`] or
+    /// [`LpError::IterationLimit`].
+    pub fn solve_relaxation(&self) -> Result<Solution, LpError> {
+        simplex::solve(self)
+    }
+
+    /// Solves the model: plain simplex if all variables are continuous,
+    /// branch-and-bound otherwise (with default [`milp::MilpOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`LpError`].
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        if self.has_integers() {
+            milp::solve(self, &milp::MilpOptions::default()).map(|(s, _)| s)
+        } else {
+            self.solve_relaxation()
+        }
+    }
+
+    /// Solves with explicit branch-and-bound options, returning solver
+    /// statistics alongside the solution.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpError`].
+    pub fn solve_with(&self, opts: &milp::MilpOptions) -> Result<(Solution, milp::MilpStats), LpError> {
+        if self.has_integers() {
+            milp::solve(self, opts)
+        } else {
+            self.solve_relaxation().map(|s| (s, milp::MilpStats::default()))
+        }
+    }
+}
+
+/// A feasible assignment of all model variables, with its objective value.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    pub(crate) values: Vec<f64>,
+    pub(crate) objective: f64,
+}
+
+impl Solution {
+    /// Value of `var` in this solution.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Objective value (minimization sense).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// All variable values, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_counts() {
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, 0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 0.5);
+        assert_eq!(m.num_vars(), 1);
+        assert_eq!(m.num_constraints(), 1);
+        assert!(!m.has_integers());
+        let _b = m.add_binary(0.0);
+        assert!(m.has_integers());
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn negative_lower_bound_rejected() {
+        let mut m = Model::minimize();
+        m.add_var(VarKind::Continuous, -1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound below")]
+    fn inverted_bounds_rejected() {
+        let mut m = Model::minimize();
+        m.add_var(VarKind::Continuous, 2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn bounds_roundtrip() {
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, 0.0, 5.0, 0.0);
+        m.set_bounds(x, 1.0, 2.0);
+        assert_eq!(m.bounds(x), (1.0, 2.0));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            LpError::Infeasible,
+            LpError::Unbounded,
+            LpError::IterationLimit,
+            LpError::BudgetExhausted,
+            LpError::InvalidModel("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

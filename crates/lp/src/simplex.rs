@@ -1,0 +1,573 @@
+//! Dense two-phase primal simplex.
+//!
+//! The solver accepts a [`Model`] in natural form, internally:
+//!
+//! 1. substitutes out fixed variables (`lo == hi`),
+//! 2. shifts remaining variables to `x' = x - lo >= 0`,
+//! 3. adds explicit upper-bound rows for finite upper bounds (unless the
+//!    model marked them implied),
+//! 4. runs phase 1 with artificial variables to find a basic feasible
+//!    point, drives artificials out of the basis, and
+//! 5. runs phase 2 on the original objective.
+//!
+//! Dantzig pricing is used with an automatic switch to Bland's rule when
+//! the objective stalls, which guarantees termination on degenerate
+//! problems.
+
+use crate::problem::{Cmp, LpError, Model, Solution};
+
+/// Pivot magnitude threshold.
+const EPS_PIVOT: f64 = 1e-9;
+/// Reduced-cost optimality tolerance.
+const EPS_COST: f64 = 1e-9;
+/// Phase-1 feasibility tolerance.
+const EPS_FEAS: f64 = 1e-7;
+/// Iterations of unchanged objective before switching to Bland's rule.
+const STALL_LIMIT: usize = 64;
+
+struct Tableau {
+    /// Row-major coefficient matrix, `rows x (cols + 1)`, last column = rhs.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Reduced-cost row, length `cols + 1`; last entry is `-objective`.
+    cost: Vec<f64>,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    /// Gauss-Jordan pivot on (row, col), updating the cost row too.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.cols + 1;
+        let piv = self.a[row * w + col];
+        debug_assert!(piv.abs() > EPS_PIVOT, "pivot too small");
+        let inv = 1.0 / piv;
+        for j in 0..w {
+            self.a[row * w + j] *= inv;
+        }
+        // Exact unit column for numerical hygiene.
+        self.a[row * w + col] = 1.0;
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let f = self.a[r * w + col];
+            if f != 0.0 {
+                for j in 0..w {
+                    self.a[r * w + j] -= f * self.a[row * w + j];
+                }
+                self.a[r * w + col] = 0.0;
+            }
+        }
+        let f = self.cost[col];
+        if f != 0.0 {
+            for j in 0..w {
+                self.cost[j] -= f * self.a[row * w + j];
+            }
+            self.cost[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// One simplex iteration. `allowed` filters candidate entering columns.
+    /// Returns `Ok(true)` if a pivot happened, `Ok(false)` at optimality.
+    fn step(&mut self, allowed: &[bool], bland: bool) -> Result<bool, LpError> {
+        // Entering column.
+        let mut enter: Option<usize> = None;
+        if bland {
+            for j in 0..self.cols {
+                if allowed[j] && self.cost[j] < -EPS_COST {
+                    enter = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = -EPS_COST;
+            for j in 0..self.cols {
+                if allowed[j] && self.cost[j] < best {
+                    best = self.cost[j];
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(col) = enter else {
+            return Ok(false);
+        };
+        // Ratio test.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..self.rows {
+            let arc = self.at(r, col);
+            if arc > EPS_PIVOT {
+                let ratio = self.rhs(r) / arc;
+                let better = ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]));
+                if leave.is_none() || better {
+                    best_ratio = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(row) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        self.pivot(row, col);
+        Ok(true)
+    }
+
+    fn run(&mut self, allowed: &[bool], max_iters: usize) -> Result<(), LpError> {
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        let mut bland = false;
+        for _ in 0..max_iters {
+            if !self.step(allowed, bland)? {
+                return Ok(());
+            }
+            let obj = -self.cost[self.cols];
+            if (last_obj - obj).abs() <= 1e-12 {
+                stall += 1;
+                if stall >= STALL_LIMIT {
+                    bland = true;
+                }
+            } else {
+                stall = 0;
+                bland = false;
+            }
+            last_obj = obj;
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+struct Prepared {
+    /// Map model variable index -> structural column (None if fixed).
+    col_of_var: Vec<Option<usize>>,
+    /// Lower bound shift per model variable.
+    shift: Vec<f64>,
+    /// Objective constant accumulated from fixed/shifted variables.
+    obj_const: f64,
+    /// Structural column count.
+    n_struct: usize,
+    /// Rows as (coeffs over structural cols, cmp, rhs).
+    rows: Vec<(Vec<(usize, f64)>, Cmp, f64)>,
+    /// Objective over structural columns.
+    c: Vec<f64>,
+}
+
+fn prepare(model: &Model) -> Result<Prepared, LpError> {
+    let nv = model.vars.len();
+    let mut col_of_var = vec![None; nv];
+    let mut shift = vec![0.0; nv];
+    let mut obj_const = 0.0;
+    let mut n_struct = 0usize;
+    for (i, v) in model.vars.iter().enumerate() {
+        if !(v.lo.is_finite() && v.lo >= 0.0 && v.hi >= v.lo) {
+            return Err(LpError::InvalidModel(format!(
+                "variable x{i} has invalid bounds [{}, {}]",
+                v.lo, v.hi
+            )));
+        }
+        shift[i] = v.lo;
+        obj_const += v.obj * v.lo;
+        if v.hi - v.lo > 0.0 {
+            col_of_var[i] = Some(n_struct);
+            n_struct += 1;
+        }
+    }
+    let mut c = vec![0.0; n_struct];
+    for (i, v) in model.vars.iter().enumerate() {
+        if let Some(j) = col_of_var[i] {
+            c[j] = v.obj;
+        }
+    }
+    let mut rows: Vec<(Vec<(usize, f64)>, Cmp, f64)> = Vec::new();
+    for con in &model.constraints {
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(con.terms.len());
+        let mut rhs = con.rhs;
+        for &(v, coef) in &con.terms {
+            rhs -= coef * shift[v.index()];
+            if let Some(j) = col_of_var[v.index()] {
+                coeffs.push((j, coef));
+            }
+        }
+        rows.push((coeffs, con.cmp, rhs));
+    }
+    // Upper-bound rows for finite, non-implied upper bounds.
+    for (i, v) in model.vars.iter().enumerate() {
+        if let Some(j) = col_of_var[i] {
+            let span = v.hi - v.lo;
+            if span.is_finite() && !v.ub_implied {
+                rows.push((vec![(j, 1.0)], Cmp::Le, span));
+            }
+        }
+    }
+    Ok(Prepared {
+        col_of_var,
+        shift,
+        obj_const,
+        n_struct,
+        rows,
+        c,
+    })
+}
+
+/// Solves the continuous relaxation of `model`.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`], [`LpError::Unbounded`],
+/// [`LpError::IterationLimit`], or [`LpError::InvalidModel`].
+pub fn solve(model: &Model) -> Result<Solution, LpError> {
+    let prep = prepare(model)?;
+    let m = prep.rows.len();
+    let n = prep.n_struct;
+
+    if m == 0 {
+        // Unconstrained: each variable sits at whichever finite bound
+        // minimizes the objective; positive-cost unbounded-above vars sit
+        // at lo, negative-cost ones are unbounded.
+        let mut values = vec![0.0; model.vars.len()];
+        let mut objective = 0.0;
+        for (i, v) in model.vars.iter().enumerate() {
+            let x = if v.obj >= 0.0 {
+                v.lo
+            } else if v.hi.is_finite() {
+                v.hi
+            } else {
+                return Err(LpError::Unbounded);
+            };
+            values[i] = x;
+            objective += v.obj * x;
+        }
+        return Ok(Solution { values, objective });
+    }
+
+    // Count auxiliary columns.
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for (_, cmp, rhs) in &prep.rows {
+        let flipped = *rhs < 0.0;
+        let eff = match (cmp, flipped) {
+            (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+            (Cmp::Le, true) | (Cmp::Ge, false) => Cmp::Ge,
+            (Cmp::Eq, _) => Cmp::Eq,
+        };
+        match eff {
+            Cmp::Le => n_slack += 1,
+            Cmp::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Cmp::Eq => n_art += 1,
+        }
+    }
+    let cols = n + n_slack + n_art;
+    let w = cols + 1;
+    let mut a = vec![0.0; m * w];
+    let mut basis = vec![0usize; m];
+    let art_start = n + n_slack;
+    let mut next_slack = n;
+    let mut next_art = art_start;
+
+    for (r, (coeffs, cmp, rhs)) in prep.rows.iter().enumerate() {
+        let sign = if *rhs < 0.0 { -1.0 } else { 1.0 };
+        for &(j, coef) in coeffs {
+            a[r * w + j] += sign * coef;
+        }
+        a[r * w + cols] = sign * rhs;
+        let eff = match (cmp, sign < 0.0) {
+            (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+            (Cmp::Le, true) | (Cmp::Ge, false) => Cmp::Ge,
+            (Cmp::Eq, _) => Cmp::Eq,
+        };
+        match eff {
+            Cmp::Le => {
+                a[r * w + next_slack] = 1.0;
+                basis[r] = next_slack;
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                a[r * w + next_slack] = -1.0;
+                next_slack += 1;
+                a[r * w + next_art] = 1.0;
+                basis[r] = next_art;
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                a[r * w + next_art] = 1.0;
+                basis[r] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        a,
+        rows: m,
+        cols,
+        cost: vec![0.0; w],
+        basis,
+    };
+
+    let max_iters = 200 * (m + cols) + 20_000;
+
+    // Phase 1: minimize sum of artificials.
+    if n_art > 0 {
+        for j in art_start..cols {
+            t.cost[j] = 1.0;
+        }
+        // Make the cost row consistent with the basic artificials.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                for j in 0..w {
+                    t.cost[j] -= t.a[r * w + j];
+                }
+            }
+        }
+        let allowed: Vec<bool> = (0..cols).map(|_| true).collect();
+        t.run(&allowed, max_iters)?;
+        let phase1_obj = -t.cost[cols];
+        if phase1_obj > EPS_FEAS {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any remaining basic artificials out of the basis.
+        let mut r = 0;
+        let mut live_rows: Vec<bool> = vec![true; m];
+        while r < m {
+            if live_rows[r] && t.basis[r] >= art_start {
+                let mut pivoted = false;
+                for j in 0..art_start {
+                    if t.at(r, j).abs() > EPS_PIVOT {
+                        t.pivot(r, j);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row: zero it so it never constrains again.
+                    for j in 0..w {
+                        t.a[r * w + j] = 0.0;
+                    }
+                    live_rows[r] = false;
+                }
+            }
+            r += 1;
+        }
+    }
+
+    // Phase 2: original objective; artificial columns banned.
+    for j in 0..w {
+        t.cost[j] = 0.0;
+    }
+    for (j, &cj) in prep.c.iter().enumerate() {
+        t.cost[j] = cj;
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        let cb = if b < n { prep.c[b] } else { 0.0 };
+        if cb != 0.0 {
+            for j in 0..w {
+                t.cost[j] -= cb * t.a[r * w + j];
+            }
+        }
+    }
+    let allowed: Vec<bool> = (0..cols).map(|j| j < art_start).collect();
+    t.run(&allowed, max_iters)?;
+
+    // Extract the solution.
+    let mut xs = vec![0.0; n];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            xs[b] = t.rhs(r);
+        }
+    }
+    let mut values = vec![0.0; model.vars.len()];
+    let mut objective = prep.obj_const;
+    for (i, v) in model.vars.iter().enumerate() {
+        let x = match prep.col_of_var[i] {
+            Some(j) => prep.shift[i] + xs[j],
+            None => prep.shift[i],
+        };
+        values[i] = x;
+        objective += v.obj * (x - prep.shift[i]);
+    }
+    Ok(Solution { values, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Model, VarKind};
+
+    fn cont(m: &mut Model, hi: f64, obj: f64) -> crate::problem::VarId {
+        m.add_var(VarKind::Continuous, 0.0, hi, obj)
+    }
+
+    #[test]
+    fn textbook_production_problem() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (opt 36 at (2,6))
+        let mut m = Model::minimize();
+        let x = cont(&mut m, f64::INFINITY, -3.0);
+        let y = cont(&mut m, f64::INFINITY, -5.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = solve(&m).expect("feasible bounded LP");
+        assert!((s.objective() + 36.0).abs() < 1e-7);
+        assert!((s.value(x) - 2.0).abs() < 1e-7);
+        assert!((s.value(y) - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase1() {
+        // min x + y s.t. x + y = 2, x - y = 0  => x = y = 1
+        let mut m = Model::minimize();
+        let x = cont(&mut m, f64::INFINITY, 1.0);
+        let y = cont(&mut m, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 0.0);
+        let s = solve(&m).expect("feasible");
+        assert!((s.value(x) - 1.0).abs() < 1e-7);
+        assert!((s.value(y) - 1.0).abs() < 1e-7);
+        assert!((s.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 3  => (7,3)? cost 2*7+3*3=23 vs x=10,y=0 cost 20.
+        let mut m = Model::minimize();
+        let x = cont(&mut m, f64::INFINITY, 2.0);
+        let y = cont(&mut m, f64::INFINITY, 3.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 3.0);
+        let s = solve(&m).expect("feasible");
+        assert!((s.objective() - 20.0).abs() < 1e-7);
+        assert!((s.value(x) - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::minimize();
+        let x = cont(&mut m, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::minimize();
+        let x = cont(&mut m, f64::INFINITY, -1.0);
+        let y = cont(&mut m, f64::INFINITY, 0.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn respects_upper_bounds() {
+        // min -x, x <= 2.5 via bound only.
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, 0.0, 2.5, -1.0);
+        let s = solve(&m).expect("feasible");
+        assert!((s.value(x) - 2.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn respects_lower_bounds_via_shift() {
+        // min x with x in [1.5, 4]
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, 1.5, 4.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        let s = solve(&m).expect("feasible");
+        assert!((s.value(x) - 1.5).abs() < 1e-7);
+        assert!((s.objective() - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variables_substituted() {
+        // x fixed at 2; min y s.t. y >= 3x => y = 6.
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, 2.0, 2.0, 0.0);
+        let y = cont(&mut m, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(y, 1.0), (x, -3.0)], Cmp::Ge, 0.0);
+        let s = solve(&m).expect("feasible");
+        assert!((s.value(x) - 2.0).abs() < 1e-9);
+        assert!((s.value(y) - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut m = Model::minimize();
+        let x = cont(&mut m, f64::INFINITY, -0.75);
+        let y = cont(&mut m, f64::INFINITY, 150.0);
+        let z = cont(&mut m, f64::INFINITY, -0.02);
+        let u = cont(&mut m, f64::INFINITY, 6.0);
+        // Beale's cycling example.
+        m.add_constraint(vec![(x, 0.25), (y, -60.0), (z, -0.04), (u, 9.0)], Cmp::Le, 0.0);
+        m.add_constraint(vec![(x, 0.5), (y, -90.0), (z, -0.02), (u, 3.0)], Cmp::Le, 0.0);
+        m.add_constraint(vec![(z, 1.0)], Cmp::Le, 1.0);
+        let s = solve(&m).expect("Beale example has optimum -0.05");
+        assert!((s.objective() + 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equalities_handled() {
+        // Duplicate equality rows create basic artificials at zero.
+        let mut m = Model::minimize();
+        let x = cont(&mut m, f64::INFINITY, 1.0);
+        let y = cont(&mut m, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        let s = solve(&m).expect("feasible despite redundancy");
+        assert!((s.value(x) + s.value(y) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalized() {
+        // -x <= -3  (i.e. x >= 3), min x.
+        let mut m = Model::minimize();
+        let x = cont(&mut m, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, -1.0)], Cmp::Le, -3.0);
+        let s = solve(&m).expect("feasible");
+        assert!((s.value(x) - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn no_constraints_uses_bounds() {
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, 0.5, 2.0, 3.0);
+        let y = m.add_var(VarKind::Continuous, 0.0, 7.0, -1.0);
+        let s = solve(&m).expect("bounded by variable bounds");
+        assert!((s.value(x) - 0.5).abs() < 1e-9);
+        assert!((s.value(y) - 7.0).abs() < 1e-9);
+        assert!((s.objective() - (1.5 - 7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimax_linearization_pattern() {
+        // The BSOR objective shape: min U s.t. loads <= U.
+        // Loads: l1 = 3a, l2 = 3(1-a) for a in [0,1]: optimum U = 1.5.
+        let mut m = Model::minimize();
+        let u = cont(&mut m, f64::INFINITY, 1.0);
+        let a = m.add_var(VarKind::Continuous, 0.0, 1.0, 0.0);
+        m.add_constraint(vec![(a, 3.0), (u, -1.0)], Cmp::Le, 0.0);
+        m.add_constraint(vec![(a, -3.0), (u, -1.0)], Cmp::Le, -3.0);
+        let s = solve(&m).expect("feasible");
+        assert!((s.objective() - 1.5).abs() < 1e-7);
+        assert!((s.value(a) - 0.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the simplex and branch-and-bound solvers.
+
+use bsor_lp::{Cmp, Model, VarKind};
+use proptest::prelude::*;
+
+/// Random bounded-feasible LPs: min cᵀx over a box with `<=` rows built
+/// around a known interior point so feasibility is guaranteed.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    costs: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+    ubs: Vec<f64>,
+}
+
+fn arbitrary_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..6, 1usize..6).prop_flat_map(|(nv, nr)| {
+        (
+            prop::collection::vec(-5.0..5.0f64, nv),
+            prop::collection::vec(prop::collection::vec(0.0..4.0f64, nv), nr),
+            prop::collection::vec(1.0..10.0f64, nv),
+        )
+            .prop_map(move |(costs, coeffs, ubs)| {
+                // Interior point x = ubs/2 defines generous RHS values.
+                let rows = coeffs
+                    .into_iter()
+                    .map(|row| {
+                        let rhs: f64 = row
+                            .iter()
+                            .zip(&ubs)
+                            .map(|(c, u)| c * u / 2.0)
+                            .sum::<f64>()
+                            + 1.0;
+                        (row, rhs)
+                    })
+                    .collect();
+                RandomLp { costs, rows, ubs }
+            })
+    })
+}
+
+fn build(lp: &RandomLp, kind: VarKind) -> (Model, Vec<bsor_lp::VarId>) {
+    let mut m = Model::minimize();
+    let vars: Vec<_> = lp
+        .costs
+        .iter()
+        .zip(&lp.ubs)
+        .map(|(&c, &u)| m.add_var(kind, 0.0, if kind == VarKind::Binary { 1.0 } else { u }, c))
+        .collect();
+    for (row, rhs) in &lp.rows {
+        let terms: Vec<_> = vars.iter().zip(row).map(|(&v, &c)| (v, c)).collect();
+        m.add_constraint(terms, Cmp::Le, *rhs);
+    }
+    (m, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_solutions_are_feasible(lp in arbitrary_lp()) {
+        let (m, _) = build(&lp, VarKind::Continuous);
+        let sol = m.solve_relaxation().expect("constructed feasible");
+        // Bounds.
+        for (i, &u) in lp.ubs.iter().enumerate() {
+            let x = sol.values()[i];
+            prop_assert!(x >= -1e-7 && x <= u + 1e-7, "x{i} = {x} out of [0, {u}]");
+        }
+        // Constraints.
+        for (row, rhs) in &lp.rows {
+            let lhs: f64 = row.iter().zip(sol.values()).map(|(c, x)| c * x).sum();
+            prop_assert!(lhs <= rhs + 1e-6, "row violated: {lhs} > {rhs}");
+        }
+        // Objective consistency.
+        let obj: f64 = lp.costs.iter().zip(sol.values()).map(|(c, x)| c * x).sum();
+        prop_assert!((obj - sol.objective()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_objective_beats_any_box_corner(lp in arbitrary_lp()) {
+        // The LP optimum must be at least as good as every *feasible*
+        // corner of the box we can cheaply test.
+        let (m, _) = build(&lp, VarKind::Continuous);
+        let sol = m.solve_relaxation().expect("feasible");
+        for corner in 0u32..(1 << lp.costs.len().min(5)) {
+            let x: Vec<f64> = lp
+                .ubs
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| if corner >> i & 1 == 1 { u } else { 0.0 })
+                .collect();
+            let feasible = lp
+                .rows
+                .iter()
+                .all(|(row, rhs)| row.iter().zip(&x).map(|(c, xi)| c * xi).sum::<f64>() <= *rhs);
+            if feasible {
+                let obj: f64 = lp.costs.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+                prop_assert!(sol.objective() <= obj + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn milp_bounded_by_lp_relaxation(lp in arbitrary_lp()) {
+        let (relaxed, _) = build(&lp, VarKind::Continuous);
+        // Binary version: clamp bounds to [0,1].
+        let (binary, _) = build(&lp, VarKind::Binary);
+        let lp_obj = relaxed.solve_relaxation().expect("feasible").objective();
+        let (milp_sol, stats) = binary
+            .solve_with(&bsor_lp::MilpOptions::default())
+            .expect("x = 0 is always feasible here");
+        // Integrality.
+        for (i, x) in milp_sol.values().iter().enumerate() {
+            prop_assert!((x - x.round()).abs() < 1e-6, "x{i} = {x} not integral");
+        }
+        // The binary optimum is bounded below by the LP relaxation over
+        // the same [0,1] box (weak duality of branch-and-bound).
+        let (mut clamped, clamped_vars) = build(&lp, VarKind::Continuous);
+        for &v in &clamped_vars {
+            clamped.set_bounds(v, 0.0, 1.0);
+        }
+        let clamped_obj = clamped.solve_relaxation().expect("feasible").objective();
+        prop_assert!(milp_sol.objective() >= clamped_obj - 1e-6);
+        prop_assert!(stats.nodes_explored >= 1);
+        // And the (larger-box) LP bound cannot exceed the binary optimum
+        // by construction when ubs >= 1 in every coordinate.
+        if lp.ubs.iter().all(|&u| u >= 1.0) {
+            prop_assert!(lp_obj <= milp_sol.objective() + 1e-6);
+        }
+    }
+}

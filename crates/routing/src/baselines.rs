@@ -1,0 +1,325 @@
+//! The oblivious baselines the paper compares against (§2.1, §6):
+//! dimension-order XY and YX, O1TURN, ROMM and Valiant.
+
+use crate::route::{Route, RouteHop, RouteSet, VcMask};
+use crate::selector::SelectError;
+use bsor_flow::FlowSet;
+use bsor_topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A traditional oblivious routing algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Baseline {
+    /// Dimension-order: X first, then Y.
+    XY,
+    /// Dimension-order: Y first, then X.
+    YX,
+    /// O1TURN: each flow picks XY or YX uniformly at random; XY traffic
+    /// uses the lower half of the VCs and YX the upper half.
+    O1Turn {
+        /// RNG seed for the per-flow choice.
+        seed: u64,
+    },
+    /// ROMM: two-phase with a random intermediate node drawn from the
+    /// minimal quadrant; phase 1 on the lower VC half, phase 2 on the
+    /// upper (per-flow intermediate selection, as in the paper's
+    /// experiments).
+    Romm {
+        /// RNG seed for intermediate selection.
+        seed: u64,
+    },
+    /// Valiant: two-phase with a uniformly random intermediate anywhere
+    /// in the network; same VC discipline as ROMM.
+    Valiant {
+        /// RNG seed for intermediate selection.
+        seed: u64,
+    },
+}
+
+impl Baseline {
+    /// Short display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::XY => "XY",
+            Baseline::YX => "YX",
+            Baseline::O1Turn { .. } => "O1TURN",
+            Baseline::Romm { .. } => "ROMM",
+            Baseline::Valiant { .. } => "Valiant",
+        }
+    }
+
+    /// Number of virtual channels the algorithm needs for deadlock
+    /// freedom.
+    pub fn required_vcs(&self) -> u8 {
+        match self {
+            Baseline::XY | Baseline::YX => 1,
+            _ => 2,
+        }
+    }
+
+    /// Computes one route per flow.
+    ///
+    /// # Errors
+    ///
+    /// [`SelectError::NeedsVirtualChannels`] when `vcs` is below
+    /// [`Baseline::required_vcs`] (the paper sets 2 VCs "to guarantee
+    /// deadlock freedom to the ROMM and Valiant algorithms").
+    pub fn select(
+        &self,
+        topo: &Topology,
+        flows: &FlowSet,
+        vcs: u8,
+    ) -> Result<RouteSet, SelectError> {
+        if vcs < self.required_vcs() {
+            return Err(SelectError::NeedsVirtualChannels {
+                required: self.required_vcs(),
+                available: vcs,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(match self {
+            Baseline::O1Turn { seed } | Baseline::Romm { seed } | Baseline::Valiant { seed } => {
+                *seed
+            }
+            _ => 0,
+        });
+        let routes = flows
+            .iter()
+            .map(|f| {
+                let hops = match self {
+                    Baseline::XY => {
+                        dor_hops(topo, f.src, f.dst, true, VcMask::all(vcs))
+                    }
+                    Baseline::YX => {
+                        dor_hops(topo, f.src, f.dst, false, VcMask::all(vcs))
+                    }
+                    Baseline::O1Turn { .. } => {
+                        let use_xy = rng.gen_bool(0.5);
+                        if use_xy {
+                            dor_hops(topo, f.src, f.dst, true, VcMask::low_half(vcs))
+                        } else {
+                            dor_hops(topo, f.src, f.dst, false, VcMask::high_half(vcs))
+                        }
+                    }
+                    Baseline::Romm { .. } => {
+                        let mid = random_quadrant_node(topo, f.src, f.dst, &mut rng);
+                        two_phase_hops(topo, f.src, mid, f.dst, vcs)
+                    }
+                    Baseline::Valiant { .. } => {
+                        let mid = NodeId(rng.gen_range(0..topo.num_nodes() as u32));
+                        two_phase_hops(topo, f.src, mid, f.dst, vcs)
+                    }
+                };
+                Route { flow: f.id, hops }
+            })
+            .collect();
+        Ok(RouteSet::from_routes(routes))
+    }
+}
+
+/// Dimension-order walk from `src` to `dst`; `x_first` selects XY vs YX.
+fn dor_path(topo: &Topology, src: NodeId, dst: NodeId, x_first: bool) -> Vec<NodeId> {
+    let mut nodes = vec![src];
+    let mut cur = topo.coord(src);
+    let goal = topo.coord(dst);
+    let push = |x: u16, y: u16, nodes: &mut Vec<NodeId>| {
+        nodes.push(topo.node_at(x, y).expect("dimension-order stays in range"));
+    };
+    if x_first {
+        while cur.x != goal.x {
+            cur.x = if cur.x < goal.x { cur.x + 1 } else { cur.x - 1 };
+            push(cur.x, cur.y, &mut nodes);
+        }
+        while cur.y != goal.y {
+            cur.y = if cur.y < goal.y { cur.y + 1 } else { cur.y - 1 };
+            push(cur.x, cur.y, &mut nodes);
+        }
+    } else {
+        while cur.y != goal.y {
+            cur.y = if cur.y < goal.y { cur.y + 1 } else { cur.y - 1 };
+            push(cur.x, cur.y, &mut nodes);
+        }
+        while cur.x != goal.x {
+            cur.x = if cur.x < goal.x { cur.x + 1 } else { cur.x - 1 };
+            push(cur.x, cur.y, &mut nodes);
+        }
+    }
+    nodes
+}
+
+fn nodes_to_hops(topo: &Topology, nodes: &[NodeId], vcs: VcMask) -> Vec<RouteHop> {
+    nodes
+        .windows(2)
+        .map(|w| RouteHop {
+            link: topo
+                .find_link(w[0], w[1])
+                .expect("consecutive dimension-order nodes are adjacent"),
+            vcs,
+        })
+        .collect()
+}
+
+fn dor_hops(topo: &Topology, src: NodeId, dst: NodeId, x_first: bool, vcs: VcMask) -> Vec<RouteHop> {
+    nodes_to_hops(topo, &dor_path(topo, src, dst, x_first), vcs)
+}
+
+/// Uniformly random node in the minimal quadrant spanned by `src` and
+/// `dst` (inclusive), ROMM's intermediate-node domain.
+fn random_quadrant_node(topo: &Topology, src: NodeId, dst: NodeId, rng: &mut StdRng) -> NodeId {
+    let a = topo.coord(src);
+    let b = topo.coord(dst);
+    let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+    let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+    let x = rng.gen_range(x0..=x1);
+    let y = rng.gen_range(y0..=y1);
+    topo.node_at(x, y).expect("quadrant nodes are in range")
+}
+
+/// Two-phase route: XY to `mid` on the low VC half, then XY to `dst` on
+/// the high half. Empty phases collapse naturally.
+fn two_phase_hops(topo: &Topology, src: NodeId, mid: NodeId, dst: NodeId, vcs: u8) -> Vec<RouteHop> {
+    let mut hops = dor_hops(topo, src, mid, true, VcMask::low_half(vcs));
+    hops.extend(dor_hops(topo, mid, dst, true, VcMask::high_half(vcs)));
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock;
+    use bsor_flow::FlowSet;
+
+    fn all_pairs_flows(topo: &Topology) -> FlowSet {
+        let mut fs = FlowSet::new();
+        for s in topo.node_ids() {
+            for d in topo.node_ids() {
+                if s != d {
+                    fs.push(s, d, 1.0);
+                }
+            }
+        }
+        fs
+    }
+
+    #[test]
+    fn xy_routes_are_minimal_and_valid() {
+        let topo = Topology::mesh2d(4, 4);
+        let flows = all_pairs_flows(&topo);
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy works");
+        routes.validate(&topo, &flows, 2).expect("valid");
+        for r in routes.iter() {
+            let f = flows.flow(r.flow);
+            assert_eq!(r.len(), topo.min_hops(f.src, f.dst), "XY is minimal");
+        }
+        assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
+    }
+
+    #[test]
+    fn yx_routes_are_minimal_and_deadlock_free() {
+        let topo = Topology::mesh2d(4, 4);
+        let flows = all_pairs_flows(&topo);
+        let routes = Baseline::YX.select(&topo, &flows, 1).expect("yx works");
+        routes.validate(&topo, &flows, 1).expect("valid");
+        assert!(deadlock::is_deadlock_free(&topo, &routes, 1));
+    }
+
+    #[test]
+    fn xy_and_yx_differ() {
+        let topo = Topology::mesh2d(3, 3);
+        let mut flows = FlowSet::new();
+        flows.push(topo.node_at(0, 0).unwrap(), topo.node_at(2, 2).unwrap(), 1.0);
+        let xy = Baseline::XY.select(&topo, &flows, 1).expect("xy");
+        let yx = Baseline::YX.select(&topo, &flows, 1).expect("yx");
+        assert_ne!(xy.route(bsor_flow::FlowId(0)).hops, yx.route(bsor_flow::FlowId(0)).hops);
+    }
+
+    #[test]
+    fn romm_and_valiant_need_two_vcs() {
+        let topo = Topology::mesh2d(3, 3);
+        let flows = all_pairs_flows(&topo);
+        for algo in [Baseline::Romm { seed: 1 }, Baseline::Valiant { seed: 1 }, Baseline::O1Turn { seed: 1 }] {
+            let err = algo.select(&topo, &flows, 1).unwrap_err();
+            assert!(matches!(err, SelectError::NeedsVirtualChannels { required: 2, available: 1 }));
+        }
+    }
+
+    #[test]
+    fn romm_stays_in_minimal_quadrant() {
+        let topo = Topology::mesh2d(8, 8);
+        let flows = all_pairs_flows(&topo);
+        let routes = Baseline::Romm { seed: 7 }.select(&topo, &flows, 2).expect("romm");
+        routes.validate(&topo, &flows, 2).expect("valid");
+        for r in routes.iter() {
+            let f = flows.flow(r.flow);
+            // Minimal-quadrant two-phase routes are themselves minimal.
+            assert_eq!(r.len(), topo.min_hops(f.src, f.dst), "ROMM is minimal routing");
+        }
+        assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
+    }
+
+    #[test]
+    fn valiant_can_be_nonminimal_but_is_deadlock_free() {
+        let topo = Topology::mesh2d(6, 6);
+        let flows = all_pairs_flows(&topo);
+        let routes = Baseline::Valiant { seed: 3 }.select(&topo, &flows, 2).expect("valiant");
+        routes.validate(&topo, &flows, 2).expect("valid");
+        assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
+        let total_min: usize = flows.iter().map(|f| topo.min_hops(f.src, f.dst)).sum();
+        let total_actual: usize = routes.iter().map(|r| r.len()).sum();
+        assert!(
+            total_actual > total_min,
+            "Valiant's detours should exceed minimal length in aggregate"
+        );
+    }
+
+    #[test]
+    fn o1turn_balances_and_is_deadlock_free() {
+        let topo = Topology::mesh2d(6, 6);
+        let flows = all_pairs_flows(&topo);
+        let routes = Baseline::O1Turn { seed: 5 }.select(&topo, &flows, 2).expect("o1turn");
+        routes.validate(&topo, &flows, 2).expect("valid");
+        assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
+        // Both VC halves should be in use.
+        let mut low = 0;
+        let mut high = 0;
+        for r in routes.iter() {
+            for h in &r.hops {
+                if h.vcs == VcMask::low_half(2) {
+                    low += 1;
+                }
+                if h.vcs == VcMask::high_half(2) {
+                    high += 1;
+                }
+            }
+        }
+        assert!(low > 0 && high > 0);
+    }
+
+    #[test]
+    fn baselines_are_reproducible() {
+        let topo = Topology::mesh2d(5, 5);
+        let flows = all_pairs_flows(&topo);
+        let a = Baseline::Valiant { seed: 11 }.select(&topo, &flows, 2).expect("a");
+        let b = Baseline::Valiant { seed: 11 }.select(&topo, &flows, 2).expect("b");
+        assert_eq!(a, b);
+        let c = Baseline::Valiant { seed: 12 }.select(&topo, &flows, 2).expect("c");
+        assert_ne!(a, c, "different seeds should give different intermediates");
+    }
+
+    #[test]
+    fn bit_complement_xy_mcl_matches_paper_scale() {
+        // On an 8x8 mesh with 25 MB/s flows, bit-complement under XY has
+        // MCL 100 (Table 6.3).
+        let topo = Topology::mesh2d(8, 8);
+        let mut flows = FlowSet::new();
+        for n in topo.node_ids() {
+            let c = topo.coord(n);
+            let d = topo.node_at(7 - c.x, 7 - c.y).expect("complement in range");
+            if n != d {
+                flows.push(n, d, 25.0);
+            }
+        }
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        assert_eq!(routes.mcl(&topo, &flows), 100.0);
+    }
+}

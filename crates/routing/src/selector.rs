@@ -1,0 +1,87 @@
+//! Shared types for route selectors.
+
+use bsor_flow::FlowId;
+use bsor_lp::LpError;
+use std::error::Error;
+use std::fmt;
+
+/// Order in which sequential selectors route the flows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowOrder {
+    /// Route flows in the order the application listed them.
+    AsGiven,
+    /// Route the largest demands first (the default; big flows get the
+    /// emptiest network).
+    DemandDescending,
+    /// Route in a seeded random order.
+    Random {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+}
+
+/// Errors produced by route selectors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectError {
+    /// The acyclic CDG admits no route at all for this flow (its cycle
+    /// breaking disconnected the pair).
+    Unroutable {
+        /// The flow with no conforming route.
+        flow: FlowId,
+    },
+    /// The algorithm needs more virtual channels than the configuration
+    /// provides (e.g. ROMM and Valiant need 2 for deadlock freedom).
+    NeedsVirtualChannels {
+        /// Minimum VC count required.
+        required: u8,
+        /// VC count available.
+        available: u8,
+    },
+    /// The MILP solver failed (infeasible model, budget exhausted, …).
+    Milp(LpError),
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::Unroutable { flow } => {
+                write!(f, "no route for flow {flow} conforms to the acyclic CDG")
+            }
+            SelectError::NeedsVirtualChannels { required, available } => write!(
+                f,
+                "algorithm needs {required} virtual channels but only {available} are available"
+            ),
+            SelectError::Milp(e) => write!(f, "MILP route selection failed: {e}"),
+        }
+    }
+}
+
+impl Error for SelectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SelectError::Milp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for SelectError {
+    fn from(e: LpError) -> Self {
+        SelectError::Milp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SelectError::Unroutable { flow: FlowId(3) };
+        assert!(e.to_string().contains("f3"));
+        let e = SelectError::NeedsVirtualChannels { required: 2, available: 1 };
+        assert!(e.to_string().contains('2'));
+        let e: SelectError = LpError::Infeasible.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

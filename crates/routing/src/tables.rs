@@ -1,0 +1,229 @@
+//! Table-based routing state for programmable routers (paper §4.2.1).
+//!
+//! Two realizations are provided, mirroring Figure 4-2:
+//!
+//! * [`SourceRouteTable`] — source routing: the whole hop list is
+//!   prepended to each packet as routing flits.
+//! * [`NodeTables`] — node-table routing: each router stores `(output
+//!   port, VC mask, next index)` entries; packets carry only a table
+//!   index that is rewritten at every hop.
+
+use crate::route::{RouteSet, VcMask};
+use bsor_flow::FlowId;
+use bsor_topology::{LinkId, NodeId, Topology};
+
+/// Source-routing tables: one pre-computed hop list per flow.
+#[derive(Clone, Debug, Default)]
+pub struct SourceRouteTable {
+    per_flow: Vec<Vec<LinkId>>,
+}
+
+impl SourceRouteTable {
+    /// Extracts the routing-flit content for every flow in `routes`.
+    pub fn build(routes: &RouteSet) -> SourceRouteTable {
+        SourceRouteTable {
+            per_flow: routes
+                .iter()
+                .map(|r| r.hops.iter().map(|h| h.link).collect())
+                .collect(),
+        }
+    }
+
+    /// The output-channel sequence a packet of `flow` carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn route_flits(&self, flow: FlowId) -> &[LinkId] {
+        &self.per_flow[flow.index()]
+    }
+
+    /// Number of flows covered.
+    pub fn len(&self) -> usize {
+        self.per_flow.len()
+    }
+
+    /// True when no flows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.per_flow.is_empty()
+    }
+
+    /// Routing-flit overhead: the longest hop list, in entries.
+    pub fn max_route_flits(&self) -> usize {
+        self.per_flow.iter().map(|p| p.len()).max().unwrap_or(0)
+    }
+}
+
+/// One node-table entry: output channel, permitted VCs on it, and the
+/// index the packet will carry into the next router's table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Channel to forward on.
+    pub out_link: LinkId,
+    /// Virtual channels allowed on that channel.
+    pub vcs: VcMask,
+    /// Table index at the next hop (`None` at the last hop: the packet
+    /// ejects at the destination).
+    pub next_index: Option<u16>,
+}
+
+/// Per-node routing tables with index chaining (paper Figure 4-2(b)).
+#[derive(Clone, Debug)]
+pub struct NodeTables {
+    tables: Vec<Vec<TableEntry>>,
+    initial: Vec<u16>,
+}
+
+impl NodeTables {
+    /// Programs node tables from a computed route set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table would exceed `u16` indices (65536 flows through
+    /// one node — far beyond the paper's 256-entry discussion).
+    pub fn build(topo: &Topology, routes: &RouteSet) -> NodeTables {
+        let mut tables: Vec<Vec<TableEntry>> = vec![Vec::new(); topo.num_nodes()];
+        let mut initial = Vec::with_capacity(routes.len());
+        for route in routes.iter() {
+            // Walk hops backwards so each entry knows its successor index.
+            let mut next_index: Option<u16> = None;
+            for hop in route.hops.iter().rev() {
+                let node = topo.link(hop.link).src;
+                let table = &mut tables[node.index()];
+                let idx = u16::try_from(table.len()).expect("node table exceeds u16 indices");
+                table.push(TableEntry {
+                    out_link: hop.link,
+                    vcs: hop.vcs,
+                    next_index,
+                });
+                next_index = Some(idx);
+            }
+            initial.push(next_index.expect("routes are nonempty"));
+        }
+        NodeTables { tables, initial }
+    }
+
+    /// The table index a packet of `flow` carries when injected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn initial_index(&self, flow: FlowId) -> u16 {
+        self.initial[flow.index()]
+    }
+
+    /// Looks up an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node or index is out of range.
+    pub fn lookup(&self, node: NodeId, index: u16) -> &TableEntry {
+        &self.tables[node.index()][index as usize]
+    }
+
+    /// Size of the largest node table (the hardware-resource figure the
+    /// paper discusses: 256 entries ≈ a couple of KB).
+    pub fn max_entries(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+
+    /// Bits per entry for this network: 2 bits of output port on a 2-D
+    /// mesh (up to 4 candidate ports), plus index bits for the largest
+    /// table.
+    pub fn entry_bits(&self) -> u32 {
+        let idx_bits = (self.max_entries().max(2) as f64).log2().ceil() as u32;
+        2 + idx_bits
+    }
+
+    /// Follows the tables from a flow's source, reconstructing the hop
+    /// list (used to verify table programming round-trips).
+    pub fn walk(&self, topo: &Topology, flow: FlowId, src: NodeId) -> Vec<LinkId> {
+        let mut hops = Vec::new();
+        let mut node = src;
+        let mut index = Some(self.initial_index(flow));
+        while let Some(idx) = index {
+            let entry = self.lookup(node, idx);
+            hops.push(entry.out_link);
+            node = topo.link(entry.out_link).dst;
+            index = entry.next_index;
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Baseline;
+    use bsor_flow::FlowSet;
+
+    fn sample() -> (Topology, FlowSet, RouteSet) {
+        let topo = Topology::mesh2d(4, 4);
+        let mut flows = FlowSet::new();
+        for s in topo.node_ids() {
+            for d in topo.node_ids() {
+                if s != d && (s.0 + d.0) % 3 == 0 {
+                    flows.push(s, d, 10.0);
+                }
+            }
+        }
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        (topo, flows, routes)
+    }
+
+    #[test]
+    fn source_table_matches_routes() {
+        let (_topo, flows, routes) = sample();
+        let table = SourceRouteTable::build(&routes);
+        assert_eq!(table.len(), flows.len());
+        for f in flows.iter() {
+            let flits = table.route_flits(f.id);
+            let hops: Vec<LinkId> = routes.route(f.id).hops.iter().map(|h| h.link).collect();
+            assert_eq!(flits, hops.as_slice());
+        }
+        assert!(table.max_route_flits() >= 1);
+    }
+
+    #[test]
+    fn node_tables_walk_reproduces_routes() {
+        let (topo, flows, routes) = sample();
+        let tables = NodeTables::build(&topo, &routes);
+        for f in flows.iter() {
+            let walked = tables.walk(&topo, f.id, f.src);
+            let expected: Vec<LinkId> = routes.route(f.id).hops.iter().map(|h| h.link).collect();
+            assert_eq!(walked, expected, "table walk must reproduce flow {}", f.id);
+        }
+    }
+
+    #[test]
+    fn node_table_sizes_are_modest() {
+        let (_, _, routes) = sample();
+        let topo = Topology::mesh2d(4, 4);
+        let tables = NodeTables::build(&topo, &routes);
+        // Every route of length L contributes L entries spread over L nodes.
+        let total_entries: usize = routes.iter().map(|r| r.len()).sum();
+        assert!(tables.max_entries() <= total_entries);
+        assert!(tables.max_entries() > 0);
+        // Paper: 2 bits out-port + 8 bits index for 256 entries.
+        assert!(tables.entry_bits() >= 3);
+    }
+
+    #[test]
+    fn last_hop_has_no_next_index() {
+        let (topo, flows, routes) = sample();
+        let tables = NodeTables::build(&topo, &routes);
+        for f in flows.iter() {
+            let mut node = f.src;
+            let mut index = Some(tables.initial_index(f.id));
+            let mut last_entry = None;
+            while let Some(idx) = index {
+                let e = tables.lookup(node, idx);
+                node = topo.link(e.out_link).dst;
+                index = e.next_index;
+                last_entry = Some(*e);
+            }
+            assert_eq!(last_entry.expect("route nonempty").next_index, None);
+            assert_eq!(node, f.dst);
+        }
+    }
+}

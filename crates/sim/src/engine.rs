@@ -1,0 +1,858 @@
+//! The cycle-accurate simulation engine.
+//!
+//! Router model (per cycle, single-cycle per hop as in paper §6.1):
+//!
+//! 1. **Generation** — Bernoulli packet arrivals per flow (optionally
+//!    Markov-modulated) into per-node source queues.
+//! 2. **RC + VA** — head flits at buffer fronts look up the node table
+//!    (packets carry a table index, paper §4.2.1) and request an output
+//!    VC within the hop's VC mask. VC allocation is *atomic*: a VC buffer
+//!    holds at most one packet at a time, and a new packet acquires it
+//!    only after the previous tail has departed.
+//! 3. **SA + ST** — each output channel moves at most one flit per cycle
+//!    and each input port forwards at most one flit per cycle (rotating
+//!    arbiters); the ejection "channel" moves up to `local_bandwidth`
+//!    flits per cycle (the paper's 4× resource links). Arrivals land in
+//!    the downstream buffer at the end of the cycle.
+//! 4. **Injection** — up to `local_bandwidth` flits move from the source
+//!    queue into the injection port's VC buffers.
+//!
+//! Credits are modelled as direct downstream-occupancy checks (an ideal
+//! zero-latency credit loop). A progress watchdog aborts the run and
+//! flags `deadlocked` when in-network flits stop moving entirely, which
+//! is how the deadlock tests in this crate observe cyclic routings
+//! actually jam.
+
+use crate::config::{SimConfig, SimError};
+use crate::stats::{FlowStats, SimReport};
+use crate::traffic::{TrafficSpec, VariationState};
+use bsor_flow::{FlowId, FlowSet};
+use bsor_routing::tables::NodeTables;
+use bsor_routing::RouteSet;
+use bsor_topology::{LinkId, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+#[derive(Clone, Copy, Debug)]
+struct Flit {
+    packet: u64,
+    flow: FlowId,
+    is_head: bool,
+    is_tail: bool,
+    /// Node-table index for the next lookup; `None` on a head means
+    /// "eject at the next router". Only meaningful on head flits.
+    cursor: Option<u16>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OutKind {
+    Forward(LinkId),
+    Eject,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PortState {
+    /// No packet is being forwarded from this VC buffer.
+    Idle,
+    /// The head was routed but no output VC is allocated yet.
+    Routed {
+        out: LinkId,
+        mask: u8,
+        next_cursor: Option<u16>,
+    },
+    /// Output VC allocated; body flits follow the head.
+    Active {
+        out: OutKind,
+        out_vc: u8,
+        next_cursor: Option<u16>,
+    },
+}
+
+/// One virtual-channel flit buffer plus its control state.
+#[derive(Clone, Debug)]
+struct VcBuffer {
+    flits: VecDeque<Flit>,
+    /// Packet currently allowed to occupy this buffer (atomic VCs).
+    owner: Option<u64>,
+    state: PortState,
+}
+
+impl VcBuffer {
+    fn new() -> VcBuffer {
+        VcBuffer {
+            flits: VecDeque::new(),
+            owner: None,
+            state: PortState::Idle,
+        }
+    }
+}
+
+/// Streaming state of a source queue into the injection port.
+#[derive(Clone, Copy, Debug)]
+struct InjectionProgress {
+    vc: u8,
+    remaining: usize,
+}
+
+/// `(buffer kind, index, vc)` reference into the simulator's buffer pools.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BufferRef {
+    /// `(link index, vc)` — the buffer at the link's downstream router.
+    Link(usize, usize),
+    /// `(node index, vc)` — the node's injection-port buffer.
+    Inject(usize, usize),
+}
+
+/// The simulator. Construct with [`Simulator::new`], execute with
+/// [`Simulator::run`].
+pub struct Simulator<'a> {
+    topo: &'a Topology,
+    flows: &'a FlowSet,
+    config: SimConfig,
+    tables: NodeTables,
+    traffic: TrafficSpec,
+    rng: StdRng,
+    var_states: Vec<VariationState>,
+
+    /// Per-link downstream buffers: `link_bufs[link][vc]`.
+    link_bufs: Vec<Vec<VcBuffer>>,
+    /// Injection-port buffers: `inj_bufs[node][vc]`.
+    inj_bufs: Vec<Vec<VcBuffer>>,
+    /// Per-node source queues (whole packets, flit by flit).
+    src_queues: Vec<VecDeque<Flit>>,
+    inj_progress: Vec<Option<InjectionProgress>>,
+
+    /// Flits sent this cycle, gathered before entering the pipeline.
+    pending_sends: Vec<(LinkId, u8, Flit)>,
+    /// Arrivals in flight through the router pipeline: the back slot is
+    /// this cycle's sends, the front slot delivers after
+    /// `pipeline_latency` cycles.
+    in_transit: std::collections::VecDeque<Vec<(LinkId, u8, Flit)>>,
+    /// Undelivered flits already bound for each buffer:
+    /// `transit_counts[link][vc]` (claims buffer slots ahead of arrival).
+    transit_counts: Vec<Vec<u8>>,
+
+    rr_out: Vec<usize>,
+    rr_eject: Vec<usize>,
+
+    entry_cycle: HashMap<u64, u64>,
+    tracked: HashSet<u64>,
+
+    next_packet: u64,
+    in_network_flits: u64,
+    cycle: u64,
+    last_progress: u64,
+
+    stats: Vec<FlowStats>,
+    link_flits: Vec<u64>,
+    generated_total: u64,
+    delivered_total: u64,
+    delivered_flits: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator for `flows` routed by `routes` under `traffic`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when routes, flows, traffic and VC configuration are
+    /// inconsistent.
+    pub fn new(
+        topo: &'a Topology,
+        flows: &'a FlowSet,
+        routes: &RouteSet,
+        traffic: TrafficSpec,
+        config: SimConfig,
+    ) -> Result<Simulator<'a>, SimError> {
+        if routes.len() != flows.len() {
+            return Err(SimError::RouteCountMismatch {
+                flows: flows.len(),
+                routes: routes.len(),
+            });
+        }
+        if traffic.rates.len() != flows.len() {
+            return Err(SimError::TrafficCountMismatch {
+                flows: flows.len(),
+                rates: traffic.rates.len(),
+            });
+        }
+        for (i, &r) in traffic.rates.iter().enumerate() {
+            if !(r.is_finite() && r >= 0.0) {
+                return Err(SimError::BadRate { flow: i, rate: r });
+            }
+        }
+        for route in routes.iter() {
+            for hop in &route.hops {
+                if hop.vcs.iter().any(|v| v >= config.vcs) {
+                    return Err(SimError::VcOutOfRange { vcs: config.vcs });
+                }
+            }
+        }
+        let tables = NodeTables::build(topo, routes);
+        let nl = topo.num_links();
+        let nn = topo.num_nodes();
+        let vcs = config.vcs as usize;
+        Ok(Simulator {
+            topo,
+            flows,
+            rng: StdRng::seed_from_u64(config.seed),
+            var_states: (0..flows.len()).map(|_| VariationState::new()).collect(),
+            tables,
+            traffic,
+            link_bufs: (0..nl)
+                .map(|_| (0..vcs).map(|_| VcBuffer::new()).collect())
+                .collect(),
+            inj_bufs: (0..nn)
+                .map(|_| (0..vcs).map(|_| VcBuffer::new()).collect())
+                .collect(),
+            src_queues: vec![VecDeque::new(); nn],
+            inj_progress: vec![None; nn],
+            pending_sends: Vec::new(),
+            in_transit: std::collections::VecDeque::new(),
+            transit_counts: vec![vec![0; vcs]; nl],
+            rr_out: vec![0; nl],
+            rr_eject: vec![0; nn],
+            entry_cycle: HashMap::new(),
+            tracked: HashSet::new(),
+            next_packet: 0,
+            in_network_flits: 0,
+            cycle: 0,
+            last_progress: 0,
+            stats: vec![FlowStats::default(); flows.len()],
+            link_flits: vec![0; nl],
+            generated_total: 0,
+            delivered_total: 0,
+            delivered_flits: 0,
+            config,
+        })
+    }
+
+    fn in_measurement(&self) -> bool {
+        self.cycle >= self.config.warmup
+            && self.cycle < self.config.warmup + self.config.measurement
+    }
+
+    /// Runs warmup + measurement (+ drain) and returns the report.
+    pub fn run(&mut self) -> SimReport {
+        let total = self.config.total_cycles();
+        let mut deadlocked = false;
+        while self.cycle < total {
+            let progress = self.step();
+            if progress {
+                self.last_progress = self.cycle;
+            } else if self.in_network_flits > 0
+                && self.cycle - self.last_progress > self.config.watchdog
+            {
+                deadlocked = true;
+                break;
+            }
+            self.cycle += 1;
+        }
+        SimReport {
+            cycles: self.cycle,
+            measured_cycles: self.config.measurement,
+            generated_packets: self.generated_total,
+            delivered_packets: self.delivered_total,
+            delivered_flits: self.delivered_flits,
+            per_flow: self.stats.clone(),
+            link_flits: self.link_flits.clone(),
+            deadlocked,
+        }
+    }
+
+    /// Executes one cycle; returns whether any flit moved.
+    fn step(&mut self) -> bool {
+        self.generate_packets();
+        self.route_and_allocate();
+        let mut progress = self.switch_and_traverse();
+        progress |= self.inject();
+        // This cycle's sends enter the pipeline; the oldest slot lands.
+        self.in_transit.push_back(std::mem::take(&mut self.pending_sends));
+        if self.in_transit.len() >= self.config.pipeline_latency as usize {
+            let arrivals = self.in_transit.pop_front().expect("nonempty by length check");
+            for (link, vc, flit) in arrivals {
+                self.transit_counts[link.index()][vc as usize] -= 1;
+                self.link_bufs[link.index()][vc as usize]
+                    .flits
+                    .push_back(flit);
+            }
+        }
+        progress
+    }
+
+    fn generate_packets(&mut self) {
+        let measuring = self.in_measurement();
+        for i in 0..self.flows.len() {
+            let flow = self.flows.flow(FlowId(i as u32));
+            let mut p = self.traffic.rates[i];
+            if let Some(var) = self.traffic.variation {
+                p *= self.var_states[i].step(&var, &mut self.rng);
+            }
+            while p > 0.0 {
+                let fire = if p >= 1.0 { true } else { self.rng.gen_bool(p) };
+                if fire {
+                    self.spawn_packet(flow.id, flow.src, measuring);
+                }
+                p -= 1.0;
+            }
+        }
+    }
+
+    fn spawn_packet(&mut self, flow: FlowId, src: NodeId, measuring: bool) {
+        let packet = self.next_packet;
+        self.next_packet += 1;
+        let len = self.config.packet_len;
+        let cursor = Some(self.tables.initial_index(flow));
+        for k in 0..len {
+            self.src_queues[src.index()].push_back(Flit {
+                packet,
+                flow,
+                is_head: k == 0,
+                is_tail: k == len - 1,
+                cursor: if k == 0 { cursor } else { None },
+            });
+        }
+        if measuring {
+            self.stats[flow.index()].generated += 1;
+            self.generated_total += 1;
+            self.tracked.insert(packet);
+        }
+    }
+
+    fn buffer(&self, r: BufferRef) -> &VcBuffer {
+        match r {
+            BufferRef::Link(l, v) => &self.link_bufs[l][v],
+            BufferRef::Inject(n, v) => &self.inj_bufs[n][v],
+        }
+    }
+
+    fn buffer_mut(&mut self, r: BufferRef) -> &mut VcBuffer {
+        match r {
+            BufferRef::Link(l, v) => &mut self.link_bufs[l][v],
+            BufferRef::Inject(n, v) => &mut self.inj_bufs[n][v],
+        }
+    }
+
+    /// RC + VA for every buffer front.
+    fn route_and_allocate(&mut self) {
+        for l in 0..self.topo.num_links() {
+            let node = self.topo.link(LinkId(l as u32)).dst;
+            for v in 0..self.config.vcs as usize {
+                self.progress_front(BufferRef::Link(l, v), node);
+            }
+        }
+        for n in 0..self.topo.num_nodes() {
+            for v in 0..self.config.vcs as usize {
+                self.progress_front(BufferRef::Inject(n, v), NodeId(n as u32));
+            }
+        }
+    }
+
+    fn progress_front(&mut self, r: BufferRef, node: NodeId) {
+        let buf = self.buffer(r);
+        let Some(front) = buf.flits.front().copied() else {
+            return;
+        };
+        // RC: a head flit at the front of an Idle buffer gets routed.
+        if buf.state == PortState::Idle {
+            debug_assert!(front.is_head, "body flit at front of idle buffer");
+            let state = match front.cursor {
+                None => PortState::Active {
+                    out: OutKind::Eject,
+                    out_vc: 0,
+                    next_cursor: None,
+                },
+                Some(idx) => {
+                    let entry = *self.tables.lookup(node, idx);
+                    PortState::Routed {
+                        out: entry.out_link,
+                        mask: entry.vcs.0,
+                        next_cursor: entry.next_index,
+                    }
+                }
+            };
+            self.buffer_mut(r).state = state;
+        }
+        // VA: try to claim a downstream VC within the mask.
+        if let PortState::Routed {
+            out,
+            mask,
+            next_cursor,
+        } = self.buffer(r).state
+        {
+            let packet = front.packet;
+            let chosen = (0..self.config.vcs)
+                .filter(|v| mask & (1 << v) != 0)
+                .find(|&v| self.link_bufs[out.index()][v as usize].owner.is_none());
+            if let Some(v) = chosen {
+                self.link_bufs[out.index()][v as usize].owner = Some(packet);
+                self.buffer_mut(r).state = PortState::Active {
+                    out: OutKind::Forward(out),
+                    out_vc: v,
+                    next_cursor,
+                };
+            }
+        }
+    }
+
+    /// SA + ST for every router; returns whether any flit moved.
+    fn switch_and_traverse(&mut self) -> bool {
+        let mut progress = false;
+        let vcs = self.config.vcs as usize;
+        let mut in_ports: Vec<BufferRef> = Vec::new();
+        let mut candidates: Vec<(usize, BufferRef)> = Vec::new();
+        for n in 0..self.topo.num_nodes() {
+            let node = NodeId(n as u32);
+            in_ports.clear();
+            in_ports.extend(
+                self.topo
+                    .in_links(node)
+                    .iter()
+                    .flat_map(|&l| (0..vcs).map(move |v| BufferRef::Link(l.index(), v))),
+            );
+            in_ports.extend((0..vcs).map(|v| BufferRef::Inject(n, v)));
+            let num_ports = in_ports.len() / vcs;
+            let mut port_forwarded = vec![false; num_ports];
+
+            // Forward outputs: one flit per output channel and per input
+            // port per cycle.
+            for &out in self.topo.out_links(node) {
+                candidates.clear();
+                for (bi, &r) in in_ports.iter().enumerate() {
+                    let port = bi / vcs;
+                    if port_forwarded[port] {
+                        continue;
+                    }
+                    let buf = self.buffer(r);
+                    if buf.flits.is_empty() {
+                        continue;
+                    }
+                    if let PortState::Active {
+                        out: OutKind::Forward(l),
+                        out_vc,
+                        ..
+                    } = buf.state
+                    {
+                        if l != out {
+                            continue;
+                        }
+                        let occupied = self.link_bufs[out.index()][out_vc as usize].flits.len()
+                            + self.transit_counts[out.index()][out_vc as usize] as usize;
+                        if occupied < self.config.buffer_depth {
+                            candidates.push((port, r));
+                        }
+                    }
+                }
+                if candidates.is_empty() {
+                    continue;
+                }
+                let pick = self.rr_out[out.index()] % candidates.len();
+                self.rr_out[out.index()] = self.rr_out[out.index()].wrapping_add(1);
+                let (port, r) = candidates[pick];
+                port_forwarded[port] = true;
+                self.move_flit(r, out);
+                progress = true;
+            }
+
+            // Ejection: up to local_bandwidth flits per cycle (the 4×
+            // resource channel); independent of the forward crossbar.
+            let mut budget = self.config.local_bandwidth;
+            while budget > 0 {
+                candidates.clear();
+                for (bi, &r) in in_ports.iter().enumerate() {
+                    let buf = self.buffer(r);
+                    if buf.flits.is_empty() {
+                        continue;
+                    }
+                    if matches!(buf.state, PortState::Active { out: OutKind::Eject, .. }) {
+                        candidates.push((bi / vcs, r));
+                    }
+                }
+                if candidates.is_empty() {
+                    break;
+                }
+                let pick = self.rr_eject[n] % candidates.len();
+                self.rr_eject[n] = self.rr_eject[n].wrapping_add(1);
+                let (_, r) = candidates[pick];
+                self.eject_flit(r);
+                budget -= 1;
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    fn move_flit(&mut self, r: BufferRef, out: LinkId) {
+        let (out_vc, next_cursor) = match self.buffer(r).state {
+            PortState::Active {
+                out_vc, next_cursor, ..
+            } => (out_vc, next_cursor),
+            _ => unreachable!("move_flit on non-active buffer"),
+        };
+        let mut flit = self
+            .buffer_mut(r)
+            .flits
+            .pop_front()
+            .expect("candidate had a front flit");
+        if flit.is_head {
+            flit.cursor = next_cursor;
+        }
+        if flit.is_tail {
+            // The vacated buffer frees its ownership and control state.
+            let buf = self.buffer_mut(r);
+            buf.owner = None;
+            buf.state = PortState::Idle;
+        }
+        self.transit_counts[out.index()][out_vc as usize] += 1;
+        self.pending_sends.push((out, out_vc, flit));
+        if self.in_measurement() {
+            self.link_flits[out.index()] += 1;
+        }
+    }
+
+    fn eject_flit(&mut self, r: BufferRef) {
+        let flit = self
+            .buffer_mut(r)
+            .flits
+            .pop_front()
+            .expect("candidate had a front flit");
+        self.in_network_flits -= 1;
+        let measuring = self.in_measurement();
+        if measuring {
+            self.delivered_flits += 1;
+        }
+        if flit.is_tail {
+            let buf = self.buffer_mut(r);
+            buf.owner = None;
+            buf.state = PortState::Idle;
+            if measuring {
+                self.stats[flit.flow.index()].delivered += 1;
+                self.delivered_total += 1;
+            }
+            let entry = self.entry_cycle.remove(&flit.packet);
+            if self.tracked.remove(&flit.packet) {
+                if let Some(t0) = entry {
+                    let latency = self.cycle - t0;
+                    let fs = &mut self.stats[flit.flow.index()];
+                    fs.latency_sum += latency;
+                    fs.latency_count += 1;
+                    fs.latency_max = fs.latency_max.max(latency);
+                }
+            }
+        }
+    }
+
+    /// Moves flits from source queues into injection-port buffers.
+    fn inject(&mut self) -> bool {
+        let mut progress = false;
+        for n in 0..self.topo.num_nodes() {
+            let mut budget = self.config.local_bandwidth;
+            while budget > 0 && !self.src_queues[n].is_empty() {
+                match self.inj_progress[n] {
+                    Some(InjectionProgress { vc, remaining }) => {
+                        if self.inj_bufs[n][vc as usize].flits.len() >= self.config.buffer_depth {
+                            break;
+                        }
+                        let flit = self.src_queues[n].pop_front().expect("nonempty");
+                        self.inj_bufs[n][vc as usize].flits.push_back(flit);
+                        self.in_network_flits += 1;
+                        progress = true;
+                        budget -= 1;
+                        self.inj_progress[n] = (remaining > 1).then_some(InjectionProgress {
+                            vc,
+                            remaining: remaining - 1,
+                        });
+                    }
+                    None => {
+                        let head = *self.src_queues[n].front().expect("nonempty");
+                        debug_assert!(head.is_head, "packet streams are contiguous");
+                        let chosen = (0..self.config.vcs).find(|&v| {
+                            let buf = &self.inj_bufs[n][v as usize];
+                            buf.owner.is_none() && buf.flits.len() < self.config.buffer_depth
+                        });
+                        let Some(v) = chosen else { break };
+                        let flit = self.src_queues[n].pop_front().expect("nonempty");
+                        let buf = &mut self.inj_bufs[n][v as usize];
+                        buf.owner = Some(head.packet);
+                        buf.flits.push_back(flit);
+                        self.in_network_flits += 1;
+                        self.entry_cycle.insert(head.packet, self.cycle);
+                        progress = true;
+                        budget -= 1;
+                        if self.config.packet_len > 1 {
+                            self.inj_progress[n] = Some(InjectionProgress {
+                                vc: v,
+                                remaining: self.config.packet_len - 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsor_routing::Baseline;
+
+    fn mesh_and_flows() -> (Topology, FlowSet) {
+        let topo = Topology::mesh2d(4, 4);
+        let mut flows = FlowSet::new();
+        for n in topo.node_ids() {
+            let c = topo.coord(n);
+            let d = topo.node_at(3 - c.x, 3 - c.y).expect("in range");
+            if n != d {
+                flows.push(n, d, 25.0);
+            }
+        }
+        (topo, flows)
+    }
+
+    fn quick_config() -> SimConfig {
+        SimConfig::new(2)
+            .with_warmup(500)
+            .with_measurement(4_000)
+            .with_packet_len(4)
+    }
+
+    #[test]
+    fn light_load_delivers_everything_generated() {
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        let traffic = TrafficSpec::proportional(&flows, 0.05);
+        let mut sim =
+            Simulator::new(&topo, &flows, &routes, traffic, quick_config()).expect("valid");
+        let report = sim.run();
+        assert!(!report.deadlocked);
+        assert!(report.generated_packets > 0);
+        // At 0.05 packets/cycle across 16 flows the network is nearly
+        // idle: throughput tracks offered load closely.
+        let ratio = report.throughput() / report.offered();
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "delivery ratio {ratio} at light load"
+        );
+    }
+
+    #[test]
+    fn latency_at_least_hop_count() {
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        let traffic = TrafficSpec::proportional(&flows, 0.02);
+        let mut sim =
+            Simulator::new(&topo, &flows, &routes, traffic, quick_config()).expect("valid");
+        let report = sim.run();
+        let min_hops = flows
+            .iter()
+            .map(|f| topo.min_hops(f.src, f.dst))
+            .min()
+            .expect("flows");
+        // A packet takes at least one cycle per hop plus serialization.
+        assert!(
+            report.mean_latency().expect("packets delivered") >= min_hops as f64,
+            "latency below physical minimum"
+        );
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        let traffic = TrafficSpec::proportional(&flows, 0.0);
+        let mut sim =
+            Simulator::new(&topo, &flows, &routes, traffic, quick_config()).expect("valid");
+        let report = sim.run();
+        assert_eq!(report.generated_packets, 0);
+        assert_eq!(report.delivered_packets, 0);
+        assert!(!report.deadlocked);
+    }
+
+    #[test]
+    fn saturation_caps_throughput() {
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        let light = TrafficSpec::proportional(&flows, 0.05);
+        let heavy = TrafficSpec::proportional(&flows, 5.0);
+        let light_tp = Simulator::new(&topo, &flows, &routes, light, quick_config())
+            .expect("valid")
+            .run()
+            .throughput();
+        let heavy_report = Simulator::new(&topo, &flows, &routes, heavy, quick_config())
+            .expect("valid")
+            .run();
+        assert!(!heavy_report.deadlocked, "XY cannot deadlock");
+        assert!(heavy_report.throughput() > light_tp, "more load, more delivered");
+        assert!(
+            heavy_report.throughput() < heavy_report.offered() * 0.9,
+            "saturated network cannot deliver everything offered"
+        );
+    }
+
+    #[test]
+    fn cyclic_routing_deadlocks_and_watchdog_fires() {
+        // Hand-built cyclic routes (the canonical 2x2 turning ring) must
+        // jam the wormhole network; the watchdog reports it.
+        use bsor_flow::FlowId;
+        use bsor_routing::{Route, RouteHop, RouteSet, VcMask};
+        let topo = Topology::mesh2d(2, 2);
+        let n = |x, y| topo.node_at(x, y).expect("in range");
+        let hop = |a, b| RouteHop {
+            link: topo.find_link(a, b).expect("adjacent"),
+            vcs: VcMask::all(1),
+        };
+        // Each flow travels 3/4 of the way around the square, so packets
+        // block while holding intermediate channels.
+        let mut flows = FlowSet::new();
+        flows.push(n(0, 0), n(1, 0), 1.0);
+        flows.push(n(0, 1), n(0, 0), 1.0);
+        flows.push(n(1, 1), n(0, 1), 1.0);
+        flows.push(n(1, 0), n(1, 1), 1.0);
+        let routes = RouteSet::from_routes(vec![
+            Route {
+                flow: FlowId(0),
+                hops: vec![
+                    hop(n(0, 0), n(0, 1)),
+                    hop(n(0, 1), n(1, 1)),
+                    hop(n(1, 1), n(1, 0)),
+                ],
+            },
+            Route {
+                flow: FlowId(1),
+                hops: vec![
+                    hop(n(0, 1), n(1, 1)),
+                    hop(n(1, 1), n(1, 0)),
+                    hop(n(1, 0), n(0, 0)),
+                ],
+            },
+            Route {
+                flow: FlowId(2),
+                hops: vec![
+                    hop(n(1, 1), n(1, 0)),
+                    hop(n(1, 0), n(0, 0)),
+                    hop(n(0, 0), n(0, 1)),
+                ],
+            },
+            Route {
+                flow: FlowId(3),
+                hops: vec![
+                    hop(n(1, 0), n(0, 0)),
+                    hop(n(0, 0), n(0, 1)),
+                    hop(n(0, 1), n(1, 1)),
+                ],
+            },
+        ]);
+        assert!(!bsor_routing::deadlock::is_deadlock_free(&topo, &routes, 1));
+        let config = SimConfig::new(1)
+            .with_warmup(0)
+            .with_measurement(10_000)
+            .with_watchdog(1_000)
+            .with_buffer_depth(4)
+            .with_packet_len(64); // spans the whole route: hold-and-wait
+        let traffic = TrafficSpec::uniform(&flows, 1.0); // all inject at cycle 0
+        let mut sim = Simulator::new(&topo, &flows, &routes, traffic, config).expect("valid");
+        let report = sim.run();
+        assert!(report.deadlocked, "the turning ring must deadlock");
+    }
+
+    #[test]
+    fn static_vc_routes_simulate() {
+        use bsor_cdg::{AcyclicCdg, TurnModel};
+        use bsor_flow::FlowNetwork;
+        use bsor_routing::selectors::DijkstraSelector;
+        let (topo, flows) = mesh_and_flows();
+        let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let routes = DijkstraSelector::new().select(&net, &flows).expect("routable");
+        let traffic = TrafficSpec::proportional(&flows, 0.1);
+        let mut sim =
+            Simulator::new(&topo, &flows, &routes, traffic, quick_config()).expect("valid");
+        let report = sim.run();
+        assert!(!report.deadlocked);
+        assert!(report.delivered_packets > 0);
+    }
+
+    #[test]
+    fn vc_count_must_cover_routes() {
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::Romm { seed: 1 }.select(&topo, &flows, 4).expect("romm");
+        let traffic = TrafficSpec::proportional(&flows, 0.1);
+        let err = Simulator::new(&topo, &flows, &routes, traffic, SimConfig::new(2))
+            .err()
+            .expect("4-VC routes cannot run on 2 VCs");
+        assert_eq!(err, SimError::VcOutOfRange { vcs: 2 });
+    }
+
+    #[test]
+    fn reports_are_reproducible_for_a_seed() {
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        let run = |seed: u64| {
+            let traffic = TrafficSpec::proportional(&flows, 0.2);
+            let config = quick_config().with_seed(seed);
+            Simulator::new(&topo, &flows, &routes, traffic, config)
+                .expect("valid")
+                .run()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.delivered_packets, b.delivered_packets);
+        assert_eq!(a.generated_packets, b.generated_packets);
+        assert_eq!(a.mean_latency(), b.mean_latency());
+        let c = run(43);
+        assert_ne!(
+            (a.generated_packets, a.delivered_flits),
+            (c.generated_packets, c.delivered_flits),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn pipeline_latency_scales_packet_latency() {
+        // The Chapter 4 four-stage pipeline costs ~4x the single-cycle
+        // router's per-hop latency at light load.
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        let run = |pipe: u8| {
+            let traffic = TrafficSpec::proportional(&flows, 0.02);
+            let config = quick_config().with_pipeline_latency(pipe);
+            Simulator::new(&topo, &flows, &routes, traffic, config)
+                .expect("valid")
+                .run()
+                .mean_latency()
+                .expect("light load delivers")
+        };
+        let l1 = run(1);
+        let l4 = run(4);
+        assert!(
+            l4 > l1 * 2.0,
+            "4-stage pipeline latency {l4:.1} should far exceed single-cycle {l1:.1}"
+        );
+    }
+
+    #[test]
+    fn link_flit_counts_reflect_routes() {
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        let traffic = TrafficSpec::proportional(&flows, 0.1);
+        let mut sim =
+            Simulator::new(&topo, &flows, &routes, traffic, quick_config()).expect("valid");
+        let report = sim.run();
+        // Links not on any route carry nothing.
+        let mut used = vec![false; topo.num_links()];
+        for r in routes.iter() {
+            for h in &r.hops {
+                used[h.link.index()] = true;
+            }
+        }
+        for (li, &flits) in report.link_flits.iter().enumerate() {
+            if !used[li] {
+                assert_eq!(flits, 0, "unused link {li} carried flits");
+            }
+        }
+        assert!(report.max_link_flits() > 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulation statistics.
+
+/// Per-flow measurement results.
+#[derive(Clone, Debug, Default)]
+pub struct FlowStats {
+    /// Packets generated during the measurement window.
+    pub generated: u64,
+    /// Packets ejected during the measurement window (throughput
+    /// numerator).
+    pub delivered: u64,
+    /// Sum of packet latencies (network entry of head → ejection of
+    /// tail), cycles, over latency-tracked packets.
+    pub latency_sum: u64,
+    /// Packets contributing to `latency_sum` (generated during
+    /// measurement and fully delivered).
+    pub latency_count: u64,
+    /// Worst packet latency observed, cycles.
+    pub latency_max: u64,
+}
+
+impl FlowStats {
+    /// Mean packet latency in cycles, `None` when nothing was tracked.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.latency_count == 0 {
+            None
+        } else {
+            Some(self.latency_sum as f64 / self.latency_count as f64)
+        }
+    }
+}
+
+/// Whole-run results of a [`crate::Simulator`] execution.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Cycles actually simulated (shorter than configured if the watchdog
+    /// fired).
+    pub cycles: u64,
+    /// Measurement-window length used for rates.
+    pub measured_cycles: u64,
+    /// Packets generated during measurement, across all flows.
+    pub generated_packets: u64,
+    /// Packets delivered (counted against measurement injections).
+    pub delivered_packets: u64,
+    /// Flits delivered in the measurement window.
+    pub delivered_flits: u64,
+    /// Per-flow breakdown.
+    pub per_flow: Vec<FlowStats>,
+    /// Flits carried per physical channel over the whole run (a proxy for
+    /// observed channel load).
+    pub link_flits: Vec<u64>,
+    /// True if the progress watchdog aborted the run (routing deadlock or
+    /// total starvation).
+    pub deadlocked: bool,
+}
+
+impl SimReport {
+    /// Delivered throughput in packets/cycle over the measurement window.
+    pub fn throughput(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            0.0
+        } else {
+            self.delivered_packets as f64 / self.measured_cycles as f64
+        }
+    }
+
+    /// Offered load actually generated, packets/cycle.
+    pub fn offered(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            0.0
+        } else {
+            self.generated_packets as f64 / self.measured_cycles as f64
+        }
+    }
+
+    /// Mean packet latency in cycles over all latency-tracked packets.
+    pub fn mean_latency(&self) -> Option<f64> {
+        let tracked: u64 = self.per_flow.iter().map(|f| f.latency_count).sum();
+        if tracked == 0 {
+            return None;
+        }
+        let sum: u64 = self.per_flow.iter().map(|f| f.latency_sum).sum();
+        Some(sum as f64 / tracked as f64)
+    }
+
+    /// Worst packet latency across flows.
+    pub fn max_latency(&self) -> u64 {
+        self.per_flow.iter().map(|f| f.latency_max).max().unwrap_or(0)
+    }
+
+    /// The busiest channel's flit count.
+    pub fn max_link_flits(&self) -> u64 {
+        self.link_flits.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_latency() {
+        let report = SimReport {
+            cycles: 1_000,
+            measured_cycles: 500,
+            generated_packets: 100,
+            delivered_packets: 80,
+            delivered_flits: 640,
+            per_flow: vec![
+                FlowStats {
+                    generated: 60,
+                    delivered: 50,
+                    latency_sum: 500,
+                    latency_count: 50,
+                    latency_max: 30,
+                },
+                FlowStats {
+                    generated: 40,
+                    delivered: 30,
+                    latency_sum: 600,
+                    latency_count: 30,
+                    latency_max: 45,
+                },
+            ],
+            link_flits: vec![3, 9, 1],
+            deadlocked: false,
+        };
+        assert!((report.throughput() - 0.16).abs() < 1e-12);
+        assert!((report.offered() - 0.2).abs() < 1e-12);
+        assert!((report.mean_latency().unwrap() - 1100.0 / 80.0).abs() < 1e-12);
+        assert_eq!(report.max_latency(), 45);
+        assert_eq!(report.max_link_flits(), 9);
+        assert_eq!(report.per_flow[0].mean_latency(), Some(10.0));
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let report = SimReport::default();
+        assert_eq!(report.throughput(), 0.0);
+        assert_eq!(report.mean_latency(), None);
+        assert_eq!(report.max_latency(), 0);
+        assert_eq!(report.max_link_flits(), 0);
+    }
+}

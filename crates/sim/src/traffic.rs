@@ -1,0 +1,204 @@
+//! Packet injection processes: proportional Bernoulli traffic and the
+//! two-stage Markov-modulated bandwidth variation of paper §5.3.
+
+use bsor_flow::FlowSet;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Two-stage Markov-modulated rate variation (paper §5.3): each flow's
+/// rate multiplier alternates between a *steady* stage (multiplier 1) and
+/// a *deviated* stage (multiplier drawn uniformly from `1 ± fraction`);
+/// each stage lasts a geometrically distributed number of cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct MarkovVariation {
+    /// Maximum relative deviation (0.10, 0.25 or 0.50 in the paper).
+    pub fraction: f64,
+    /// Mean dwell time in each stage, in cycles.
+    pub mean_dwell: f64,
+}
+
+impl MarkovVariation {
+    /// A variation process with the paper's percentages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1` and `mean_dwell >= 1`.
+    pub fn new(fraction: f64, mean_dwell: f64) -> MarkovVariation {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        assert!(mean_dwell >= 1.0, "dwell time must be at least a cycle");
+        MarkovVariation {
+            fraction,
+            mean_dwell,
+        }
+    }
+
+    /// Samples `cycles` consecutive rate multipliers of one flow's
+    /// modulation process — the trace plotted in the paper's Figure 5-4
+    /// ("Transpose Node 52 Injection Rates when modeling burstiness").
+    pub fn sample_trace(&self, seed: u64, cycles: usize) -> Vec<f64> {
+        use rand::SeedableRng;
+        let mut state = VariationState::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..cycles).map(|_| state.step(self, &mut rng)).collect()
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct VariationState {
+    multiplier: f64,
+    cycles_left: u64,
+    deviated: bool,
+}
+
+impl VariationState {
+    pub(crate) fn new() -> VariationState {
+        VariationState {
+            multiplier: 1.0,
+            cycles_left: 0,
+            deviated: true, // first toggle enters the steady stage
+        }
+    }
+
+    /// Advances one cycle, returning the current rate multiplier.
+    pub(crate) fn step(&mut self, params: &MarkovVariation, rng: &mut StdRng) -> f64 {
+        if self.cycles_left == 0 {
+            self.deviated = !self.deviated;
+            // Geometric dwell with the configured mean (at least 1).
+            let p = 1.0 / params.mean_dwell;
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            self.cycles_left = (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64;
+            self.multiplier = if self.deviated {
+                1.0 + rng.gen_range(-params.fraction..=params.fraction)
+            } else {
+                1.0
+            };
+        }
+        self.cycles_left -= 1;
+        self.multiplier
+    }
+}
+
+/// Per-flow injection rates in packets/cycle, with optional run-time
+/// variation.
+#[derive(Clone, Debug)]
+pub struct TrafficSpec {
+    /// Base injection rate of each flow, packets/cycle, indexed by flow.
+    pub rates: Vec<f64>,
+    /// Optional Markov-modulated variation applied multiplicatively.
+    pub variation: Option<MarkovVariation>,
+}
+
+impl TrafficSpec {
+    /// Splits a total offered rate (packets/cycle across the whole
+    /// network) over the flows proportionally to their bandwidth demands —
+    /// how the evaluation sweeps load while keeping the application's
+    /// traffic mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_rate` is negative or the flow set is empty.
+    pub fn proportional(flows: &FlowSet, total_rate: f64) -> TrafficSpec {
+        assert!(total_rate >= 0.0, "offered rate must be non-negative");
+        assert!(!flows.is_empty(), "traffic needs at least one flow");
+        let total_demand = flows.total_demand();
+        TrafficSpec {
+            rates: flows
+                .iter()
+                .map(|f| total_rate * f.demand / total_demand)
+                .collect(),
+            variation: None,
+        }
+    }
+
+    /// Uniform per-flow rate (packets/cycle each).
+    pub fn uniform(flows: &FlowSet, rate_per_flow: f64) -> TrafficSpec {
+        assert!(rate_per_flow >= 0.0, "rate must be non-negative");
+        TrafficSpec {
+            rates: vec![rate_per_flow; flows.len()],
+            variation: None,
+        }
+    }
+
+    /// Adds Markov-modulated bandwidth variation.
+    pub fn with_variation(mut self, variation: MarkovVariation) -> Self {
+        self.variation = Some(variation);
+        self
+    }
+
+    /// Total offered rate in packets/cycle.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsor_topology::NodeId;
+    use rand::SeedableRng;
+
+    fn flows() -> FlowSet {
+        let mut fs = FlowSet::new();
+        fs.push(NodeId(0), NodeId(1), 30.0);
+        fs.push(NodeId(1), NodeId(2), 10.0);
+        fs
+    }
+
+    #[test]
+    fn proportional_split() {
+        let spec = TrafficSpec::proportional(&flows(), 0.4);
+        assert!((spec.rates[0] - 0.3).abs() < 1e-12);
+        assert!((spec.rates[1] - 0.1).abs() < 1e-12);
+        assert!((spec.total_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_split() {
+        let spec = TrafficSpec::uniform(&flows(), 0.05);
+        assert_eq!(spec.rates, vec![0.05, 0.05]);
+    }
+
+    #[test]
+    fn variation_multiplier_stays_in_band() {
+        let params = MarkovVariation::new(0.25, 50.0);
+        let mut state = VariationState::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_deviation = false;
+        for _ in 0..10_000 {
+            let m = state.step(&params, &mut rng);
+            assert!(
+                (0.75..=1.25).contains(&m),
+                "multiplier {m} escaped the 25% band"
+            );
+            if (m - 1.0).abs() > 1e-9 {
+                saw_deviation = true;
+            }
+        }
+        assert!(saw_deviation, "the deviated stage must occur");
+    }
+
+    #[test]
+    fn variation_dwell_times_hold_rates_constant() {
+        // Paper: "each rate is kept constant for a random number of
+        // cycles" — multipliers change rarely relative to cycles.
+        let params = MarkovVariation::new(0.5, 100.0);
+        let mut state = VariationState::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut changes = 0;
+        let mut last = f64::NAN;
+        for _ in 0..10_000 {
+            let m = state.step(&params, &mut rng);
+            if (m - last).abs() > 1e-12 {
+                changes += 1;
+            }
+            last = m;
+        }
+        assert!(changes < 400, "multiplier changed {changes} times in 10k cycles");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn variation_rejects_out_of_band_fraction() {
+        MarkovVariation::new(1.5, 10.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Grid geometry: coordinates and port directions.
+
+use std::fmt;
+
+/// Position of a node in a two-dimensional grid topology.
+///
+/// `x` grows eastward, `y` grows northward (matching the turn-model naming
+/// in the paper: North = +y, East = +x).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Coord {
+    /// Column (eastward).
+    pub x: u16,
+    /// Row (northward).
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan distance to `other`.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Direction of a directed channel in a grid topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Towards +y.
+    North,
+    /// Towards +x.
+    East,
+    /// Towards -y.
+    South,
+    /// Towards -x.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in `[North, East, South, West]` order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The 180-degree opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// Unit displacement `(dx, dy)` of this direction.
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Direction::North => (0, 1),
+            Direction::East => (1, 0),
+            Direction::South => (0, -1),
+            Direction::West => (-1, 0),
+        }
+    }
+
+    /// True if this is a "positive" direction (North or East), the
+    /// distinction the negative-first turn model relies on.
+    pub fn is_positive(self) -> bool {
+        matches!(self, Direction::North | Direction::East)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 4)), 7);
+        assert_eq!(Coord::new(5, 1).manhattan(Coord::new(1, 5)), 8);
+        assert_eq!(Coord::new(2, 2).manhattan(Coord::new(2, 2)), 0);
+    }
+
+    #[test]
+    fn opposites_are_involutive() {
+        for d in Direction::ALL {
+            assert_ne!(d, d.opposite());
+            assert_eq!(d, d.opposite().opposite());
+        }
+    }
+
+    #[test]
+    fn deltas_sum_to_zero_with_opposite() {
+        for d in Direction::ALL {
+            let (dx, dy) = d.delta();
+            let (ox, oy) = d.opposite().delta();
+            assert_eq!(dx + ox, 0);
+            assert_eq!(dy + oy, 0);
+        }
+    }
+
+    #[test]
+    fn positivity_matches_paper_convention() {
+        assert!(Direction::North.is_positive());
+        assert!(Direction::East.is_positive());
+        assert!(!Direction::South.is_positive());
+        assert!(!Direction::West.is_positive());
+    }
+
+    #[test]
+    fn display_is_short() {
+        assert_eq!(Direction::North.to_string(), "N");
+        assert_eq!(Coord::new(1, 2).to_string(), "(1, 2)");
+    }
+}

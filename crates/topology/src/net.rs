@@ -1,0 +1,578 @@
+//! The concrete topology description: nodes, directed links, adjacency.
+
+use crate::geometry::{Coord, Direction};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a network node (router + attached resource).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Identifier of a directed channel between two adjacent nodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Dense index of the link.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A directed channel `src -> dst` with a bandwidth capacity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Link {
+    /// Upstream node.
+    pub src: NodeId,
+    /// Downstream node.
+    pub dst: NodeId,
+    /// Grid direction of the channel, when the topology is a grid.
+    pub direction: Option<Direction>,
+    /// Bandwidth capacity in MB/s.
+    pub capacity: f64,
+}
+
+/// The family a [`Topology`] was constructed from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Two-dimensional mesh.
+    Mesh2D,
+    /// Two-dimensional torus (mesh with wraparound links).
+    Torus2D,
+    /// Unidirectional-pair ring.
+    Ring,
+    /// Binary hypercube (paper Figure 1-3(c)).
+    Hypercube,
+}
+
+/// A network-on-chip interconnect: nodes joined by directed channels.
+///
+/// Construct with [`Topology::mesh2d`], [`Topology::torus2d`] or
+/// [`Topology::ring`]; customize capacities with
+/// [`Topology::set_uniform_capacity`].
+#[derive(Clone, Debug)]
+pub struct Topology {
+    kind: TopologyKind,
+    width: u16,
+    height: u16,
+    coords: Vec<Coord>,
+    links: Vec<Link>,
+    out: Vec<Vec<LinkId>>,
+    incoming: Vec<Vec<LinkId>>,
+    lookup: HashMap<(NodeId, NodeId), LinkId>,
+    /// Ratio of resource-to-switch bandwidth over switch-to-switch
+    /// bandwidth (the paper's evaluation uses 4).
+    local_bandwidth_factor: f64,
+}
+
+/// Default switch-to-switch channel capacity in MB/s.
+pub const DEFAULT_CAPACITY: f64 = 1000.0;
+
+impl Topology {
+    fn from_parts(kind: TopologyKind, width: u16, height: u16, coords: Vec<Coord>) -> Self {
+        Topology {
+            kind,
+            width,
+            height,
+            out: vec![Vec::new(); coords.len()],
+            incoming: vec![Vec::new(); coords.len()],
+            coords,
+            links: Vec::new(),
+            lookup: HashMap::new(),
+            local_bandwidth_factor: 4.0,
+        }
+    }
+
+    fn push_link(&mut self, src: NodeId, dst: NodeId, direction: Option<Direction>) {
+        debug_assert!(src != dst, "self links are not allowed");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            src,
+            dst,
+            direction,
+            capacity: DEFAULT_CAPACITY,
+        });
+        self.out[src.index()].push(id);
+        self.incoming[dst.index()].push(id);
+        self.lookup.insert((src, dst), id);
+    }
+
+    /// Builds a `width x height` two-dimensional mesh with one channel in
+    /// each direction between adjacent nodes.
+    ///
+    /// Node `(x, y)` has id `y * width + x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero or the mesh has fewer than 2
+    /// nodes.
+    pub fn mesh2d(width: u16, height: u16) -> Self {
+        assert!(width >= 1 && height >= 1, "mesh dimensions must be positive");
+        assert!(width as usize * height as usize >= 2, "mesh needs at least 2 nodes");
+        let coords = (0..height)
+            .flat_map(|y| (0..width).map(move |x| Coord::new(x, y)))
+            .collect();
+        let mut t = Topology::from_parts(TopologyKind::Mesh2D, width, height, coords);
+        for y in 0..height {
+            for x in 0..width {
+                let here = t.node_at(x, y).expect("in range");
+                if x + 1 < width {
+                    let east = t.node_at(x + 1, y).expect("in range");
+                    t.push_link(here, east, Some(Direction::East));
+                    t.push_link(east, here, Some(Direction::West));
+                }
+                if y + 1 < height {
+                    let north = t.node_at(x, y + 1).expect("in range");
+                    t.push_link(here, north, Some(Direction::North));
+                    t.push_link(north, here, Some(Direction::South));
+                }
+            }
+        }
+        t
+    }
+
+    /// Builds a `width x height` two-dimensional torus: a mesh plus
+    /// wraparound channels in both dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 3 (wraparound links would
+    /// duplicate mesh links otherwise).
+    pub fn torus2d(width: u16, height: u16) -> Self {
+        assert!(width >= 3 && height >= 3, "torus dimensions must be >= 3");
+        let mut t = Topology::mesh2d(width, height);
+        t.kind = TopologyKind::Torus2D;
+        for y in 0..height {
+            let west_edge = t.node_at(0, y).expect("in range");
+            let east_edge = t.node_at(width - 1, y).expect("in range");
+            t.push_link(east_edge, west_edge, Some(Direction::East));
+            t.push_link(west_edge, east_edge, Some(Direction::West));
+        }
+        for x in 0..width {
+            let south_edge = t.node_at(x, 0).expect("in range");
+            let north_edge = t.node_at(x, height - 1).expect("in range");
+            t.push_link(north_edge, south_edge, Some(Direction::North));
+            t.push_link(south_edge, north_edge, Some(Direction::South));
+        }
+        t
+    }
+
+    /// Builds a binary hypercube of dimension `dim` (2^dim nodes, one
+    /// channel pair between nodes differing in exactly one address bit —
+    /// the orthogonal topology of paper Figure 1-3(c)).
+    ///
+    /// Hypercube channels carry no 2-D grid direction, so turn models do
+    /// not apply; use ad-hoc cycle breaking. Coordinates fold the address
+    /// into a grid purely for display.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= dim <= 10`.
+    pub fn hypercube(dim: u8) -> Self {
+        assert!((1..=10).contains(&dim), "dimension must be 1..=10");
+        let n = 1usize << dim;
+        let half = dim / 2;
+        let coords = (0..n)
+            .map(|i| Coord::new((i & ((1 << half) - 1)) as u16, (i >> half) as u16))
+            .collect();
+        let mut t = Topology::from_parts(
+            TopologyKind::Hypercube,
+            1u16 << half,
+            (n >> half) as u16,
+            coords,
+        );
+        for i in 0..n {
+            for b in 0..dim {
+                let j = i ^ (1 << b);
+                if j > i {
+                    t.push_link(NodeId(i as u32), NodeId(j as u32), None);
+                    t.push_link(NodeId(j as u32), NodeId(i as u32), None);
+                }
+            }
+        }
+        t
+    }
+
+    /// Builds a bidirectional ring of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: u16) -> Self {
+        assert!(n >= 3, "ring needs at least 3 nodes");
+        let coords = (0..n).map(|i| Coord::new(i, 0)).collect();
+        let mut t = Topology::from_parts(TopologyKind::Ring, n, 1, coords);
+        for i in 0..n {
+            let here = NodeId(i as u32);
+            let next = NodeId(((i + 1) % n) as u32);
+            t.push_link(here, next, None);
+            t.push_link(next, here, None);
+        }
+        t
+    }
+
+    /// The family this topology belongs to.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Grid width (number of columns); 1-row topologies report their length.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Grid height (number of rows).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.coords.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// The node at grid position `(x, y)`, if in range.
+    pub fn node_at(&self, x: u16, y: u16) -> Option<NodeId> {
+        if x < self.width && y < self.height {
+            Some(NodeId(y as u32 * self.width as u32 + x as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Grid coordinate of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        self.coords[node.index()]
+    }
+
+    /// The link record for `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link(&self, link: LinkId) -> &Link {
+        &self.links[link.index()]
+    }
+
+    /// Links leaving `node`.
+    pub fn out_links(&self, node: NodeId) -> &[LinkId] {
+        &self.out[node.index()]
+    }
+
+    /// Links entering `node`.
+    pub fn in_links(&self, node: NodeId) -> &[LinkId] {
+        &self.incoming[node.index()]
+    }
+
+    /// The link `src -> dst` if the nodes are adjacent.
+    pub fn find_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.lookup.get(&(src, dst)).copied()
+    }
+
+    /// Neighbour of `node` in grid direction `dir`, if the channel exists.
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        self.out[node.index()]
+            .iter()
+            .map(|&l| &self.links[l.index()])
+            .find(|l| l.direction == Some(dir))
+            .map(|l| l.dst)
+    }
+
+    /// Sets every switch-to-switch channel's capacity to `capacity` MB/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn set_uniform_capacity(&mut self, capacity: f64) {
+        assert!(capacity > 0.0, "capacity must be positive");
+        for l in &mut self.links {
+            l.capacity = capacity;
+        }
+    }
+
+    /// Sets one channel's capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `link` is out of range.
+    pub fn set_capacity(&mut self, link: LinkId, capacity: f64) {
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.links[link.index()].capacity = capacity;
+    }
+
+    /// Largest channel capacity in the network (used as the `M` constant of
+    /// the Dijkstra selector's weight function).
+    pub fn max_capacity(&self) -> f64 {
+        self.links
+            .iter()
+            .map(|l| l.capacity)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Ratio of resource-to-switch over switch-to-switch bandwidth
+    /// (default 4, per the paper's evaluation setup).
+    pub fn local_bandwidth_factor(&self) -> f64 {
+        self.local_bandwidth_factor
+    }
+
+    /// Overrides the resource-to-switch bandwidth factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    pub fn set_local_bandwidth_factor(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "local bandwidth factor must be >= 1");
+        self.local_bandwidth_factor = factor;
+    }
+
+    /// Minimum hop count between two nodes (BFS over links; Manhattan
+    /// distance on meshes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn min_hops(&self, src: NodeId, dst: NodeId) -> usize {
+        if src == dst {
+            return 0;
+        }
+        if self.kind == TopologyKind::Mesh2D {
+            return self.coord(src).manhattan(self.coord(dst)) as usize;
+        }
+        // BFS for wraparound topologies.
+        let mut dist = vec![usize::MAX; self.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.index()] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            if v == dst {
+                return dist[v.index()];
+            }
+            for &l in &self.out[v.index()] {
+                let w = self.links[l.index()].dst;
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        unreachable!("topologies are connected");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_counts() {
+        let t = Topology::mesh2d(3, 3);
+        assert_eq!(t.num_nodes(), 9);
+        assert_eq!(t.num_links(), 24);
+        let t = Topology::mesh2d(8, 8);
+        assert_eq!(t.num_nodes(), 64);
+        // 2 * 2 * 8 * 7 = 224 directed channels.
+        assert_eq!(t.num_links(), 224);
+    }
+
+    #[test]
+    fn mesh_node_indexing() {
+        let t = Topology::mesh2d(4, 3);
+        let n = t.node_at(2, 1).expect("in range");
+        assert_eq!(n, NodeId(6));
+        assert_eq!(t.coord(n), Coord::new(2, 1));
+        assert!(t.node_at(4, 0).is_none());
+        assert!(t.node_at(0, 3).is_none());
+    }
+
+    #[test]
+    fn mesh_directions_consistent() {
+        let t = Topology::mesh2d(3, 3);
+        for l in t.link_ids() {
+            let link = t.link(l);
+            let (dx, dy) = link.direction.expect("mesh links have directions").delta();
+            let a = t.coord(link.src);
+            let b = t.coord(link.dst);
+            assert_eq!(b.x as i32 - a.x as i32, dx);
+            assert_eq!(b.y as i32 - a.y as i32, dy);
+        }
+    }
+
+    #[test]
+    fn neighbor_queries() {
+        let t = Topology::mesh2d(3, 3);
+        let center = t.node_at(1, 1).expect("in range");
+        assert_eq!(t.neighbor(center, Direction::North), t.node_at(1, 2));
+        assert_eq!(t.neighbor(center, Direction::South), t.node_at(1, 0));
+        assert_eq!(t.neighbor(center, Direction::East), t.node_at(2, 1));
+        assert_eq!(t.neighbor(center, Direction::West), t.node_at(0, 1));
+        let corner = t.node_at(0, 0).expect("in range");
+        assert_eq!(t.neighbor(corner, Direction::West), None);
+        assert_eq!(t.neighbor(corner, Direction::South), None);
+    }
+
+    #[test]
+    fn every_pair_link_is_bidirectional() {
+        let t = Topology::mesh2d(4, 4);
+        for l in t.link_ids() {
+            let link = t.link(l);
+            assert!(t.find_link(link.dst, link.src).is_some());
+        }
+    }
+
+    #[test]
+    fn torus_counts_and_wraparound() {
+        let t = Topology::torus2d(4, 4);
+        // Every node has degree 4 in a torus: 4 * 16 = 64 directed links.
+        assert_eq!(t.num_links(), 64);
+        let west_edge = t.node_at(0, 2).expect("in range");
+        let east_edge = t.node_at(3, 2).expect("in range");
+        assert!(t.find_link(east_edge, west_edge).is_some());
+        assert!(t.find_link(west_edge, east_edge).is_some());
+    }
+
+    #[test]
+    fn torus_min_hops_uses_wraparound() {
+        let t = Topology::torus2d(4, 4);
+        let a = t.node_at(0, 0).expect("in range");
+        let b = t.node_at(3, 0).expect("in range");
+        assert_eq!(t.min_hops(a, b), 1);
+        let c = t.node_at(2, 2).expect("in range");
+        assert_eq!(t.min_hops(a, c), 4);
+    }
+
+    #[test]
+    fn mesh_min_hops_is_manhattan() {
+        let t = Topology::mesh2d(8, 8);
+        let a = t.node_at(0, 0).expect("in range");
+        let b = t.node_at(7, 7).expect("in range");
+        assert_eq!(t.min_hops(a, b), 14);
+        assert_eq!(t.min_hops(a, a), 0);
+    }
+
+    #[test]
+    fn hypercube_counts_and_hops() {
+        let t = Topology::hypercube(3);
+        assert_eq!(t.num_nodes(), 8);
+        // dim * 2^dim directed channels.
+        assert_eq!(t.num_links(), 24);
+        // Minimum hops equal Hamming distance.
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                let hamming = (a.0 ^ b.0).count_ones() as usize;
+                assert_eq!(t.min_hops(a, b), hamming, "{a} -> {b}");
+            }
+        }
+        assert_eq!(t.kind(), TopologyKind::Hypercube);
+    }
+
+    #[test]
+    fn hypercube_links_flip_one_bit() {
+        let t = Topology::hypercube(4);
+        for l in t.link_ids() {
+            let link = t.link(l);
+            assert_eq!((link.src.0 ^ link.dst.0).count_ones(), 1);
+            assert_eq!(link.direction, None);
+        }
+    }
+
+    #[test]
+    fn ring_counts_and_hops() {
+        let t = Topology::ring(6);
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.num_links(), 12);
+        assert_eq!(t.min_hops(NodeId(0), NodeId(5)), 1);
+        assert_eq!(t.min_hops(NodeId(0), NodeId(3)), 3);
+    }
+
+    #[test]
+    fn capacity_updates() {
+        let mut t = Topology::mesh2d(3, 3);
+        t.set_uniform_capacity(500.0);
+        assert!(t.link_ids().all(|l| t.link(l).capacity == 500.0));
+        assert_eq!(t.max_capacity(), 500.0);
+        let l = LinkId(0);
+        t.set_capacity(l, 750.0);
+        assert_eq!(t.link(l).capacity, 750.0);
+        assert_eq!(t.max_capacity(), 750.0);
+    }
+
+    #[test]
+    fn out_and_in_links_are_consistent() {
+        let t = Topology::mesh2d(3, 3);
+        for n in t.node_ids() {
+            for &l in t.out_links(n) {
+                assert_eq!(t.link(l).src, n);
+            }
+            for &l in t.in_links(n) {
+                assert_eq!(t.link(l).dst, n);
+            }
+        }
+        // Corner has 2 out links, edge 3, center 4.
+        assert_eq!(t.out_links(t.node_at(0, 0).unwrap()).len(), 2);
+        assert_eq!(t.out_links(t.node_at(1, 0).unwrap()).len(), 3);
+        assert_eq!(t.out_links(t.node_at(1, 1).unwrap()).len(), 4);
+    }
+
+    #[test]
+    fn local_bandwidth_factor_defaults_to_four() {
+        let t = Topology::mesh2d(3, 3);
+        assert_eq!(t.local_bandwidth_factor(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let mut t = Topology::mesh2d(3, 3);
+        t.set_uniform_capacity(0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! # bsor-workloads
+//!
+//! The six workloads of the paper's evaluation (Chapter 5): three
+//! synthetic bit-permutation patterns and three applications whose flow
+//! graphs are transcribed from the paper's figures and tables.
+//!
+//! | Workload | Source | Flows on 8×8 |
+//! |---|---|---|
+//! | transpose | §5.1.2, `d = (y, x)` | 56 |
+//! | bit-complement | §5.1.1, `dᵢ = ¬sᵢ` | 64 |
+//! | shuffle | §5.1.3, `dᵢ = s_{i−1 mod b}` | 62 |
+//! | H.264 decoder | Figure 5-1 | 15 |
+//! | performance modeling | Figure 5-2 | 11 |
+//! | 802.11a/g transmitter | Table 5.2 | 20 |
+//!
+//! Synthetic flows all carry [`SYNTHETIC_DEMAND`] = 25 MB/s, which makes
+//! the dimension-order MCLs land exactly on the paper's Table 6.3 values
+//! (e.g. transpose XY = 175 MB/s = 7 × 25). Application demands are the
+//! paper's own MB/s figures (the transmitter's Mbit/s rates are divided
+//! by 8, which is how 58.72 Mbit/s appears as 7.34 MB/s in Table 6.3).
+//!
+//! Module→node placements for the applications are **not** specified in
+//! the paper; the placements here spread modules across the mesh so that
+//! the single-largest-flow MCL lower bound is attainable, matching the
+//! shape of the paper's results. See `DESIGN.md` for the substitution
+//! notes.
+//!
+//! ```
+//! use bsor_topology::Topology;
+//! use bsor_workloads::{transpose, SYNTHETIC_DEMAND};
+//!
+//! let mesh = Topology::mesh2d(8, 8);
+//! let w = transpose(&mesh).expect("8x8 is square");
+//! assert_eq!(w.flows.len(), 56);
+//! assert_eq!(w.flows.max_demand(), SYNTHETIC_DEMAND);
+//! ```
+
+pub mod apps;
+pub mod synthetic;
+
+pub use apps::{h264_decoder, performance_modeling, wifi_transmitter};
+pub use synthetic::{bit_complement, shuffle, transpose, SYNTHETIC_DEMAND};
+
+use bsor_flow::FlowSet;
+use bsor_topology::Topology;
+use std::error::Error;
+use std::fmt;
+
+/// A named traffic workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Display name used in the tables ("transpose", "H.264", …).
+    pub name: String,
+    /// The flows with their bandwidth demands.
+    pub flows: FlowSet,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(name: impl Into<String>, flows: FlowSet) -> Workload {
+        Workload {
+            name: name.into(),
+            flows,
+        }
+    }
+}
+
+/// Why a workload could not be instantiated on a topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// Bit-permutation patterns need a square mesh.
+    NotSquare,
+    /// Bit-permutation patterns need a power-of-two node count.
+    NotPowerOfTwo,
+    /// The topology has fewer nodes than the application has modules.
+    TooSmall {
+        /// Modules required.
+        required: usize,
+        /// Nodes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NotSquare => write!(f, "synthetic patterns require a square mesh"),
+            WorkloadError::NotPowerOfTwo => {
+                write!(f, "synthetic patterns require a power-of-two node count")
+            }
+            WorkloadError::TooSmall { required, available } => write!(
+                f,
+                "application needs {required} module nodes but the topology has {available}"
+            ),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+/// All six evaluation workloads on `topo` (paper §6.1), in the order the
+/// paper's tables list them.
+///
+/// # Errors
+///
+/// Any [`WorkloadError`] raised by a member workload (e.g. a non-square
+/// or too-small topology).
+pub fn all_six(topo: &Topology) -> Result<Vec<Workload>, WorkloadError> {
+    Ok(vec![
+        transpose(topo)?,
+        bit_complement(topo)?,
+        shuffle(topo)?,
+        h264_decoder(topo)?,
+        performance_modeling(topo)?,
+        wifi_transmitter(topo)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_build_on_8x8() {
+        let topo = Topology::mesh2d(8, 8);
+        let all = all_six(&topo).expect("8x8 supports every workload");
+        assert_eq!(all.len(), 6);
+        for w in &all {
+            w.flows.validate(&topo).expect("valid flows");
+            assert!(!w.flows.is_empty());
+        }
+        let names: Vec<&str> = all.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "transpose",
+                "bit-complement",
+                "shuffle",
+                "H.264",
+                "perf. modeling",
+                "transmitter"
+            ]
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!WorkloadError::NotSquare.to_string().is_empty());
+        assert!(!WorkloadError::NotPowerOfTwo.to_string().is_empty());
+        assert!(!WorkloadError::TooSmall { required: 9, available: 4 }
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Synthetic bit-permutation traffic patterns (paper §5.1).
+
+use crate::{Workload, WorkloadError};
+use bsor_flow::FlowSet;
+use bsor_topology::{NodeId, Topology};
+
+/// Per-flow demand of the synthetic benchmarks in MB/s (see the crate
+/// docs for the calibration against the paper's Table 6.3).
+pub const SYNTHETIC_DEMAND: f64 = 25.0;
+
+fn address_bits(topo: &Topology) -> Result<u32, WorkloadError> {
+    if topo.width() != topo.height() {
+        return Err(WorkloadError::NotSquare);
+    }
+    let n = topo.num_nodes();
+    if !n.is_power_of_two() {
+        return Err(WorkloadError::NotPowerOfTwo);
+    }
+    Ok(n.trailing_zeros())
+}
+
+fn permutation_workload(
+    topo: &Topology,
+    name: &str,
+    dest: impl Fn(u32, u32) -> u32,
+) -> Result<Workload, WorkloadError> {
+    let b = address_bits(topo)?;
+    let mut flows = FlowSet::new();
+    for s in 0..topo.num_nodes() as u32 {
+        let d = dest(s, b);
+        if d != s {
+            flows.push(NodeId(s), NodeId(d), SYNTHETIC_DEMAND);
+        }
+    }
+    Ok(Workload::new(name, flows))
+}
+
+/// Transpose (paper §5.1.2): destination address rotates the source by
+/// half its bits, `dᵢ = s_{(i+b/2) mod b}` — on a row-major square mesh
+/// this is the matrix transpose `(x, y) → (y, x)`. Diagonal nodes have no
+/// flow.
+///
+/// # Errors
+///
+/// [`WorkloadError`] if the topology is not a square power-of-two mesh.
+pub fn transpose(topo: &Topology) -> Result<Workload, WorkloadError> {
+    permutation_workload(topo, "transpose", |s, b| {
+        let half = b / 2;
+        ((s >> half) | (s << half)) & ((1 << b) - 1)
+    })
+}
+
+/// Bit-complement (paper §5.1.1): `dᵢ = ¬sᵢ`. Every node has a flow.
+///
+/// # Errors
+///
+/// [`WorkloadError`] if the topology is not a square power-of-two mesh.
+pub fn bit_complement(topo: &Topology) -> Result<Workload, WorkloadError> {
+    permutation_workload(topo, "bit-complement", |s, b| !s & ((1 << b) - 1))
+}
+
+/// Shuffle (paper §5.1.3): `dᵢ = s_{(i−1) mod b}`, i.e. the destination
+/// is the source rotated left by one bit. Nodes 0 and 2ᵇ−1 map to
+/// themselves and have no flow.
+///
+/// # Errors
+///
+/// [`WorkloadError`] if the topology is not a square power-of-two mesh.
+pub fn shuffle(topo: &Topology) -> Result<Workload, WorkloadError> {
+    permutation_workload(topo, "shuffle", |s, b| {
+        ((s << 1) | (s >> (b - 1))) & ((1 << b) - 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsor_routing::Baseline;
+
+    #[test]
+    fn transpose_is_matrix_transpose() {
+        let topo = Topology::mesh2d(8, 8);
+        let w = transpose(&topo).expect("square mesh");
+        assert_eq!(w.flows.len(), 56, "64 nodes minus 8 diagonal");
+        for f in w.flows.iter() {
+            let s = topo.coord(f.src);
+            let d = topo.coord(f.dst);
+            assert_eq!((s.x, s.y), (d.y, d.x), "flow must transpose coordinates");
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let topo = Topology::mesh2d(8, 8);
+        let w = transpose(&topo).expect("square mesh");
+        for f in w.flows.iter() {
+            assert!(
+                w.flows.iter().any(|g| g.src == f.dst && g.dst == f.src),
+                "transpose pairs are symmetric"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_complement_covers_all_nodes() {
+        let topo = Topology::mesh2d(8, 8);
+        let w = bit_complement(&topo).expect("square mesh");
+        assert_eq!(w.flows.len(), 64);
+        for f in w.flows.iter() {
+            let s = topo.coord(f.src);
+            let d = topo.coord(f.dst);
+            assert_eq!((d.x, d.y), (7 - s.x, 7 - s.y), "complement mirrors both axes");
+        }
+    }
+
+    #[test]
+    fn shuffle_rotates_left() {
+        let topo = Topology::mesh2d(8, 8);
+        let w = shuffle(&topo).expect("square mesh");
+        // 0b000000 and 0b111111 are fixed points.
+        assert_eq!(w.flows.len(), 62);
+        for f in w.flows.iter() {
+            let s = f.src.0;
+            let expect = ((s << 1) | (s >> 5)) & 0x3f;
+            assert_eq!(f.dst.0, expect);
+        }
+    }
+
+    #[test]
+    fn works_on_4x4_too() {
+        let topo = Topology::mesh2d(4, 4);
+        assert_eq!(transpose(&topo).expect("square").flows.len(), 12);
+        assert_eq!(bit_complement(&topo).expect("square").flows.len(), 16);
+        assert_eq!(shuffle(&topo).expect("square").flows.len(), 14);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let topo = Topology::mesh2d(8, 4);
+        assert_eq!(transpose(&topo).unwrap_err(), WorkloadError::NotSquare);
+    }
+
+    #[test]
+    fn paper_table_6_3_dor_mcls() {
+        // Table 6.3's synthetic rows under dimension-order routing:
+        // transpose 175, bit-complement 100, shuffle 100 MB/s.
+        let topo = Topology::mesh2d(8, 8);
+        let t = transpose(&topo).expect("square");
+        let bc = bit_complement(&topo).expect("square");
+        let sh = shuffle(&topo).expect("square");
+        let mcl = |w: &Workload| {
+            Baseline::XY
+                .select(&topo, &w.flows, 2)
+                .expect("xy")
+                .mcl(&topo, &w.flows)
+        };
+        assert_eq!(mcl(&t), 175.0);
+        assert_eq!(mcl(&bc), 100.0);
+        assert_eq!(mcl(&sh), 100.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Routing the IEEE 802.11a/g OFDM transmitter (paper §5.2.3,
+//! Table 5.2): a 17-site DSP pipeline with an IFFT partitioned over four
+//! modules. Demonstrates static virtual-channel allocation and the
+//! flows-per-link alternative objective (paper §7.2).
+//!
+//! ```text
+//! cargo run --release --example wifi_transmitter
+//! ```
+
+use bsor::{BsorBuilder, CdgStrategy, SelectorKind};
+use bsor_cdg::TurnModel;
+use bsor_routing::selectors::{DijkstraSelector, MilpObjective, MilpSelector};
+use bsor_routing::Baseline;
+use bsor_topology::Topology;
+use bsor_workloads::wifi_transmitter;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mesh = Topology::mesh2d(8, 8);
+    let workload = wifi_transmitter(&mesh)?;
+    println!(
+        "802.11a/g transmitter: {} flows, total {:.2} MB/s, largest {:.2} MB/s",
+        workload.flows.len(),
+        workload.flows.total_demand(),
+        workload.flows.max_demand()
+    );
+
+    // Bandwidth-sensitive routing with static VC allocation.
+    let result = BsorBuilder::new(&mesh, &workload.flows)
+        .vcs(2)
+        .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))
+        .run()?;
+    println!(
+        "BSOR-Dijkstra: MCL {:.2} MB/s on CDG '{}'",
+        result.mcl, result.cdg
+    );
+    // Every hop pins exactly one VC: static allocation (paper §4.2.2).
+    let static_hops = result
+        .routes
+        .iter()
+        .flat_map(|r| r.hops.iter())
+        .all(|h| h.vcs.count() == 1);
+    println!("static VC allocation on every hop: {static_hops}");
+
+    // The §7.2 alternative: minimize the number of flows sharing a link
+    // (no bandwidth knowledge needed).
+    let shared = BsorBuilder::new(&mesh, &workload.flows)
+        .vcs(2)
+        .strategies(vec![CdgStrategy::TurnModel(
+            TurnModel::negative_first().mirrored_y(),
+        )])
+        .selector(SelectorKind::Milp(
+            MilpSelector::new()
+                .with_max_paths(60)
+                .with_objective(MilpObjective::MinimizeSharedFlows),
+        ))
+        .run()?;
+    println!(
+        "flows-per-link objective: max {} flows share a channel (MCL {:.2} MB/s)",
+        shared.routes.max_flows_per_link(&mesh),
+        shared.routes.mcl(&mesh, &workload.flows)
+    );
+
+    // Baselines for context (Table 6.3's transmitter row).
+    println!("\nbaseline MCLs (MB/s):");
+    for (name, baseline) in [
+        ("XY", Baseline::XY),
+        ("YX", Baseline::YX),
+        ("ROMM", Baseline::Romm { seed: 5 }),
+        ("Valiant", Baseline::Valiant { seed: 5 }),
+        ("O1TURN", Baseline::O1Turn { seed: 5 }),
+    ] {
+        let routes = baseline.select(&mesh, &workload.flows, 2)?;
+        println!("  {name:8} {:7.2}", routes.mcl(&mesh, &workload.flows));
+    }
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the framework's central invariant: whatever
+//! the flows, CDG derivation and selector configuration, the routes that
+//! come out are structurally valid and deadlock-free.
+
+use bsor_repro::cdg::{AcyclicCdg, TurnModel};
+use bsor_repro::flow::{FlowNetwork, FlowSet, WeightParams};
+use bsor_repro::netgraph::algo;
+use bsor_repro::routing::selectors::DijkstraSelector;
+use bsor_repro::routing::{deadlock, FlowOrder};
+use bsor_repro::topology::{NodeId, Topology};
+use proptest::prelude::*;
+
+fn arbitrary_flows(nodes: usize, max_flows: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec(
+        (0..nodes as u32, 0..nodes as u32, 1.0..100.0f64),
+        1..max_flows,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .filter(|(s, d, _)| s != d)
+            .collect::<Vec<_>>()
+    })
+    .prop_filter("at least one flow", |v| !v.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dijkstra_routes_always_valid_and_deadlock_free(
+        triples in arbitrary_flows(16, 24),
+        model_idx in 0usize..12,
+        vcs in 1u8..=4,
+        m_const in 1.0..2000.0f64,
+        order_seed in 0u64..1000,
+    ) {
+        let topo = Topology::mesh2d(4, 4);
+        let models = TurnModel::valid_models(&topo).expect("grid");
+        let acyclic = AcyclicCdg::turn_model(&topo, vcs, &models[model_idx % models.len()])
+            .expect("valid model");
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let mut flows = FlowSet::new();
+        for (s, d, dem) in &triples {
+            flows.push(NodeId(*s), NodeId(*d), *dem);
+        }
+        let routes = DijkstraSelector::new()
+            .with_weights(WeightParams { m_const, vc_bias: 0.001 / m_const })
+            .with_order(FlowOrder::Random { seed: order_seed })
+            .select(&net, &flows)
+            .expect("turn-model CDGs keep every pair routable");
+        prop_assert!(routes.validate(&topo, &flows, vcs).is_ok());
+        prop_assert!(deadlock::is_deadlock_free(&topo, &routes, vcs));
+        // MCL is bounded below by the largest demand and above by total.
+        let mcl = routes.mcl(&topo, &flows);
+        prop_assert!(mcl >= flows.max_demand() - 1e-9);
+        prop_assert!(mcl <= flows.total_demand() + 1e-9);
+    }
+
+    #[test]
+    fn ad_hoc_routable_cdgs_route_everything(
+        seed in 0u64..500,
+        vcs in 1u8..=2,
+    ) {
+        let topo = Topology::mesh2d(4, 4);
+        let acyclic = AcyclicCdg::ad_hoc_routable(&topo, vcs, seed).expect("grid");
+        prop_assert!(algo::is_acyclic(acyclic.graph()));
+        // All-pairs flows must route.
+        let mut flows = FlowSet::new();
+        for s in topo.node_ids() {
+            for d in topo.node_ids() {
+                if s != d {
+                    flows.push(s, d, 1.0);
+                }
+            }
+        }
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let routes = DijkstraSelector::new().select(&net, &flows).expect("routable by construction");
+        prop_assert!(deadlock::is_deadlock_free(&topo, &routes, vcs));
+    }
+
+    #[test]
+    fn refinement_never_increases_mcl(
+        triples in arbitrary_flows(16, 20),
+        passes in 1usize..4,
+    ) {
+        // Rip-up/reroute only accepts a new path when the global MCL does
+        // not grow, so refinement is monotone non-increasing in MCL.
+        let topo = Topology::mesh2d(4, 4);
+        let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let mut flows = FlowSet::new();
+        for (s, d, dem) in &triples {
+            flows.push(NodeId(*s), NodeId(*d), *dem);
+        }
+        let base = DijkstraSelector::new().select(&net, &flows).expect("routable");
+        let refined = DijkstraSelector::new()
+            .with_refinement(passes)
+            .select(&net, &flows)
+            .expect("routable");
+        prop_assert!(
+            refined.mcl(&topo, &flows) <= base.mcl(&topo, &flows) + 1e-9,
+            "refined {} vs base {}",
+            refined.mcl(&topo, &flows),
+            base.mcl(&topo, &flows)
+        );
+        prop_assert!(refined.validate(&topo, &flows, 2).is_ok());
+        prop_assert!(deadlock::is_deadlock_free(&topo, &refined, 2));
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration: the BSOR framework against the baselines on
+//! the paper's 8×8 mesh, checking the headline MCL numbers of Table 6.3
+//! and that the computed routes drive the simulator correctly.
+
+use bsor::{BsorBuilder, SelectorKind};
+use bsor_repro::routing::selectors::{DijkstraSelector, MilpSelector};
+use bsor_repro::routing::{deadlock, Baseline};
+use bsor_repro::sim::{SimConfig, Simulator, TrafficSpec};
+use bsor_repro::topology::Topology;
+use bsor_repro::workloads::{bit_complement, shuffle, transpose, wifi_transmitter};
+use bsor_lp::MilpOptions;
+use std::time::Duration;
+
+#[test]
+fn transpose_table_6_3_shape() {
+    // Paper Table 6.3, transpose row: XY 175, YX 175, BSOR 75.
+    let topo = Topology::mesh2d(8, 8);
+    let w = transpose(&topo).expect("square");
+    let xy = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
+    let yx = Baseline::YX.select(&topo, &w.flows, 2).expect("yx");
+    assert_eq!(xy.mcl(&topo, &w.flows), 175.0);
+    assert_eq!(yx.mcl(&topo, &w.flows), 175.0);
+    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    assert_eq!(bsor.mcl, 75.0, "the paper's BSOR transpose MCL");
+    assert!(deadlock::is_deadlock_free(&topo, &bsor.routes, 2));
+}
+
+#[test]
+fn bit_complement_matches_dor() {
+    // Paper §6.2.2 / Table 6.3: XY, YX and BSOR all reach 100 MB/s.
+    let topo = Topology::mesh2d(8, 8);
+    let w = bit_complement(&topo).expect("square");
+    let xy = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
+    assert_eq!(xy.mcl(&topo, &w.flows), 100.0);
+    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    assert_eq!(bsor.mcl, 100.0, "BSOR cannot beat the bit-complement bound");
+}
+
+#[test]
+fn shuffle_beats_dor() {
+    // Paper Table 6.3, shuffle row: XY/YX 100, BSOR 75.
+    let topo = Topology::mesh2d(8, 8);
+    let w = shuffle(&topo).expect("square");
+    let xy = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
+    assert_eq!(xy.mcl(&topo, &w.flows), 100.0);
+    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    assert!(bsor.mcl <= 75.0 + 1e-9, "BSOR shuffle MCL {} > 75", bsor.mcl);
+}
+
+#[test]
+fn transmitter_reaches_largest_flow_bound() {
+    // Paper Table 6.3, transmitter row: BSOR-MILP reaches 7.34 MB/s =
+    // the 58.72 Mbit/s IFFT merger stream.
+    let topo = Topology::mesh2d(8, 8);
+    let w = wifi_transmitter(&topo).expect("fits");
+    let bsor = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))
+        .run()
+        .expect("routable");
+    assert!(
+        (bsor.mcl - w.flows.max_demand()).abs() < 1e-9,
+        "transmitter MCL {} should equal the largest flow {}",
+        bsor.mcl,
+        w.flows.max_demand()
+    );
+}
+
+#[test]
+fn milp_never_loses_to_dijkstra() {
+    // Thesis §6.2: "MILP solutions, when available, always have MCLs that
+    // are equal or smaller than MCLs produced under Dijkstra's weighted
+    // shortest path."
+    let topo = Topology::mesh2d(8, 8);
+    let w = transpose(&topo).expect("square");
+    let milp = MilpSelector::new()
+        .with_hop_slack(2)
+        .with_max_paths(30)
+        .with_options(MilpOptions {
+            max_nodes: 10,
+            time_limit: Some(Duration::from_secs(5)),
+            ..MilpOptions::default()
+        });
+    let dijkstra = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))
+        .run()
+        .expect("routable");
+    let milp_result = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .selector(SelectorKind::Milp(milp))
+        .run()
+        .expect("solvable");
+    assert!(
+        milp_result.mcl <= dijkstra.mcl + 1e-9,
+        "MILP {} must not lose to Dijkstra {}",
+        milp_result.mcl,
+        dijkstra.mcl
+    );
+}
+
+#[test]
+fn bsor_routes_simulate_deadlock_free_at_high_load() {
+    let topo = Topology::mesh2d(8, 8);
+    let w = transpose(&topo).expect("square");
+    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    let traffic = TrafficSpec::proportional(&w.flows, 4.0); // well past saturation
+    let config = SimConfig::new(2).with_warmup(1_000).with_measurement(6_000);
+    let report = Simulator::new(&topo, &w.flows, &bsor.routes, traffic, config)
+        .expect("consistent")
+        .run();
+    assert!(!report.deadlocked, "BSOR routes must never deadlock");
+    assert!(report.delivered_packets > 0);
+}
+
+#[test]
+fn bsor_outperforms_xy_in_simulation_on_transpose() {
+    // The throughput claim of Figure 6-1: near saturation, BSOR delivers
+    // more than dimension-order routing on transpose.
+    let topo = Topology::mesh2d(8, 8);
+    let w = transpose(&topo).expect("square");
+    let xy = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
+    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    let run = |routes| {
+        let traffic = TrafficSpec::proportional(&w.flows, 2.5);
+        let config = SimConfig::new(2).with_warmup(2_000).with_measurement(12_000);
+        Simulator::new(&topo, &w.flows, routes, traffic, config)
+            .expect("consistent")
+            .run()
+            .throughput()
+    };
+    let t_xy = run(&xy);
+    let t_bsor = run(&bsor.routes);
+    assert!(
+        t_bsor > t_xy * 1.1,
+        "BSOR throughput {t_bsor:.4} should clearly beat XY {t_xy:.4} past saturation"
+    );
+}
