@@ -18,8 +18,8 @@ use bsor_workloads::transpose;
 fn ablate_hop_slack(c: &mut Criterion) {
     let mesh = Topology::mesh2d(4, 4);
     let w = transpose(&mesh).expect("square");
-    let acyclic = AcyclicCdg::turn_model(&mesh, 1, &TurnModel::negative_first().mirrored_y())
-        .expect("valid");
+    let acyclic =
+        AcyclicCdg::turn_model(&mesh, 1, &TurnModel::negative_first().mirrored_y()).expect("valid");
     let mut g = c.benchmark_group("hop_slack");
     g.sample_size(10);
     for slack in [0usize, 2, 4] {
@@ -51,8 +51,8 @@ fn ablate_hop_slack(c: &mut Criterion) {
 fn ablate_weight_constant(c: &mut Criterion) {
     let mesh = Topology::mesh2d(8, 8);
     let w = transpose(&mesh).expect("square");
-    let acyclic = AcyclicCdg::turn_model(&mesh, 2, &TurnModel::negative_first().mirrored_y())
-        .expect("valid");
+    let acyclic =
+        AcyclicCdg::turn_model(&mesh, 2, &TurnModel::negative_first().mirrored_y()).expect("valid");
     let mut g = c.benchmark_group("weight_m");
     g.sample_size(20);
     for m_const in [10.0, 100.0, 1000.0, 10_000.0] {
@@ -65,7 +65,10 @@ fn ablate_weight_constant(c: &mut Criterion) {
         let mcl = routes.mcl(&mesh, &w.flows);
         let hops = routes.mean_hops();
         g.bench_with_input(
-            BenchmarkId::new(format!("m_{m_const}_mcl_{mcl:.0}_hops_{hops:.2}"), m_const as u64),
+            BenchmarkId::new(
+                format!("m_{m_const}_mcl_{mcl:.0}_hops_{hops:.2}"),
+                m_const as u64,
+            ),
             &m_const,
             |b, _| {
                 b.iter(|| {
@@ -91,7 +94,9 @@ fn ablate_exploration_breadth(c: &mut Criterion) {
         for m in &subset {
             let acyclic = AcyclicCdg::turn_model(&mesh, 2, m).expect("valid");
             let net = FlowNetwork::new(&mesh, &acyclic);
-            let routes = DijkstraSelector::new().select(&net, &w.flows).expect("routable");
+            let routes = DijkstraSelector::new()
+                .select(&net, &w.flows)
+                .expect("routable");
             best = best.min(routes.mcl(&mesh, &w.flows));
         }
         g.bench_with_input(
@@ -103,8 +108,9 @@ fn ablate_exploration_breadth(c: &mut Criterion) {
                     for m in &subset {
                         let acyclic = AcyclicCdg::turn_model(&mesh, 2, m).expect("valid");
                         let net = FlowNetwork::new(&mesh, &acyclic);
-                        let routes =
-                            DijkstraSelector::new().select(&net, &w.flows).expect("routable");
+                        let routes = DijkstraSelector::new()
+                            .select(&net, &w.flows)
+                            .expect("routable");
                         best = best.min(routes.mcl(&mesh, &w.flows));
                     }
                     best

@@ -38,14 +38,16 @@ fn bench_cdg(c: &mut Criterion) {
 fn bench_selectors(c: &mut Criterion) {
     let mesh = Topology::mesh2d(8, 8);
     let w = transpose(&mesh).expect("square");
-    let acyclic = AcyclicCdg::turn_model(&mesh, 2, &TurnModel::negative_first().mirrored_y())
-        .expect("valid");
+    let acyclic =
+        AcyclicCdg::turn_model(&mesh, 2, &TurnModel::negative_first().mirrored_y()).expect("valid");
     let mut g = c.benchmark_group("selectors");
     g.sample_size(20);
     g.bench_function("dijkstra_transpose_8x8", |b| {
         b.iter(|| {
             let net = FlowNetwork::new(&mesh, &acyclic);
-            DijkstraSelector::new().select(&net, &w.flows).expect("routable")
+            DijkstraSelector::new()
+                .select(&net, &w.flows)
+                .expect("routable")
         });
     });
     g.bench_function("dijkstra_refined_transpose_8x8", |b| {
@@ -64,8 +66,7 @@ fn bench_selectors(c: &mut Criterion) {
     g.bench_function("milp_transpose_4x4", |b| {
         let mesh4 = Topology::mesh2d(4, 4);
         let w4 = transpose(&mesh4).expect("square");
-        let acyclic4 =
-            AcyclicCdg::turn_model(&mesh4, 1, &TurnModel::west_first()).expect("valid");
+        let acyclic4 = AcyclicCdg::turn_model(&mesh4, 1, &TurnModel::west_first()).expect("valid");
         b.iter(|| {
             let net = FlowNetwork::new(&mesh4, &acyclic4);
             MilpSelector::new()
@@ -91,7 +92,14 @@ fn bench_lp(c: &mut Criterion) {
             || {
                 let mut m = Model::minimize();
                 let vars: Vec<_> = (0..80)
-                    .map(|i| m.add_var(VarKind::Continuous, 0.0, f64::INFINITY, 1.0 + (i % 7) as f64 * 0.1))
+                    .map(|i| {
+                        m.add_var(
+                            VarKind::Continuous,
+                            0.0,
+                            f64::INFINITY,
+                            1.0 + (i % 7) as f64 * 0.1,
+                        )
+                    })
                     .collect();
                 for r in 0..120 {
                     let terms: Vec<_> = vars

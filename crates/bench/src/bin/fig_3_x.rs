@@ -18,7 +18,10 @@ use bsor_topology::Topology;
 
 fn main() {
     let mesh = Topology::mesh2d(3, 3);
-    println!("{}", cdg_to_dot(&mesh, 1, "Figure 3-1: CDG of the 3x3 mesh"));
+    println!(
+        "{}",
+        cdg_to_dot(&mesh, 1, "Figure 3-1: CDG of the 3x3 mesh")
+    );
 
     for model in [TurnModel::north_last(), TurnModel::west_first()] {
         let acyclic = AcyclicCdg::turn_model(&mesh, 1, &model).expect("valid model");
@@ -50,6 +53,10 @@ fn main() {
     let sub = Topology::mesh2d(2, 2);
     println!(
         "{}",
-        cdg_to_dot(&sub, 2, "Figure 3-6(a): 2x2 mesh CDG with 2 virtual channels")
+        cdg_to_dot(
+            &sub,
+            2,
+            "Figure 3-6(a): 2x2 mesh CDG with 2 virtual channels"
+        )
     );
 }

@@ -42,7 +42,7 @@ fn main() {
                         .map_err(|e| e.to_string()),
                 ),
                 (
-                    format!("BSOR-Dijkstra"),
+                    "BSOR-Dijkstra".to_string(),
                     BsorBuilder::new(&topo, &workload.flows)
                         .vcs(vcs)
                         .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))

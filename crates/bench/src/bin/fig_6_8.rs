@@ -25,10 +25,7 @@ fn main() {
         }
         .with_variation(variation);
         print_figure(
-            &format!(
-                "Figure 6-8: {} with 10% bandwidth variation",
-                workload.name
-            ),
+            &format!("Figure 6-8: {} with 10% bandwidth variation", workload.name),
             &topo,
             &workload,
             &cfg,

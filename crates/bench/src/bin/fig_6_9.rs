@@ -25,10 +25,7 @@ fn main() {
         }
         .with_variation(variation);
         print_figure(
-            &format!(
-                "Figure 6-9: {} with 25% bandwidth variation",
-                workload.name
-            ),
+            &format!("Figure 6-9: {} with 25% bandwidth variation", workload.name),
             &topo,
             &workload,
             &cfg,

@@ -107,7 +107,8 @@ pub fn algorithm_routes(
 ) -> Vec<(String, Result<RouteSet, String>)> {
     let flows = &workload.flows;
     let baseline = |b: Baseline| -> Result<RouteSet, String> {
-        b.select(topo, flows, vcs).map_err(|e: SelectError| e.to_string())
+        b.select(topo, flows, vcs)
+            .map_err(|e: SelectError| e.to_string())
     };
     let bsor = |selector: SelectorKind| -> Result<RouteSet, String> {
         BsorBuilder::new(topo, flows)

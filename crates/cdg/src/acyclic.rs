@@ -419,7 +419,10 @@ mod tests {
                 more += 1;
             }
         }
-        assert!(more >= 8, "ad hoc should rarely beat the turn model's 8 removals");
+        assert!(
+            more >= 8,
+            "ad hoc should rarely beat the turn model's 8 removals"
+        );
     }
 
     #[test]
@@ -436,10 +439,7 @@ mod tests {
                     if s == d {
                         continue;
                     }
-                    let reachable = a
-                        .sinks_for(d)
-                        .iter()
-                        .any(|v| hops[v.index()] != usize::MAX);
+                    let reachable = a.sinks_for(d).iter().any(|v| hops[v.index()] != usize::MAX);
                     assert!(reachable, "seed {seed}: {s} cannot reach {d}");
                 }
             }

@@ -66,7 +66,10 @@ impl fmt::Display for CdgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CdgError::NotAGrid => {
-                write!(f, "turn models require a grid topology with channel directions")
+                write!(
+                    f,
+                    "turn models require a grid topology with channel directions"
+                )
             }
             CdgError::StillCyclic { strategy } => {
                 write!(f, "strategy '{strategy}' does not break all CDG cycles")

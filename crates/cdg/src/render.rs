@@ -32,7 +32,12 @@ fn dot_of(cdg: &Cdg, title: &str) -> String {
     let _ = writeln!(out, "  label=\"{title}\";");
     let _ = writeln!(out, "  node [shape=box, fontsize=10];");
     for v in cdg.graph().node_ids() {
-        let _ = writeln!(out, "  v{} [label=\"{}\"];", v.index(), vertex_label(cdg, v));
+        let _ = writeln!(
+            out,
+            "  v{} [label=\"{}\"];",
+            v.index(),
+            vertex_label(cdg, v)
+        );
     }
     for (_, s, d, _) in cdg.graph().edges() {
         let _ = writeln!(out, "  v{} -> v{};", s.index(), d.index());
@@ -74,8 +79,8 @@ mod tests {
     #[test]
     fn figure_3_3_dot_prunes_prohibited_turns() {
         let t = Topology::mesh2d(3, 3);
-        let a = crate::acyclic::AcyclicCdg::turn_model(&t, 1, &TurnModel::west_first())
-            .expect("valid");
+        let a =
+            crate::acyclic::AcyclicCdg::turn_model(&t, 1, &TurnModel::west_first()).expect("valid");
         let dot = acyclic_to_dot(&a, "Figure 3-3(b)");
         assert_eq!(dot.matches(" -> ").count(), 44 - 8);
     }

@@ -33,7 +33,11 @@ impl Turn {
     /// Panics on straight "turns" (`from == to`) or 180° reversals.
     pub fn new(from: Direction, to: Direction) -> Turn {
         assert_ne!(from, to, "straight moves are not turns");
-        assert_ne!(from.opposite(), to, "180 degree turns are never permitted anyway");
+        assert_ne!(
+            from.opposite(),
+            to,
+            "180 degree turns are never permitted anyway"
+        );
         Turn { from, to }
     }
 
@@ -147,10 +151,7 @@ impl TurnModel {
 
     /// Whether the `(from, to)` turn is permitted.
     pub fn allows(&self, from: Direction, to: Direction) -> bool {
-        !self
-            .prohibited
-            .iter()
-            .any(|t| t.from == from && t.to == to)
+        !self.prohibited.iter().any(|t| t.from == from && t.to == to)
     }
 
     /// All 16 candidate two-turn prohibitions: one clockwise turn × one
@@ -201,11 +202,9 @@ pub(crate) fn apply(cdg: &mut Cdg, model: &TurnModel) {
     let doomed: Vec<_> = cdg
         .graph()
         .edges()
-        .filter(|&(_, s, d, _)| {
-            match cdg.edge_turn(s, d) {
-                Some((from, to)) => !model.allows(from, to),
-                None => false,
-            }
+        .filter(|&(_, s, d, _)| match cdg.edge_turn(s, d) {
+            Some((from, to)) => !model.allows(from, to),
+            None => false,
         })
         .map(|(id, _, _, _)| id)
         .collect();

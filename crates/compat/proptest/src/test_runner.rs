@@ -1,0 +1,66 @@
+//! Configuration and per-case plumbing for the [`proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// How many cases each property runs, and the seed base.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Added to the per-case seed; change to explore another stream.
+    pub seed_offset: u64,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 128,
+            seed_offset: 0,
+        }
+    }
+}
+
+/// A failed property case (carried by `prop_assert!` and friends).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps an assertion message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-case generator: seeded from the test name and the
+/// case index, so a reported failing case replays exactly.
+pub fn case_rng(seed_offset: u64, test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325 ^ seed_offset;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h.wrapping_add(case as u64).wrapping_mul(0x9E3779B97F4A7C15))
+}

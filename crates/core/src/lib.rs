@@ -386,10 +386,12 @@ mod tests {
             }
             bsor_workloads::Workload::new("mini", flows)
         });
-        let selector = MilpSelector::new().with_hop_slack(2).with_options(MilpOptions {
-            max_nodes: 2_000,
-            ..MilpOptions::default()
-        });
+        let selector = MilpSelector::new()
+            .with_hop_slack(2)
+            .with_options(MilpOptions {
+                max_nodes: 2_000,
+                ..MilpOptions::default()
+            });
         let result = BsorBuilder::new(&topo, &w.flows)
             .vcs(1)
             .strategies(vec![
@@ -422,7 +424,10 @@ mod tests {
         match result {
             Ok(r) => {
                 assert_eq!(r.explored.len(), 2);
-                assert!(r.explored[0].outcome.is_err(), "bad model recorded as error");
+                assert!(
+                    r.explored[0].outcome.is_err(),
+                    "bad model recorded as error"
+                );
                 assert_eq!(r.cdg, "west-first");
             }
             Err(e) => panic!("one good CDG should suffice: {e}"),
@@ -485,9 +490,8 @@ mod tests {
                     10.0,
                 );
             }
-            let strategies: Vec<CdgStrategy> = (0..10)
-                .map(|seed| CdgStrategy::AdHocAny { seed })
-                .collect();
+            let strategies: Vec<CdgStrategy> =
+                (0..10).map(|seed| CdgStrategy::AdHocAny { seed }).collect();
             let result = BsorBuilder::new(&topo, &flows)
                 .vcs(2)
                 .strategies(strategies)

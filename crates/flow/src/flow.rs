@@ -300,12 +300,9 @@ mod tests {
 
     #[test]
     fn from_triples_and_iteration() {
-        let fs: FlowSet = vec![
-            (NodeId(0), NodeId(1), 1.0),
-            (NodeId(2), NodeId(3), 2.0),
-        ]
-        .into_iter()
-        .collect();
+        let fs: FlowSet = vec![(NodeId(0), NodeId(1), 1.0), (NodeId(2), NodeId(3), 2.0)]
+            .into_iter()
+            .collect();
         let ids: Vec<u32> = fs.iter().map(|f| f.id.0).collect();
         assert_eq!(ids, vec![0, 1]);
         assert_eq!((&fs).into_iter().count(), 2);

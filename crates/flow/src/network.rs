@@ -222,7 +222,11 @@ mod tests {
             let d = t.node_at(dx, dy).unwrap();
             let f = Flow::new(FlowId(0), s, d, 1.0);
             let manhattan = t.coord(s).manhattan(t.coord(d)) as usize;
-            assert_eq!(net.min_route_links(&f), Some(manhattan), "({sx},{sy})->({dx},{dy})");
+            assert_eq!(
+                net.min_route_links(&f),
+                Some(manhattan),
+                "({sx},{sy})->({dx},{dy})"
+            );
         }
     }
 
@@ -230,7 +234,12 @@ mod tests {
     fn sources_and_sinks_match_degree() {
         let (t, a) = setup();
         let net = FlowNetwork::new(&t, &a);
-        let f = Flow::new(FlowId(0), t.node_at(0, 0).unwrap(), t.node_at(1, 1).unwrap(), 1.0);
+        let f = Flow::new(
+            FlowId(0),
+            t.node_at(0, 0).unwrap(),
+            t.node_at(1, 1).unwrap(),
+            1.0,
+        );
         assert_eq!(net.sources(&f).len(), 2); // corner: 2 outgoing channels
         assert_eq!(net.sinks(&f).len(), 4); // interior: 4 incoming channels
         let mask = net.sink_mask(&f);

@@ -275,7 +275,10 @@ mod tests {
         let mut m = Model::minimize();
         let x = m.add_binary(1.0);
         m.add_constraint(vec![(x, 2.0)], Cmp::Eq, 1.0);
-        assert_eq!(solve(&m, &MilpOptions::default()).unwrap_err(), LpError::Infeasible);
+        assert_eq!(
+            solve(&m, &MilpOptions::default()).unwrap_err(),
+            LpError::Infeasible
+        );
     }
 
     #[test]
@@ -313,8 +316,9 @@ mod tests {
         // Optimal: flows on different links, U = 5.
         assert!((sol.objective() - 5.0).abs() < 1e-6);
         assert!(stats.proven_optimal);
-        let one_hot =
-            |a: f64, b: f64| (a - 1.0).abs() < 1e-6 && b.abs() < 1e-6 || a.abs() < 1e-6 && (b - 1.0).abs() < 1e-6;
+        let one_hot = |a: f64, b: f64| {
+            (a - 1.0).abs() < 1e-6 && b.abs() < 1e-6 || a.abs() < 1e-6 && (b - 1.0).abs() < 1e-6
+        };
         assert!(one_hot(sol.value(p[0]), sol.value(p[1])));
         assert!(one_hot(sol.value(q[0]), sol.value(q[1])));
     }

@@ -119,7 +119,10 @@ impl Model {
     ///
     /// Panics if `lo` is negative or not finite, or `hi < lo`.
     pub fn add_var(&mut self, kind: VarKind, lo: f64, hi: f64, obj: f64) -> VarId {
-        assert!(lo.is_finite() && lo >= 0.0, "lower bound must be finite and >= 0");
+        assert!(
+            lo.is_finite() && lo >= 0.0,
+            "lower bound must be finite and >= 0"
+        );
         assert!(hi >= lo, "upper bound below lower bound");
         let id = VarId(self.vars.len() as u32);
         self.vars.push(Variable {
@@ -151,7 +154,10 @@ impl Model {
     /// variable; coefficients are summed.
     pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) {
         for &(v, _) in &terms {
-            assert!(v.index() < self.vars.len(), "constraint references unknown variable");
+            assert!(
+                v.index() < self.vars.len(),
+                "constraint references unknown variable"
+            );
         }
         self.constraints.push(Constraint { terms, cmp, rhs });
     }
@@ -220,11 +226,15 @@ impl Model {
     /// # Errors
     ///
     /// See [`LpError`].
-    pub fn solve_with(&self, opts: &milp::MilpOptions) -> Result<(Solution, milp::MilpStats), LpError> {
+    pub fn solve_with(
+        &self,
+        opts: &milp::MilpOptions,
+    ) -> Result<(Solution, milp::MilpStats), LpError> {
         if self.has_integers() {
             milp::solve(self, opts)
         } else {
-            self.solve_relaxation().map(|s| (s, milp::MilpStats::default()))
+            self.solve_relaxation()
+                .map(|s| (s, milp::MilpStats::default()))
         }
     }
 }

@@ -86,16 +86,16 @@ impl Tableau {
         // Entering column.
         let mut enter: Option<usize> = None;
         if bland {
-            for j in 0..self.cols {
-                if allowed[j] && self.cost[j] < -EPS_COST {
+            for (j, &ok) in allowed.iter().enumerate().take(self.cols) {
+                if ok && self.cost[j] < -EPS_COST {
                     enter = Some(j);
                     break;
                 }
             }
         } else {
             let mut best = -EPS_COST;
-            for j in 0..self.cols {
-                if allowed[j] && self.cost[j] < best {
+            for (j, &ok) in allowed.iter().enumerate().take(self.cols) {
+                if ok && self.cost[j] < best {
                     best = self.cost[j];
                     enter = Some(j);
                 }
@@ -151,6 +151,10 @@ impl Tableau {
     }
 }
 
+/// A prepared constraint row: sparse coefficients over structural
+/// columns, the comparison sense, and the shifted right-hand side.
+type PreparedRow = (Vec<(usize, f64)>, Cmp, f64);
+
 struct Prepared {
     /// Map model variable index -> structural column (None if fixed).
     col_of_var: Vec<Option<usize>>,
@@ -161,7 +165,7 @@ struct Prepared {
     /// Structural column count.
     n_struct: usize,
     /// Rows as (coeffs over structural cols, cmp, rhs).
-    rows: Vec<(Vec<(usize, f64)>, Cmp, f64)>,
+    rows: Vec<PreparedRow>,
     /// Objective over structural columns.
     c: Vec<f64>,
 }
@@ -192,7 +196,7 @@ fn prepare(model: &Model) -> Result<Prepared, LpError> {
             c[j] = v.obj;
         }
     }
-    let mut rows: Vec<(Vec<(usize, f64)>, Cmp, f64)> = Vec::new();
+    let mut rows: Vec<PreparedRow> = Vec::new();
     for con in &model.constraints {
         let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(con.terms.len());
         let mut rhs = con.rhs;
@@ -517,8 +521,16 @@ mod tests {
         let z = cont(&mut m, f64::INFINITY, -0.02);
         let u = cont(&mut m, f64::INFINITY, 6.0);
         // Beale's cycling example.
-        m.add_constraint(vec![(x, 0.25), (y, -60.0), (z, -0.04), (u, 9.0)], Cmp::Le, 0.0);
-        m.add_constraint(vec![(x, 0.5), (y, -90.0), (z, -0.02), (u, 3.0)], Cmp::Le, 0.0);
+        m.add_constraint(
+            vec![(x, 0.25), (y, -60.0), (z, -0.04), (u, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint(
+            vec![(x, 0.5), (y, -90.0), (z, -0.02), (u, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
         m.add_constraint(vec![(z, 1.0)], Cmp::Le, 1.0);
         let s = solve(&m).expect("Beale example has optimum -0.05");
         assert!((s.objective() + 0.05).abs() < 1e-6);

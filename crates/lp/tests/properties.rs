@@ -24,12 +24,8 @@ fn arbitrary_lp() -> impl Strategy<Value = RandomLp> {
                 let rows = coeffs
                     .into_iter()
                     .map(|row| {
-                        let rhs: f64 = row
-                            .iter()
-                            .zip(&ubs)
-                            .map(|(c, u)| c * u / 2.0)
-                            .sum::<f64>()
-                            + 1.0;
+                        let rhs: f64 =
+                            row.iter().zip(&ubs).map(|(c, u)| c * u / 2.0).sum::<f64>() + 1.0;
                         (row, rhs)
                     })
                     .collect();

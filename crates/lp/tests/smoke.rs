@@ -1,0 +1,37 @@
+//! Crate-level smoke test: the simplex core solves a small LP with a
+//! known optimum, and branch-and-bound solves a small integer program.
+
+use bsor_lp::{Cmp, MilpOptions, Model, VarKind};
+
+#[test]
+fn simplex_solves_tiny_lp() {
+    // max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18  (the classic
+    // Dantzig example): optimum 36 at (2, 6).
+    let mut m = Model::minimize();
+    let x = m.add_var(VarKind::Continuous, 0.0, 4.0, -3.0);
+    let y = m.add_var(VarKind::Continuous, 0.0, 6.0, -5.0);
+    m.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+    let sol = m.solve().expect("feasible and bounded");
+    assert!((sol.objective() - (-36.0)).abs() < 1e-6);
+    assert!((sol.value(x) - 2.0).abs() < 1e-6);
+    assert!((sol.value(y) - 6.0).abs() < 1e-6);
+}
+
+#[test]
+fn branch_and_bound_solves_tiny_knapsack() {
+    // max 10a + 13b + 7c with weights 3, 4, 2 and capacity 6:
+    // best is {b, c} = 20 (weight 6).
+    let mut m = Model::minimize();
+    let a = m.add_binary(-10.0);
+    let b = m.add_binary(-13.0);
+    let c = m.add_binary(-7.0);
+    m.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+    let (sol, stats) = m
+        .solve_with(&MilpOptions::default())
+        .expect("always feasible (all zero)");
+    assert!((sol.objective() - (-20.0)).abs() < 1e-6);
+    assert!(sol.value(a).abs() < 1e-6);
+    assert!((sol.value(b) - 1.0).abs() < 1e-6);
+    assert!((sol.value(c) - 1.0).abs() < 1e-6);
+    assert!(stats.nodes_explored >= 1);
+}

@@ -93,9 +93,7 @@ pub fn find_cycle<N, E>(g: &DiGraph<N, E>) -> Option<Vec<EdgeId>> {
                         path_edges.push(e);
                         let first = path_edges
                             .iter()
-                            .position(|&pe| {
-                                g.endpoints(pe).expect("live edge").0 == w
-                            })
+                            .position(|&pe| g.endpoints(pe).expect("live edge").0 == w)
                             .expect("gray node is on the current DFS path");
                         return Some(path_edges[first..].to_vec());
                     }
@@ -573,9 +571,15 @@ mod tests {
         g.add_edge(c, d, ());
         g.add_edge(a, d, ());
         let mut paths = Vec::new();
-        let outcome = enumerate_paths(&g, &[a], |v| v == d, |_| 0, 4, 100, |p| {
-            paths.push(p.to_vec())
-        });
+        let outcome = enumerate_paths(
+            &g,
+            &[a],
+            |v| v == d,
+            |_| 0,
+            4,
+            100,
+            |p| paths.push(p.to_vec()),
+        );
         assert_eq!(outcome, EnumerationOutcome::Complete);
         assert_eq!(paths.len(), 3);
         let mut lens: Vec<usize> = paths.iter().map(|p| p.len()).collect();
@@ -614,9 +618,15 @@ mod tests {
         g.add_edge(n[1], spur, ());
         let target = n[5];
         let mut plain = Vec::new();
-        enumerate_paths(&g, &[n[0]], |v| v == target, |_| 0, 5, 100, |p| {
-            plain.push(p.to_vec())
-        });
+        enumerate_paths(
+            &g,
+            &[n[0]],
+            |v| v == target,
+            |_| 0,
+            5,
+            100,
+            |p| plain.push(p.to_vec()),
+        );
         let dist = bfs_hops_to(&g, &[target]);
         let mut pruned = Vec::new();
         enumerate_paths(
@@ -671,9 +681,15 @@ mod tests {
         g.add_edge(b, a, ());
         g.add_edge(b, t, ());
         let mut paths = Vec::new();
-        let outcome = enumerate_paths(&g, &[a], |v| v == t, |_| 0, 10, 100, |p| {
-            paths.push(p.to_vec())
-        });
+        let outcome = enumerate_paths(
+            &g,
+            &[a],
+            |v| v == t,
+            |_| 0,
+            10,
+            100,
+            |p| paths.push(p.to_vec()),
+        );
         assert_eq!(outcome, EnumerationOutcome::Complete);
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].len(), 2);
@@ -684,10 +700,18 @@ mod tests {
         let mut g: DiGraph<(), ()> = DiGraph::new();
         let a = g.add_node(());
         let mut count = 0;
-        enumerate_paths(&g, &[a], |v| v == a, |_| 0, 3, 10, |p| {
-            assert!(p.is_empty());
-            count += 1;
-        });
+        enumerate_paths(
+            &g,
+            &[a],
+            |v| v == a,
+            |_| 0,
+            3,
+            10,
+            |p| {
+                assert!(p.is_empty());
+                count += 1;
+            },
+        );
         assert_eq!(count, 1);
     }
 }

@@ -5,39 +5,35 @@ use proptest::prelude::*;
 
 /// Builds a random DAG: edges only go from lower to higher node index.
 fn arbitrary_dag(nodes: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
-    prop::collection::vec((0..nodes as u32, 0..nodes as u32), 0..nodes * 3).prop_map(
-        move |pairs| {
-            let mut g: DiGraph<(), ()> = DiGraph::new();
-            for _ in 0..nodes {
-                g.add_node(());
+    prop::collection::vec((0..nodes as u32, 0..nodes as u32), 0..nodes * 3).prop_map(move |pairs| {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        for _ in 0..nodes {
+            g.add_node(());
+        }
+        for (a, b) in pairs {
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo != hi {
+                g.add_edge(NodeId(lo), NodeId(hi), ());
             }
-            for (a, b) in pairs {
-                let (lo, hi) = (a.min(b), a.max(b));
-                if lo != hi {
-                    g.add_edge(NodeId(lo), NodeId(hi), ());
-                }
-            }
-            g
-        },
-    )
+        }
+        g
+    })
 }
 
 /// Builds a random digraph that may contain cycles.
 fn arbitrary_digraph(nodes: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
-    prop::collection::vec((0..nodes as u32, 0..nodes as u32), 0..nodes * 3).prop_map(
-        move |pairs| {
-            let mut g: DiGraph<(), ()> = DiGraph::new();
-            for _ in 0..nodes {
-                g.add_node(());
+    prop::collection::vec((0..nodes as u32, 0..nodes as u32), 0..nodes * 3).prop_map(move |pairs| {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        for _ in 0..nodes {
+            g.add_node(());
+        }
+        for (a, b) in pairs {
+            if a != b {
+                g.add_edge(NodeId(a), NodeId(b), ());
             }
-            for (a, b) in pairs {
-                if a != b {
-                    g.add_edge(NodeId(a), NodeId(b), ());
-                }
-            }
-            g
-        },
-    )
+        }
+        g
+    })
 }
 
 proptest! {

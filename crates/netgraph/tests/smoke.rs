@@ -1,0 +1,31 @@
+//! Crate-level smoke test: Dijkstra shortest paths on a graph with a
+//! hand-checkable optimum.
+
+use bsor_netgraph::{algo, DiGraph};
+
+#[test]
+fn dijkstra_picks_the_cheap_detour() {
+    // a --1--> b --1--> d, a --10--> d: the two-hop route wins.
+    let mut g: DiGraph<&str, f64> = DiGraph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    g.add_edge(a, b, 1.0);
+    g.add_edge(b, d, 1.0);
+    let direct = g.add_edge(a, d, 10.0);
+    g.add_edge(c, d, 1.0); // c is unreachable from a
+
+    let w = |e: bsor_netgraph::EdgeId| *g.edge(e).expect("live edge").2;
+    let sp = algo::dijkstra(&g, &[(a, 0.0)], w);
+    assert_eq!(sp.dist[a.index()], 0.0);
+    assert_eq!(sp.dist[b.index()], 1.0);
+    assert_eq!(sp.dist[d.index()], 2.0);
+    assert!(sp.dist[c.index()].is_infinite());
+
+    let path = sp.path_to(&g, d).expect("reachable");
+    assert_eq!(path.len(), 2);
+    assert!(!path.contains(&direct), "must avoid the weight-10 edge");
+
+    assert_eq!(algo::bfs_hops(&g, &[a])[d.index()], 1, "hop-wise direct");
+}

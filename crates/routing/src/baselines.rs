@@ -87,12 +87,8 @@ impl Baseline {
             .iter()
             .map(|f| {
                 let hops = match self {
-                    Baseline::XY => {
-                        dor_hops(topo, f.src, f.dst, true, VcMask::all(vcs))
-                    }
-                    Baseline::YX => {
-                        dor_hops(topo, f.src, f.dst, false, VcMask::all(vcs))
-                    }
+                    Baseline::XY => dor_hops(topo, f.src, f.dst, true, VcMask::all(vcs)),
+                    Baseline::YX => dor_hops(topo, f.src, f.dst, false, VcMask::all(vcs)),
                     Baseline::O1Turn { .. } => {
                         let use_xy = rng.gen_bool(0.5);
                         if use_xy {
@@ -159,7 +155,13 @@ fn nodes_to_hops(topo: &Topology, nodes: &[NodeId], vcs: VcMask) -> Vec<RouteHop
         .collect()
 }
 
-fn dor_hops(topo: &Topology, src: NodeId, dst: NodeId, x_first: bool, vcs: VcMask) -> Vec<RouteHop> {
+fn dor_hops(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    x_first: bool,
+    vcs: VcMask,
+) -> Vec<RouteHop> {
     nodes_to_hops(topo, &dor_path(topo, src, dst, x_first), vcs)
 }
 
@@ -177,7 +179,13 @@ fn random_quadrant_node(topo: &Topology, src: NodeId, dst: NodeId, rng: &mut Std
 
 /// Two-phase route: XY to `mid` on the low VC half, then XY to `dst` on
 /// the high half. Empty phases collapse naturally.
-fn two_phase_hops(topo: &Topology, src: NodeId, mid: NodeId, dst: NodeId, vcs: u8) -> Vec<RouteHop> {
+fn two_phase_hops(
+    topo: &Topology,
+    src: NodeId,
+    mid: NodeId,
+    dst: NodeId,
+    vcs: u8,
+) -> Vec<RouteHop> {
     let mut hops = dor_hops(topo, src, mid, true, VcMask::low_half(vcs));
     hops.extend(dor_hops(topo, mid, dst, true, VcMask::high_half(vcs)));
     hops
@@ -227,19 +235,36 @@ mod tests {
     fn xy_and_yx_differ() {
         let topo = Topology::mesh2d(3, 3);
         let mut flows = FlowSet::new();
-        flows.push(topo.node_at(0, 0).unwrap(), topo.node_at(2, 2).unwrap(), 1.0);
+        flows.push(
+            topo.node_at(0, 0).unwrap(),
+            topo.node_at(2, 2).unwrap(),
+            1.0,
+        );
         let xy = Baseline::XY.select(&topo, &flows, 1).expect("xy");
         let yx = Baseline::YX.select(&topo, &flows, 1).expect("yx");
-        assert_ne!(xy.route(bsor_flow::FlowId(0)).hops, yx.route(bsor_flow::FlowId(0)).hops);
+        assert_ne!(
+            xy.route(bsor_flow::FlowId(0)).hops,
+            yx.route(bsor_flow::FlowId(0)).hops
+        );
     }
 
     #[test]
     fn romm_and_valiant_need_two_vcs() {
         let topo = Topology::mesh2d(3, 3);
         let flows = all_pairs_flows(&topo);
-        for algo in [Baseline::Romm { seed: 1 }, Baseline::Valiant { seed: 1 }, Baseline::O1Turn { seed: 1 }] {
+        for algo in [
+            Baseline::Romm { seed: 1 },
+            Baseline::Valiant { seed: 1 },
+            Baseline::O1Turn { seed: 1 },
+        ] {
             let err = algo.select(&topo, &flows, 1).unwrap_err();
-            assert!(matches!(err, SelectError::NeedsVirtualChannels { required: 2, available: 1 }));
+            assert!(matches!(
+                err,
+                SelectError::NeedsVirtualChannels {
+                    required: 2,
+                    available: 1
+                }
+            ));
         }
     }
 
@@ -247,12 +272,18 @@ mod tests {
     fn romm_stays_in_minimal_quadrant() {
         let topo = Topology::mesh2d(8, 8);
         let flows = all_pairs_flows(&topo);
-        let routes = Baseline::Romm { seed: 7 }.select(&topo, &flows, 2).expect("romm");
+        let routes = Baseline::Romm { seed: 7 }
+            .select(&topo, &flows, 2)
+            .expect("romm");
         routes.validate(&topo, &flows, 2).expect("valid");
         for r in routes.iter() {
             let f = flows.flow(r.flow);
             // Minimal-quadrant two-phase routes are themselves minimal.
-            assert_eq!(r.len(), topo.min_hops(f.src, f.dst), "ROMM is minimal routing");
+            assert_eq!(
+                r.len(),
+                topo.min_hops(f.src, f.dst),
+                "ROMM is minimal routing"
+            );
         }
         assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
     }
@@ -261,7 +292,9 @@ mod tests {
     fn valiant_can_be_nonminimal_but_is_deadlock_free() {
         let topo = Topology::mesh2d(6, 6);
         let flows = all_pairs_flows(&topo);
-        let routes = Baseline::Valiant { seed: 3 }.select(&topo, &flows, 2).expect("valiant");
+        let routes = Baseline::Valiant { seed: 3 }
+            .select(&topo, &flows, 2)
+            .expect("valiant");
         routes.validate(&topo, &flows, 2).expect("valid");
         assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
         let total_min: usize = flows.iter().map(|f| topo.min_hops(f.src, f.dst)).sum();
@@ -276,7 +309,9 @@ mod tests {
     fn o1turn_balances_and_is_deadlock_free() {
         let topo = Topology::mesh2d(6, 6);
         let flows = all_pairs_flows(&topo);
-        let routes = Baseline::O1Turn { seed: 5 }.select(&topo, &flows, 2).expect("o1turn");
+        let routes = Baseline::O1Turn { seed: 5 }
+            .select(&topo, &flows, 2)
+            .expect("o1turn");
         routes.validate(&topo, &flows, 2).expect("valid");
         assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
         // Both VC halves should be in use.
@@ -299,10 +334,16 @@ mod tests {
     fn baselines_are_reproducible() {
         let topo = Topology::mesh2d(5, 5);
         let flows = all_pairs_flows(&topo);
-        let a = Baseline::Valiant { seed: 11 }.select(&topo, &flows, 2).expect("a");
-        let b = Baseline::Valiant { seed: 11 }.select(&topo, &flows, 2).expect("b");
+        let a = Baseline::Valiant { seed: 11 }
+            .select(&topo, &flows, 2)
+            .expect("a");
+        let b = Baseline::Valiant { seed: 11 }
+            .select(&topo, &flows, 2)
+            .expect("b");
         assert_eq!(a, b);
-        let c = Baseline::Valiant { seed: 12 }.select(&topo, &flows, 2).expect("c");
+        let c = Baseline::Valiant { seed: 12 }
+            .select(&topo, &flows, 2)
+            .expect("c");
         assert_ne!(a, c, "different seeds should give different intermediates");
     }
 

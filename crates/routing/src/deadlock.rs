@@ -114,19 +114,31 @@ mod tests {
         let routes = RouteSet::from_routes(vec![
             Route {
                 flow: FlowId(0),
-                hops: vec![hop(&topo, n(0, 0), n(0, 1), m), hop(&topo, n(0, 1), n(1, 1), m)],
+                hops: vec![
+                    hop(&topo, n(0, 0), n(0, 1), m),
+                    hop(&topo, n(0, 1), n(1, 1), m),
+                ],
             },
             Route {
                 flow: FlowId(1),
-                hops: vec![hop(&topo, n(0, 1), n(1, 1), m), hop(&topo, n(1, 1), n(1, 0), m)],
+                hops: vec![
+                    hop(&topo, n(0, 1), n(1, 1), m),
+                    hop(&topo, n(1, 1), n(1, 0), m),
+                ],
             },
             Route {
                 flow: FlowId(2),
-                hops: vec![hop(&topo, n(1, 1), n(1, 0), m), hop(&topo, n(1, 0), n(0, 0), m)],
+                hops: vec![
+                    hop(&topo, n(1, 1), n(1, 0), m),
+                    hop(&topo, n(1, 0), n(0, 0), m),
+                ],
             },
             Route {
                 flow: FlowId(3),
-                hops: vec![hop(&topo, n(1, 0), n(0, 0), m), hop(&topo, n(0, 0), n(0, 1), m)],
+                hops: vec![
+                    hop(&topo, n(1, 0), n(0, 0), m),
+                    hop(&topo, n(0, 0), n(0, 1), m),
+                ],
             },
         ]);
         let analysis = analyze(&topo, &routes, 1);
@@ -149,19 +161,31 @@ mod tests {
         let routes = RouteSet::from_routes(vec![
             Route {
                 flow: FlowId(0),
-                hops: vec![hop(&topo, n(0, 0), n(0, 1), v0), hop(&topo, n(0, 1), n(1, 1), v0)],
+                hops: vec![
+                    hop(&topo, n(0, 0), n(0, 1), v0),
+                    hop(&topo, n(0, 1), n(1, 1), v0),
+                ],
             },
             Route {
                 flow: FlowId(1),
-                hops: vec![hop(&topo, n(0, 1), n(1, 1), v1), hop(&topo, n(1, 1), n(1, 0), v0)],
+                hops: vec![
+                    hop(&topo, n(0, 1), n(1, 1), v1),
+                    hop(&topo, n(1, 1), n(1, 0), v0),
+                ],
             },
             Route {
                 flow: FlowId(2),
-                hops: vec![hop(&topo, n(1, 1), n(1, 0), v1), hop(&topo, n(1, 0), n(0, 0), v0)],
+                hops: vec![
+                    hop(&topo, n(1, 1), n(1, 0), v1),
+                    hop(&topo, n(1, 0), n(0, 0), v0),
+                ],
             },
             Route {
                 flow: FlowId(3),
-                hops: vec![hop(&topo, n(1, 0), n(0, 0), v1), hop(&topo, n(0, 0), n(0, 1), v1)],
+                hops: vec![
+                    hop(&topo, n(1, 0), n(0, 0), v1),
+                    hop(&topo, n(0, 0), n(0, 1), v1),
+                ],
             },
         ]);
         assert!(is_deadlock_free(&topo, &routes, 2));

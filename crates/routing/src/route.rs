@@ -252,9 +252,7 @@ impl RouteSet {
     /// The maximum channel load (MCL) of this routing (paper
     /// Definition 3).
     pub fn mcl(&self, topo: &Topology, flows: &FlowSet) -> f64 {
-        self.link_loads(topo, flows)
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.link_loads(topo, flows).into_iter().fold(0.0, f64::max)
     }
 
     /// The maximum number of flows sharing any channel (the alternative
@@ -471,8 +469,14 @@ mod tests {
         let bad = Route {
             flow: id,
             hops: vec![
-                RouteHop { link: l01, vcs: VcMask::all(1) },
-                RouteHop { link: l01, vcs: VcMask::all(1) },
+                RouteHop {
+                    link: l01,
+                    vcs: VcMask::all(1),
+                },
+                RouteHop {
+                    link: l01,
+                    vcs: VcMask::all(1),
+                },
             ],
         };
         let rs = RouteSet::from_routes(vec![bad]);
@@ -490,7 +494,10 @@ mod tests {
         let l = topo.find_link(NodeId(0), NodeId(1)).expect("adjacent");
         let r = Route {
             flow: id,
-            hops: vec![RouteHop { link: l, vcs: VcMask::single(3) }],
+            hops: vec![RouteHop {
+                link: l,
+                vcs: VcMask::single(3),
+            }],
         };
         let rs = RouteSet::from_routes(vec![r]);
         assert!(matches!(
@@ -508,7 +515,10 @@ mod tests {
         let l12 = topo.find_link(NodeId(1), NodeId(2)).expect("adjacent");
         let r = Route {
             flow: id,
-            hops: vec![RouteHop { link: l12, vcs: VcMask::all(1) }],
+            hops: vec![RouteHop {
+                link: l12,
+                vcs: VcMask::all(1),
+            }],
         };
         let rs = RouteSet::from_routes(vec![r]);
         assert!(matches!(

@@ -47,7 +47,10 @@ impl fmt::Display for SelectError {
             SelectError::Unroutable { flow } => {
                 write!(f, "no route for flow {flow} conforms to the acyclic CDG")
             }
-            SelectError::NeedsVirtualChannels { required, available } => write!(
+            SelectError::NeedsVirtualChannels {
+                required,
+                available,
+            } => write!(
                 f,
                 "algorithm needs {required} virtual channels but only {available} are available"
             ),
@@ -79,7 +82,10 @@ mod tests {
     fn display_and_source() {
         let e = SelectError::Unroutable { flow: FlowId(3) };
         assert!(e.to_string().contains("f3"));
-        let e = SelectError::NeedsVirtualChannels { required: 2, available: 1 };
+        let e = SelectError::NeedsVirtualChannels {
+            required: 2,
+            available: 1,
+        };
         assert!(e.to_string().contains('2'));
         let e: SelectError = LpError::Infeasible.into();
         assert!(Error::source(&e).is_some());

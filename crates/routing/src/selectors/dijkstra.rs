@@ -195,7 +195,9 @@ fn route_one(
                 .partial_cmp(&sp.dist[b.index()])
                 .unwrap_or(std::cmp::Ordering::Equal)
         })?;
-    let edge_path = sp.path_to(graph, best_sink).expect("finite dist implies a path");
+    let edge_path = sp
+        .path_to(graph, best_sink)
+        .expect("finite dist implies a path");
     let mut vertices = Vec::with_capacity(edge_path.len() + 1);
     match edge_path.first() {
         Some(&e) => {
@@ -239,7 +241,9 @@ mod tests {
         let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
         let net = FlowNetwork::new(&topo, &acyclic);
         let flows = transpose_flows(&topo, 25.0);
-        let routes = DijkstraSelector::new().select(&net, &flows).expect("routable");
+        let routes = DijkstraSelector::new()
+            .select(&net, &flows)
+            .expect("routable");
         routes.validate(&topo, &flows, 2).expect("valid");
         assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
     }
@@ -261,11 +265,16 @@ mod tests {
         for model in TurnModel::valid_models(&topo).expect("mesh is a grid") {
             let acyclic = AcyclicCdg::turn_model(&topo, 2, &model).expect("valid");
             let net = FlowNetwork::new(&topo, &acyclic);
-            let routes = DijkstraSelector::new().select(&net, &flows).expect("routable");
+            let routes = DijkstraSelector::new()
+                .select(&net, &flows)
+                .expect("routable");
             routes.validate(&topo, &flows, 2).expect("valid");
             best = best.min(routes.mcl(&topo, &flows));
         }
-        assert_eq!(best, 75.0, "best turn-model CDG should reach the paper's 75 MB/s");
+        assert_eq!(
+            best, 75.0,
+            "best turn-model CDG should reach the paper's 75 MB/s"
+        );
     }
 
     #[test]
@@ -274,7 +283,9 @@ mod tests {
         let acyclic = AcyclicCdg::turn_model(&topo, 4, &TurnModel::north_last()).expect("valid");
         let net = FlowNetwork::new(&topo, &acyclic);
         let flows = transpose_flows(&topo, 10.0);
-        let routes = DijkstraSelector::new().select(&net, &flows).expect("routable");
+        let routes = DijkstraSelector::new()
+            .select(&net, &flows)
+            .expect("routable");
         for r in routes.iter() {
             for h in &r.hops {
                 assert_eq!(h.vcs.count(), 1, "static allocation pins one VC per hop");
@@ -311,11 +322,17 @@ mod tests {
         let net = FlowNetwork::new(&topo, &acyclic);
         let flows = transpose_flows(&topo, 100.0);
         let small_m = DijkstraSelector::new()
-            .with_weights(WeightParams { m_const: 10.0, vc_bias: 0.0 })
+            .with_weights(WeightParams {
+                m_const: 10.0,
+                vc_bias: 0.0,
+            })
             .select(&net, &flows)
             .expect("routable");
         let large_m = DijkstraSelector::new()
-            .with_weights(WeightParams { m_const: 1e7, vc_bias: 0.0 })
+            .with_weights(WeightParams {
+                m_const: 1e7,
+                vc_bias: 0.0,
+            })
             .select(&net, &flows)
             .expect("routable");
         assert!(
@@ -332,8 +349,14 @@ mod tests {
         let acyclic = AcyclicCdg::turn_model(&topo, 1, &TurnModel::west_first()).expect("valid");
         let net = FlowNetwork::new(&topo, &acyclic);
         let mut flows = FlowSet::new();
-        flows.push(topo.node_at(0, 0).unwrap(), topo.node_at(1, 0).unwrap(), 5.0);
-        let routes = DijkstraSelector::new().select(&net, &flows).expect("routable");
+        flows.push(
+            topo.node_at(0, 0).unwrap(),
+            topo.node_at(1, 0).unwrap(),
+            5.0,
+        );
+        let routes = DijkstraSelector::new()
+            .select(&net, &flows)
+            .expect("routable");
         assert_eq!(routes.route(bsor_flow::FlowId(0)).len(), 1);
     }
 }

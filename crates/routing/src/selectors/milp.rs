@@ -72,10 +72,14 @@ impl Default for MilpSelector {
     }
 }
 
+/// Candidate routes per flow: an outer entry per flow, holding that
+/// flow's candidate paths, each a sequence of CDG vertices.
+pub type CandidatePaths = Vec<Vec<Vec<GraphNode>>>;
+
 /// The per-flow candidate paths assembled for the MILP (first entry of
 /// each flow is its Dijkstra warm-start path).
 struct CandidatePool {
-    per_flow: Vec<Vec<Vec<GraphNode>>>,
+    per_flow: CandidatePaths,
     truncated: Vec<FlowId>,
 }
 
@@ -138,7 +142,7 @@ impl MilpSelector {
         &self,
         net: &FlowNetwork<'_>,
         flows: &FlowSet,
-    ) -> Result<(Vec<Vec<Vec<GraphNode>>>, Vec<FlowId>), SelectError> {
+    ) -> Result<(CandidatePaths, Vec<FlowId>), SelectError> {
         self.build_pool(net, flows)
             .map(|pool| (pool.per_flow, pool.truncated))
     }
@@ -154,7 +158,7 @@ impl MilpSelector {
         let warm_paths = DijkstraSelector::new()
             .with_refinement(1)
             .select_paths(net, flows)?;
-        let mut per_flow: Vec<Vec<Vec<GraphNode>>> = Vec::with_capacity(flows.len());
+        let mut per_flow: CandidatePaths = Vec::with_capacity(flows.len());
         let mut seen: Vec<HashSet<Vec<GraphNode>>> = Vec::with_capacity(flows.len());
         let mut truncated = Vec::new();
         let mut bounds = Vec::with_capacity(flows.len());
@@ -322,7 +326,10 @@ impl MilpSelector {
             row.push((u, -1.0));
             model.add_constraint(row, Cmp::Le, 0.0);
             if self.enforce_capacity {
-                let cap = net.topology().link(bsor_topology::LinkId(li as u32)).capacity;
+                let cap = net
+                    .topology()
+                    .link(bsor_topology::LinkId(li as u32))
+                    .capacity;
                 if cap.is_finite() {
                     // Capacity rows only make sense for the MCL objective
                     // where coefficients are demands.
@@ -424,14 +431,17 @@ mod tests {
         // The thesis observes MILP MCLs are always <= Dijkstra's for the
         // same CDG (§6.2).
         let topo = Topology::mesh2d(4, 4);
-        let acyclic = AcyclicCdg::turn_model(&topo, 1, &TurnModel::negative_first()).expect("valid");
+        let acyclic =
+            AcyclicCdg::turn_model(&topo, 1, &TurnModel::negative_first()).expect("valid");
         let net = FlowNetwork::new(&topo, &acyclic);
         let flows = transpose_flows(&topo, 25.0);
         let (milp_routes, _) = MilpSelector::new()
             .with_hop_slack(2)
             .select(&net, &flows)
             .expect("solvable");
-        let dijkstra_routes = DijkstraSelector::new().select(&net, &flows).expect("routable");
+        let dijkstra_routes = DijkstraSelector::new()
+            .select(&net, &flows)
+            .expect("routable");
         let milp_mcl = milp_routes.mcl(&topo, &flows);
         let dijkstra_mcl = dijkstra_routes.mcl(&topo, &flows);
         assert!(
@@ -465,7 +475,11 @@ mod tests {
             .expect("solvable");
         for r in routes.iter() {
             let f = flows.flow(r.flow);
-            assert_eq!(r.len(), topo.min_hops(f.src, f.dst), "slack 0 forces minimal");
+            assert_eq!(
+                r.len(),
+                topo.min_hops(f.src, f.dst),
+                "slack 0 forces minimal"
+            );
         }
     }
 
@@ -510,7 +524,11 @@ mod tests {
         let acyclic = AcyclicCdg::try_new(cdg, "empty", 0).expect("acyclic");
         let net = FlowNetwork::new(&topo, &acyclic);
         let mut flows = FlowSet::new();
-        let id = flows.push(topo.node_at(0, 0).unwrap(), topo.node_at(2, 2).unwrap(), 1.0);
+        let id = flows.push(
+            topo.node_at(0, 0).unwrap(),
+            topo.node_at(2, 2).unwrap(),
+            1.0,
+        );
         let err = MilpSelector::new().select(&net, &flows).unwrap_err();
         assert_eq!(err, SelectError::Unroutable { flow: id });
     }

@@ -163,10 +163,16 @@ impl fmt::Display for SimError {
                 write!(f, "route set covers {routes} flows but traffic has {flows}")
             }
             SimError::VcOutOfRange { vcs } => {
-                write!(f, "a route references a VC outside the configured {vcs} VCs")
+                write!(
+                    f,
+                    "a route references a VC outside the configured {vcs} VCs"
+                )
             }
             SimError::TrafficCountMismatch { flows, rates } => {
-                write!(f, "traffic spec covers {rates} flows but flow set has {flows}")
+                write!(
+                    f,
+                    "traffic spec covers {rates} flows but flow set has {flows}"
+                )
             }
             SimError::BadRate { flow, rate } => {
                 write!(f, "flow {flow} has invalid injection rate {rate}")
@@ -214,13 +220,21 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(!SimError::RouteCountMismatch { flows: 1, routes: 0 }
-            .to_string()
-            .is_empty());
+        assert!(!SimError::RouteCountMismatch {
+            flows: 1,
+            routes: 0
+        }
+        .to_string()
+        .is_empty());
         assert!(!SimError::VcOutOfRange { vcs: 2 }.to_string().is_empty());
         assert!(!SimError::TrafficCountMismatch { flows: 2, rates: 1 }
             .to_string()
             .is_empty());
-        assert!(!SimError::BadRate { flow: 0, rate: f64::NAN }.to_string().is_empty());
+        assert!(!SimError::BadRate {
+            flow: 0,
+            rate: f64::NAN
+        }
+        .to_string()
+        .is_empty());
     }
 }

@@ -268,9 +268,13 @@ impl<'a> Simulator<'a> {
         let mut progress = self.switch_and_traverse();
         progress |= self.inject();
         // This cycle's sends enter the pipeline; the oldest slot lands.
-        self.in_transit.push_back(std::mem::take(&mut self.pending_sends));
+        self.in_transit
+            .push_back(std::mem::take(&mut self.pending_sends));
         if self.in_transit.len() >= self.config.pipeline_latency as usize {
-            let arrivals = self.in_transit.pop_front().expect("nonempty by length check");
+            let arrivals = self
+                .in_transit
+                .pop_front()
+                .expect("nonempty by length check");
             for (link, vc, flit) in arrivals {
                 self.transit_counts[link.index()][vc as usize] -= 1;
                 self.link_bufs[link.index()][vc as usize]
@@ -465,7 +469,13 @@ impl<'a> Simulator<'a> {
                     if buf.flits.is_empty() {
                         continue;
                     }
-                    if matches!(buf.state, PortState::Active { out: OutKind::Eject, .. }) {
+                    if matches!(
+                        buf.state,
+                        PortState::Active {
+                            out: OutKind::Eject,
+                            ..
+                        }
+                    ) {
                         candidates.push((bi / vcs, r));
                     }
                 }
@@ -486,7 +496,9 @@ impl<'a> Simulator<'a> {
     fn move_flit(&mut self, r: BufferRef, out: LinkId) {
         let (out_vc, next_cursor) = match self.buffer(r).state {
             PortState::Active {
-                out_vc, next_cursor, ..
+                out_vc,
+                next_cursor,
+                ..
             } => (out_vc, next_cursor),
             _ => unreachable!("move_flit on non-active buffer"),
         };
@@ -685,7 +697,10 @@ mod tests {
             .expect("valid")
             .run();
         assert!(!heavy_report.deadlocked, "XY cannot deadlock");
-        assert!(heavy_report.throughput() > light_tp, "more load, more delivered");
+        assert!(
+            heavy_report.throughput() > light_tp,
+            "more load, more delivered"
+        );
         assert!(
             heavy_report.throughput() < heavy_report.offered() * 0.9,
             "saturated network cannot deliver everything offered"
@@ -766,7 +781,9 @@ mod tests {
         let (topo, flows) = mesh_and_flows();
         let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
         let net = FlowNetwork::new(&topo, &acyclic);
-        let routes = DijkstraSelector::new().select(&net, &flows).expect("routable");
+        let routes = DijkstraSelector::new()
+            .select(&net, &flows)
+            .expect("routable");
         let traffic = TrafficSpec::proportional(&flows, 0.1);
         let mut sim =
             Simulator::new(&topo, &flows, &routes, traffic, quick_config()).expect("valid");
@@ -778,7 +795,9 @@ mod tests {
     #[test]
     fn vc_count_must_cover_routes() {
         let (topo, flows) = mesh_and_flows();
-        let routes = Baseline::Romm { seed: 1 }.select(&topo, &flows, 4).expect("romm");
+        let routes = Baseline::Romm { seed: 1 }
+            .select(&topo, &flows, 4)
+            .expect("romm");
         let traffic = TrafficSpec::proportional(&flows, 0.1);
         let err = Simulator::new(&topo, &flows, &routes, traffic, SimConfig::new(2))
             .err()

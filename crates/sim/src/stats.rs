@@ -84,7 +84,11 @@ impl SimReport {
 
     /// Worst packet latency across flows.
     pub fn max_latency(&self) -> u64 {
-        self.per_flow.iter().map(|f| f.latency_max).max().unwrap_or(0)
+        self.per_flow
+            .iter()
+            .map(|f| f.latency_max)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The busiest channel's flit count.

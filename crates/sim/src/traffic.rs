@@ -24,7 +24,10 @@ impl MarkovVariation {
     ///
     /// Panics unless `0 < fraction < 1` and `mean_dwell >= 1`.
     pub fn new(fraction: f64, mean_dwell: f64) -> MarkovVariation {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0, 1)"
+        );
         assert!(mean_dwell >= 1.0, "dwell time must be at least a cycle");
         MarkovVariation {
             fraction,
@@ -193,7 +196,10 @@ mod tests {
             }
             last = m;
         }
-        assert!(changes < 400, "multiplier changed {changes} times in 10k cycles");
+        assert!(
+            changes < 400,
+            "multiplier changed {changes} times in 10k cycles"
+        );
     }
 
     #[test]

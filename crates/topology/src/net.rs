@@ -138,8 +138,14 @@ impl Topology {
     /// Panics if `width` or `height` is zero or the mesh has fewer than 2
     /// nodes.
     pub fn mesh2d(width: u16, height: u16) -> Self {
-        assert!(width >= 1 && height >= 1, "mesh dimensions must be positive");
-        assert!(width as usize * height as usize >= 2, "mesh needs at least 2 nodes");
+        assert!(
+            width >= 1 && height >= 1,
+            "mesh dimensions must be positive"
+        );
+        assert!(
+            width as usize * height as usize >= 2,
+            "mesh needs at least 2 nodes"
+        );
         let coords = (0..height)
             .flat_map(|y| (0..width).map(move |x| Coord::new(x, y)))
             .collect();

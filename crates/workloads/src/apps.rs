@@ -54,10 +54,7 @@ pub fn spread_placement(topo: &Topology, count: usize) -> Result<Vec<NodeId>, Wo
 
 /// Places modules at explicit grid coordinates when they fit, falling
 /// back to [`spread_placement`] on smaller meshes.
-fn cluster_placement(
-    topo: &Topology,
-    coords: &[(u16, u16)],
-) -> Result<Vec<NodeId>, WorkloadError> {
+fn cluster_placement(topo: &Topology, coords: &[(u16, u16)]) -> Result<Vec<NodeId>, WorkloadError> {
     let placed: Option<Vec<NodeId>> = coords.iter().map(|&(x, y)| topo.node_at(x, y)).collect();
     match placed {
         Some(nodes) => Ok(nodes),
@@ -292,7 +289,10 @@ mod tests {
         let topo = Topology::mesh2d(2, 2);
         assert_eq!(
             h264_decoder(&topo).unwrap_err(),
-            WorkloadError::TooSmall { required: 9, available: 4 }
+            WorkloadError::TooSmall {
+                required: 9,
+                available: 4
+            }
         );
     }
 

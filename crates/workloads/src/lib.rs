@@ -88,7 +88,10 @@ impl fmt::Display for WorkloadError {
             WorkloadError::NotPowerOfTwo => {
                 write!(f, "synthetic patterns require a power-of-two node count")
             }
-            WorkloadError::TooSmall { required, available } => write!(
+            WorkloadError::TooSmall {
+                required,
+                available,
+            } => write!(
                 f,
                 "application needs {required} module nodes but the topology has {available}"
             ),
@@ -147,8 +150,11 @@ mod tests {
     fn error_display() {
         assert!(!WorkloadError::NotSquare.to_string().is_empty());
         assert!(!WorkloadError::NotPowerOfTwo.to_string().is_empty());
-        assert!(!WorkloadError::TooSmall { required: 9, available: 4 }
-            .to_string()
-            .is_empty());
+        assert!(!WorkloadError::TooSmall {
+            required: 9,
+            available: 4
+        }
+        .to_string()
+        .is_empty());
     }
 }

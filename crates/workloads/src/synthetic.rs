@@ -109,7 +109,11 @@ mod tests {
         for f in w.flows.iter() {
             let s = topo.coord(f.src);
             let d = topo.coord(f.dst);
-            assert_eq!((d.x, d.y), (7 - s.x, 7 - s.y), "complement mirrors both axes");
+            assert_eq!(
+                (d.x, d.y),
+                (7 - s.x, 7 - s.y),
+                "complement mirrors both axes"
+            );
         }
     }
 

@@ -33,10 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let run = |routes| -> Result<_, Box<dyn std::error::Error>> {
             let traffic = TrafficSpec::proportional(&workload.flows, 2.0)
                 .with_variation(MarkovVariation::new(fraction, 200.0));
-            let config = SimConfig::new(2).with_warmup(2_000).with_measurement(10_000);
-            let report =
-                Simulator::new(&mesh, &workload.flows, routes, traffic, config)?.run();
-            Ok((report.throughput(), report.mean_latency().unwrap_or(f64::NAN)))
+            let config = SimConfig::new(2)
+                .with_warmup(2_000)
+                .with_measurement(10_000);
+            let report = Simulator::new(&mesh, &workload.flows, routes, traffic, config)?.run();
+            Ok((
+                report.throughput(),
+                report.mean_latency().unwrap_or(f64::NAN),
+            ))
         };
         let (t_xy, l_xy) = run(&xy)?;
         let (t_bsor, l_bsor) = run(&bsor.routes)?;

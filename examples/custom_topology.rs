@@ -9,8 +9,8 @@
 
 use bsor_cdg::AcyclicCdg;
 use bsor_flow::{FlowNetwork, FlowSet};
-use bsor_routing::selectors::DijkstraSelector;
 use bsor_routing::deadlock;
+use bsor_routing::selectors::DijkstraSelector;
 use bsor_topology::{NodeId, Topology};
 
 fn route_on(topo: &Topology, name: &str, flows: &FlowSet, vcs: u8) {

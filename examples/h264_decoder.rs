@@ -70,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Head-to-head simulation near the XY saturation point.
     let xy = Baseline::XY.select(&mesh, &workload.flows, 2)?;
-    let config = || SimConfig::new(2).with_warmup(2_000).with_measurement(10_000);
+    let config = || {
+        SimConfig::new(2)
+            .with_warmup(2_000)
+            .with_measurement(10_000)
+    };
     println!("\nsimulated throughput (packets/cycle) at rising offered load:");
     println!("{:>8} {:>10} {:>10}", "offered", "XY", "BSOR");
     for rate in [0.5, 1.0, 2.0, 3.0] {

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run()?;
     let xy = Baseline::XY.select(&mesh, &workload.flows, 2)?;
 
-    println!("\n{:>14} {:>9} {:>10} {:>10} {:>12}", "algorithm", "MCL", "mean load", "links", "peak/mean");
+    println!(
+        "\n{:>14} {:>9} {:>10} {:>10} {:>12}",
+        "algorithm", "MCL", "mean load", "links", "peak/mean"
+    );
     for (name, routes) in [("XY", &xy), ("BSOR-MILP", &bsor.routes)] {
         let b = routes.balance(&mesh, &workload.flows);
         println!(

@@ -54,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. Simulate at a moderate load.
     let traffic = TrafficSpec::proportional(&workload.flows, 1.0);
-    let config = SimConfig::new(2).with_warmup(2_000).with_measurement(10_000);
+    let config = SimConfig::new(2)
+        .with_warmup(2_000)
+        .with_measurement(10_000);
     let report = Simulator::new(&mesh, &workload.flows, &result.routes, traffic, config)?.run();
     println!(
         "simulated: {:.3} packets/cycle delivered, mean latency {:.1} cycles",

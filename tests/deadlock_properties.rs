@@ -15,11 +15,7 @@ fn arbitrary_flows(nodes: usize, max_flows: usize) -> impl Strategy<Value = Vec<
         (0..nodes as u32, 0..nodes as u32, 1.0..100.0f64),
         1..max_flows,
     )
-    .prop_map(|v| {
-        v.into_iter()
-            .filter(|(s, d, _)| s != d)
-            .collect::<Vec<_>>()
-    })
+    .prop_map(|v| v.into_iter().filter(|(s, d, _)| s != d).collect::<Vec<_>>())
     .prop_filter("at least one flow", |v| !v.is_empty())
 }
 

@@ -3,12 +3,12 @@
 //! and that the computed routes drive the simulator correctly.
 
 use bsor::{BsorBuilder, SelectorKind};
+use bsor_lp::MilpOptions;
 use bsor_repro::routing::selectors::{DijkstraSelector, MilpSelector};
 use bsor_repro::routing::{deadlock, Baseline};
 use bsor_repro::sim::{SimConfig, Simulator, TrafficSpec};
 use bsor_repro::topology::Topology;
 use bsor_repro::workloads::{bit_complement, shuffle, transpose, wifi_transmitter};
-use bsor_lp::MilpOptions;
 use std::time::Duration;
 
 #[test]
@@ -20,7 +20,10 @@ fn transpose_table_6_3_shape() {
     let yx = Baseline::YX.select(&topo, &w.flows, 2).expect("yx");
     assert_eq!(xy.mcl(&topo, &w.flows), 175.0);
     assert_eq!(yx.mcl(&topo, &w.flows), 175.0);
-    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    let bsor = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .run()
+        .expect("routable");
     assert_eq!(bsor.mcl, 75.0, "the paper's BSOR transpose MCL");
     assert!(deadlock::is_deadlock_free(&topo, &bsor.routes, 2));
 }
@@ -32,7 +35,10 @@ fn bit_complement_matches_dor() {
     let w = bit_complement(&topo).expect("square");
     let xy = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
     assert_eq!(xy.mcl(&topo, &w.flows), 100.0);
-    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    let bsor = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .run()
+        .expect("routable");
     assert_eq!(bsor.mcl, 100.0, "BSOR cannot beat the bit-complement bound");
 }
 
@@ -43,8 +49,15 @@ fn shuffle_beats_dor() {
     let w = shuffle(&topo).expect("square");
     let xy = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
     assert_eq!(xy.mcl(&topo, &w.flows), 100.0);
-    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
-    assert!(bsor.mcl <= 75.0 + 1e-9, "BSOR shuffle MCL {} > 75", bsor.mcl);
+    let bsor = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .run()
+        .expect("routable");
+    assert!(
+        bsor.mcl <= 75.0 + 1e-9,
+        "BSOR shuffle MCL {} > 75",
+        bsor.mcl
+    );
 }
 
 #[test]
@@ -103,7 +116,10 @@ fn milp_never_loses_to_dijkstra() {
 fn bsor_routes_simulate_deadlock_free_at_high_load() {
     let topo = Topology::mesh2d(8, 8);
     let w = transpose(&topo).expect("square");
-    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    let bsor = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .run()
+        .expect("routable");
     let traffic = TrafficSpec::proportional(&w.flows, 4.0); // well past saturation
     let config = SimConfig::new(2).with_warmup(1_000).with_measurement(6_000);
     let report = Simulator::new(&topo, &w.flows, &bsor.routes, traffic, config)
@@ -120,10 +136,15 @@ fn bsor_outperforms_xy_in_simulation_on_transpose() {
     let topo = Topology::mesh2d(8, 8);
     let w = transpose(&topo).expect("square");
     let xy = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
-    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    let bsor = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .run()
+        .expect("routable");
     let run = |routes| {
         let traffic = TrafficSpec::proportional(&w.flows, 2.5);
-        let config = SimConfig::new(2).with_warmup(2_000).with_measurement(12_000);
+        let config = SimConfig::new(2)
+            .with_warmup(2_000)
+            .with_measurement(12_000);
         Simulator::new(&topo, &w.flows, routes, traffic, config)
             .expect("consistent")
             .run()

@@ -13,12 +13,21 @@ use bsor_repro::workloads::{h264_decoder, performance_modeling, transpose};
 fn node_tables_reproduce_bsor_routes() {
     let topo = Topology::mesh2d(8, 8);
     let w = transpose(&topo).expect("square");
-    let result = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    let result = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .run()
+        .expect("routable");
     let tables = NodeTables::build(&topo, &result.routes);
     let source = SourceRouteTable::build(&result.routes);
     for f in w.flows.iter() {
         let walked = tables.walk(&topo, f.id, f.src);
-        let expected: Vec<_> = result.routes.route(f.id).hops.iter().map(|h| h.link).collect();
+        let expected: Vec<_> = result
+            .routes
+            .route(f.id)
+            .hops
+            .iter()
+            .map(|h| h.link)
+            .collect();
         assert_eq!(walked, expected, "node tables must reproduce flow {}", f.id);
         assert_eq!(source.route_flits(f.id), expected.as_slice());
     }
@@ -76,7 +85,10 @@ fn h264_sim_latency_orders_algorithms_sanely() {
     let topo = Topology::mesh2d(8, 8);
     let w = h264_decoder(&topo).expect("fits");
     let xy = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
-    let bsor = BsorBuilder::new(&topo, &w.flows).vcs(2).run().expect("routable");
+    let bsor = BsorBuilder::new(&topo, &w.flows)
+        .vcs(2)
+        .run()
+        .expect("routable");
     let run = |routes| {
         let traffic = TrafficSpec::proportional(&w.flows, 0.2);
         let config = SimConfig::new(2).with_warmup(1_000).with_measurement(8_000);
@@ -88,7 +100,10 @@ fn h264_sim_latency_orders_algorithms_sanely() {
     let r_bsor = run(&bsor.routes);
     let l_xy = r_xy.mean_latency().expect("delivered");
     let l_bsor = r_bsor.mean_latency().expect("delivered");
-    assert!(l_bsor < l_xy * 2.0, "BSOR latency {l_bsor:.1} vs XY {l_xy:.1}");
+    assert!(
+        l_bsor < l_xy * 2.0,
+        "BSOR latency {l_bsor:.1} vs XY {l_xy:.1}"
+    );
     assert!(l_xy < 200.0, "light-load latency should be modest");
 }
 
