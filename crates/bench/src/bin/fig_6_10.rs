@@ -4,10 +4,10 @@
 //! injection rates wander via the two-stage Markov-modulated process.
 //!
 //! ```text
-//! cargo run -p bsor-bench --release --bin fig_6_10 [--paper] [--csv]
+//! cargo run -p bsor-bench --release --bin fig_6_10 [--quick] [--paper] [--csv]
 //! ```
 
-use bsor_bench::{paper_mode, print_figure, standard_mesh, standard_rates, SweepConfig};
+use bsor_bench::{figure_rates, figure_sweep, print_figure, standard_mesh};
 use bsor_sim::MarkovVariation;
 use bsor_workloads::{h264_decoder, transpose};
 
@@ -18,12 +18,7 @@ fn main() {
         transpose(&topo).expect("square"),
         h264_decoder(&topo).expect("fits"),
     ] {
-        let cfg = if paper_mode() {
-            SweepConfig::paper(2)
-        } else {
-            SweepConfig::quick(2)
-        }
-        .with_variation(variation);
+        let cfg = figure_sweep(2).with_variation(variation);
         print_figure(
             &format!(
                 "Figure 6-10: {} with 50% bandwidth variation",
@@ -32,7 +27,7 @@ fn main() {
             &topo,
             &workload,
             &cfg,
-            &standard_rates(),
+            &figure_rates(),
         );
     }
 }

@@ -4,25 +4,21 @@
 //! 2 VCs).
 //!
 //! ```text
-//! cargo run -p bsor-bench --release --bin fig_6_3 [--paper] [--csv]
+//! cargo run -p bsor-bench --release --bin fig_6_3 [--quick] [--paper] [--csv]
 //! ```
 
-use bsor_bench::{paper_mode, print_figure, standard_mesh, standard_rates, SweepConfig};
+use bsor_bench::{figure_rates, figure_sweep, print_figure, standard_mesh};
 use bsor_workloads::shuffle;
 
 fn main() {
     let topo = standard_mesh();
     let workload = shuffle(&topo).expect("8x8 supports the workload");
-    let cfg = if paper_mode() {
-        SweepConfig::paper(2)
-    } else {
-        SweepConfig::quick(2)
-    };
+    let cfg = figure_sweep(2);
     print_figure(
         "Figure 6-3: Shuffle — throughput & latency vs offered rate",
         &topo,
         &workload,
         &cfg,
-        &standard_rates(),
+        &figure_rates(),
     );
 }

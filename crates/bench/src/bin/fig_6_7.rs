@@ -5,18 +5,18 @@
 //! Valiant would deadlock), exactly as in §6.2.7.
 //!
 //! ```text
-//! cargo run -p bsor-bench --release --bin fig_6_7 [--paper] [--csv]
+//! cargo run -p bsor-bench --release --bin fig_6_7 [--quick] [--paper] [--csv]
 //! ```
 
 use bsor::{BsorBuilder, SelectorKind};
-use bsor_bench::{csv_mode, load_sweep, paper_mode, standard_mesh, standard_rates, SweepConfig};
+use bsor_bench::{csv_mode, figure_rates, figure_sweep, load_sweep, standard_mesh};
 use bsor_routing::selectors::DijkstraSelector;
 use bsor_routing::Baseline;
 use bsor_workloads::{h264_decoder, transpose};
 
 fn main() {
     let topo = standard_mesh();
-    let rates = standard_rates();
+    let rates = figure_rates();
     let csv = csv_mode();
     if csv {
         println!("workload,vcs,algorithm,offered,throughput,latency");
@@ -26,11 +26,7 @@ fn main() {
         h264_decoder(&topo).expect("fits"),
     ] {
         for vcs in [1u8, 2, 4, 8] {
-            let cfg = if paper_mode() {
-                SweepConfig::paper(vcs)
-            } else {
-                SweepConfig::quick(vcs)
-            };
+            let cfg = figure_sweep(vcs);
             if !csv {
                 println!("Figure 6-7: {} with {vcs} VC(s)", workload.name);
             }

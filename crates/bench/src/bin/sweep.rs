@@ -1,0 +1,211 @@
+//! `bsor-sweep` — expand a declarative scenario grid (mesh × workload ×
+//! routing algorithm × VC count × injection rate), fan the cases out
+//! across `std::thread::scope` workers, and write deterministic,
+//! schema-stable JSON (`BENCH_sweep.json`) with per-scenario
+//! latency/throughput/deadlock stats plus wall-clock timings.
+//!
+//! ```text
+//! cargo run -p bsor_bench --release --bin bsor-sweep -- [options]
+//!
+//!   --quick                 reduced CI smoke grid (2 workloads, 3 algos, 3 rates)
+//!   --mesh WxH[,WxH...]     mesh sizes                     (default 8x8)
+//!   --workloads a,b|all     workload names                 (default all six)
+//!   --algos a,b|all         algorithm names                (default xy,yx,romm,valiant,bsor-dijkstra)
+//!   --vcs 1,2,4             VC counts                      (default 2)
+//!   --rates r1,r2,...       offered rates, packets/cycle   (default the figure grid)
+//!   --warmup N              warmup cycles                  (default 2000)
+//!   --measurement N         measured cycles                (default 10000)
+//!   --packet-len N          flits per packet               (default 8)
+//!   --seed N                injection RNG seed             (default 46347)
+//!   --threads N             worker threads                 (default: available cores)
+//!   --out PATH              output path                    (default BENCH_sweep.json)
+//!   --no-timings            zero wall-clock fields (byte-identical reruns)
+//!   --list                  print the expanded grid and exit
+//! ```
+//!
+//! Workloads: transpose, bit-complement, shuffle, h264, perf-model, wifi.
+//! Algorithms: xy, yx, romm, valiant, o1turn, bsor-dijkstra, bsor-milp.
+//!
+//! Exit codes: 0 on success, 1 on bad arguments or write failure, 2
+//! when the sweep completed but one or more cases failed (the failures
+//! are recorded in the JSON's per-case `error` fields).
+
+use bsor_bench::sweep::{expand, run_grid, sweep_json, GridSpec, ALGORITHM_NAMES, WORKLOAD_NAMES};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn parse_list<T, F: Fn(&str) -> Result<T, String>>(raw: &str, f: F) -> Result<Vec<T>, String> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| f(s.trim()))
+        .collect()
+}
+
+fn parse_mesh(s: &str) -> Result<(u16, u16), String> {
+    let (w, h) = s
+        .split_once('x')
+        .ok_or_else(|| format!("mesh '{s}' is not WxH"))?;
+    let w = w.parse().map_err(|_| format!("bad mesh width '{w}'"))?;
+    let h = h.parse().map_err(|_| format!("bad mesh height '{h}'"))?;
+    if w == 0 || h == 0 {
+        return Err(format!("mesh '{s}' has a zero dimension"));
+    }
+    Ok((w, h))
+}
+
+fn usage() {
+    // The doc comment at the top of this file is the single source of
+    // truth; print a compact version.
+    println!("bsor-sweep: parallel scenario-grid runner writing BENCH_sweep.json");
+    println!();
+    println!("options: --quick --mesh WxH,.. --workloads a,b|all --algos a,b|all");
+    println!("         --vcs n,.. --rates r,.. --warmup N --measurement N");
+    println!("         --packet-len N --seed N --threads N --out PATH");
+    println!("         --no-timings --list --help");
+    println!("workloads: {}", WORKLOAD_NAMES.join(", "));
+    println!("algorithms: {}", ALGORITHM_NAMES.join(", "));
+}
+
+fn parse_args(args: &[String]) -> Result<(GridSpec, Option<usize>, String, bool), String> {
+    // `--quick` selects the base grid and is order-independent: flags
+    // before or after it override the smoke defaults either way.
+    let mut spec = if args.iter().any(|a| a == "--quick") {
+        GridSpec::smoke()
+    } else {
+        GridSpec::standard()
+    };
+    let mut threads: Option<usize> = None;
+    let mut out = "BENCH_sweep.json".to_string();
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => {}
+            "--mesh" => spec.meshes = parse_list(&value("--mesh")?, parse_mesh)?,
+            "--workloads" => {
+                let raw = value("--workloads")?;
+                spec.workloads = if raw == "all" {
+                    WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect()
+                } else {
+                    parse_list(&raw, |s| Ok(s.to_string()))?
+                };
+            }
+            "--algos" => {
+                let raw = value("--algos")?;
+                spec.algorithms = if raw == "all" {
+                    ALGORITHM_NAMES.iter().map(|s| s.to_string()).collect()
+                } else {
+                    parse_list(&raw, |s| Ok(s.to_string()))?
+                };
+            }
+            "--vcs" => {
+                spec.vcs = parse_list(&value("--vcs")?, |s| {
+                    s.parse::<u8>().map_err(|_| format!("bad vc count '{s}'"))
+                })?;
+            }
+            "--rates" => {
+                spec.rates = parse_list(&value("--rates")?, |s| {
+                    s.parse::<f64>().map_err(|_| format!("bad rate '{s}'"))
+                })?;
+            }
+            "--warmup" => {
+                spec.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|_| "bad --warmup".to_string())?;
+            }
+            "--measurement" => {
+                spec.measurement = value("--measurement")?
+                    .parse()
+                    .map_err(|_| "bad --measurement".to_string())?;
+            }
+            "--packet-len" => {
+                spec.packet_len = value("--packet-len")?
+                    .parse()
+                    .map_err(|_| "bad --packet-len".to_string())?;
+            }
+            "--seed" => {
+                spec.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?;
+            }
+            "--threads" => {
+                threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "bad --threads".to_string())?,
+                );
+            }
+            "--out" => out = value("--out")?,
+            "--no-timings" => spec.record_timings = false,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    Ok((spec, threads, out, list))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (spec, threads, out, list) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("bsor-sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if list {
+        for c in expand(&spec) {
+            println!(
+                "{}x{} {} {} vcs={} rates={:?}",
+                c.mesh.0, c.mesh.1, c.workload, c.algorithm, c.vcs, spec.rates
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    eprintln!(
+        "bsor-sweep: {} cases x {} rates = {} runs on {} threads",
+        spec.num_cases(),
+        spec.rates.len(),
+        spec.num_runs(),
+        threads
+    );
+    let started = Instant::now();
+    let results = run_grid(&spec, threads);
+    let total_wall_ms = if spec.record_timings {
+        started.elapsed().as_secs_f64() * 1e3
+    } else {
+        0.0
+    };
+    let doc = sweep_json(&spec, &results, threads, total_wall_ms);
+    if let Err(e) = std::fs::write(&out, doc.pretty()) {
+        eprintln!("bsor-sweep: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let failed = results.iter().filter(|r| r.error.is_some()).count();
+    eprintln!(
+        "bsor-sweep: wrote {out} ({} cases, {failed} failed) in {:.1}s",
+        results.len(),
+        started.elapsed().as_secs_f64()
+    );
+    // A failed case (unroutable combination, unknown name) is recorded
+    // in the JSON *and* reflected in the exit code, so CI catches
+    // route-selection regressions without parsing the output.
+    if failed > 0 {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

@@ -5,7 +5,7 @@
 //! (paper-oriented turn models plus two ad-hoc derivations).
 //!
 //! ```text
-//! cargo run -p bsor-bench --release --bin table_6_1 [--csv]
+//! cargo run -p bsor-bench --release --bin table_6_1 [--quick] [--csv]
 //! ```
 
 use bsor::SelectorKind;

@@ -3,7 +3,7 @@
 //! BSOR_Dijkstra."
 //!
 //! ```text
-//! cargo run -p bsor-bench --release --bin table_6_2 [--csv]
+//! cargo run -p bsor-bench --release --bin table_6_2 [--quick] [--csv]
 //! ```
 
 use bsor::SelectorKind;

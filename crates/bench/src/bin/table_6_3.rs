@@ -5,7 +5,7 @@
 //! extension.
 //!
 //! ```text
-//! cargo run -p bsor-bench --release --bin table_6_3 [--csv]
+//! cargo run -p bsor-bench --release --bin table_6_3 [--quick] [--csv]
 //! ```
 
 use bsor_bench::{algorithm_routes, csv_mode, fmt_row, standard_mesh};

@@ -1,0 +1,229 @@
+//! A minimal, dependency-free JSON writer with deterministic output.
+//!
+//! `BENCH_sweep.json` must be byte-identical across runs at a fixed seed
+//! so CI can diff two sweeps to detect nondeterminism. serde is not
+//! available (crates.io is unreachable from the build environment), and
+//! a hand-rolled emitter is easy to keep deterministic: object keys stay
+//! in insertion order, floats print through Rust's shortest-round-trip
+//! `Display`, and there is no reflection or hashing anywhere.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree. Build with the `From` impls and
+/// [`Json::object`]/[`Json::array`], serialize with [`Json::pretty`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integers (kept separate from floats so counts never print
+    /// as `1.0`).
+    Int(i64),
+    /// Unsigned integers (JSON numbers are arbitrary precision, so the
+    /// full `u64` range round-trips — seeds use all 64 bits).
+    UInt(u64),
+    /// Finite floats; NaN/infinity serialize as `null` per JSON rules.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list.
+    Array(Vec<Json>),
+    /// Key/value pairs, serialized in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map(Into::into).unwrap_or(Json::Null)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, keeping their order.
+    pub fn object(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// An array value.
+    pub fn array(items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                write!(out, "{i}").expect("string write");
+            }
+            Json::UInt(u) => {
+                write!(out, "{u}").expect("string write");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Shortest round-trip representation; force a ".0"
+                    // so floats stay floats for downstream readers.
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        write!(out, "{f:.1}").expect("string write");
+                    } else {
+                        write!(out, "{f}").expect("string write");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.pretty(), "null\n");
+        assert_eq!(Json::from(true).pretty(), "true\n");
+        assert_eq!(Json::from(42u64).pretty(), "42\n");
+        assert_eq!(Json::from(u64::MAX).pretty(), "18446744073709551615\n");
+        assert_eq!(Json::from(0.5).pretty(), "0.5\n");
+        assert_eq!(Json::from(3.0).pretty(), "3.0\n");
+        assert_eq!(Json::from(f64::NAN).pretty(), "null\n");
+        assert_eq!(Json::from("a\"b").pretty(), "\"a\\\"b\"\n");
+        assert_eq!(Json::from(None::<f64>).pretty(), "null\n");
+    }
+
+    #[test]
+    fn structure_and_key_order_are_stable() {
+        let doc = Json::object(vec![
+            ("b", Json::from(1u64)),
+            ("a", Json::array(vec![Json::Null, Json::from("x")])),
+            ("empty", Json::object(vec![])),
+        ]);
+        let expected =
+            "{\n  \"b\": 1,\n  \"a\": [\n    null,\n    \"x\"\n  ],\n  \"empty\": {}\n}\n";
+        assert_eq!(doc.pretty(), expected);
+        // Byte-identical on re-serialization.
+        assert_eq!(doc.pretty(), doc.pretty());
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!(Json::from("\u{1}").pretty(), "\"\\u0001\"\n");
+        assert_eq!(Json::from("a\tb\nc").pretty(), "\"a\\tb\\nc\"\n");
+    }
+}

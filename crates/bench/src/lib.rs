@@ -23,6 +23,9 @@
 //! north-is-+y convention. The table binaries use the paper-oriented
 //! variants so the columns line up with the thesis tables.
 
+pub mod json;
+pub mod sweep;
+
 use bsor::{BsorBuilder, CdgStrategy, SelectorKind};
 use bsor_cdg::TurnModel;
 use bsor_flow::FlowSet;
@@ -62,22 +65,33 @@ pub fn table_cdgs() -> Vec<(String, CdgStrategy)> {
 
 /// MILP selector configuration used by the table/figure binaries:
 /// bounded so a full table regenerates in minutes, as the thesis's
-/// "ILP as heuristic" mode suggests for larger problems.
+/// "ILP as heuristic" mode suggests for larger problems. Under
+/// `--quick` the budget shrinks further so CI can exercise the MILP
+/// tables in seconds.
 pub fn table_milp() -> MilpSelector {
+    let (max_paths, max_nodes, limit) = match run_mode() {
+        RunMode::Quick => (6, 2, Duration::from_millis(200)),
+        _ => (40, 20, Duration::from_secs(5)),
+    };
     MilpSelector::new()
         .with_hop_slack(2)
-        .with_max_paths(40)
+        .with_max_paths(max_paths)
         .with_options(MilpOptions {
-            max_nodes: 20,
-            time_limit: Some(Duration::from_secs(5)),
+            max_nodes,
+            time_limit: Some(limit),
             ..MilpOptions::default()
         })
 }
 
 /// Dijkstra selector configuration for the tables: two rip-up/reroute
-/// refinement passes on top of the paper's sequential heuristic.
+/// refinement passes on top of the paper's sequential heuristic (none
+/// under `--quick`).
 pub fn table_dijkstra() -> DijkstraSelector {
-    DijkstraSelector::new().with_refinement(2)
+    let refinement = match run_mode() {
+        RunMode::Quick => 0,
+        _ => 2,
+    };
+    DijkstraSelector::new().with_refinement(refinement)
 }
 
 /// Runs one selector over one CDG strategy, returning the MCL (`Err`
@@ -170,6 +184,17 @@ impl SweepConfig {
         }
     }
 
+    /// CI smoke settings (200 + 1k cycles): enough to exercise every
+    /// code path of a figure without meaningful wall-clock cost.
+    pub fn ci(vcs: u8) -> SweepConfig {
+        SweepConfig {
+            warmup: 200,
+            measurement: 1_000,
+            vcs,
+            variation: None,
+        }
+    }
+
     /// The paper's full-length settings (20k + 100k cycles).
     pub fn paper(vcs: u8) -> SweepConfig {
         SweepConfig {
@@ -184,6 +209,47 @@ impl SweepConfig {
     pub fn with_variation(mut self, variation: MarkovVariation) -> SweepConfig {
         self.variation = Some(variation);
         self
+    }
+}
+
+/// Simulation length a figure binary was asked for on its command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunMode {
+    /// `--quick`: CI smoke lengths and a reduced rate grid.
+    Quick,
+    /// No flag: the fast-but-meaningful default.
+    Default,
+    /// `--paper`: the paper's full 20k + 100k windows.
+    Paper,
+}
+
+/// Reads the run mode from the CLI (`--quick` wins over `--paper`).
+pub fn run_mode() -> RunMode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        RunMode::Quick
+    } else if args.iter().any(|a| a == "--paper") {
+        RunMode::Paper
+    } else {
+        RunMode::Default
+    }
+}
+
+/// The sweep settings for the current [`run_mode`].
+pub fn figure_sweep(vcs: u8) -> SweepConfig {
+    match run_mode() {
+        RunMode::Quick => SweepConfig::ci(vcs),
+        RunMode::Default => SweepConfig::quick(vcs),
+        RunMode::Paper => SweepConfig::paper(vcs),
+    }
+}
+
+/// The offered-rate grid for the current [`run_mode`]: the standard ten
+/// points, or three spanning light load / knee / saturation in `--quick`.
+pub fn figure_rates() -> Vec<f64> {
+    match run_mode() {
+        RunMode::Quick => vec![0.1, 0.8, 2.0],
+        _ => standard_rates(),
     }
 }
 
@@ -295,9 +361,10 @@ pub fn fmt_row(cells: &[String], widths: &[usize]) -> String {
         .join("  ")
 }
 
-/// True when the CLI asked for full-length paper runs.
+/// True when the CLI asked for full-length paper runs (a [`run_mode`]
+/// shorthand kept for callers that only branch on `--paper`).
 pub fn paper_mode() -> bool {
-    std::env::args().any(|a| a == "--paper")
+    run_mode() == RunMode::Paper
 }
 
 /// True when the CLI asked for CSV output.

@@ -1,0 +1,580 @@
+//! The parallel scenario-sweep core behind the `bsor-sweep` CLI.
+//!
+//! The paper's evaluation is a grid — topology × workload × routing
+//! algorithm × VC count × injection rate — and oblivious routing's
+//! selling point is that the expensive part (route selection) happens
+//! once per case while the simulator amortizes it over many load points.
+//! This module mirrors that structure: a [`GridSpec`] expands into
+//! *cases* (everything but the rate), cases fan out across
+//! `std::thread::scope` workers, and each worker runs its case's rate
+//! points serially on one freshly-built route set.
+//!
+//! Output is a schema-stable [`Json`] document. Every field is present
+//! in every run; wall-clock fields are zeroed when
+//! [`GridSpec::record_timings`] is off so CI can diff two sweeps
+//! byte-for-byte to prove determinism.
+
+use crate::json::Json;
+use bsor::{BsorBuilder, SelectorKind};
+use bsor_lp::MilpOptions;
+use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
+use bsor_routing::{Baseline, RouteSet};
+use bsor_sim::{SimConfig, Simulator, TrafficSpec};
+use bsor_topology::Topology;
+use bsor_workloads::{
+    bit_complement, h264_decoder, performance_modeling, shuffle, transpose, wifi_transmitter,
+    Workload,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Workload names the sweep grid understands, in paper order.
+pub const WORKLOAD_NAMES: [&str; 6] = [
+    "transpose",
+    "bit-complement",
+    "shuffle",
+    "h264",
+    "perf-model",
+    "wifi",
+];
+
+/// Routing-algorithm names the sweep grid understands.
+///
+/// `bsor-milp` runs the MILP selector with a node budget instead of a
+/// wall-clock limit so its routes stay deterministic.
+pub const ALGORITHM_NAMES: [&str; 7] = [
+    "xy",
+    "yx",
+    "romm",
+    "valiant",
+    "o1turn",
+    "bsor-dijkstra",
+    "bsor-milp",
+];
+
+/// Seed the baseline randomized algorithms (ROMM/Valiant/O1TURN) use
+/// throughout the bench harness.
+const BASELINE_SEED: u64 = 9;
+
+/// A declarative scenario grid.
+#[derive(Clone, Debug)]
+pub struct GridSpec {
+    /// Mesh sizes, e.g. `[(8, 8)]`.
+    pub meshes: Vec<(u16, u16)>,
+    /// Workload names (see [`WORKLOAD_NAMES`]).
+    pub workloads: Vec<String>,
+    /// Algorithm names (see [`ALGORITHM_NAMES`]).
+    pub algorithms: Vec<String>,
+    /// VC counts.
+    pub vcs: Vec<u8>,
+    /// Offered aggregate injection rates, packets/cycle.
+    pub rates: Vec<f64>,
+    /// Warmup cycles per run.
+    pub warmup: u64,
+    /// Measured cycles per run.
+    pub measurement: u64,
+    /// Flits per packet.
+    pub packet_len: usize,
+    /// RNG seed for the injection processes.
+    pub seed: u64,
+    /// When false, every wall-clock field in the JSON is zeroed so two
+    /// runs of the same grid diff byte-identically.
+    pub record_timings: bool,
+}
+
+impl GridSpec {
+    /// The full evaluation grid on the paper's 8×8 mesh.
+    pub fn standard() -> GridSpec {
+        GridSpec {
+            meshes: vec![(8, 8)],
+            workloads: WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect(),
+            algorithms: vec![
+                "xy".into(),
+                "yx".into(),
+                "romm".into(),
+                "valiant".into(),
+                "bsor-dijkstra".into(),
+            ],
+            vcs: vec![2],
+            rates: crate::standard_rates(),
+            warmup: 2_000,
+            measurement: 10_000,
+            packet_len: 8,
+            seed: 0xB50B,
+            record_timings: true,
+        }
+    }
+
+    /// A reduced grid for CI smoke runs: one mesh, two workloads, three
+    /// algorithms, three rates, short windows.
+    pub fn smoke() -> GridSpec {
+        GridSpec {
+            meshes: vec![(8, 8)],
+            workloads: vec!["transpose".into(), "h264".into()],
+            algorithms: vec!["xy".into(), "yx".into(), "bsor-dijkstra".into()],
+            vcs: vec![2],
+            rates: vec![0.1, 0.8, 1.6],
+            warmup: 500,
+            measurement: 2_000,
+            packet_len: 8,
+            seed: 0xB50B,
+            record_timings: true,
+        }
+    }
+
+    /// Number of cases (route computations) the grid expands to.
+    pub fn num_cases(&self) -> usize {
+        self.meshes.len() * self.workloads.len() * self.algorithms.len() * self.vcs.len()
+    }
+
+    /// Number of simulation runs the grid expands to.
+    pub fn num_runs(&self) -> usize {
+        self.num_cases() * self.rates.len()
+    }
+}
+
+/// One case: everything but the injection rate.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Mesh dimensions.
+    pub mesh: (u16, u16),
+    /// Workload name.
+    pub workload: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// VC count.
+    pub vcs: u8,
+}
+
+/// Expands the grid into cases, mesh-major then workload, algorithm, VC
+/// — a deterministic order the output preserves.
+pub fn expand(spec: &GridSpec) -> Vec<Case> {
+    let mut cases = Vec::with_capacity(spec.num_cases());
+    for &mesh in &spec.meshes {
+        for workload in &spec.workloads {
+            for algorithm in &spec.algorithms {
+                for &vcs in &spec.vcs {
+                    cases.push(Case {
+                        mesh,
+                        workload: workload.clone(),
+                        algorithm: algorithm.clone(),
+                        vcs,
+                    });
+                }
+            }
+        }
+    }
+    cases
+}
+
+/// Instantiates a workload by sweep-grid name.
+///
+/// # Errors
+///
+/// Unknown names and topology/workload mismatches come back as text.
+pub fn workload_by_name(topo: &Topology, name: &str) -> Result<Workload, String> {
+    let built = match name {
+        "transpose" => transpose(topo),
+        "bit-complement" => bit_complement(topo),
+        "shuffle" => shuffle(topo),
+        "h264" => h264_decoder(topo),
+        "perf-model" => performance_modeling(topo),
+        "wifi" => wifi_transmitter(topo),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    built.map_err(|e| e.to_string())
+}
+
+/// Computes routes for one algorithm by sweep-grid name.
+///
+/// # Errors
+///
+/// Unknown names and selection failures come back as text.
+pub fn routes_by_name(
+    topo: &Topology,
+    workload: &Workload,
+    name: &str,
+    vcs: u8,
+) -> Result<RouteSet, String> {
+    let baseline = |b: Baseline| {
+        b.select(topo, &workload.flows, vcs)
+            .map_err(|e| e.to_string())
+    };
+    match name {
+        "xy" => baseline(Baseline::XY),
+        "yx" => baseline(Baseline::YX),
+        "romm" => baseline(Baseline::Romm {
+            seed: BASELINE_SEED,
+        }),
+        "valiant" => baseline(Baseline::Valiant {
+            seed: BASELINE_SEED,
+        }),
+        "o1turn" => baseline(Baseline::O1Turn {
+            seed: BASELINE_SEED,
+        }),
+        "bsor-dijkstra" => BsorBuilder::new(topo, &workload.flows)
+            .vcs(vcs)
+            .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))
+            .run()
+            .map(|r| r.routes)
+            .map_err(|e| e.to_string()),
+        // Node-budget only: a wall-clock limit would make the chosen
+        // routes depend on machine speed and break determinism.
+        "bsor-milp" => BsorBuilder::new(topo, &workload.flows)
+            .vcs(vcs)
+            .selector(SelectorKind::Milp(
+                MilpSelector::new()
+                    .with_hop_slack(2)
+                    .with_max_paths(40)
+                    .with_options(MilpOptions {
+                        max_nodes: 20,
+                        time_limit: None,
+                        ..MilpOptions::default()
+                    }),
+            ))
+            .run()
+            .map(|r| r.routes)
+            .map_err(|e| e.to_string()),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+/// One load point's measurements.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// Requested aggregate rate, packets/cycle.
+    pub rate: f64,
+    /// Load actually generated, packets/cycle.
+    pub offered: f64,
+    /// Delivered throughput, packets/cycle.
+    pub throughput: f64,
+    /// Mean packet latency, cycles.
+    pub mean_latency: Option<f64>,
+    /// Worst packet latency, cycles.
+    pub max_latency: u64,
+    /// Packets generated in the measurement window.
+    pub generated: u64,
+    /// Packets delivered in the measurement window.
+    pub delivered: u64,
+    /// Whether the watchdog flagged a deadlock.
+    pub deadlocked: bool,
+    /// Cycles actually simulated.
+    pub cycles: u64,
+    /// Wall-clock milliseconds for the run (0 when timings are off).
+    pub wall_ms: f64,
+    /// Simulation speed (0 when timings are off).
+    pub cycles_per_sec: f64,
+}
+
+/// One completed case: its route-set summary plus all load points.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// The case parameters.
+    pub case: Case,
+    /// Maximum channel load of the routes in MB/s (the paper's MCL
+    /// metric), when routing succeeded.
+    pub mcl: Option<f64>,
+    /// Route-computation or workload error, when the case failed.
+    pub error: Option<String>,
+    /// Per-rate measurements (empty when `error` is set).
+    pub points: Vec<PointResult>,
+    /// Wall-clock milliseconds for the whole case (0 when timings off).
+    pub wall_ms: f64,
+}
+
+fn run_case(spec: &GridSpec, case: &Case) -> CaseResult {
+    let started = Instant::now();
+    let (w, h) = case.mesh;
+    let topo = Topology::mesh2d(w, h);
+    let workload = match workload_by_name(&topo, &case.workload) {
+        Ok(w) => w,
+        Err(e) => {
+            return CaseResult {
+                case: case.clone(),
+                mcl: None,
+                error: Some(e),
+                points: Vec::new(),
+                wall_ms: 0.0,
+            }
+        }
+    };
+    let routes = match routes_by_name(&topo, &workload, &case.algorithm, case.vcs) {
+        Ok(r) => r,
+        Err(e) => {
+            return CaseResult {
+                case: case.clone(),
+                mcl: None,
+                error: Some(e),
+                points: Vec::new(),
+                wall_ms: 0.0,
+            }
+        }
+    };
+    let mcl = routes.mcl(&topo, &workload.flows);
+    let mut points = Vec::with_capacity(spec.rates.len());
+    for &rate in &spec.rates {
+        let traffic = TrafficSpec::proportional(&workload.flows, rate);
+        let config = SimConfig::new(case.vcs)
+            .with_warmup(spec.warmup)
+            .with_measurement(spec.measurement)
+            .with_packet_len(spec.packet_len)
+            .with_seed(spec.seed);
+        let (report, timing) = Simulator::new(&topo, &workload.flows, &routes, traffic, config)
+            .expect("expanded grid scenarios are consistent")
+            .run_timed();
+        points.push(PointResult {
+            rate,
+            offered: report.offered(),
+            throughput: report.throughput(),
+            mean_latency: report.mean_latency(),
+            max_latency: report.max_latency(),
+            generated: report.generated_packets,
+            delivered: report.delivered_packets,
+            deadlocked: report.deadlocked,
+            cycles: report.cycles,
+            wall_ms: if spec.record_timings {
+                timing.elapsed.as_secs_f64() * 1e3
+            } else {
+                0.0
+            },
+            cycles_per_sec: if spec.record_timings {
+                timing.cycles_per_sec()
+            } else {
+                0.0
+            },
+        });
+    }
+    CaseResult {
+        case: case.clone(),
+        mcl: Some(mcl),
+        error: None,
+        points,
+        wall_ms: if spec.record_timings {
+            started.elapsed().as_secs_f64() * 1e3
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Runs every case of `spec` across `threads` scoped workers and returns
+/// the results in deterministic grid order.
+///
+/// Workers claim case indices from a shared atomic counter, so thread
+/// count and scheduling affect only wall-clock fields — the simulation
+/// results per case are independent and reassembled in expansion order.
+pub fn run_grid(spec: &GridSpec, threads: usize) -> Vec<CaseResult> {
+    let cases = expand(spec);
+    let threads = threads.max(1).min(cases.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<CaseResult>> = vec![None; cases.len()];
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let cases = &cases;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cases.len() {
+                            break;
+                        }
+                        mine.push((i, run_case(spec, &cases[i])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, result) in worker.join().expect("sweep worker panicked") {
+                results[i] = Some(result);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every case index was claimed"))
+        .collect()
+}
+
+/// Assembles the schema-stable `BENCH_sweep.json` document.
+///
+/// Schema `bsor-sweep/v1`: `grid` echoes the expanded spec, `cases`
+/// holds one entry per case in grid order, `timing` carries run-wide
+/// wall-clock numbers. The entire timing block — thread count included —
+/// is zeroed when timings are off, so two `--no-timings` sweeps of the
+/// same grid are byte-identical even across different `--threads`.
+pub fn sweep_json(
+    spec: &GridSpec,
+    results: &[CaseResult],
+    threads: usize,
+    total_wall_ms: f64,
+) -> Json {
+    let threads = if spec.record_timings { threads } else { 0 };
+    let grid = Json::object(vec![
+        (
+            "meshes",
+            Json::Array(
+                spec.meshes
+                    .iter()
+                    .map(|(w, h)| Json::from(format!("{w}x{h}")))
+                    .collect(),
+            ),
+        ),
+        (
+            "workloads",
+            Json::Array(
+                spec.workloads
+                    .iter()
+                    .map(|w| Json::from(w.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
+            "algorithms",
+            Json::Array(
+                spec.algorithms
+                    .iter()
+                    .map(|a| Json::from(a.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
+            "vcs",
+            Json::Array(spec.vcs.iter().map(|&v| Json::from(v as u64)).collect()),
+        ),
+        (
+            "rates",
+            Json::Array(spec.rates.iter().map(|&r| Json::from(r)).collect()),
+        ),
+        ("warmup", Json::from(spec.warmup)),
+        ("measurement", Json::from(spec.measurement)),
+        ("packet_len", Json::from(spec.packet_len)),
+        ("seed", Json::from(spec.seed)),
+    ]);
+    let cases = results
+        .iter()
+        .map(|r| {
+            let points = r
+                .points
+                .iter()
+                .map(|p| {
+                    Json::object(vec![
+                        ("rate", Json::from(p.rate)),
+                        ("offered", Json::from(p.offered)),
+                        ("throughput", Json::from(p.throughput)),
+                        ("mean_latency", Json::from(p.mean_latency)),
+                        ("max_latency", Json::from(p.max_latency)),
+                        ("generated", Json::from(p.generated)),
+                        ("delivered", Json::from(p.delivered)),
+                        ("deadlocked", Json::from(p.deadlocked)),
+                        ("cycles", Json::from(p.cycles)),
+                        ("wall_ms", Json::from(p.wall_ms)),
+                        ("cycles_per_sec", Json::from(p.cycles_per_sec)),
+                    ])
+                })
+                .collect();
+            Json::object(vec![
+                (
+                    "mesh",
+                    Json::from(format!("{}x{}", r.case.mesh.0, r.case.mesh.1)),
+                ),
+                ("workload", Json::from(r.case.workload.as_str())),
+                ("algorithm", Json::from(r.case.algorithm.as_str())),
+                ("vcs", Json::from(r.case.vcs as u64)),
+                ("mcl_mb_s", Json::from(r.mcl)),
+                ("error", Json::from(r.error.clone())),
+                ("points", Json::Array(points)),
+                ("wall_ms", Json::from(r.wall_ms)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("schema", Json::from("bsor-sweep/v1")),
+        ("grid", grid),
+        ("cases", Json::Array(cases)),
+        (
+            "timing",
+            Json::object(vec![
+                ("threads", Json::from(threads)),
+                ("total_wall_ms", Json::from(total_wall_ms)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> GridSpec {
+        GridSpec {
+            meshes: vec![(4, 4)],
+            workloads: vec!["transpose".into()],
+            algorithms: vec!["xy".into(), "yx".into()],
+            vcs: vec![2],
+            rates: vec![0.1, 0.4],
+            warmup: 100,
+            measurement: 500,
+            packet_len: 4,
+            seed: 7,
+            record_timings: false,
+        }
+    }
+
+    #[test]
+    fn expansion_counts_and_order() {
+        let spec = tiny_spec();
+        assert_eq!(spec.num_cases(), 2);
+        assert_eq!(spec.num_runs(), 4);
+        let cases = expand(&spec);
+        assert_eq!(cases[0].algorithm, "xy");
+        assert_eq!(cases[1].algorithm, "yx");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let spec = tiny_spec();
+        let serial = run_grid(&spec, 1);
+        let parallel = run_grid(&spec, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.case.algorithm, b.case.algorithm);
+            assert_eq!(a.mcl, b.mcl);
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.throughput, pb.throughput);
+                assert_eq!(pa.mean_latency, pb.mean_latency);
+                assert_eq!(pa.generated, pb.generated);
+            }
+        }
+    }
+
+    #[test]
+    fn json_is_byte_identical_without_timings() {
+        let spec = tiny_spec();
+        // Different worker counts must not leak into the document: with
+        // timings off the whole timing block is zeroed.
+        let a = sweep_json(&spec, &run_grid(&spec, 2), 2, 0.0).pretty();
+        let b = sweep_json(&spec, &run_grid(&spec, 3), 3, 0.0).pretty();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_names_error_as_cases() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec!["nope".into()];
+        let results = run_grid(&spec, 1);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].error.as_deref().unwrap().contains("nope"));
+        assert!(results[0].points.is_empty());
+    }
+
+    #[test]
+    fn bad_topology_for_workload_reports_error() {
+        let mut spec = tiny_spec();
+        spec.meshes = vec![(3, 4)];
+        let results = run_grid(&spec, 2);
+        assert!(results.iter().all(|r| r.error.is_some()));
+    }
+}

@@ -1,4 +1,4 @@
-//! Configuration and per-case plumbing for the [`proptest!`] macro.
+//! Configuration and per-case plumbing for the [`crate::proptest!`] macro.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -68,9 +68,15 @@ pub struct TableEntry {
 }
 
 /// Per-node routing tables with index chaining (paper Figure 4-2(b)).
+///
+/// Stored as one flat entry arena in CSR layout — node `n` owns
+/// `entries[offsets[n] .. offsets[n + 1]]` — so the simulator's per-hop
+/// lookup is two array reads with no nested indirection.
 #[derive(Clone, Debug)]
 pub struct NodeTables {
-    tables: Vec<Vec<TableEntry>>,
+    /// CSR offsets into `entries`, one slot per node plus a sentinel.
+    offsets: Vec<u32>,
+    entries: Vec<TableEntry>,
     initial: Vec<u16>,
 }
 
@@ -82,25 +88,49 @@ impl NodeTables {
     /// Panics if any table would exceed `u16` indices (65536 flows through
     /// one node — far beyond the paper's 256-entry discussion).
     pub fn build(topo: &Topology, routes: &RouteSet) -> NodeTables {
-        let mut tables: Vec<Vec<TableEntry>> = vec![Vec::new(); topo.num_nodes()];
+        // Pass 1: size each node's table so entries can live in one arena.
+        let mut counts = vec![0u32; topo.num_nodes()];
+        for route in routes.iter() {
+            for hop in &route.hops {
+                counts[topo.link(hop.link).src.index()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(topo.num_nodes() + 1);
+        offsets.push(0u32);
+        for &c in &counts {
+            offsets.push(offsets.last().expect("nonempty") + c);
+        }
+        let placeholder = TableEntry {
+            out_link: LinkId(0),
+            vcs: VcMask(0),
+            next_index: None,
+        };
+        let mut entries = vec![placeholder; *offsets.last().expect("nonempty") as usize];
+        // Pass 2: fill, assigning per-node indices in route order (the
+        // same order the nested-Vec representation produced).
+        let mut filled = vec![0u32; topo.num_nodes()];
         let mut initial = Vec::with_capacity(routes.len());
         for route in routes.iter() {
             // Walk hops backwards so each entry knows its successor index.
             let mut next_index: Option<u16> = None;
             for hop in route.hops.iter().rev() {
-                let node = topo.link(hop.link).src;
-                let table = &mut tables[node.index()];
-                let idx = u16::try_from(table.len()).expect("node table exceeds u16 indices");
-                table.push(TableEntry {
+                let node = topo.link(hop.link).src.index();
+                let idx = u16::try_from(filled[node]).expect("node table exceeds u16 indices");
+                entries[(offsets[node] + filled[node]) as usize] = TableEntry {
                     out_link: hop.link,
                     vcs: hop.vcs,
                     next_index,
-                });
+                };
+                filled[node] += 1;
                 next_index = Some(idx);
             }
             initial.push(next_index.expect("routes are nonempty"));
         }
-        NodeTables { tables, initial }
+        NodeTables {
+            offsets,
+            entries,
+            initial,
+        }
     }
 
     /// The table index a packet of `flow` carries when injected.
@@ -118,13 +148,20 @@ impl NodeTables {
     ///
     /// Panics if the node or index is out of range.
     pub fn lookup(&self, node: NodeId, index: u16) -> &TableEntry {
-        &self.tables[node.index()][index as usize]
+        let n = node.index();
+        let slot = self.offsets[n] as usize + index as usize;
+        debug_assert!(slot < self.offsets[n + 1] as usize, "index past node table");
+        &self.entries[slot]
     }
 
     /// Size of the largest node table (the hardware-resource figure the
     /// paper discusses: 256 entries ≈ a couple of KB).
     pub fn max_entries(&self) -> usize {
-        self.tables.iter().map(|t| t.len()).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Bits per entry for this network: 2 bits of output port on a 2-D

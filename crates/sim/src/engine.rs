@@ -24,19 +24,22 @@
 //! actually jam.
 
 use crate::config::{SimConfig, SimError};
-use crate::stats::{FlowStats, SimReport};
+use crate::stats::{FlowStats, RunTiming, SimReport};
 use crate::traffic::{TrafficSpec, VariationState};
 use bsor_flow::{FlowId, FlowSet};
 use bsor_routing::tables::NodeTables;
 use bsor_routing::RouteSet;
-use bsor_topology::{LinkId, NodeId, Topology};
+use bsor_topology::{LinkId, NodeId, TopoIndex, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+use std::time::Instant;
 
 #[derive(Clone, Copy, Debug)]
 struct Flit {
-    packet: u64,
+    /// Slot in the simulator's packet arena (unique while the packet is
+    /// alive; recycled after the tail ejects).
+    packet: u32,
     flow: FlowId,
     is_head: bool,
     is_tail: bool,
@@ -74,14 +77,14 @@ enum PortState {
 struct VcBuffer {
     flits: VecDeque<Flit>,
     /// Packet currently allowed to occupy this buffer (atomic VCs).
-    owner: Option<u64>,
+    owner: Option<u32>,
     state: PortState,
 }
 
 impl VcBuffer {
-    fn new() -> VcBuffer {
+    fn new(depth: usize) -> VcBuffer {
         VcBuffer {
-            flits: VecDeque::new(),
+            flits: VecDeque::with_capacity(depth),
             owner: None,
             state: PortState::Idle,
         }
@@ -95,17 +98,78 @@ struct InjectionProgress {
     remaining: usize,
 }
 
-/// `(buffer kind, index, vc)` reference into the simulator's buffer pools.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum BufferRef {
-    /// `(link index, vc)` — the buffer at the link's downstream router.
-    Link(usize, usize),
-    /// `(node index, vc)` — the node's injection-port buffer.
-    Inject(usize, usize),
+/// Per-packet bookkeeping, indexed by the arena slot the packet's flits
+/// carry. Slots are recycled when the tail ejects, so the arena stays as
+/// small as the peak number of live packets — no hashing, no growth.
+#[derive(Clone, Copy, Debug, Default)]
+struct PacketSlot {
+    /// Cycle the head flit entered the network (injection-port write).
+    entry_cycle: u64,
+    /// Whether the packet was generated during measurement (latency and
+    /// delivery statistics follow only tracked packets).
+    tracked: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct PacketArena {
+    slots: Vec<PacketSlot>,
+    free: Vec<u32>,
+}
+
+impl PacketArena {
+    fn alloc(&mut self, tracked: bool) -> u32 {
+        let slot = PacketSlot {
+            entry_cycle: 0,
+            tracked,
+        };
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = slot;
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len()).expect("live packets exceed u32 slots");
+                self.slots.push(slot);
+                id
+            }
+        }
+    }
+
+    fn release(&mut self, id: u32) {
+        self.free.push(id);
+    }
+}
+
+/// Scratch buffers reused across cycles so the per-cycle loop never
+/// allocates. Taken out of the simulator while `switch_and_traverse`
+/// iterates (to sidestep aliasing with `&mut self` calls) and put back
+/// when the pass finishes.
+#[derive(Clone, Debug, Default)]
+struct SwitchScratch {
+    /// `port_forwarded` flags, sized to the widest router.
+    port_forwarded: Vec<bool>,
+    /// Per output-link candidate buckets `(input port, buffer index)`,
+    /// indexed by the link's position in its node's out-link list and
+    /// filled in input-buffer order (the arbitration order).
+    forward: Vec<Vec<(u32, u32)>>,
+    /// Eject candidates in input-buffer order.
+    eject: Vec<(u32, u32)>,
+    /// A bucket filtered down to this instant's eligible candidates.
+    eligible: Vec<(u32, u32)>,
+    /// The current node's output links (copied so arbitration can call
+    /// `&mut self` methods while iterating).
+    outs: Vec<LinkId>,
 }
 
 /// The simulator. Construct with [`Simulator::new`], execute with
 /// [`Simulator::run`].
+///
+/// All per-cycle state lives in flat arenas keyed by the dense
+/// `NodeId`/`LinkId`/VC indices of a [`TopoIndex`] snapshot: VC buffers
+/// in one `Vec` (`link * vcs + vc`, then injection ports), per-packet
+/// bookkeeping in a recycled slot arena, and per-node input-port lists
+/// in a precomputed CSR. The cycle loop performs no hashing and no
+/// allocation.
 pub struct Simulator<'a> {
     topo: &'a Topology,
     flows: &'a FlowSet,
@@ -114,32 +178,44 @@ pub struct Simulator<'a> {
     traffic: TrafficSpec,
     rng: StdRng,
     var_states: Vec<VariationState>,
+    index: TopoIndex,
 
-    /// Per-link downstream buffers: `link_bufs[link][vc]`.
-    link_bufs: Vec<Vec<VcBuffer>>,
-    /// Injection-port buffers: `inj_bufs[node][vc]`.
-    inj_bufs: Vec<Vec<VcBuffer>>,
+    /// All VC buffers in one arena: the buffer downstream of link `l` on
+    /// VC `v` is `bufs[l * vcs + v]`; node `n`'s injection-port buffer on
+    /// VC `v` is `bufs[inj_base + n * vcs + v]`.
+    bufs: Vec<VcBuffer>,
+    /// Offset of the first injection-port buffer in `bufs`.
+    inj_base: u32,
     /// Per-node source queues (whole packets, flit by flit).
     src_queues: Vec<VecDeque<Flit>>,
     inj_progress: Vec<Option<InjectionProgress>>,
 
-    /// Flits sent this cycle, gathered before entering the pipeline.
-    pending_sends: Vec<(LinkId, u8, Flit)>,
+    /// Flits sent this cycle (flat link-buffer index), gathered before
+    /// entering the pipeline.
+    pending_sends: Vec<(u32, Flit)>,
     /// Arrivals in flight through the router pipeline: the back slot is
     /// this cycle's sends, the front slot delivers after
     /// `pipeline_latency` cycles.
-    in_transit: std::collections::VecDeque<Vec<(LinkId, u8, Flit)>>,
-    /// Undelivered flits already bound for each buffer:
-    /// `transit_counts[link][vc]` (claims buffer slots ahead of arrival).
-    transit_counts: Vec<Vec<u8>>,
+    in_transit: VecDeque<Vec<(u32, Flit)>>,
+    /// Undelivered flits already bound for each link buffer (claims
+    /// buffer slots ahead of arrival), indexed like `bufs`.
+    transit_counts: Vec<u8>,
+
+    /// CSR of each node's input buffers in arbitration order (every
+    /// in-link's VCs, then the injection VCs): node `n` reads
+    /// `node_inputs[node_input_off[n] .. node_input_off[n + 1]]`.
+    node_inputs: Vec<u32>,
+    node_input_off: Vec<u32>,
+    /// Each link's position within its source node's out-link list
+    /// (selects the forward-candidate bucket during switch allocation).
+    link_out_pos: Vec<u8>,
 
     rr_out: Vec<usize>,
     rr_eject: Vec<usize>,
+    scratch: SwitchScratch,
 
-    entry_cycle: HashMap<u64, u64>,
-    tracked: HashSet<u64>,
+    packets: PacketArena,
 
-    next_packet: u64,
     in_network_flits: u64,
     cycle: u64,
     last_progress: u64,
@@ -190,9 +266,35 @@ impl<'a> Simulator<'a> {
             }
         }
         let tables = NodeTables::build(topo, routes);
+        let index = TopoIndex::new(topo);
         let nl = topo.num_links();
         let nn = topo.num_nodes();
         let vcs = config.vcs as usize;
+        let inj_base = (nl * vcs) as u32;
+        // Per-node input buffers in arbitration order: each in-link's
+        // VCs, then the injection VCs — the order round-robin picks see.
+        let mut node_inputs = Vec::with_capacity((nl + nn) * vcs);
+        let mut node_input_off = Vec::with_capacity(nn + 1);
+        node_input_off.push(0u32);
+        for n in topo.node_ids() {
+            for &l in index.in_links(n) {
+                let base = l.index() * vcs;
+                node_inputs.extend((base..base + vcs).map(|i| i as u32));
+            }
+            let base = inj_base as usize + n.index() * vcs;
+            node_inputs.extend((base..base + vcs).map(|i| i as u32));
+            node_input_off.push(node_inputs.len() as u32);
+        }
+        let max_ports = index.max_in_degree() + 1;
+        let mut link_out_pos = vec![0u8; nl];
+        let mut max_out_degree = 0usize;
+        for n in topo.node_ids() {
+            let outs = index.out_links(n);
+            max_out_degree = max_out_degree.max(outs.len());
+            for (i, &l) in outs.iter().enumerate() {
+                link_out_pos[l.index()] = u8::try_from(i).expect("out degree fits u8");
+            }
+        }
         Ok(Simulator {
             topo,
             flows,
@@ -200,22 +302,28 @@ impl<'a> Simulator<'a> {
             var_states: (0..flows.len()).map(|_| VariationState::new()).collect(),
             tables,
             traffic,
-            link_bufs: (0..nl)
-                .map(|_| (0..vcs).map(|_| VcBuffer::new()).collect())
+            bufs: (0..(nl + nn) * vcs)
+                .map(|_| VcBuffer::new(config.buffer_depth))
                 .collect(),
-            inj_bufs: (0..nn)
-                .map(|_| (0..vcs).map(|_| VcBuffer::new()).collect())
-                .collect(),
+            inj_base,
             src_queues: vec![VecDeque::new(); nn],
             inj_progress: vec![None; nn],
             pending_sends: Vec::new(),
-            in_transit: std::collections::VecDeque::new(),
-            transit_counts: vec![vec![0; vcs]; nl],
+            in_transit: VecDeque::new(),
+            transit_counts: vec![0; nl * vcs],
+            node_inputs,
+            node_input_off,
             rr_out: vec![0; nl],
             rr_eject: vec![0; nn],
-            entry_cycle: HashMap::new(),
-            tracked: HashSet::new(),
-            next_packet: 0,
+            scratch: SwitchScratch {
+                port_forwarded: vec![false; max_ports],
+                forward: vec![Vec::with_capacity(max_ports * vcs); max_out_degree],
+                eject: Vec::with_capacity(max_ports * vcs),
+                eligible: Vec::with_capacity(max_ports * vcs),
+                outs: Vec::with_capacity(max_out_degree),
+            },
+            link_out_pos,
+            packets: PacketArena::default(),
             in_network_flits: 0,
             cycle: 0,
             last_progress: 0,
@@ -224,6 +332,7 @@ impl<'a> Simulator<'a> {
             generated_total: 0,
             delivered_total: 0,
             delivered_flits: 0,
+            index,
             config,
         })
     }
@@ -235,6 +344,16 @@ impl<'a> Simulator<'a> {
 
     /// Runs warmup + measurement (+ drain) and returns the report.
     pub fn run(&mut self) -> SimReport {
+        self.run_timed().0
+    }
+
+    /// Like [`Simulator::run`], additionally measuring wall-clock time.
+    ///
+    /// The report itself stays fully deterministic for a fixed seed; the
+    /// timing travels separately so callers (the sweep harness, CI) can
+    /// record cycles/sec without perturbing reproducibility checks.
+    pub fn run_timed(&mut self) -> (SimReport, RunTiming) {
+        let started = Instant::now();
         let total = self.config.total_cycles();
         let mut deadlocked = false;
         while self.cycle < total {
@@ -249,7 +368,7 @@ impl<'a> Simulator<'a> {
             }
             self.cycle += 1;
         }
-        SimReport {
+        let report = SimReport {
             cycles: self.cycle,
             measured_cycles: self.config.measurement,
             generated_packets: self.generated_total,
@@ -258,7 +377,9 @@ impl<'a> Simulator<'a> {
             per_flow: self.stats.clone(),
             link_flits: self.link_flits.clone(),
             deadlocked,
-        }
+        };
+        let timing = RunTiming::new(self.cycle, started.elapsed());
+        (report, timing)
     }
 
     /// Executes one cycle; returns whether any flit moved.
@@ -271,16 +392,17 @@ impl<'a> Simulator<'a> {
         self.in_transit
             .push_back(std::mem::take(&mut self.pending_sends));
         if self.in_transit.len() >= self.config.pipeline_latency as usize {
-            let arrivals = self
+            let mut arrivals = self
                 .in_transit
                 .pop_front()
                 .expect("nonempty by length check");
-            for (link, vc, flit) in arrivals {
-                self.transit_counts[link.index()][vc as usize] -= 1;
-                self.link_bufs[link.index()][vc as usize]
-                    .flits
-                    .push_back(flit);
+            for (buf, flit) in arrivals.drain(..) {
+                self.transit_counts[buf as usize] -= 1;
+                self.bufs[buf as usize].flits.push_back(flit);
             }
+            // Hand the emptied Vec back as next cycle's send buffer so
+            // the pipeline churns zero allocations at steady state.
+            self.pending_sends = arrivals;
         }
         progress
     }
@@ -304,8 +426,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn spawn_packet(&mut self, flow: FlowId, src: NodeId, measuring: bool) {
-        let packet = self.next_packet;
-        self.next_packet += 1;
+        let packet = self.packets.alloc(measuring);
         let len = self.config.packet_len;
         let cursor = Some(self.tables.initial_index(flow));
         for k in 0..len {
@@ -320,41 +441,28 @@ impl<'a> Simulator<'a> {
         if measuring {
             self.stats[flow.index()].generated += 1;
             self.generated_total += 1;
-            self.tracked.insert(packet);
-        }
-    }
-
-    fn buffer(&self, r: BufferRef) -> &VcBuffer {
-        match r {
-            BufferRef::Link(l, v) => &self.link_bufs[l][v],
-            BufferRef::Inject(n, v) => &self.inj_bufs[n][v],
-        }
-    }
-
-    fn buffer_mut(&mut self, r: BufferRef) -> &mut VcBuffer {
-        match r {
-            BufferRef::Link(l, v) => &mut self.link_bufs[l][v],
-            BufferRef::Inject(n, v) => &mut self.inj_bufs[n][v],
         }
     }
 
     /// RC + VA for every buffer front.
     fn route_and_allocate(&mut self) {
+        let vcs = self.config.vcs as usize;
         for l in 0..self.topo.num_links() {
-            let node = self.topo.link(LinkId(l as u32)).dst;
-            for v in 0..self.config.vcs as usize {
-                self.progress_front(BufferRef::Link(l, v), node);
+            let node = self.index.link_dst(LinkId(l as u32));
+            for v in 0..vcs {
+                self.progress_front((l * vcs + v) as u32, node);
             }
         }
+        let inj_base = self.inj_base as usize;
         for n in 0..self.topo.num_nodes() {
-            for v in 0..self.config.vcs as usize {
-                self.progress_front(BufferRef::Inject(n, v), NodeId(n as u32));
+            for v in 0..vcs {
+                self.progress_front((inj_base + n * vcs + v) as u32, NodeId(n as u32));
             }
         }
     }
 
-    fn progress_front(&mut self, r: BufferRef, node: NodeId) {
-        let buf = self.buffer(r);
+    fn progress_front(&mut self, r: u32, node: NodeId) {
+        let buf = &self.bufs[r as usize];
         let Some(front) = buf.flits.front().copied() else {
             return;
         };
@@ -376,22 +484,23 @@ impl<'a> Simulator<'a> {
                     }
                 }
             };
-            self.buffer_mut(r).state = state;
+            self.bufs[r as usize].state = state;
         }
         // VA: try to claim a downstream VC within the mask.
         if let PortState::Routed {
             out,
             mask,
             next_cursor,
-        } = self.buffer(r).state
+        } = self.bufs[r as usize].state
         {
             let packet = front.packet;
+            let out_base = out.index() * self.config.vcs as usize;
             let chosen = (0..self.config.vcs)
                 .filter(|v| mask & (1 << v) != 0)
-                .find(|&v| self.link_bufs[out.index()][v as usize].owner.is_none());
+                .find(|&v| self.bufs[out_base + v as usize].owner.is_none());
             if let Some(v) = chosen {
-                self.link_bufs[out.index()][v as usize].owner = Some(packet);
-                self.buffer_mut(r).state = PortState::Active {
+                self.bufs[out_base + v as usize].owner = Some(packet);
+                self.bufs[r as usize].state = PortState::Active {
                     out: OutKind::Forward(out),
                     out_vc: v,
                     next_cursor,
@@ -401,100 +510,119 @@ impl<'a> Simulator<'a> {
     }
 
     /// SA + ST for every router; returns whether any flit moved.
+    ///
+    /// One pass over the node's input buffers buckets forward candidates
+    /// per output link and collects eject candidates; the per-output and
+    /// per-eject arbitration then works off the buckets. This visits each
+    /// buffer once instead of once per output channel, and is exactly
+    /// equivalent to rescanning: within a node, a move on output `X` can
+    /// only change `X`'s own downstream occupancy (checked before any
+    /// move) and the mover's port flag (filtered at pick time), and
+    /// ejections only mutate the ejecting buffer itself.
     fn switch_and_traverse(&mut self) -> bool {
         let mut progress = false;
         let vcs = self.config.vcs as usize;
-        let mut in_ports: Vec<BufferRef> = Vec::new();
-        let mut candidates: Vec<(usize, BufferRef)> = Vec::new();
+        // Detach the scratch buffers so the candidate scans can read
+        // `self.bufs` while `move_flit`/`eject_flit` mutate `self`.
+        let mut scratch = std::mem::take(&mut self.scratch);
         for n in 0..self.topo.num_nodes() {
             let node = NodeId(n as u32);
-            in_ports.clear();
-            in_ports.extend(
-                self.topo
-                    .in_links(node)
-                    .iter()
-                    .flat_map(|&l| (0..vcs).map(move |v| BufferRef::Link(l.index(), v))),
-            );
-            in_ports.extend((0..vcs).map(|v| BufferRef::Inject(n, v)));
-            let num_ports = in_ports.len() / vcs;
-            let mut port_forwarded = vec![false; num_ports];
+            let ports_start = self.node_input_off[n] as usize;
+            let ports_end = self.node_input_off[n + 1] as usize;
+            let num_ports = (ports_end - ports_start) / vcs;
+            scratch.port_forwarded[..num_ports].fill(false);
+            scratch.outs.clear();
+            scratch.outs.extend_from_slice(self.index.out_links(node));
+            for bucket in &mut scratch.forward[..scratch.outs.len()] {
+                bucket.clear();
+            }
+            scratch.eject.clear();
 
-            // Forward outputs: one flit per output channel and per input
-            // port per cycle.
-            for &out in self.topo.out_links(node) {
-                candidates.clear();
-                for (bi, &r) in in_ports.iter().enumerate() {
-                    let port = bi / vcs;
-                    if port_forwarded[port] {
-                        continue;
-                    }
-                    let buf = self.buffer(r);
-                    if buf.flits.is_empty() {
-                        continue;
-                    }
-                    if let PortState::Active {
+            // Single scan: sort every occupied, allocated buffer front
+            // into its output's bucket (space permitting) or the eject
+            // list, in input order.
+            for bi in 0..ports_end - ports_start {
+                let r = self.node_inputs[ports_start + bi];
+                let buf = &self.bufs[r as usize];
+                if buf.flits.is_empty() {
+                    continue;
+                }
+                match buf.state {
+                    PortState::Active {
                         out: OutKind::Forward(l),
                         out_vc,
                         ..
-                    } = buf.state
-                    {
-                        if l != out {
-                            continue;
-                        }
-                        let occupied = self.link_bufs[out.index()][out_vc as usize].flits.len()
-                            + self.transit_counts[out.index()][out_vc as usize] as usize;
+                    } => {
+                        let dst = l.index() * vcs + out_vc as usize;
+                        let occupied =
+                            self.bufs[dst].flits.len() + self.transit_counts[dst] as usize;
                         if occupied < self.config.buffer_depth {
-                            candidates.push((port, r));
+                            scratch.forward[self.link_out_pos[l.index()] as usize]
+                                .push(((bi / vcs) as u32, r));
                         }
                     }
+                    PortState::Active {
+                        out: OutKind::Eject,
+                        ..
+                    } => scratch.eject.push(((bi / vcs) as u32, r)),
+                    _ => {}
                 }
-                if candidates.is_empty() {
+            }
+
+            // Forward outputs: one flit per output channel and per input
+            // port per cycle.
+            for (oi, &out) in scratch.outs.iter().enumerate() {
+                scratch.eligible.clear();
+                scratch.eligible.extend(
+                    scratch.forward[oi]
+                        .iter()
+                        .copied()
+                        .filter(|&(port, _)| !scratch.port_forwarded[port as usize]),
+                );
+                if scratch.eligible.is_empty() {
                     continue;
                 }
-                let pick = self.rr_out[out.index()] % candidates.len();
+                let pick = self.rr_out[out.index()] % scratch.eligible.len();
                 self.rr_out[out.index()] = self.rr_out[out.index()].wrapping_add(1);
-                let (port, r) = candidates[pick];
-                port_forwarded[port] = true;
+                let (port, r) = scratch.eligible[pick];
+                scratch.port_forwarded[port as usize] = true;
                 self.move_flit(r, out);
                 progress = true;
             }
 
             // Ejection: up to local_bandwidth flits per cycle (the 4×
             // resource channel); independent of the forward crossbar.
+            // After each ejection only the picked buffer can drop out of
+            // the candidate list, so the list shrinks in place.
             let mut budget = self.config.local_bandwidth;
-            while budget > 0 {
-                candidates.clear();
-                for (bi, &r) in in_ports.iter().enumerate() {
-                    let buf = self.buffer(r);
-                    if buf.flits.is_empty() {
-                        continue;
-                    }
-                    if matches!(
+            while budget > 0 && !scratch.eject.is_empty() {
+                let pick = self.rr_eject[n] % scratch.eject.len();
+                self.rr_eject[n] = self.rr_eject[n].wrapping_add(1);
+                let (_, r) = scratch.eject[pick];
+                self.eject_flit(r);
+                budget -= 1;
+                progress = true;
+                let buf = &self.bufs[r as usize];
+                let still_candidate = !buf.flits.is_empty()
+                    && matches!(
                         buf.state,
                         PortState::Active {
                             out: OutKind::Eject,
                             ..
                         }
-                    ) {
-                        candidates.push((bi / vcs, r));
-                    }
+                    );
+                if !still_candidate {
+                    scratch.eject.remove(pick);
                 }
-                if candidates.is_empty() {
-                    break;
-                }
-                let pick = self.rr_eject[n] % candidates.len();
-                self.rr_eject[n] = self.rr_eject[n].wrapping_add(1);
-                let (_, r) = candidates[pick];
-                self.eject_flit(r);
-                budget -= 1;
-                progress = true;
             }
         }
+        self.scratch = scratch;
         progress
     }
 
-    fn move_flit(&mut self, r: BufferRef, out: LinkId) {
-        let (out_vc, next_cursor) = match self.buffer(r).state {
+    fn move_flit(&mut self, r: u32, out: LinkId) {
+        let buf = &mut self.bufs[r as usize];
+        let (out_vc, next_cursor) = match buf.state {
             PortState::Active {
                 out_vc,
                 next_cursor,
@@ -502,55 +630,48 @@ impl<'a> Simulator<'a> {
             } => (out_vc, next_cursor),
             _ => unreachable!("move_flit on non-active buffer"),
         };
-        let mut flit = self
-            .buffer_mut(r)
-            .flits
-            .pop_front()
-            .expect("candidate had a front flit");
+        let mut flit = buf.flits.pop_front().expect("candidate had a front flit");
         if flit.is_head {
             flit.cursor = next_cursor;
         }
         if flit.is_tail {
             // The vacated buffer frees its ownership and control state.
-            let buf = self.buffer_mut(r);
             buf.owner = None;
             buf.state = PortState::Idle;
         }
-        self.transit_counts[out.index()][out_vc as usize] += 1;
-        self.pending_sends.push((out, out_vc, flit));
+        let dst = (out.index() * self.config.vcs as usize + out_vc as usize) as u32;
+        self.transit_counts[dst as usize] += 1;
+        self.pending_sends.push((dst, flit));
         if self.in_measurement() {
             self.link_flits[out.index()] += 1;
         }
     }
 
-    fn eject_flit(&mut self, r: BufferRef) {
-        let flit = self
-            .buffer_mut(r)
-            .flits
-            .pop_front()
-            .expect("candidate had a front flit");
+    fn eject_flit(&mut self, r: u32) {
+        let buf = &mut self.bufs[r as usize];
+        let flit = buf.flits.pop_front().expect("candidate had a front flit");
+        if flit.is_tail {
+            buf.owner = None;
+            buf.state = PortState::Idle;
+        }
         self.in_network_flits -= 1;
         let measuring = self.in_measurement();
         if measuring {
             self.delivered_flits += 1;
         }
         if flit.is_tail {
-            let buf = self.buffer_mut(r);
-            buf.owner = None;
-            buf.state = PortState::Idle;
             if measuring {
                 self.stats[flit.flow.index()].delivered += 1;
                 self.delivered_total += 1;
             }
-            let entry = self.entry_cycle.remove(&flit.packet);
-            if self.tracked.remove(&flit.packet) {
-                if let Some(t0) = entry {
-                    let latency = self.cycle - t0;
-                    let fs = &mut self.stats[flit.flow.index()];
-                    fs.latency_sum += latency;
-                    fs.latency_count += 1;
-                    fs.latency_max = fs.latency_max.max(latency);
-                }
+            let slot = self.packets.slots[flit.packet as usize];
+            self.packets.release(flit.packet);
+            if slot.tracked {
+                let latency = self.cycle - slot.entry_cycle;
+                let fs = &mut self.stats[flit.flow.index()];
+                fs.latency_sum += latency;
+                fs.latency_count += 1;
+                fs.latency_max = fs.latency_max.max(latency);
             }
         }
     }
@@ -558,16 +679,19 @@ impl<'a> Simulator<'a> {
     /// Moves flits from source queues into injection-port buffers.
     fn inject(&mut self) -> bool {
         let mut progress = false;
+        let vcs = self.config.vcs as usize;
+        let inj_base = self.inj_base as usize;
         for n in 0..self.topo.num_nodes() {
             let mut budget = self.config.local_bandwidth;
             while budget > 0 && !self.src_queues[n].is_empty() {
                 match self.inj_progress[n] {
                     Some(InjectionProgress { vc, remaining }) => {
-                        if self.inj_bufs[n][vc as usize].flits.len() >= self.config.buffer_depth {
+                        let buf = &mut self.bufs[inj_base + n * vcs + vc as usize];
+                        if buf.flits.len() >= self.config.buffer_depth {
                             break;
                         }
                         let flit = self.src_queues[n].pop_front().expect("nonempty");
-                        self.inj_bufs[n][vc as usize].flits.push_back(flit);
+                        buf.flits.push_back(flit);
                         self.in_network_flits += 1;
                         progress = true;
                         budget -= 1;
@@ -580,16 +704,16 @@ impl<'a> Simulator<'a> {
                         let head = *self.src_queues[n].front().expect("nonempty");
                         debug_assert!(head.is_head, "packet streams are contiguous");
                         let chosen = (0..self.config.vcs).find(|&v| {
-                            let buf = &self.inj_bufs[n][v as usize];
+                            let buf = &self.bufs[inj_base + n * vcs + v as usize];
                             buf.owner.is_none() && buf.flits.len() < self.config.buffer_depth
                         });
                         let Some(v) = chosen else { break };
                         let flit = self.src_queues[n].pop_front().expect("nonempty");
-                        let buf = &mut self.inj_bufs[n][v as usize];
+                        let buf = &mut self.bufs[inj_base + n * vcs + v as usize];
                         buf.owner = Some(head.packet);
                         buf.flits.push_back(flit);
                         self.in_network_flits += 1;
-                        self.entry_cycle.insert(head.packet, self.cycle);
+                        self.packets.slots[head.packet as usize].entry_cycle = self.cycle;
                         progress = true;
                         budget -= 1;
                         if self.config.packet_len > 1 {

@@ -46,5 +46,5 @@ pub mod traffic;
 
 pub use config::{SimConfig, SimError};
 pub use engine::Simulator;
-pub use stats::{FlowStats, SimReport};
+pub use stats::{FlowStats, RunTiming, SimReport};
 pub use traffic::{MarkovVariation, TrafficSpec};

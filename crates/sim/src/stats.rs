@@ -1,7 +1,15 @@
 //! Simulation statistics.
+//!
+//! Everything in [`SimReport`] is fully deterministic for a fixed seed —
+//! flat per-flow and per-link accumulators with no ordering sensitivity —
+//! so reports can be compared structurally in regression tests and
+//! diffed byte-for-byte once serialized. Wall-clock measurements travel
+//! separately in [`RunTiming`].
+
+use std::time::Duration;
 
 /// Per-flow measurement results.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FlowStats {
     /// Packets generated during the measurement window.
     pub generated: u64,
@@ -29,8 +37,37 @@ impl FlowStats {
     }
 }
 
+/// Wall-clock measurement of a [`crate::Simulator`] execution, kept out
+/// of [`SimReport`] so deterministic results and machine-dependent
+/// timings never mix (the sweep harness records both side by side).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunTiming {
+    /// Cycles actually simulated.
+    pub cycles: u64,
+    /// Wall-clock duration of the run loop.
+    pub elapsed: Duration,
+}
+
+impl RunTiming {
+    /// Bundles a cycle count with its wall-clock duration.
+    pub fn new(cycles: u64, elapsed: Duration) -> RunTiming {
+        RunTiming { cycles, elapsed }
+    }
+
+    /// Simulation speed in cycles per wall-clock second (0 for an empty
+    /// or unmeasurably fast run).
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.cycles as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Whole-run results of a [`crate::Simulator`] execution.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimReport {
     /// Cycles actually simulated (shorter than configured if the watchdog
     /// fired).

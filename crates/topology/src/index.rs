@@ -1,0 +1,191 @@
+//! Dense index arenas over a [`Topology`].
+//!
+//! The simulator's per-cycle loop wants adjacency as flat, contiguous
+//! arrays rather than `Vec<Vec<_>>` + `HashMap` lookups: one cache miss
+//! per access instead of two, and no hashing anywhere. [`TopoIndex`]
+//! snapshots a topology into CSR (compressed sparse row) link arenas
+//! plus flat endpoint arrays, all keyed by the dense `NodeId`/`LinkId`
+//! indices the topology already guarantees.
+//!
+//! The arenas preserve the topology's link ordering exactly:
+//! `TopoIndex::out_links(n)` yields the same ids in the same order as
+//! `Topology::out_links(n)`, which keeps round-robin arbitration in the
+//! simulator byte-identical to the nested-Vec representation.
+
+use crate::net::{LinkId, NodeId, Topology};
+
+/// Flat CSR adjacency + endpoint arenas for a topology snapshot.
+///
+/// ```
+/// use bsor_topology::{Topology, TopoIndex};
+///
+/// let mesh = Topology::mesh2d(3, 3);
+/// let index = TopoIndex::new(&mesh);
+/// for n in mesh.node_ids() {
+///     assert_eq!(index.out_links(n), mesh.out_links(n));
+///     assert_eq!(index.in_links(n), mesh.in_links(n));
+/// }
+/// for l in mesh.link_ids() {
+///     assert_eq!(index.link_dst(l), mesh.link(l).dst);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopoIndex {
+    /// CSR offsets into `out_links`: node `n` owns
+    /// `out_links[out_off[n] .. out_off[n + 1]]`.
+    out_off: Vec<u32>,
+    out_links: Vec<LinkId>,
+    /// CSR offsets into `in_links`, same layout.
+    in_off: Vec<u32>,
+    in_links: Vec<LinkId>,
+    /// Flat endpoint arrays indexed by `LinkId`.
+    link_src: Vec<NodeId>,
+    link_dst: Vec<NodeId>,
+}
+
+impl TopoIndex {
+    /// Snapshots `topo` into flat arenas.
+    pub fn new(topo: &Topology) -> TopoIndex {
+        let nn = topo.num_nodes();
+        let nl = topo.num_links();
+        let mut out_off = Vec::with_capacity(nn + 1);
+        let mut out_links = Vec::with_capacity(nl);
+        let mut in_off = Vec::with_capacity(nn + 1);
+        let mut in_links = Vec::with_capacity(nl);
+        out_off.push(0);
+        in_off.push(0);
+        for n in topo.node_ids() {
+            out_links.extend_from_slice(topo.out_links(n));
+            out_off.push(out_links.len() as u32);
+            in_links.extend_from_slice(topo.in_links(n));
+            in_off.push(in_links.len() as u32);
+        }
+        let link_src = topo.link_ids().map(|l| topo.link(l).src).collect();
+        let link_dst = topo.link_ids().map(|l| topo.link(l).dst).collect();
+        TopoIndex {
+            out_off,
+            out_links,
+            in_off,
+            in_links,
+            link_src,
+            link_dst,
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn num_nodes(&self) -> usize {
+        self.out_off.len() - 1
+    }
+
+    /// Number of links in the snapshot.
+    pub fn num_links(&self) -> usize {
+        self.link_src.len()
+    }
+
+    /// Links leaving `node`, in the topology's insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn out_links(&self, node: NodeId) -> &[LinkId] {
+        let n = node.index();
+        &self.out_links[self.out_off[n] as usize..self.out_off[n + 1] as usize]
+    }
+
+    /// Links entering `node`, in the topology's insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn in_links(&self, node: NodeId) -> &[LinkId] {
+        let n = node.index();
+        &self.in_links[self.in_off[n] as usize..self.in_off[n + 1] as usize]
+    }
+
+    /// Upstream endpoint of `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_src(&self, link: LinkId) -> NodeId {
+        self.link_src[link.index()]
+    }
+
+    /// Downstream endpoint of `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_dst(&self, link: LinkId) -> NodeId {
+        self.link_dst[link.index()]
+    }
+
+    /// Largest in-degree (including none) across nodes — the simulator
+    /// sizes per-node scratch buffers with this.
+    pub fn max_in_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|n| (self.in_off[n + 1] - self.in_off[n]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_matches(topo: &Topology) {
+        let index = TopoIndex::new(topo);
+        assert_eq!(index.num_nodes(), topo.num_nodes());
+        assert_eq!(index.num_links(), topo.num_links());
+        for n in topo.node_ids() {
+            assert_eq!(index.out_links(n), topo.out_links(n), "out links of {n}");
+            assert_eq!(index.in_links(n), topo.in_links(n), "in links of {n}");
+        }
+        for l in topo.link_ids() {
+            assert_eq!(index.link_src(l), topo.link(l).src, "src of {l}");
+            assert_eq!(index.link_dst(l), topo.link(l).dst, "dst of {l}");
+        }
+    }
+
+    #[test]
+    fn mesh_arena_matches_adjacency() {
+        check_matches(&Topology::mesh2d(4, 4));
+        check_matches(&Topology::mesh2d(8, 8));
+        check_matches(&Topology::mesh2d(1, 2));
+    }
+
+    #[test]
+    fn torus_ring_hypercube_arenas_match() {
+        check_matches(&Topology::torus2d(4, 4));
+        check_matches(&Topology::ring(5));
+        check_matches(&Topology::hypercube(4));
+    }
+
+    #[test]
+    fn arena_slices_are_contiguous_partitions() {
+        let topo = Topology::mesh2d(4, 4);
+        let index = TopoIndex::new(&topo);
+        let total_out: usize = topo.node_ids().map(|n| index.out_links(n).len()).sum();
+        let total_in: usize = topo.node_ids().map(|n| index.in_links(n).len()).sum();
+        assert_eq!(total_out, topo.num_links());
+        assert_eq!(total_in, topo.num_links());
+        // Every link appears exactly once in each arena.
+        let mut seen = vec![0u8; topo.num_links()];
+        for n in topo.node_ids() {
+            for &l in index.out_links(n) {
+                seen[l.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn max_in_degree_on_mesh() {
+        let index = TopoIndex::new(&Topology::mesh2d(3, 3));
+        // The center node of a 3x3 mesh has 4 incoming channels.
+        assert_eq!(index.max_in_degree(), 4);
+        let corner = TopoIndex::new(&Topology::mesh2d(1, 2));
+        assert_eq!(corner.max_in_degree(), 1);
+    }
+}

@@ -24,7 +24,9 @@
 //! ```
 
 pub mod geometry;
+pub mod index;
 pub mod net;
 
 pub use geometry::{Coord, Direction};
+pub use index::TopoIndex;
 pub use net::{Link, LinkId, NodeId, Topology, TopologyKind};
