@@ -7,18 +7,25 @@
 //! cargo run -p bsor-bench --release --bin fig_6_5 [--quick] [--paper] [--csv]
 //! ```
 
-use bsor_bench::{figure_rates, figure_sweep, print_figure, standard_mesh};
+use bsor_bench::{
+    csv_mode, rates_for, run_mode, standard_mesh, sweep_for, write_figure, StdoutSink,
+};
 use bsor_workloads::performance_modeling;
 
 fn main() {
     let topo = standard_mesh();
     let workload = performance_modeling(&topo).expect("8x8 supports the workload");
-    let cfg = figure_sweep(2);
-    print_figure(
+    let mode = run_mode();
+    let cfg = sweep_for(mode, 2);
+    write_figure(
+        &mut StdoutSink,
         "Figure 6-5: Performance Modeling — throughput & latency vs offered rate",
         &topo,
         &workload,
         &cfg,
-        &figure_rates(),
-    );
+        &rates_for(mode),
+        mode,
+        csv_mode(),
+    )
+    .expect("stdout writes cannot fail");
 }

@@ -2,83 +2,17 @@
 //! and H.264 Decoder." Throughput vs offered rate with 1, 2, 4 and 8
 //! virtual channels, BSOR selectors vs dimension-order routing. With a
 //! single VC only the DOR algorithms and BSOR are compared (ROMM and
-//! Valiant would deadlock), exactly as in §6.2.7.
+//! Valiant would deadlock), exactly as in §6.2.7. The whole sweep runs
+//! through the unified scenario pipeline (`bsor_bench::write_vc_sweep`)
+//! and streams rows as they are computed.
 //!
 //! ```text
 //! cargo run -p bsor-bench --release --bin fig_6_7 [--quick] [--paper] [--csv]
 //! ```
 
-use bsor::{BsorBuilder, SelectorKind};
-use bsor_bench::{csv_mode, figure_rates, figure_sweep, load_sweep, standard_mesh};
-use bsor_routing::selectors::DijkstraSelector;
-use bsor_routing::Baseline;
-use bsor_workloads::{h264_decoder, transpose};
+use bsor_bench::{csv_mode, run_mode, standard_mesh, write_vc_sweep, StdoutSink};
 
 fn main() {
-    let topo = standard_mesh();
-    let rates = figure_rates();
-    let csv = csv_mode();
-    if csv {
-        println!("workload,vcs,algorithm,offered,throughput,latency");
-    }
-    for workload in [
-        transpose(&topo).expect("square"),
-        h264_decoder(&topo).expect("fits"),
-    ] {
-        for vcs in [1u8, 2, 4, 8] {
-            let cfg = figure_sweep(vcs);
-            if !csv {
-                println!("Figure 6-7: {} with {vcs} VC(s)", workload.name);
-            }
-            let mut algos: Vec<(String, Result<_, String>)> = vec![
-                (
-                    "XY".into(),
-                    Baseline::XY
-                        .select(&topo, &workload.flows, vcs)
-                        .map_err(|e| e.to_string()),
-                ),
-                (
-                    "BSOR-Dijkstra".to_string(),
-                    BsorBuilder::new(&topo, &workload.flows)
-                        .vcs(vcs)
-                        .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))
-                        .run()
-                        .map(|r| r.routes)
-                        .map_err(|e| e.to_string()),
-                ),
-            ];
-            if vcs >= 2 {
-                algos.push((
-                    "ROMM".into(),
-                    Baseline::Romm { seed: 9 }
-                        .select(&topo, &workload.flows, vcs)
-                        .map_err(|e| e.to_string()),
-                ));
-            }
-            for (name, routes) in algos {
-                match routes {
-                    Err(e) => println!("{name}: skipped ({e})"),
-                    Ok(routes) => {
-                        for p in load_sweep(&topo, &workload.flows, &routes, &rates, &cfg) {
-                            let lat = p
-                                .latency
-                                .map(|l| format!("{l:.1}"))
-                                .unwrap_or_else(|| "-".into());
-                            if csv {
-                                println!(
-                                    "{},{vcs},{name},{:.3},{:.4},{lat}",
-                                    workload.name, p.offered, p.throughput
-                                );
-                            } else {
-                                println!(
-                                    "  {name:>14}  rate {:.3}  tput {:.4}  lat {lat}",
-                                    p.offered, p.throughput
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
+    write_vc_sweep(&mut StdoutSink, &standard_mesh(), run_mode(), csv_mode())
+        .expect("stdout writes cannot fail");
 }

@@ -7,24 +7,31 @@
 //! cargo run -p bsor-bench --release --bin fig_6_8 [--quick] [--paper] [--csv]
 //! ```
 
-use bsor_bench::{figure_rates, figure_sweep, print_figure, standard_mesh};
+use bsor_bench::{
+    csv_mode, rates_for, run_mode, standard_mesh, sweep_for, write_figure, StdoutSink,
+};
 use bsor_sim::MarkovVariation;
 use bsor_workloads::{h264_decoder, transpose};
 
 fn main() {
     let topo = standard_mesh();
+    let mode = run_mode();
     let variation = MarkovVariation::new(0.10, 200.0);
     for workload in [
         transpose(&topo).expect("square"),
         h264_decoder(&topo).expect("fits"),
     ] {
-        let cfg = figure_sweep(2).with_variation(variation);
-        print_figure(
+        let cfg = sweep_for(mode, 2).with_variation(variation);
+        write_figure(
+            &mut StdoutSink,
             &format!("Figure 6-8: {} with 10% bandwidth variation", workload.name),
             &topo,
             &workload,
             &cfg,
-            &figure_rates(),
-        );
+            &rates_for(mode),
+            mode,
+            csv_mode(),
+        )
+        .expect("stdout writes cannot fail");
     }
 }

@@ -1,14 +1,22 @@
-//! `bsor-sweep` — expand a declarative scenario grid (mesh × workload ×
-//! routing algorithm × VC count × injection rate), fan the cases out
-//! across `std::thread::scope` workers, and write deterministic,
-//! schema-stable JSON (`BENCH_sweep.json`) with per-scenario
-//! latency/throughput/deadlock stats plus wall-clock timings.
+//! `bsor-sweep` — expand a declarative scenario grid (topology ×
+//! workload × routing algorithm × VC count × injection rate), fan the
+//! cases out across `std::thread::scope` workers, and write
+//! deterministic, schema-stable JSON (`BENCH_sweep.json`) with
+//! per-scenario latency/throughput/deadlock stats plus wall-clock
+//! timings.
+//!
+//! Every axis is registry-backed: topologies, workloads and algorithms
+//! are resolved by name through `TopologyRegistry`, `WorkloadRegistry`
+//! and `AlgorithmRegistry`, and the `--list-*` flags print exactly what
+//! those registries contain.
 //!
 //! ```text
 //! cargo run -p bsor_bench --release --bin bsor-sweep -- [options]
 //!
 //!   --quick                 reduced CI smoke grid (2 workloads, 3 algos, 3 rates)
 //!   --mesh WxH[,WxH...]     mesh sizes                     (default 8x8)
+//!   --topo n:WxH[,...]      topology axis entries by registry name
+//!                           (mesh:8x8, torus:4x4, ring:8x1, hypercube:4x2)
 //!   --workloads a,b|all     workload names                 (default all six)
 //!   --algos a,b|all         algorithm names                (default xy,yx,romm,valiant,bsor-dijkstra)
 //!   --vcs 1,2,4             VC counts                      (default 2)
@@ -21,16 +29,16 @@
 //!   --out PATH              output path                    (default BENCH_sweep.json)
 //!   --no-timings            zero wall-clock fields (byte-identical reruns)
 //!   --list                  print the expanded grid and exit
+//!   --list-topologies       print registered topology names and exit
+//!   --list-workloads        print registered workload names and exit
+//!   --list-algorithms       print registered algorithm names and exit
 //! ```
-//!
-//! Workloads: transpose, bit-complement, shuffle, h264, perf-model, wifi.
-//! Algorithms: xy, yx, romm, valiant, o1turn, bsor-dijkstra, bsor-milp.
 //!
 //! Exit codes: 0 on success, 1 on bad arguments or write failure, 2
 //! when the sweep completed but one or more cases failed (the failures
 //! are recorded in the JSON's per-case `error` fields).
 
-use bsor_bench::sweep::{expand, run_grid, sweep_json, GridSpec, ALGORITHM_NAMES, WORKLOAD_NAMES};
+use bsor_bench::sweep::{expand, run_grid_with, sweep_json, GridSpec, SweepRegistries, TopoSpec};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -41,7 +49,21 @@ fn parse_list<T, F: Fn(&str) -> Result<T, String>>(raw: &str, f: F) -> Result<Ve
         .collect()
 }
 
-fn parse_mesh(s: &str) -> Result<(u16, u16), String> {
+fn parse_dims(s: &str) -> Result<(u16, u16), String> {
+    let (w, h) = s
+        .split_once('x')
+        .ok_or_else(|| format!("dims '{s}' are not WxH"))?;
+    let w = w.parse().map_err(|_| format!("bad width '{w}'"))?;
+    let h = h.parse().map_err(|_| format!("bad height '{h}'"))?;
+    if w == 0 || h == 0 {
+        return Err(format!("dims '{s}' have a zero dimension"));
+    }
+    Ok((w, h))
+}
+
+fn parse_mesh(s: &str) -> Result<TopoSpec, String> {
+    // Mesh-specific wording, with the precise constraint preserved
+    // (zero dimension vs unparsable width vs missing 'x').
     let (w, h) = s
         .split_once('x')
         .ok_or_else(|| format!("mesh '{s}' is not WxH"))?;
@@ -50,23 +72,52 @@ fn parse_mesh(s: &str) -> Result<(u16, u16), String> {
     if w == 0 || h == 0 {
         return Err(format!("mesh '{s}' has a zero dimension"));
     }
-    Ok((w, h))
+    Ok(TopoSpec::mesh(w, h))
 }
 
-fn usage() {
+/// `name:WxH` (bare `WxH` means `mesh:WxH`).
+fn parse_topo(s: &str) -> Result<TopoSpec, String> {
+    match s.split_once(':') {
+        None => parse_mesh(s),
+        Some((name, dims)) => {
+            if name.is_empty() {
+                return Err(format!("topology '{s}' has an empty name"));
+            }
+            let (w, h) = parse_dims(dims)?;
+            Ok(TopoSpec::new(name, w, h))
+        }
+    }
+}
+
+fn usage(regs: &SweepRegistries) {
     // The doc comment at the top of this file is the single source of
     // truth; print a compact version.
     println!("bsor-sweep: parallel scenario-grid runner writing BENCH_sweep.json");
     println!();
-    println!("options: --quick --mesh WxH,.. --workloads a,b|all --algos a,b|all");
-    println!("         --vcs n,.. --rates r,.. --warmup N --measurement N");
-    println!("         --packet-len N --seed N --threads N --out PATH");
-    println!("         --no-timings --list --help");
-    println!("workloads: {}", WORKLOAD_NAMES.join(", "));
-    println!("algorithms: {}", ALGORITHM_NAMES.join(", "));
+    println!("options: --quick --mesh WxH,.. --topo name:WxH,.. --workloads a,b|all");
+    println!("         --algos a,b|all --vcs n,.. --rates r,.. --warmup N");
+    println!("         --measurement N --packet-len N --seed N --threads N --out PATH");
+    println!("         --no-timings --list --list-topologies --list-workloads");
+    println!("         --list-algorithms --help");
+    println!("topologies: {}", regs.topologies.names().join(", "));
+    println!("workloads: {}", regs.workloads.names().join(", "));
+    println!("algorithms: {}", regs.algorithms.names().join(", "));
 }
 
-fn parse_args(args: &[String]) -> Result<(GridSpec, Option<usize>, String, bool), String> {
+/// Which enumeration (if any) a `--list*` flag asked for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ListMode {
+    None,
+    Grid,
+    Topologies,
+    Workloads,
+    Algorithms,
+}
+
+fn parse_args(
+    args: &[String],
+    regs: &SweepRegistries,
+) -> Result<(GridSpec, Option<usize>, String, ListMode), String> {
     // `--quick` selects the base grid and is order-independent: flags
     // before or after it override the smoke defaults either way.
     let mut spec = if args.iter().any(|a| a == "--quick") {
@@ -76,7 +127,7 @@ fn parse_args(args: &[String]) -> Result<(GridSpec, Option<usize>, String, bool)
     };
     let mut threads: Option<usize> = None;
     let mut out = "BENCH_sweep.json".to_string();
-    let mut list = false;
+    let mut list = ListMode::None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -86,11 +137,16 @@ fn parse_args(args: &[String]) -> Result<(GridSpec, Option<usize>, String, bool)
         };
         match arg.as_str() {
             "--quick" => {}
-            "--mesh" => spec.meshes = parse_list(&value("--mesh")?, parse_mesh)?,
+            "--mesh" => spec.topologies = parse_list(&value("--mesh")?, parse_mesh)?,
+            "--topo" => spec.topologies = parse_list(&value("--topo")?, parse_topo)?,
             "--workloads" => {
                 let raw = value("--workloads")?;
                 spec.workloads = if raw == "all" {
-                    WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect()
+                    regs.workloads
+                        .names()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect()
                 } else {
                     parse_list(&raw, |s| Ok(s.to_string()))?
                 };
@@ -98,7 +154,11 @@ fn parse_args(args: &[String]) -> Result<(GridSpec, Option<usize>, String, bool)
             "--algos" => {
                 let raw = value("--algos")?;
                 spec.algorithms = if raw == "all" {
-                    ALGORITHM_NAMES.iter().map(|s| s.to_string()).collect()
+                    regs.algorithms
+                        .names()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect()
                 } else {
                     parse_list(&raw, |s| Ok(s.to_string()))?
                 };
@@ -142,9 +202,12 @@ fn parse_args(args: &[String]) -> Result<(GridSpec, Option<usize>, String, bool)
             }
             "--out" => out = value("--out")?,
             "--no-timings" => spec.record_timings = false,
-            "--list" => list = true,
+            "--list" => list = ListMode::Grid,
+            "--list-topologies" => list = ListMode::Topologies,
+            "--list-workloads" => list = ListMode::Workloads,
+            "--list-algorithms" => list = ListMode::Algorithms,
             "--help" | "-h" => {
-                usage();
+                usage(regs);
                 std::process::exit(0);
             }
             other => return Err(format!("unknown option '{other}' (try --help)")),
@@ -155,21 +218,47 @@ fn parse_args(args: &[String]) -> Result<(GridSpec, Option<usize>, String, bool)
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (spec, threads, out, list) = match parse_args(&args) {
+    let regs = SweepRegistries::standard();
+    let (spec, threads, out, list) = match parse_args(&args, &regs) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("bsor-sweep: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if list {
-        for c in expand(&spec) {
-            println!(
-                "{}x{} {} {} vcs={} rates={:?}",
-                c.mesh.0, c.mesh.1, c.workload, c.algorithm, c.vcs, spec.rates
-            );
+    match list {
+        ListMode::Topologies => {
+            for name in regs.topologies.names() {
+                println!("{name}");
+            }
+            return ExitCode::SUCCESS;
         }
-        return ExitCode::SUCCESS;
+        ListMode::Workloads => {
+            for name in regs.workloads.names() {
+                println!("{name}");
+            }
+            return ExitCode::SUCCESS;
+        }
+        ListMode::Algorithms => {
+            for name in regs.algorithms.names() {
+                println!("{name}");
+            }
+            return ExitCode::SUCCESS;
+        }
+        ListMode::Grid => {
+            for c in expand(&spec) {
+                println!(
+                    "{} {} {} vcs={} rates={:?}",
+                    c.topo.label(),
+                    c.workload,
+                    c.algorithm,
+                    c.vcs,
+                    spec.rates
+                );
+            }
+            return ExitCode::SUCCESS;
+        }
+        ListMode::None => {}
     }
     let threads = threads.unwrap_or_else(|| {
         std::thread::available_parallelism()
@@ -184,7 +273,7 @@ fn main() -> ExitCode {
         threads
     );
     let started = Instant::now();
-    let results = run_grid(&spec, threads);
+    let results = run_grid_with(&spec, threads, &regs);
     let total_wall_ms = if spec.record_timings {
         started.elapsed().as_secs_f64() * 1e3
     } else {
@@ -201,9 +290,10 @@ fn main() -> ExitCode {
         results.len(),
         started.elapsed().as_secs_f64()
     );
-    // A failed case (unroutable combination, unknown name) is recorded
-    // in the JSON *and* reflected in the exit code, so CI catches
-    // route-selection regressions without parsing the output.
+    // A failed case (unroutable combination, unknown name, a route set
+    // rejected by the Lemma-1 deadlock check) is recorded in the JSON
+    // *and* reflected in the exit code, so CI catches route-selection
+    // regressions without parsing the output.
     if failed > 0 {
         return ExitCode::from(2);
     }

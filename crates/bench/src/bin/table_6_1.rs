@@ -9,7 +9,7 @@
 //! ```
 
 use bsor::SelectorKind;
-use bsor_bench::{csv_mode, fmt_row, mcl_for, standard_mesh, table_cdgs, table_milp};
+use bsor_bench::{csv_mode, fmt_row, mcl_for, run_mode, standard_mesh, table_cdgs, table_milp};
 use bsor_workloads::all_six;
 
 fn main() {
@@ -17,6 +17,7 @@ fn main() {
     let workloads = all_six(&topo).expect("8x8 supports all workloads");
     let cdgs = table_cdgs();
     let csv = csv_mode();
+    let mode = run_mode();
 
     println!("Table 6.1: minimum MCL (MB/s) per acyclic CDG, BSOR_MILP selector");
     let mut header: Vec<String> = vec!["Example".into()];
@@ -30,7 +31,7 @@ fn main() {
     for w in &workloads {
         let mut cells: Vec<String> = vec![w.name.clone()];
         for (_, strategy) in &cdgs {
-            let cell = match mcl_for(&topo, w, 2, strategy, SelectorKind::Milp(table_milp())) {
+            let cell = match mcl_for(&topo, w, 2, strategy, SelectorKind::Milp(table_milp(mode))) {
                 Ok(mcl) => format!("{mcl:.2}"),
                 Err(e) => format!("({e})"),
             };

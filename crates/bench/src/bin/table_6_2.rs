@@ -7,7 +7,7 @@
 //! ```
 
 use bsor::SelectorKind;
-use bsor_bench::{csv_mode, fmt_row, mcl_for, standard_mesh, table_cdgs, table_dijkstra};
+use bsor_bench::{csv_mode, fmt_row, mcl_for, run_mode, standard_mesh, table_cdgs, table_dijkstra};
 use bsor_workloads::all_six;
 
 fn main() {
@@ -15,6 +15,7 @@ fn main() {
     let workloads = all_six(&topo).expect("8x8 supports all workloads");
     let cdgs = table_cdgs();
     let csv = csv_mode();
+    let mode = run_mode();
 
     println!("Table 6.2: minimum MCL (MB/s) per acyclic CDG, BSOR_Dijkstra selector");
     let mut header: Vec<String> = vec!["Example".into()];
@@ -33,7 +34,7 @@ fn main() {
                 w,
                 2,
                 strategy,
-                SelectorKind::Dijkstra(table_dijkstra()),
+                SelectorKind::Dijkstra(table_dijkstra(mode)),
             ) {
                 Ok(mcl) => format!("{mcl:.2}"),
                 Err(e) => format!("({e})"),

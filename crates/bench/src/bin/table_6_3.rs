@@ -2,20 +2,23 @@
 //! in MB/second presented by various routing algorithms" — XY, YX, ROMM,
 //! Valiant, BSOR_MILP and BSOR_Dijkstra (each BSOR taking the best CDG of
 //! its exploration, as in the paper). An O1TURN column is added as an
-//! extension.
+//! extension. Every column is one `RouteAlgorithm` run through the same
+//! scenario pipeline.
 //!
 //! ```text
 //! cargo run -p bsor-bench --release --bin table_6_3 [--quick] [--csv]
 //! ```
 
-use bsor_bench::{algorithm_routes, csv_mode, fmt_row, standard_mesh};
+use bsor_bench::{csv_mode, fmt_row, run_mode, scenario_for, standard_algorithms, standard_mesh};
 use bsor_routing::Baseline;
+use bsor_sim::RouteAlgorithm;
 use bsor_workloads::all_six;
 
 fn main() {
     let topo = standard_mesh();
     let workloads = all_six(&topo).expect("8x8 supports all workloads");
     let csv = csv_mode();
+    let mode = run_mode();
 
     println!("Table 6.3: MCL (MB/s) by routing algorithm (+O1TURN extension)");
     let header: Vec<String> = vec![
@@ -34,20 +37,20 @@ fn main() {
     } else {
         println!("{}", fmt_row(&header, &widths));
     }
+    // The six standard columns plus the O1TURN extension, all through
+    // the one RouteAlgorithm trait.
+    let mut algorithms: Vec<(String, Box<dyn RouteAlgorithm + Send + Sync>)> =
+        standard_algorithms(mode);
+    algorithms.push(("O1TURN".into(), Box::new(Baseline::O1Turn { seed: 9 })));
     for w in &workloads {
+        let scenario = scenario_for(&topo, w, 2);
         let mut cells: Vec<String> = vec![w.name.clone()];
-        for (_, routes) in algorithm_routes(&topo, w, 2) {
-            cells.push(match routes {
-                Ok(r) => format!("{:.2}", r.mcl(&topo, &w.flows)),
+        for (_, algo) in &algorithms {
+            cells.push(match scenario.select_routes(algo.as_ref()) {
+                Ok(r) => format!("{:.2}", r.mcl(scenario.topology(), scenario.flows())),
                 Err(e) => format!("({e})"),
             });
         }
-        // O1TURN extension column.
-        let o1turn = Baseline::O1Turn { seed: 9 }.select(&topo, &w.flows, 2);
-        cells.push(match o1turn {
-            Ok(r) => format!("{:.2}", r.mcl(&topo, &w.flows)),
-            Err(e) => format!("({e})"),
-        });
         if csv {
             println!("{}", cells.join(","));
         } else {

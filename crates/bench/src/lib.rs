@@ -14,8 +14,11 @@
 //! | Fig. 5-4 | `fig_5_4` | bursty injection-rate trace |
 //!
 //! All binaries print whitespace-aligned tables (and CSV with `--csv`)
-//! to stdout. Criterion micro-benchmarks for the building blocks (CDG
-//! derivation, selectors, simplex, simulator speed) live in `benches/`.
+//! to stdout. Every route computation goes through the unified
+//! [`Scenario`]/[`RouteAlgorithm`] pipeline — the same one the
+//! `bsor-sweep` CLI drives — so the figures, tables, sweep and examples
+//! all see identical inputs and identical deadlock validation. Criterion
+//! micro-benchmarks for the building blocks live in `benches/`.
 //!
 //! A note on turn-model naming: the paper's figures draw the mesh with
 //! the y-axis pointing down, so its "negative-first" corresponds to
@@ -26,15 +29,15 @@
 pub mod json;
 pub mod sweep;
 
-use bsor::{BsorBuilder, CdgStrategy, SelectorKind};
+use bsor::{BsorAlgorithm, BsorBuilder, CdgStrategy, SelectorKind};
 use bsor_cdg::TurnModel;
 use bsor_flow::FlowSet;
 use bsor_lp::MilpOptions;
 use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
-use bsor_routing::{Baseline, RouteSet, SelectError};
-use bsor_sim::{MarkovVariation, SimConfig, Simulator, TrafficSpec};
+use bsor_routing::{Baseline, RouteSet};
+use bsor_sim::{MarkovVariation, RouteAlgorithm, Scenario, SimConfig, Simulator, TrafficSpec};
 use bsor_topology::Topology;
-use bsor_workloads::Workload;
+use bsor_workloads::{h264_decoder, transpose, Workload};
 use std::time::Duration;
 
 /// The paper's evaluation substrate: an 8×8 mesh (§6.1).
@@ -66,10 +69,10 @@ pub fn table_cdgs() -> Vec<(String, CdgStrategy)> {
 /// MILP selector configuration used by the table/figure binaries:
 /// bounded so a full table regenerates in minutes, as the thesis's
 /// "ILP as heuristic" mode suggests for larger problems. Under
-/// `--quick` the budget shrinks further so CI can exercise the MILP
-/// tables in seconds.
-pub fn table_milp() -> MilpSelector {
-    let (max_paths, max_nodes, limit) = match run_mode() {
+/// [`RunMode::Quick`] the budget shrinks further so CI can exercise the
+/// MILP tables in seconds.
+pub fn table_milp(mode: RunMode) -> MilpSelector {
+    let (max_paths, max_nodes, limit) = match mode {
         RunMode::Quick => (6, 2, Duration::from_millis(200)),
         _ => (40, 20, Duration::from_secs(5)),
     };
@@ -85,9 +88,9 @@ pub fn table_milp() -> MilpSelector {
 
 /// Dijkstra selector configuration for the tables: two rip-up/reroute
 /// refinement passes on top of the paper's sequential heuristic (none
-/// under `--quick`).
-pub fn table_dijkstra() -> DijkstraSelector {
-    let refinement = match run_mode() {
+/// under [`RunMode::Quick`]).
+pub fn table_dijkstra(mode: RunMode) -> DijkstraSelector {
+    let refinement = match mode {
         RunMode::Quick => 0,
         _ => 2,
     };
@@ -113,36 +116,49 @@ pub fn mcl_for(
 }
 
 /// The six routing algorithms compared throughout Chapter 6, in table
-/// order, each yielding a route set for the workload (errors as text).
+/// order, as pluggable [`RouteAlgorithm`] instances.
+pub fn standard_algorithms(mode: RunMode) -> Vec<(String, Box<dyn RouteAlgorithm + Send + Sync>)> {
+    vec![
+        ("XY".into(), Box::new(Baseline::XY)),
+        ("YX".into(), Box::new(Baseline::YX)),
+        ("ROMM".into(), Box::new(Baseline::Romm { seed: 9 })),
+        ("Valiant".into(), Box::new(Baseline::Valiant { seed: 9 })),
+        (
+            "BSOR-MILP".into(),
+            Box::new(BsorAlgorithm::milp("BSOR-MILP", table_milp(mode))),
+        ),
+        ("BSOR-Dijkstra".into(), Box::new(BsorAlgorithm::dijkstra())),
+    ]
+}
+
+/// Builds the unified [`Scenario`] a figure/table runs on.
+pub fn scenario_for(topo: &Topology, workload: &Workload, vcs: u8) -> Scenario {
+    Scenario::builder(topo.clone(), workload.flows.clone())
+        .named(workload.name.clone())
+        .vcs(vcs)
+        .build()
+        .expect("bench workloads are valid on their topologies")
+}
+
+/// The six algorithms of [`standard_algorithms`], each yielding a
+/// validated route set for the workload through the scenario pipeline
+/// (errors as text).
 pub fn algorithm_routes(
     topo: &Topology,
     workload: &Workload,
     vcs: u8,
+    mode: RunMode,
 ) -> Vec<(String, Result<RouteSet, String>)> {
-    let flows = &workload.flows;
-    let baseline = |b: Baseline| -> Result<RouteSet, String> {
-        b.select(topo, flows, vcs)
-            .map_err(|e: SelectError| e.to_string())
-    };
-    let bsor = |selector: SelectorKind| -> Result<RouteSet, String> {
-        BsorBuilder::new(topo, flows)
-            .vcs(vcs)
-            .selector(selector)
-            .run()
-            .map(|r| r.routes)
-            .map_err(|e| e.to_string())
-    };
-    vec![
-        ("XY".into(), baseline(Baseline::XY)),
-        ("YX".into(), baseline(Baseline::YX)),
-        ("ROMM".into(), baseline(Baseline::Romm { seed: 9 })),
-        ("Valiant".into(), baseline(Baseline::Valiant { seed: 9 })),
-        ("BSOR-MILP".into(), bsor(SelectorKind::Milp(table_milp()))),
-        (
-            "BSOR-Dijkstra".into(),
-            bsor(SelectorKind::Dijkstra(DijkstraSelector::new())),
-        ),
-    ]
+    let scenario = scenario_for(topo, workload, vcs);
+    standard_algorithms(mode)
+        .into_iter()
+        .map(|(name, algo)| {
+            let routes = scenario
+                .select_routes(algo.as_ref())
+                .map_err(|e| e.to_string());
+            (name, routes)
+        })
+        .collect()
 }
 
 /// One point of a load-sweep curve.
@@ -235,22 +251,32 @@ pub fn run_mode() -> RunMode {
     }
 }
 
-/// The sweep settings for the current [`run_mode`].
-pub fn figure_sweep(vcs: u8) -> SweepConfig {
-    match run_mode() {
+/// The sweep settings for `mode`.
+pub fn sweep_for(mode: RunMode, vcs: u8) -> SweepConfig {
+    match mode {
         RunMode::Quick => SweepConfig::ci(vcs),
         RunMode::Default => SweepConfig::quick(vcs),
         RunMode::Paper => SweepConfig::paper(vcs),
     }
 }
 
-/// The offered-rate grid for the current [`run_mode`]: the standard ten
-/// points, or three spanning light load / knee / saturation in `--quick`.
-pub fn figure_rates() -> Vec<f64> {
-    match run_mode() {
+/// The sweep settings for the current [`run_mode`].
+pub fn figure_sweep(vcs: u8) -> SweepConfig {
+    sweep_for(run_mode(), vcs)
+}
+
+/// The offered-rate grid for `mode`: the standard ten points, or three
+/// spanning light load / knee / saturation in [`RunMode::Quick`].
+pub fn rates_for(mode: RunMode) -> Vec<f64> {
+    match mode {
         RunMode::Quick => vec![0.1, 0.8, 2.0],
         _ => standard_rates(),
     }
+}
+
+/// The offered-rate grid for the current [`run_mode`].
+pub fn figure_rates() -> Vec<f64> {
+    rates_for(run_mode())
 }
 
 /// Simulates one route set across a range of offered loads.
@@ -290,21 +316,32 @@ pub fn standard_rates() -> Vec<f64> {
     vec![0.05, 0.1, 0.2, 0.4, 0.8, 1.2, 1.6, 2.0, 2.6, 3.2]
 }
 
-/// Prints one of the paper's throughput/latency figures: every algorithm
-/// of [`algorithm_routes`] swept over `rates` on `workload`.
-pub fn print_figure(
+/// Streams one of the paper's throughput/latency figures into `out`:
+/// every algorithm of [`standard_algorithms`] routed through the
+/// scenario pipeline and swept over `rates` on `workload`. Rows are
+/// written as they are computed, so long `--paper` runs show progress
+/// on a terminal sink (see [`StdoutSink`]).
+///
+/// # Errors
+///
+/// Only the sink's own [`std::fmt::Error`].
+#[allow(clippy::too_many_arguments)]
+pub fn write_figure(
+    out: &mut dyn std::fmt::Write,
     title: &str,
     topo: &Topology,
     workload: &Workload,
     cfg: &SweepConfig,
     rates: &[f64],
-) {
-    let csv = csv_mode();
-    println!("{title}");
+    mode: RunMode,
+    csv: bool,
+) -> std::fmt::Result {
+    writeln!(out, "{title}")?;
     if csv {
-        println!("algorithm,offered,throughput,latency,deadlocked");
+        writeln!(out, "algorithm,offered,throughput,latency,deadlocked")?;
     } else {
-        println!(
+        writeln!(
+            out,
             "{}",
             fmt_row(
                 &[
@@ -315,11 +352,11 @@ pub fn print_figure(
                 ],
                 &[14, 9, 11, 9]
             )
-        );
+        )?;
     }
-    for (name, routes) in algorithm_routes(topo, workload, cfg.vcs) {
+    for (name, routes) in algorithm_routes(topo, workload, cfg.vcs, mode) {
         match routes {
-            Err(e) => println!("{name}: skipped ({e})"),
+            Err(e) => writeln!(out, "{name}: skipped ({e})")?,
             Ok(routes) => {
                 for p in load_sweep(topo, &workload.flows, &routes, rates, cfg) {
                     let latency = p
@@ -327,12 +364,14 @@ pub fn print_figure(
                         .map(|l| format!("{l:.1}"))
                         .unwrap_or_else(|| "-".into());
                     if csv {
-                        println!(
+                        writeln!(
+                            out,
                             "{name},{:.3},{:.4},{latency},{}",
                             p.offered, p.throughput, p.deadlocked
-                        );
+                        )?;
                     } else {
-                        println!(
+                        writeln!(
+                            out,
                             "{}",
                             fmt_row(
                                 &[
@@ -343,11 +382,115 @@ pub fn print_figure(
                                 ],
                                 &[14, 9, 11, 9]
                             )
-                        );
+                        )?;
                     }
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// [`write_figure`] into a fresh `String` (what the golden tests pin).
+#[allow(clippy::too_many_arguments)]
+pub fn render_figure(
+    title: &str,
+    topo: &Topology,
+    workload: &Workload,
+    cfg: &SweepConfig,
+    rates: &[f64],
+    mode: RunMode,
+    csv: bool,
+) -> String {
+    let mut out = String::new();
+    write_figure(&mut out, title, topo, workload, cfg, rates, mode, csv)
+        .expect("string writes cannot fail");
+    out
+}
+
+/// Streams Figure 6-7's VC sweep into `out`: transpose and the H.264
+/// decoder with 1/2/4/8 virtual channels, XY vs BSOR-Dijkstra (ROMM
+/// joins at 2+ VCs — with a single VC it would deadlock, exactly as in
+/// §6.2.7). Rows are written as they are computed.
+///
+/// # Errors
+///
+/// Only the sink's own [`std::fmt::Error`].
+pub fn write_vc_sweep(
+    out: &mut dyn std::fmt::Write,
+    topo: &Topology,
+    mode: RunMode,
+    csv: bool,
+) -> std::fmt::Result {
+    let rates = rates_for(mode);
+    if csv {
+        writeln!(out, "workload,vcs,algorithm,offered,throughput,latency")?;
+    }
+    for workload in [
+        transpose(topo).expect("square"),
+        h264_decoder(topo).expect("fits"),
+    ] {
+        for vcs in [1u8, 2, 4, 8] {
+            let cfg = sweep_for(mode, vcs);
+            if !csv {
+                writeln!(out, "Figure 6-7: {} with {vcs} VC(s)", workload.name)?;
+            }
+            let scenario = scenario_for(topo, &workload, vcs);
+            let mut algos: Vec<(String, Box<dyn RouteAlgorithm + Send + Sync>)> = vec![
+                ("XY".into(), Box::new(Baseline::XY)),
+                ("BSOR-Dijkstra".into(), Box::new(BsorAlgorithm::dijkstra())),
+            ];
+            if vcs >= 2 {
+                algos.push(("ROMM".into(), Box::new(Baseline::Romm { seed: 9 })));
+            }
+            for (name, algo) in algos {
+                match scenario.select_routes(algo.as_ref()) {
+                    Err(e) => writeln!(out, "{name}: skipped ({e})")?,
+                    Ok(routes) => {
+                        for p in load_sweep(topo, &workload.flows, &routes, &rates, &cfg) {
+                            let lat = p
+                                .latency
+                                .map(|l| format!("{l:.1}"))
+                                .unwrap_or_else(|| "-".into());
+                            if csv {
+                                writeln!(
+                                    out,
+                                    "{},{vcs},{name},{:.3},{:.4},{lat}",
+                                    workload.name, p.offered, p.throughput
+                                )?;
+                            } else {
+                                writeln!(
+                                    out,
+                                    "  {name:>14}  rate {:.3}  tput {:.4}  lat {lat}",
+                                    p.offered, p.throughput
+                                )?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`write_vc_sweep`] into a fresh `String` (what the golden test pins).
+pub fn vc_sweep_report(topo: &Topology, mode: RunMode, csv: bool) -> String {
+    let mut out = String::new();
+    write_vc_sweep(&mut out, topo, mode, csv).expect("string writes cannot fail");
+    out
+}
+
+/// A [`std::fmt::Write`] sink that streams straight to stdout, so the
+/// figure binaries print each row as its simulations finish instead of
+/// buffering whole figures (hours under `--paper`) in memory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StdoutSink;
+
+impl std::fmt::Write for StdoutSink {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        print!("{s}");
+        Ok(())
     }
 }
 
@@ -406,7 +549,9 @@ mod tests {
     fn sweep_produces_monotone_offered_axis() {
         let topo = Topology::mesh2d(4, 4);
         let w = bsor_workloads::transpose(&topo).expect("square");
-        let routes = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
+        let routes = scenario_for(&topo, &w, 2)
+            .select_routes(&Baseline::XY)
+            .expect("xy");
         let cfg = SweepConfig {
             warmup: 200,
             measurement: 1_000,
@@ -417,6 +562,33 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert!(points[0].offered < points[1].offered);
         assert!(points.iter().all(|p| !p.deadlocked));
+    }
+
+    #[test]
+    fn standard_algorithms_are_table_ordered() {
+        let names: Vec<String> = standard_algorithms(RunMode::Quick)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["XY", "YX", "ROMM", "Valiant", "BSOR-MILP", "BSOR-Dijkstra"]
+        );
+    }
+
+    #[test]
+    fn render_figure_has_csv_header_and_rows() {
+        let topo = Topology::mesh2d(4, 4);
+        let w = transpose(&topo).expect("square");
+        let cfg = SweepConfig::ci(2);
+        let out = render_figure("T", &topo, &w, &cfg, &[0.1], RunMode::Quick, true);
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some("T"));
+        assert_eq!(
+            lines.next(),
+            Some("algorithm,offered,throughput,latency,deadlocked")
+        );
+        assert!(out.lines().any(|l| l.starts_with("XY,0.100,")));
     }
 
     #[test]

@@ -9,61 +9,101 @@
 //! `std::thread::scope` workers, and each worker runs its case's rate
 //! points serially on one freshly-built route set.
 //!
+//! Every axis is registry-driven ([`SweepRegistries`]): topologies come
+//! from [`TopologyRegistry`], workloads from [`WorkloadRegistry`] and
+//! algorithms from [`AlgorithmRegistry`], so registering a new entry
+//! makes it sweepable with no sweep-code changes. Each case runs through
+//! the unified [`Scenario`] pipeline, which validates deadlock freedom
+//! (paper Lemma 1) before simulating; algorithms whose routes would
+//! deadlock surface as per-case errors instead of silently jamming the
+//! simulator.
+//!
 //! Output is a schema-stable [`Json`] document. Every field is present
 //! in every run; wall-clock fields are zeroed when
 //! [`GridSpec::record_timings`] is off so CI can diff two sweeps
 //! byte-for-byte to prove determinism.
 
 use crate::json::Json;
-use bsor::{BsorBuilder, SelectorKind};
-use bsor_lp::MilpOptions;
-use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
-use bsor_routing::{Baseline, RouteSet};
-use bsor_sim::{SimConfig, Simulator, TrafficSpec};
-use bsor_topology::Topology;
-use bsor_workloads::{
-    bit_complement, h264_decoder, performance_modeling, shuffle, transpose, wifi_transmitter,
-    Workload,
-};
+use bsor::AlgorithmRegistry;
+use bsor_sim::{Scenario, SimConfig, TrafficSpec};
+use bsor_topology::TopologyRegistry;
+use bsor_workloads::WorkloadRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Workload names the sweep grid understands, in paper order.
-pub const WORKLOAD_NAMES: [&str; 6] = [
-    "transpose",
-    "bit-complement",
-    "shuffle",
-    "h264",
-    "perf-model",
-    "wifi",
-];
-
-/// Routing-algorithm names the sweep grid understands.
+/// The pluggable name spaces a sweep draws its axes from.
 ///
-/// `bsor-milp` runs the MILP selector with a node budget instead of a
-/// wall-clock limit so its routes stay deterministic.
-pub const ALGORITHM_NAMES: [&str; 7] = [
-    "xy",
-    "yx",
-    "romm",
-    "valiant",
-    "o1turn",
-    "bsor-dijkstra",
-    "bsor-milp",
-];
+/// [`SweepRegistries::standard`] carries the built-in families (four
+/// topologies, six workloads, seven algorithms); extend any member
+/// before running to sweep custom entries.
+#[derive(Default)]
+pub struct SweepRegistries {
+    /// Topology families (`mesh`, `torus`, `ring`, `hypercube`, …).
+    pub topologies: TopologyRegistry,
+    /// Workload generators (`transpose`, `h264`, …).
+    pub workloads: WorkloadRegistry,
+    /// Routing algorithms (`xy`, `bsor-dijkstra`, …).
+    pub algorithms: AlgorithmRegistry,
+}
 
-/// Seed the baseline randomized algorithms (ROMM/Valiant/O1TURN) use
-/// throughout the bench harness.
-const BASELINE_SEED: u64 = 9;
+impl SweepRegistries {
+    /// The built-in name spaces.
+    pub fn standard() -> SweepRegistries {
+        SweepRegistries {
+            topologies: TopologyRegistry::standard(),
+            workloads: WorkloadRegistry::standard(),
+            algorithms: AlgorithmRegistry::standard(),
+        }
+    }
+}
+
+/// One topology axis entry: a registry name plus grid dimensions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopoSpec {
+    /// Registry name (`mesh`, `torus`, `ring`, `hypercube`, …).
+    pub name: String,
+    /// Grid dimensions handed to the factory (non-grid families
+    /// reinterpret them; see `bsor_topology::registry`).
+    pub dims: (u16, u16),
+}
+
+impl TopoSpec {
+    /// A mesh entry (the historical default axis).
+    pub fn mesh(width: u16, height: u16) -> TopoSpec {
+        TopoSpec {
+            name: "mesh".to_owned(),
+            dims: (width, height),
+        }
+    }
+
+    /// A named entry.
+    pub fn new(name: impl Into<String>, width: u16, height: u16) -> TopoSpec {
+        TopoSpec {
+            name: name.into(),
+            dims: (width, height),
+        }
+    }
+
+    /// Display label: bare `WxH` for meshes (schema compatibility with
+    /// the original mesh-only grid), `name:WxH` for everything else.
+    pub fn label(&self) -> String {
+        let (w, h) = self.dims;
+        if self.name == "mesh" {
+            format!("{w}x{h}")
+        } else {
+            format!("{}:{w}x{h}", self.name)
+        }
+    }
+}
 
 /// A declarative scenario grid.
 #[derive(Clone, Debug)]
 pub struct GridSpec {
-    /// Mesh sizes, e.g. `[(8, 8)]`.
-    pub meshes: Vec<(u16, u16)>,
-    /// Workload names (see [`WORKLOAD_NAMES`]).
+    /// Topology axis, e.g. `[TopoSpec::mesh(8, 8)]`.
+    pub topologies: Vec<TopoSpec>,
+    /// Workload names (see [`WorkloadRegistry::names`]).
     pub workloads: Vec<String>,
-    /// Algorithm names (see [`ALGORITHM_NAMES`]).
+    /// Algorithm names (see [`AlgorithmRegistry::names`]).
     pub algorithms: Vec<String>,
     /// VC counts.
     pub vcs: Vec<u8>,
@@ -86,8 +126,12 @@ impl GridSpec {
     /// The full evaluation grid on the paper's 8×8 mesh.
     pub fn standard() -> GridSpec {
         GridSpec {
-            meshes: vec![(8, 8)],
-            workloads: WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect(),
+            topologies: vec![TopoSpec::mesh(8, 8)],
+            workloads: WorkloadRegistry::standard()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             algorithms: vec![
                 "xy".into(),
                 "yx".into(),
@@ -109,7 +153,7 @@ impl GridSpec {
     /// algorithms, three rates, short windows.
     pub fn smoke() -> GridSpec {
         GridSpec {
-            meshes: vec![(8, 8)],
+            topologies: vec![TopoSpec::mesh(8, 8)],
             workloads: vec!["transpose".into(), "h264".into()],
             algorithms: vec!["xy".into(), "yx".into(), "bsor-dijkstra".into()],
             vcs: vec![2],
@@ -124,7 +168,7 @@ impl GridSpec {
 
     /// Number of cases (route computations) the grid expands to.
     pub fn num_cases(&self) -> usize {
-        self.meshes.len() * self.workloads.len() * self.algorithms.len() * self.vcs.len()
+        self.topologies.len() * self.workloads.len() * self.algorithms.len() * self.vcs.len()
     }
 
     /// Number of simulation runs the grid expands to.
@@ -136,8 +180,8 @@ impl GridSpec {
 /// One case: everything but the injection rate.
 #[derive(Clone, Debug)]
 pub struct Case {
-    /// Mesh dimensions.
-    pub mesh: (u16, u16),
+    /// Topology axis entry.
+    pub topo: TopoSpec,
     /// Workload name.
     pub workload: String,
     /// Algorithm name.
@@ -146,16 +190,16 @@ pub struct Case {
     pub vcs: u8,
 }
 
-/// Expands the grid into cases, mesh-major then workload, algorithm, VC
-/// — a deterministic order the output preserves.
+/// Expands the grid into cases, topology-major then workload, algorithm,
+/// VC — a deterministic order the output preserves.
 pub fn expand(spec: &GridSpec) -> Vec<Case> {
     let mut cases = Vec::with_capacity(spec.num_cases());
-    for &mesh in &spec.meshes {
+    for topo in &spec.topologies {
         for workload in &spec.workloads {
             for algorithm in &spec.algorithms {
                 for &vcs in &spec.vcs {
                     cases.push(Case {
-                        mesh,
+                        topo: topo.clone(),
                         workload: workload.clone(),
                         algorithm: algorithm.clone(),
                         vcs,
@@ -165,78 +209,6 @@ pub fn expand(spec: &GridSpec) -> Vec<Case> {
         }
     }
     cases
-}
-
-/// Instantiates a workload by sweep-grid name.
-///
-/// # Errors
-///
-/// Unknown names and topology/workload mismatches come back as text.
-pub fn workload_by_name(topo: &Topology, name: &str) -> Result<Workload, String> {
-    let built = match name {
-        "transpose" => transpose(topo),
-        "bit-complement" => bit_complement(topo),
-        "shuffle" => shuffle(topo),
-        "h264" => h264_decoder(topo),
-        "perf-model" => performance_modeling(topo),
-        "wifi" => wifi_transmitter(topo),
-        other => return Err(format!("unknown workload '{other}'")),
-    };
-    built.map_err(|e| e.to_string())
-}
-
-/// Computes routes for one algorithm by sweep-grid name.
-///
-/// # Errors
-///
-/// Unknown names and selection failures come back as text.
-pub fn routes_by_name(
-    topo: &Topology,
-    workload: &Workload,
-    name: &str,
-    vcs: u8,
-) -> Result<RouteSet, String> {
-    let baseline = |b: Baseline| {
-        b.select(topo, &workload.flows, vcs)
-            .map_err(|e| e.to_string())
-    };
-    match name {
-        "xy" => baseline(Baseline::XY),
-        "yx" => baseline(Baseline::YX),
-        "romm" => baseline(Baseline::Romm {
-            seed: BASELINE_SEED,
-        }),
-        "valiant" => baseline(Baseline::Valiant {
-            seed: BASELINE_SEED,
-        }),
-        "o1turn" => baseline(Baseline::O1Turn {
-            seed: BASELINE_SEED,
-        }),
-        "bsor-dijkstra" => BsorBuilder::new(topo, &workload.flows)
-            .vcs(vcs)
-            .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))
-            .run()
-            .map(|r| r.routes)
-            .map_err(|e| e.to_string()),
-        // Node-budget only: a wall-clock limit would make the chosen
-        // routes depend on machine speed and break determinism.
-        "bsor-milp" => BsorBuilder::new(topo, &workload.flows)
-            .vcs(vcs)
-            .selector(SelectorKind::Milp(
-                MilpSelector::new()
-                    .with_hop_slack(2)
-                    .with_max_paths(40)
-                    .with_options(MilpOptions {
-                        max_nodes: 20,
-                        time_limit: None,
-                        ..MilpOptions::default()
-                    }),
-            ))
-            .run()
-            .map(|r| r.routes)
-            .map_err(|e| e.to_string()),
-        other => Err(format!("unknown algorithm '{other}'")),
-    }
 }
 
 /// One load point's measurements.
@@ -274,7 +246,9 @@ pub struct CaseResult {
     /// Maximum channel load of the routes in MB/s (the paper's MCL
     /// metric), when routing succeeded.
     pub mcl: Option<f64>,
-    /// Route-computation or workload error, when the case failed.
+    /// Route-computation, workload or validation error, when the case
+    /// failed. Deadlock-capable route sets rejected by the pipeline
+    /// (`ExperimentError::CyclicCdg`) land here too.
     pub error: Option<String>,
     /// Per-rate measurements (empty when `error` is set).
     pub points: Vec<PointResult>,
@@ -282,46 +256,57 @@ pub struct CaseResult {
     pub wall_ms: f64,
 }
 
-fn run_case(spec: &GridSpec, case: &Case) -> CaseResult {
+fn failed_case(case: &Case, error: String) -> CaseResult {
+    CaseResult {
+        case: case.clone(),
+        mcl: None,
+        error: Some(error),
+        points: Vec::new(),
+        wall_ms: 0.0,
+    }
+}
+
+fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries) -> CaseResult {
     let started = Instant::now();
-    let (w, h) = case.mesh;
-    let topo = Topology::mesh2d(w, h);
-    let workload = match workload_by_name(&topo, &case.workload) {
+    let (w, h) = case.topo.dims;
+    let topo = match regs.topologies.build(&case.topo.name, w, h) {
+        Ok(t) => t,
+        Err(e) => return failed_case(case, e.to_string()),
+    };
+    let workload = match regs.workloads.build(&topo, &case.workload) {
         Ok(w) => w,
-        Err(e) => {
-            return CaseResult {
-                case: case.clone(),
-                mcl: None,
-                error: Some(e),
-                points: Vec::new(),
-                wall_ms: 0.0,
-            }
-        }
+        Err(e) => return failed_case(case, e.to_string()),
     };
-    let routes = match routes_by_name(&topo, &workload, &case.algorithm, case.vcs) {
+    let Some(algorithm) = regs.algorithms.get(&case.algorithm) else {
+        return failed_case(case, format!("unknown algorithm '{}'", case.algorithm));
+    };
+    let scenario = match Scenario::builder(topo, workload.flows)
+        .named(&case.workload)
+        .vcs(case.vcs)
+        .build()
+    {
+        Ok(s) => s,
+        Err(e) => return failed_case(case, e.to_string()),
+    };
+    // Route selection runs once per case; the pipeline re-validates the
+    // result (one route per flow, acyclic induced CDG) before any
+    // simulation happens.
+    let routes = match scenario.select_routes(algorithm) {
         Ok(r) => r,
-        Err(e) => {
-            return CaseResult {
-                case: case.clone(),
-                mcl: None,
-                error: Some(e),
-                points: Vec::new(),
-                wall_ms: 0.0,
-            }
-        }
+        Err(e) => return failed_case(case, e.to_string()),
     };
-    let mcl = routes.mcl(&topo, &workload.flows);
+    let mcl = routes.mcl(scenario.topology(), scenario.flows());
     let mut points = Vec::with_capacity(spec.rates.len());
     for &rate in &spec.rates {
-        let traffic = TrafficSpec::proportional(&workload.flows, rate);
+        let traffic = TrafficSpec::proportional(scenario.flows(), rate);
         let config = SimConfig::new(case.vcs)
             .with_warmup(spec.warmup)
             .with_measurement(spec.measurement)
             .with_packet_len(spec.packet_len)
             .with_seed(spec.seed);
-        let (report, timing) = Simulator::new(&topo, &workload.flows, &routes, traffic, config)
-            .expect("expanded grid scenarios are consistent")
-            .run_timed();
+        let (report, timing) = scenario
+            .simulate_timed(&routes, traffic, config)
+            .expect("validated scenarios simulate");
         points.push(PointResult {
             rate,
             offered: report.offered(),
@@ -357,13 +342,20 @@ fn run_case(spec: &GridSpec, case: &Case) -> CaseResult {
     }
 }
 
-/// Runs every case of `spec` across `threads` scoped workers and returns
-/// the results in deterministic grid order.
+/// Runs every case of `spec` across `threads` scoped workers with the
+/// standard registries.
+pub fn run_grid(spec: &GridSpec, threads: usize) -> Vec<CaseResult> {
+    run_grid_with(spec, threads, &SweepRegistries::standard())
+}
+
+/// Runs every case of `spec` across `threads` scoped workers using
+/// `regs` for name resolution, and returns the results in deterministic
+/// grid order.
 ///
 /// Workers claim case indices from a shared atomic counter, so thread
 /// count and scheduling affect only wall-clock fields — the simulation
 /// results per case are independent and reassembled in expansion order.
-pub fn run_grid(spec: &GridSpec, threads: usize) -> Vec<CaseResult> {
+pub fn run_grid_with(spec: &GridSpec, threads: usize, regs: &SweepRegistries) -> Vec<CaseResult> {
     let cases = expand(spec);
     let threads = threads.max(1).min(cases.len().max(1));
     let next = AtomicUsize::new(0);
@@ -380,7 +372,7 @@ pub fn run_grid(spec: &GridSpec, threads: usize) -> Vec<CaseResult> {
                         if i >= cases.len() {
                             break;
                         }
-                        mine.push((i, run_case(spec, &cases[i])));
+                        mine.push((i, run_case(spec, &cases[i], regs)));
                     }
                     mine
                 })
@@ -405,6 +397,10 @@ pub fn run_grid(spec: &GridSpec, threads: usize) -> Vec<CaseResult> {
 /// wall-clock numbers. The entire timing block — thread count included —
 /// is zeroed when timings are off, so two `--no-timings` sweeps of the
 /// same grid are byte-identical even across different `--threads`.
+///
+/// The `meshes`/`mesh` keys predate the topology axis and are kept for
+/// schema stability; non-mesh entries carry `name:WxH` labels in the
+/// same fields.
 pub fn sweep_json(
     spec: &GridSpec,
     results: &[CaseResult],
@@ -416,9 +412,9 @@ pub fn sweep_json(
         (
             "meshes",
             Json::Array(
-                spec.meshes
+                spec.topologies
                     .iter()
-                    .map(|(w, h)| Json::from(format!("{w}x{h}")))
+                    .map(|t| Json::from(t.label()))
                     .collect(),
             ),
         ),
@@ -476,10 +472,7 @@ pub fn sweep_json(
                 })
                 .collect();
             Json::object(vec![
-                (
-                    "mesh",
-                    Json::from(format!("{}x{}", r.case.mesh.0, r.case.mesh.1)),
-                ),
+                ("mesh", Json::from(r.case.topo.label())),
                 ("workload", Json::from(r.case.workload.as_str())),
                 ("algorithm", Json::from(r.case.algorithm.as_str())),
                 ("vcs", Json::from(r.case.vcs as u64)),
@@ -510,7 +503,7 @@ mod tests {
 
     fn tiny_spec() -> GridSpec {
         GridSpec {
-            meshes: vec![(4, 4)],
+            topologies: vec![TopoSpec::mesh(4, 4)],
             workloads: vec!["transpose".into()],
             algorithms: vec!["xy".into(), "yx".into()],
             vcs: vec![2],
@@ -573,8 +566,46 @@ mod tests {
     #[test]
     fn bad_topology_for_workload_reports_error() {
         let mut spec = tiny_spec();
-        spec.meshes = vec![(3, 4)];
+        spec.topologies = vec![TopoSpec::mesh(3, 4)];
         let results = run_grid(&spec, 2);
         assert!(results.iter().all(|r| r.error.is_some()));
+    }
+
+    #[test]
+    fn topology_axis_sweeps_non_meshes() {
+        let mut spec = tiny_spec();
+        // Synthetic patterns need square power-of-two meshes, so pair
+        // the torus/ring entries with an applicable workload instead.
+        spec.topologies = vec![
+            TopoSpec::new("torus", 4, 4),
+            TopoSpec::new("ring", 8, 1),
+            TopoSpec::new("nowhere", 4, 4),
+        ];
+        spec.workloads = vec!["h264".into()];
+        spec.algorithms = vec!["bsor-dijkstra".into()];
+        spec.rates = vec![0.1];
+        let results = run_grid(&spec, 2);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].case.topo.label(), "torus:4x4");
+        assert!(
+            results[0].error.is_none(),
+            "torus routes: {:?}",
+            results[0].error
+        );
+        assert!(results[0].mcl.unwrap() > 0.0);
+        // A ring of 8 nodes is too small for the 9-module H.264 graph —
+        // the workload error is recorded, not fatal.
+        assert!(results[1].error.is_some());
+        assert!(results[2]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("unknown topology"));
+    }
+
+    #[test]
+    fn mesh_labels_stay_schema_compatible() {
+        assert_eq!(TopoSpec::mesh(8, 8).label(), "8x8");
+        assert_eq!(TopoSpec::new("hypercube", 4, 2).label(), "hypercube:4x2");
     }
 }

@@ -1,0 +1,38 @@
+//! Byte-identity goldens pinning the unified scenario/registry pipeline
+//! to the pre-refactor outputs.
+//!
+//! The files under `tests/golden/` were captured from the string-matched
+//! glue (`routes_by_name`/`workload_by_name` + per-binary plumbing)
+//! *before* the migration onto `Scenario`/`RouteAlgorithm`/registries:
+//!
+//! * `sweep_smoke.json` — `bsor-sweep --quick --no-timings --threads 2`
+//! * `fig_6_7_quick.csv` — `fig_6_7 --quick --csv`
+//!
+//! The new pipeline must reproduce both byte-for-byte at the fixed
+//! seeds: the refactor is an API change, not a behavioral one.
+
+use bsor_bench::sweep::{run_grid, sweep_json, GridSpec};
+use bsor_bench::{standard_mesh, vc_sweep_report, RunMode};
+
+#[test]
+fn sweep_smoke_json_is_byte_identical_to_pre_refactor() {
+    let mut spec = GridSpec::smoke();
+    spec.record_timings = false;
+    let results = run_grid(&spec, 2);
+    let doc = sweep_json(&spec, &results, 2, 0.0).pretty();
+    assert_eq!(
+        doc,
+        include_str!("golden/sweep_smoke.json"),
+        "registry-driven sweep diverged from the pre-refactor BENCH_sweep.json"
+    );
+}
+
+#[test]
+fn fig_6_7_csv_is_byte_identical_to_pre_refactor() {
+    let report = vc_sweep_report(&standard_mesh(), RunMode::Quick, true);
+    assert_eq!(
+        report,
+        include_str!("golden/fig_6_7_quick.csv"),
+        "scenario-pipeline figure diverged from the pre-refactor fig_6_7 output"
+    );
+}

@@ -44,6 +44,16 @@ pub use bsor_sim as sim;
 pub use bsor_topology as topology;
 pub use bsor_workloads as workloads;
 
+pub mod registry;
+
+pub use bsor_sim::{
+    AlgorithmError, Experiment, ExperimentError, RouteAlgorithm, Scenario, ScenarioBuilder,
+    ScenarioCtx,
+};
+pub use bsor_topology::{TopologyError, TopologyRegistry};
+pub use bsor_workloads::{workload_by_name, WorkloadRegistry};
+pub use registry::{AlgorithmRegistry, BsorAlgorithm};
+
 use bsor_cdg::{AcyclicCdg, CdgError, LayerRecipe, TurnModel};
 use bsor_flow::{FlowNetwork, FlowSet, FlowSetError};
 use bsor_routing::selectors::{DijkstraSelector, MilpSelector};

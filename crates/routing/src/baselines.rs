@@ -60,6 +60,13 @@ impl Baseline {
 
     /// Computes one route per flow.
     ///
+    /// **Deprecation note:** this topology-and-VC-count signature is the
+    /// legacy entry point. New code should run baselines through the
+    /// unified `RouteAlgorithm` trait (`bsor_sim::RouteAlgorithm`, which
+    /// `Baseline` implements) and the `Scenario` pipeline, which adds
+    /// mandatory Lemma-1 deadlock validation; this method remains as the
+    /// construction kernel the trait impl delegates to.
+    ///
     /// # Errors
     ///
     /// [`SelectError::NeedsVirtualChannels`] when `vcs` is below

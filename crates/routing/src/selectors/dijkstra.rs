@@ -66,6 +66,13 @@ impl DijkstraSelector {
 
     /// Chooses one deadlock-free route per flow.
     ///
+    /// **Deprecation note:** this flow-network signature is the legacy
+    /// entry point. New code should run the selector through the unified
+    /// `RouteAlgorithm` trait (`bsor_sim::RouteAlgorithm`, which
+    /// `DijkstraSelector` implements against a scenario's CDG) or the
+    /// exploring `bsor::BsorAlgorithm`; this method remains as the
+    /// selection kernel those impls delegate to.
+    ///
     /// # Errors
     ///
     /// [`SelectError::Unroutable`] if the acyclic CDG disconnects some

@@ -272,6 +272,13 @@ impl MilpSelector {
 
     /// Chooses one deadlock-free route per flow by MILP.
     ///
+    /// **Deprecation note:** this flow-network signature is the legacy
+    /// entry point. New code should run the selector through the unified
+    /// `RouteAlgorithm` trait (`bsor_sim::RouteAlgorithm`, which
+    /// `MilpSelector` implements against a scenario's CDG) or the
+    /// exploring `bsor::BsorAlgorithm`; this method remains as the
+    /// selection kernel those impls delegate to.
+    ///
     /// # Errors
     ///
     /// * [`SelectError::Unroutable`] when a flow has no conforming path.

@@ -41,10 +41,15 @@
 
 pub mod config;
 pub mod engine;
+pub mod scenario;
 pub mod stats;
 pub mod traffic;
 
 pub use config::{SimConfig, SimError};
 pub use engine::Simulator;
+pub use scenario::{
+    AlgorithmError, Experiment, ExperimentError, RouteAlgorithm, Scenario, ScenarioBuilder,
+    ScenarioCtx,
+};
 pub use stats::{FlowStats, RunTiming, SimReport};
 pub use traffic::{MarkovVariation, TrafficSpec};

@@ -26,7 +26,9 @@
 pub mod geometry;
 pub mod index;
 pub mod net;
+pub mod registry;
 
 pub use geometry::{Coord, Direction};
 pub use index::TopoIndex;
 pub use net::{Link, LinkId, NodeId, Topology, TopologyKind};
+pub use registry::{TopologyError, TopologyFactory, TopologyRegistry};

@@ -1,0 +1,229 @@
+//! Name-keyed topology construction.
+//!
+//! The paper stresses that BSOR is topology independent; this registry
+//! makes that independence operational: drivers (the sweep CLI, tests,
+//! examples) enumerate and build topologies by name instead of
+//! hard-wiring constructor calls, so adding a topology family is a
+//! one-file plug-in rather than an edit to every binary.
+//!
+//! All factories take `(width, height)` grid dimensions; families that
+//! are not grids reinterpret them (`ring` uses `width × height` nodes,
+//! `hypercube` needs `width × height` to be a power of two and uses its
+//! log2 as the dimension), so one CLI syntax — `name:WxH` — covers every
+//! family.
+
+use crate::net::Topology;
+use std::error::Error;
+use std::fmt;
+
+/// Why a registry lookup or build failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No factory is registered under the requested name.
+    UnknownTopology {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The dimensions are invalid for the requested family.
+    BadDimensions {
+        /// Topology family name.
+        name: String,
+        /// Requested width.
+        width: u16,
+        /// Requested height.
+        height: u16,
+        /// Human-readable constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownTopology { name } => write!(f, "unknown topology '{name}'"),
+            TopologyError::BadDimensions {
+                name,
+                width,
+                height,
+                reason,
+            } => write!(f, "topology '{name}' rejects {width}x{height}: {reason}"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// A topology constructor: `(width, height)` in, topology out.
+pub type TopologyFactory = Box<dyn Fn(u16, u16) -> Result<Topology, TopologyError> + Send + Sync>;
+
+/// Name-keyed registry of topology factories.
+///
+/// ```
+/// use bsor_topology::{TopologyKind, TopologyRegistry};
+///
+/// let registry = TopologyRegistry::standard();
+/// assert_eq!(registry.names(), vec!["mesh", "torus", "ring", "hypercube"]);
+/// let torus = registry.build("torus", 4, 4).expect("valid dims");
+/// assert_eq!(torus.kind(), TopologyKind::Torus2D);
+/// // 8 nodes in a 4x2 footprint fold into a dimension-3 hypercube.
+/// let cube = registry.build("hypercube", 4, 2).expect("power of two");
+/// assert_eq!(cube.num_nodes(), 8);
+/// ```
+#[derive(Default)]
+pub struct TopologyRegistry {
+    entries: Vec<(String, TopologyFactory)>,
+}
+
+impl TopologyRegistry {
+    /// An empty registry.
+    pub fn new() -> TopologyRegistry {
+        TopologyRegistry::default()
+    }
+
+    /// The four built-in families: `mesh`, `torus`, `ring`, `hypercube`.
+    pub fn standard() -> TopologyRegistry {
+        let mut r = TopologyRegistry::new();
+        r.register("mesh", |w, h| {
+            if w == 0 || h == 0 || (w as usize * h as usize) < 2 {
+                return Err(bad("mesh", w, h, "needs positive dims and >= 2 nodes"));
+            }
+            Ok(Topology::mesh2d(w, h))
+        });
+        r.register("torus", |w, h| {
+            if w < 3 || h < 3 {
+                return Err(bad("torus", w, h, "both dimensions must be >= 3"));
+            }
+            Ok(Topology::torus2d(w, h))
+        });
+        r.register("ring", |w, h| {
+            let n = w as usize * h as usize;
+            if n < 3 || n > u16::MAX as usize {
+                return Err(bad("ring", w, h, "needs 3..=65535 nodes (width x height)"));
+            }
+            Ok(Topology::ring(n as u16))
+        });
+        r.register("hypercube", |w, h| {
+            let n = w as usize * h as usize;
+            if n < 2 || !n.is_power_of_two() || n > 1 << 10 {
+                return Err(bad(
+                    "hypercube",
+                    w,
+                    h,
+                    "width x height must be a power of two in 2..=1024",
+                ));
+            }
+            Ok(Topology::hypercube(n.trailing_zeros() as u8))
+        });
+        r
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(u16, u16) -> Result<Topology, TopologyError> + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        self.entries.retain(|(n, _)| *n != name);
+        self.entries.push((name, Box::new(factory)));
+    }
+
+    /// The factory registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&TopologyFactory> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, f)| f)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Builds the topology `name` with the given grid dimensions.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownTopology`] for unregistered names,
+    /// [`TopologyError::BadDimensions`] when the family rejects the
+    /// dimensions.
+    pub fn build(&self, name: &str, width: u16, height: u16) -> Result<Topology, TopologyError> {
+        let factory = self
+            .get(name)
+            .ok_or_else(|| TopologyError::UnknownTopology {
+                name: name.to_owned(),
+            })?;
+        factory(width, height)
+    }
+}
+
+fn bad(name: &str, width: u16, height: u16, reason: &str) -> TopologyError {
+    TopologyError::BadDimensions {
+        name: name.to_owned(),
+        width,
+        height,
+        reason: reason.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::TopologyKind;
+
+    #[test]
+    fn standard_names_round_trip() {
+        let r = TopologyRegistry::standard();
+        for name in r.names() {
+            assert!(r.get(name).is_some());
+        }
+        assert!(r.get("klein-bottle").is_none());
+    }
+
+    #[test]
+    fn builds_every_family() {
+        let r = TopologyRegistry::standard();
+        assert_eq!(r.build("mesh", 4, 4).unwrap().kind(), TopologyKind::Mesh2D);
+        assert_eq!(
+            r.build("torus", 4, 4).unwrap().kind(),
+            TopologyKind::Torus2D
+        );
+        let ring = r.build("ring", 6, 1).unwrap();
+        assert_eq!(ring.kind(), TopologyKind::Ring);
+        assert_eq!(ring.num_nodes(), 6);
+        let cube = r.build("hypercube", 8, 2).unwrap();
+        assert_eq!(cube.kind(), TopologyKind::Hypercube);
+        assert_eq!(cube.num_nodes(), 16);
+    }
+
+    #[test]
+    fn bad_dimensions_are_typed_errors_not_panics() {
+        let r = TopologyRegistry::standard();
+        assert!(matches!(
+            r.build("torus", 2, 4),
+            Err(TopologyError::BadDimensions { .. })
+        ));
+        assert!(matches!(
+            r.build("hypercube", 3, 1),
+            Err(TopologyError::BadDimensions { .. })
+        ));
+        assert!(matches!(
+            r.build("ring", 2, 1),
+            Err(TopologyError::BadDimensions { .. })
+        ));
+        assert!(matches!(
+            r.build("mesh", 0, 5),
+            Err(TopologyError::BadDimensions { .. })
+        ));
+        let err = r.build("nope", 4, 4).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn custom_registration_replaces() {
+        let mut r = TopologyRegistry::new();
+        r.register("line", |w, _| Ok(Topology::mesh2d(w, 1)));
+        assert_eq!(r.names(), vec!["line"]);
+        r.register("line", |w, _| Ok(Topology::mesh2d(w.max(2), 1)));
+        assert_eq!(r.names().len(), 1);
+        assert_eq!(r.build("line", 1, 1).unwrap().num_nodes(), 2);
+    }
+}

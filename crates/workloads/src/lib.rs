@@ -36,9 +36,11 @@
 //! ```
 
 pub mod apps;
+pub mod registry;
 pub mod synthetic;
 
 pub use apps::{h264_decoder, performance_modeling, wifi_transmitter};
+pub use registry::{workload_by_name, WorkloadFactory, WorkloadRegistry};
 pub use synthetic::{bit_complement, shuffle, transpose, SYNTHETIC_DEMAND};
 
 use bsor_flow::FlowSet;
@@ -79,6 +81,12 @@ pub enum WorkloadError {
         /// Nodes available.
         available: usize,
     },
+    /// No workload is registered under the requested name (see
+    /// [`WorkloadRegistry`]).
+    UnknownWorkload {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -95,6 +103,7 @@ impl fmt::Display for WorkloadError {
                 f,
                 "application needs {required} module nodes but the topology has {available}"
             ),
+            WorkloadError::UnknownWorkload { name } => write!(f, "unknown workload '{name}'"),
         }
     }
 }

@@ -1,0 +1,178 @@
+//! Name-keyed workload construction — the single home of workload name
+//! parsing.
+//!
+//! Historically each driver kept its own `match name { "transpose" => …,
+//! … }` glue; this registry replaces them all. The six paper workloads
+//! are pre-registered under the names the sweep grid has always used
+//! (`transpose`, `bit-complement`, `shuffle`, `h264`, `perf-model`,
+//! `wifi`), and applications can [`WorkloadRegistry::register`] their
+//! own generators to make them addressable from every driver at once.
+
+use crate::{
+    bit_complement, h264_decoder, performance_modeling, shuffle, transpose, wifi_transmitter,
+    Workload, WorkloadError,
+};
+use bsor_topology::Topology;
+
+/// A workload generator: instantiate the named traffic pattern on a
+/// topology.
+pub type WorkloadFactory = Box<dyn Fn(&Topology) -> Result<Workload, WorkloadError> + Send + Sync>;
+
+/// Name-keyed registry of workload generators.
+///
+/// ```
+/// use bsor_topology::Topology;
+/// use bsor_workloads::WorkloadRegistry;
+///
+/// let registry = WorkloadRegistry::standard();
+/// assert_eq!(registry.names().len(), 6);
+/// let mesh = Topology::mesh2d(8, 8);
+/// let w = registry.build(&mesh, "transpose").expect("square mesh");
+/// assert_eq!(w.flows.len(), 56);
+/// assert!(registry.build(&mesh, "nope").is_err());
+/// ```
+#[derive(Default)]
+pub struct WorkloadRegistry {
+    entries: Vec<(String, WorkloadFactory)>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    pub fn new() -> WorkloadRegistry {
+        WorkloadRegistry::default()
+    }
+
+    /// The six paper workloads under their sweep-grid names, in paper
+    /// order.
+    pub fn standard() -> WorkloadRegistry {
+        let mut r = WorkloadRegistry::new();
+        r.register("transpose", |t: &Topology| transpose(t));
+        r.register("bit-complement", |t: &Topology| bit_complement(t));
+        r.register("shuffle", |t: &Topology| shuffle(t));
+        r.register("h264", |t: &Topology| h264_decoder(t));
+        r.register("perf-model", |t: &Topology| performance_modeling(t));
+        r.register("wifi", |t: &Topology| wifi_transmitter(t));
+        r
+    }
+
+    /// Registers (or replaces) a generator under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(&Topology) -> Result<Workload, WorkloadError> + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        self.entries.retain(|(n, _)| *n != name);
+        self.entries.push((name, Box::new(factory)));
+    }
+
+    /// The generator registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&WorkloadFactory> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, f)| f)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Instantiates the workload `name` on `topo`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UnknownWorkload`] for unregistered names, or any
+    /// error the generator raises (non-square mesh, too few nodes, …).
+    pub fn build(&self, topo: &Topology, name: &str) -> Result<Workload, WorkloadError> {
+        let factory = self
+            .get(name)
+            .ok_or_else(|| WorkloadError::UnknownWorkload {
+                name: name.to_owned(),
+            })?;
+        factory(topo)
+    }
+}
+
+/// Instantiates a workload by registry name (the standard six).
+///
+/// This is the one-call form of [`WorkloadRegistry::standard`] +
+/// [`WorkloadRegistry::build`], kept as the single home of workload name
+/// parsing (it used to live, privately, in the bench crate).
+///
+/// # Errors
+///
+/// Any [`WorkloadError`], including
+/// [`WorkloadError::UnknownWorkload`] for unknown names.
+pub fn workload_by_name(topo: &Topology, name: &str) -> Result<Workload, WorkloadError> {
+    WorkloadRegistry::standard().build(topo, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_names_in_paper_order() {
+        let r = WorkloadRegistry::standard();
+        assert_eq!(
+            r.names(),
+            vec![
+                "transpose",
+                "bit-complement",
+                "shuffle",
+                "h264",
+                "perf-model",
+                "wifi"
+            ]
+        );
+    }
+
+    #[test]
+    fn round_trip_builds_every_standard_workload() {
+        let topo = Topology::mesh2d(8, 8);
+        let r = WorkloadRegistry::standard();
+        for name in r.names() {
+            let w = r.build(&topo, name).expect("8x8 supports all six");
+            assert!(!w.flows.is_empty(), "{name} has flows");
+            w.flows.validate(&topo).expect("valid flows");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let topo = Topology::mesh2d(4, 4);
+        let err = workload_by_name(&topo, "nope").unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::UnknownWorkload {
+                name: "nope".into()
+            }
+        );
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn generator_errors_pass_through() {
+        let topo = Topology::mesh2d(3, 4);
+        assert_eq!(
+            workload_by_name(&topo, "transpose").unwrap_err(),
+            WorkloadError::NotSquare
+        );
+    }
+
+    #[test]
+    fn custom_registration() {
+        let mut r = WorkloadRegistry::standard();
+        r.register("uniform-pair", |t: &Topology| {
+            let mut flows = bsor_flow::FlowSet::new();
+            flows.push(
+                bsor_topology::NodeId(0),
+                bsor_topology::NodeId(t.num_nodes() as u32 - 1),
+                10.0,
+            );
+            Ok(Workload::new("uniform-pair", flows))
+        });
+        let topo = Topology::mesh2d(4, 4);
+        let w = r.build(&topo, "uniform-pair").expect("registered");
+        assert_eq!(w.flows.len(), 1);
+    }
+}

@@ -8,21 +8,25 @@
 //! cargo run --release --example bandwidth_variation
 //! ```
 
-use bsor::BsorBuilder;
+use bsor::{BsorAlgorithm, Scenario};
 use bsor_routing::Baseline;
-use bsor_sim::{MarkovVariation, SimConfig, Simulator, TrafficSpec};
+use bsor_sim::{MarkovVariation, SimConfig};
 use bsor_topology::Topology;
-use bsor_workloads::transpose;
+use bsor_workloads::workload_by_name;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mesh = Topology::mesh2d(8, 8);
-    let workload = transpose(&mesh)?;
-    let bsor = BsorBuilder::new(&mesh, &workload.flows).vcs(2).run()?;
-    let xy = Baseline::XY.select(&mesh, &workload.flows, 2)?;
+    let workload = workload_by_name(&mesh, "transpose")?;
+    let scenario = Scenario::builder(mesh, workload.flows)
+        .named("bandwidth-variation")
+        .vcs(2)
+        .build()?;
+    let bsor = scenario.select_routes(&BsorAlgorithm::dijkstra())?;
+    let xy = scenario.select_routes(&Baseline::XY)?;
     println!(
         "routes fixed from estimates: BSOR MCL {:.0}, XY MCL {:.0} MB/s",
-        bsor.mcl,
-        xy.mcl(&mesh, &workload.flows)
+        bsor.mcl(scenario.topology(), scenario.flows()),
+        xy.mcl(scenario.topology(), scenario.flows())
     );
 
     println!(
@@ -30,27 +34,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "variation", "XY tput", "BSOR tput", "XY lat", "BSOR lat"
     );
     for fraction in [0.10, 0.25, 0.50] {
-        let run = |routes| -> Result<_, Box<dyn std::error::Error>> {
-            let traffic = TrafficSpec::proportional(&workload.flows, 2.0)
-                .with_variation(MarkovVariation::new(fraction, 200.0));
-            let config = SimConfig::new(2)
-                .with_warmup(2_000)
-                .with_measurement(10_000);
-            let report = Simulator::new(&mesh, &workload.flows, routes, traffic, config)?.run();
-            Ok((
-                report.throughput(),
-                report.mean_latency().unwrap_or(f64::NAN),
-            ))
-        };
-        let (t_xy, l_xy) = run(&xy)?;
-        let (t_bsor, l_bsor) = run(&bsor.routes)?;
+        // One experiment per variation level; the routes stay fixed
+        // while the traffic wanders.
+        let exp = scenario
+            .experiment(&Baseline::XY)
+            .config(
+                SimConfig::new(2)
+                    .with_warmup(2_000)
+                    .with_measurement(10_000),
+            )
+            .rate(2.0)
+            .variation(MarkovVariation::new(fraction, 200.0));
+        let r_xy = exp.run_routes(&xy)?;
+        let r_bsor = exp.run_routes(&bsor)?;
         println!(
             "{:>9.0}% {:>12.4} {:>12.4} {:>12.1} {:>12.1}",
             fraction * 100.0,
-            t_xy,
-            t_bsor,
-            l_xy,
-            l_bsor
+            r_xy.throughput(),
+            r_bsor.throughput(),
+            r_xy.mean_latency().unwrap_or(f64::NAN),
+            r_bsor.mean_latency().unwrap_or(f64::NAN)
         );
     }
 

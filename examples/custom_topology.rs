@@ -1,61 +1,47 @@
-//! Topology independence (paper §1.1, §3): BSOR's framework only needs
-//! an acyclic channel dependence graph, so it runs unchanged on rings
-//! and tori where turn models do not apply — ad-hoc cycle breaking
-//! handles those.
+//! Topology independence (paper §1.1, §3): the unified pipeline only
+//! needs a name the `TopologyRegistry` knows, so the same experiment
+//! runs unchanged on rings and tori where turn models do not apply —
+//! the BSOR framework falls back to ad-hoc cycle breaking there.
 //!
 //! ```text
 //! cargo run --release --example custom_topology
 //! ```
 
-use bsor_cdg::AcyclicCdg;
-use bsor_flow::{FlowNetwork, FlowSet};
+use bsor::{BsorAlgorithm, Scenario, TopologyRegistry};
+use bsor_flow::FlowSet;
 use bsor_routing::deadlock;
-use bsor_routing::selectors::DijkstraSelector;
-use bsor_topology::{NodeId, Topology};
+use bsor_topology::NodeId;
 
-fn route_on(topo: &Topology, name: &str, flows: &FlowSet, vcs: u8) {
-    // Turn models need grid directions; ad-hoc breaking works anywhere.
-    // Some random derivations disconnect pairs — try a few seeds.
-    for seed in 0..20u64 {
-        let acyclic = AcyclicCdg::ad_hoc(topo, vcs, seed);
-        let net = FlowNetwork::new(topo, &acyclic);
-        match DijkstraSelector::new().select(&net, flows) {
-            Ok(routes) => {
-                assert!(deadlock::is_deadlock_free(topo, &routes, vcs));
-                println!(
-                    "{name}: seed {seed} -> MCL {:.1} MB/s, mean {:.2} hops, deadlock-free",
-                    routes.mcl(topo, flows),
-                    routes.mean_hops()
-                );
-                return;
-            }
-            Err(e) => {
-                println!("{name}: seed {seed} unusable ({e}), retrying");
-            }
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = TopologyRegistry::standard();
+    println!("registered topologies: {}", registry.names().join(", "));
+
+    // The same shifted traffic pattern on three families.
+    for (family, w, h, shift) in [
+        ("ring", 8u16, 1u16, 3u32),
+        ("torus", 4, 4, 7),
+        ("mesh", 4, 4, 7),
+    ] {
+        let topo = registry.build(family, w, h)?;
+        let n = topo.num_nodes() as u32;
+        let mut flows = FlowSet::new();
+        for i in 0..n {
+            flows.push(NodeId(i), NodeId((i + shift) % n), 10.0);
         }
+        let scenario = Scenario::builder(topo, flows)
+            .named(format!("{family}-{w}x{h}"))
+            .vcs(2)
+            .build()?;
+        // One trait call routes every family: on meshes the framework
+        // explores turn models, elsewhere ad-hoc acyclic CDGs.
+        let routes = scenario.select_routes(&BsorAlgorithm::dijkstra())?;
+        assert!(deadlock::is_deadlock_free(scenario.topology(), &routes, 2));
+        println!(
+            "{}: MCL {:.1} MB/s, mean {:.2} hops, deadlock-free",
+            scenario.name(),
+            routes.mcl(scenario.topology(), scenario.flows()),
+            routes.mean_hops()
+        );
     }
-    panic!("no usable ad-hoc CDG found for {name} in 20 seeds");
-}
-
-fn main() {
-    // A ring of 8 DSP stages passing data around.
-    let ring = Topology::ring(8);
-    let mut ring_flows = FlowSet::new();
-    for i in 0..8u32 {
-        ring_flows.push(NodeId(i), NodeId((i + 3) % 8), 10.0);
-    }
-    route_on(&ring, "ring-8", &ring_flows, 2);
-
-    // A 4x4 torus with wraparound links: turn models fail here (the
-    // paper's Lemma 1 still applies, so we break cycles ad hoc).
-    let torus = Topology::torus2d(4, 4);
-    let mut torus_flows = FlowSet::new();
-    for i in 0..16u32 {
-        torus_flows.push(NodeId(i), NodeId((i + 7) % 16), 10.0);
-    }
-    route_on(&torus, "torus-4x4", &torus_flows, 2);
-
-    // The same flows on a 4x4 mesh for comparison.
-    let mesh = Topology::mesh2d(4, 4);
-    route_on(&mesh, "mesh-4x4", &torus_flows, 2);
+    Ok(())
 }

@@ -3,17 +3,18 @@
 //! reference-pixel stream from the off-chip memory controller.
 //!
 //! Shows the full BSOR pipeline on a real application: CDG exploration
-//! with both selectors, per-CDG MCL breakdown, baseline comparison, and
-//! a head-to-head simulation of BSOR vs XY near saturation.
+//! with both selectors, per-CDG MCL breakdown, baseline comparison
+//! through the unified `RouteAlgorithm` trait, and a head-to-head
+//! simulation of BSOR vs XY near saturation.
 //!
 //! ```text
 //! cargo run --release --example h264_decoder
 //! ```
 
-use bsor::{BsorBuilder, SelectorKind};
+use bsor::{BsorAlgorithm, BsorBuilder, Scenario, SelectorKind};
 use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
 use bsor_routing::Baseline;
-use bsor_sim::{SimConfig, Simulator, TrafficSpec};
+use bsor_sim::SimConfig;
 use bsor_topology::Topology;
 use bsor_workloads::h264_decoder;
 
@@ -35,7 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workload.flows.max_demand()
     );
 
-    // Per-CDG exploration with the Dijkstra selector.
+    // Per-CDG exploration with the Dijkstra selector (the framework's
+    // introspection API; the trait wraps its best-route result).
     let dijkstra = BsorBuilder::new(&mesh, &workload.flows)
         .vcs(2)
         .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))
@@ -49,51 +51,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("best: {} at {:.2} MB/s", dijkstra.cdg, dijkstra.mcl);
 
-    // The MILP selector on the best few CDGs.
-    let milp = BsorBuilder::new(&mesh, &workload.flows)
+    // One scenario serves every algorithm comparison below.
+    let scenario = Scenario::builder(mesh, workload.flows)
+        .named(workload.name)
         .vcs(2)
-        .selector(SelectorKind::Milp(MilpSelector::new().with_max_paths(80)))
-        .run()?;
-    println!("BSOR-MILP best: {} at {:.2} MB/s", milp.cdg, milp.mcl);
+        .build()?;
 
-    // Baselines.
+    // The MILP selector through the unified trait.
+    let milp_algo = BsorAlgorithm::milp("bsor-milp", MilpSelector::new().with_max_paths(80));
+    let milp_routes = scenario.select_routes(&milp_algo)?;
+    println!(
+        "BSOR-MILP best MCL: {:.2} MB/s",
+        milp_routes.mcl(scenario.topology(), scenario.flows())
+    );
+
+    // Baselines through the same trait.
     println!("\nbaseline MCLs:");
-    for (name, baseline) in [
-        ("XY", Baseline::XY),
-        ("YX", Baseline::YX),
-        ("ROMM", Baseline::Romm { seed: 3 }),
-        ("Valiant", Baseline::Valiant { seed: 3 }),
+    for baseline in [
+        Baseline::XY,
+        Baseline::YX,
+        Baseline::Romm { seed: 3 },
+        Baseline::Valiant { seed: 3 },
     ] {
-        let routes = baseline.select(&mesh, &workload.flows, 2)?;
-        println!("  {name:8} {:8.2} MB/s", routes.mcl(&mesh, &workload.flows));
+        let routes = scenario.select_routes(&baseline)?;
+        println!(
+            "  {:8} {:8.2} MB/s",
+            baseline.name(),
+            routes.mcl(scenario.topology(), scenario.flows())
+        );
     }
 
-    // Head-to-head simulation near the XY saturation point.
-    let xy = Baseline::XY.select(&mesh, &workload.flows, 2)?;
-    let config = || {
-        SimConfig::new(2)
-            .with_warmup(2_000)
-            .with_measurement(10_000)
-    };
+    // Head-to-head simulation near the XY saturation point: identical
+    // experiments, different algorithms.
+    let xy_routes = scenario.select_routes(&Baseline::XY)?;
+    let config = SimConfig::new(2)
+        .with_warmup(2_000)
+        .with_measurement(10_000);
     println!("\nsimulated throughput (packets/cycle) at rising offered load:");
     println!("{:>8} {:>10} {:>10}", "offered", "XY", "BSOR");
     for rate in [0.5, 1.0, 2.0, 3.0] {
-        let t_xy = Simulator::new(
-            &mesh,
-            &workload.flows,
-            &xy,
-            TrafficSpec::proportional(&workload.flows, rate),
-            config(),
-        )?
-        .run();
-        let t_bsor = Simulator::new(
-            &mesh,
-            &workload.flows,
-            &milp.routes,
-            TrafficSpec::proportional(&workload.flows, rate),
-            config(),
-        )?
-        .run();
+        let exp = scenario
+            .experiment(&milp_algo)
+            .config(config.clone())
+            .rate(rate);
+        let t_xy = exp.run_routes(&xy_routes)?;
+        let t_bsor = exp.run_routes(&milp_routes)?;
         println!(
             "{rate:>8.2} {:>10.4} {:>10.4}",
             t_xy.throughput(),

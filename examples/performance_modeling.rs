@@ -11,22 +11,26 @@
 //! cargo run --release --example performance_modeling
 //! ```
 
-use bsor::{BsorBuilder, SelectorKind};
+use bsor::{BsorAlgorithm, Scenario};
 use bsor_lp::MilpOptions;
 use bsor_routing::selectors::MilpSelector;
 use bsor_routing::Baseline;
 use bsor_topology::Topology;
-use bsor_workloads::performance_modeling;
+use bsor_workloads::workload_by_name;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mesh = Topology::mesh2d(8, 8);
-    let workload = performance_modeling(&mesh)?;
+    let workload = workload_by_name(&mesh, "perf-model")?;
     println!(
         "performance modeling: {} flows, largest {:.2} MB/s (register traffic)",
         workload.flows.len(),
         workload.flows.max_demand()
     );
+    let scenario = Scenario::builder(mesh, workload.flows)
+        .named("perf-model")
+        .vcs(2)
+        .build()?;
 
     let milp = MilpSelector::new()
         .with_hop_slack(4)
@@ -36,30 +40,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             time_limit: Some(Duration::from_secs(10)),
             ..MilpOptions::default()
         });
-    let bsor = BsorBuilder::new(&mesh, &workload.flows)
-        .vcs(2)
-        .selector(SelectorKind::Milp(milp))
-        .run()?;
-    let xy = Baseline::XY.select(&mesh, &workload.flows, 2)?;
+    let bsor_routes = scenario.select_routes(&BsorAlgorithm::milp("BSOR-MILP", milp))?;
+    let xy_routes = scenario.select_routes(&Baseline::XY)?;
 
     println!(
         "\n{:>14} {:>9} {:>10} {:>10} {:>12}",
         "algorithm", "MCL", "mean load", "links", "peak/mean"
     );
-    for (name, routes) in [("XY", &xy), ("BSOR-MILP", &bsor.routes)] {
-        let b = routes.balance(&mesh, &workload.flows);
+    for (name, routes) in [("XY", &xy_routes), ("BSOR-MILP", &bsor_routes)] {
+        let b = routes.balance(scenario.topology(), scenario.flows());
         println!(
             "{name:>14} {:>9.2} {:>10.2} {:>10} {:>12.2}",
-            routes.mcl(&mesh, &workload.flows),
+            routes.mcl(scenario.topology(), scenario.flows()),
             b.mean_load,
             b.used_links,
             b.peak_to_mean()
         );
     }
     println!(
-        "\nBSOR found MCL {:.2} MB/s on CDG '{}' (paper's Table 6.3 row: \
+        "\nBSOR found MCL {:.2} MB/s (paper's Table 6.3 row: \
          XY 95.04, BSOR-MILP 62.73 — same ordering)",
-        bsor.mcl, bsor.cdg
+        bsor_routes.mcl(scenario.topology(), scenario.flows())
     );
     Ok(())
 }

@@ -1,63 +1,65 @@
-//! Quickstart: compute bandwidth-sensitive deadlock-free routes for a
-//! transpose workload, compare against dimension-order routing, program
-//! the router tables and run a short cycle-accurate simulation.
+//! Quickstart: compose a scenario, compute bandwidth-sensitive
+//! deadlock-free routes through the unified `RouteAlgorithm` pipeline,
+//! compare against dimension-order routing, program the router tables
+//! and run a short cycle-accurate simulation.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use bsor::{BsorBuilder, SelectorKind};
-use bsor_routing::selectors::DijkstraSelector;
+use bsor::{AlgorithmRegistry, Scenario};
 use bsor_routing::tables::NodeTables;
-use bsor_routing::{deadlock, Baseline};
-use bsor_sim::{SimConfig, Simulator, TrafficSpec};
+use bsor_sim::SimConfig;
 use bsor_topology::Topology;
-use bsor_workloads::transpose;
+use bsor_workloads::workload_by_name;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. The paper's substrate: an 8x8 mesh with 2 virtual channels.
+    // 1. The paper's substrate: an 8x8 mesh with 2 virtual channels,
+    //    carrying the transpose workload — all resolved by name.
     let mesh = Topology::mesh2d(8, 8);
-    let workload = transpose(&mesh)?;
+    let workload = workload_by_name(&mesh, "transpose")?;
     println!(
         "workload: {} ({} flows, {:.0} MB/s each)",
         workload.name,
         workload.flows.len(),
         workload.flows.max_demand()
     );
-
-    // 2. BSOR: explore acyclic CDGs, keep the minimum-MCL route set.
-    let result = BsorBuilder::new(&mesh, &workload.flows)
+    let scenario = Scenario::builder(mesh, workload.flows)
+        .named("quickstart")
         .vcs(2)
-        .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))
-        .run()?;
+        .build()?;
+
+    // 2. Every algorithm is one registry lookup away; routes always come
+    //    back validated and deadlock-free (paper Lemma 1) or not at all.
+    let algorithms = AlgorithmRegistry::standard();
+    let bsor = algorithms.get("bsor-dijkstra").expect("registered");
+    let routes = scenario.select_routes(bsor)?;
     println!(
-        "BSOR best CDG: {} -> MCL {:.1} MB/s (explored {} CDGs)",
-        result.cdg,
-        result.mcl,
-        result.explored.len()
+        "BSOR MCL: {:.1} MB/s",
+        routes.mcl(scenario.topology(), scenario.flows())
     );
 
-    // 3. Compare with XY dimension-order routing.
-    let xy = Baseline::XY.select(&mesh, &workload.flows, 2)?;
-    println!("XY MCL: {:.1} MB/s", xy.mcl(&mesh, &workload.flows));
+    // 3. Compare with XY dimension-order routing through the same trait.
+    let xy = scenario.select_routes(algorithms.get("xy").expect("registered"))?;
+    println!(
+        "XY MCL: {:.1} MB/s",
+        xy.mcl(scenario.topology(), scenario.flows())
+    );
 
-    // 4. The routes are deadlock-free by construction; check anyway.
-    assert!(deadlock::is_deadlock_free(&mesh, &result.routes, 2));
-
-    // 5. Program the node-table routers (paper §4.2.1).
-    let tables = NodeTables::build(&mesh, &result.routes);
+    // 4. Program the node-table routers (paper §4.2.1).
+    let tables = NodeTables::build(scenario.topology(), &routes);
     println!(
         "node tables: max {} entries/router, {} bits/entry",
         tables.max_entries(),
         tables.entry_bits()
     );
 
-    // 6. Simulate at a moderate load.
-    let traffic = TrafficSpec::proportional(&workload.flows, 1.0);
+    // 5. Simulate at a moderate load — the experiment pipeline compiles
+    //    the tables and drives the cycle-accurate engine.
     let config = SimConfig::new(2)
         .with_warmup(2_000)
         .with_measurement(10_000);
-    let report = Simulator::new(&mesh, &workload.flows, &result.routes, traffic, config)?.run();
+    let report = scenario.experiment(bsor).config(config).rate(1.0).run()?;
     println!(
         "simulated: {:.3} packets/cycle delivered, mean latency {:.1} cycles",
         report.throughput(),

@@ -7,70 +7,69 @@
 //! cargo run --release --example wifi_transmitter
 //! ```
 
-use bsor::{BsorBuilder, CdgStrategy, SelectorKind};
+use bsor::{AlgorithmRegistry, BsorAlgorithm, CdgStrategy, Scenario};
 use bsor_cdg::TurnModel;
-use bsor_routing::selectors::{DijkstraSelector, MilpObjective, MilpSelector};
-use bsor_routing::Baseline;
+use bsor_routing::selectors::{MilpObjective, MilpSelector};
 use bsor_topology::Topology;
-use bsor_workloads::wifi_transmitter;
+use bsor_workloads::workload_by_name;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mesh = Topology::mesh2d(8, 8);
-    let workload = wifi_transmitter(&mesh)?;
+    let workload = workload_by_name(&mesh, "wifi")?;
     println!(
         "802.11a/g transmitter: {} flows, total {:.2} MB/s, largest {:.2} MB/s",
         workload.flows.len(),
         workload.flows.total_demand(),
         workload.flows.max_demand()
     );
+    let scenario = Scenario::builder(mesh, workload.flows)
+        .named("wifi")
+        .vcs(2)
+        .build()?;
 
     // Bandwidth-sensitive routing with static VC allocation.
-    let result = BsorBuilder::new(&mesh, &workload.flows)
-        .vcs(2)
-        .selector(SelectorKind::Dijkstra(DijkstraSelector::new()))
-        .run()?;
+    let routes = scenario.select_routes(&BsorAlgorithm::dijkstra())?;
     println!(
-        "BSOR-Dijkstra: MCL {:.2} MB/s on CDG '{}'",
-        result.mcl, result.cdg
+        "BSOR-Dijkstra: MCL {:.2} MB/s",
+        routes.mcl(scenario.topology(), scenario.flows())
     );
     // Every hop pins exactly one VC: static allocation (paper §4.2.2).
-    let static_hops = result
-        .routes
+    let static_hops = routes
         .iter()
         .flat_map(|r| r.hops.iter())
         .all(|h| h.vcs.count() == 1);
     println!("static VC allocation on every hop: {static_hops}");
 
     // The §7.2 alternative: minimize the number of flows sharing a link
-    // (no bandwidth knowledge needed).
-    let shared = BsorBuilder::new(&mesh, &workload.flows)
-        .vcs(2)
-        .strategies(vec![CdgStrategy::TurnModel(
-            TurnModel::negative_first().mirrored_y(),
-        )])
-        .selector(SelectorKind::Milp(
-            MilpSelector::new()
-                .with_max_paths(60)
-                .with_objective(MilpObjective::MinimizeSharedFlows),
-        ))
-        .run()?;
+    // (no bandwidth knowledge needed) — still just another algorithm.
+    let shared_algo = BsorAlgorithm::milp(
+        "min-shared-flows",
+        MilpSelector::new()
+            .with_max_paths(60)
+            .with_objective(MilpObjective::MinimizeSharedFlows),
+    )
+    .with_strategies(vec![CdgStrategy::TurnModel(
+        TurnModel::negative_first().mirrored_y(),
+    )]);
+    let shared = scenario.select_routes(&shared_algo)?;
     println!(
         "flows-per-link objective: max {} flows share a channel (MCL {:.2} MB/s)",
-        shared.routes.max_flows_per_link(&mesh),
-        shared.routes.mcl(&mesh, &workload.flows)
+        shared.max_flows_per_link(scenario.topology()),
+        shared.mcl(scenario.topology(), scenario.flows())
     );
 
-    // Baselines for context (Table 6.3's transmitter row).
+    // Baselines for context (Table 6.3's transmitter row), enumerated
+    // straight from the registry.
+    let algorithms = AlgorithmRegistry::standard();
     println!("\nbaseline MCLs (MB/s):");
-    for (name, baseline) in [
-        ("XY", Baseline::XY),
-        ("YX", Baseline::YX),
-        ("ROMM", Baseline::Romm { seed: 5 }),
-        ("Valiant", Baseline::Valiant { seed: 5 }),
-        ("O1TURN", Baseline::O1Turn { seed: 5 }),
-    ] {
-        let routes = baseline.select(&mesh, &workload.flows, 2)?;
-        println!("  {name:8} {:7.2}", routes.mcl(&mesh, &workload.flows));
+    for name in ["xy", "yx", "romm", "valiant", "o1turn"] {
+        let algorithm = algorithms.get(name).expect("registered");
+        let routes = scenario.select_routes(algorithm)?;
+        println!(
+            "  {:8} {:7.2}",
+            algorithm.name(),
+            routes.mcl(scenario.topology(), scenario.flows())
+        );
     }
     Ok(())
 }
