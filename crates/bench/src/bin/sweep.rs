@@ -17,7 +17,9 @@
 //!   --mesh WxH[,WxH...]     mesh sizes                     (default 8x8)
 //!   --topo n:WxH[,...]      topology axis entries by registry name
 //!                           (mesh:8x8, torus:4x4, ring:8x1, hypercube:4x2)
-//!   --workloads a,b|all     workload names                 (default all six)
+//!   --workloads a,b|all     workload specs: registry names or parameterized
+//!                           specs like hotspot:4 / rand-perm:42
+//!                           (default: the paper's six; all = every exact name)
 //!   --algos a,b|all         algorithm names                (default xy,yx,romm,valiant,bsor-dijkstra)
 //!   --vcs 1,2,4             VC counts                      (default 2)
 //!   --rates r1,r2,...       offered rates, packets/cycle   (default the figure grid)
@@ -25,12 +27,18 @@
 //!   --measurement N         measured cycles                (default 10000)
 //!   --packet-len N          flits per packet               (default 8)
 //!   --seed N                injection RNG seed             (default 46347)
+//!   --burst ON,OFF          on/off bursty injection with the given mean
+//!                           dwell cycles (default: flat Bernoulli)
+//!   --saturation            per-case saturation-point search (bisect the
+//!                           rate to the latency knee)
+//!   --sat-range LO,HI       saturation search rate bounds  (default 0.05,4)
+//!   --sat-iters N           bisection steps                (default 10)
 //!   --threads N             worker threads                 (default: available cores)
 //!   --out PATH              output path                    (default BENCH_sweep.json)
 //!   --no-timings            zero wall-clock fields (byte-identical reruns)
 //!   --list                  print the expanded grid and exit
 //!   --list-topologies       print registered topology names and exit
-//!   --list-workloads        print registered workload names and exit
+//!   --list-workloads        print workload names and family specs and exit
 //!   --list-algorithms       print registered algorithm names and exit
 //! ```
 //!
@@ -38,7 +46,10 @@
 //! when the sweep completed but one or more cases failed (the failures
 //! are recorded in the JSON's per-case `error` fields).
 
-use bsor_bench::sweep::{expand, run_grid_with, sweep_json, GridSpec, SweepRegistries, TopoSpec};
+use bsor_bench::sweep::{
+    expand, run_grid_with, sweep_json, GridSpec, SaturationSpec, SweepRegistries, TopoSpec,
+};
+use bsor_sim::BurstyOnOff;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -96,11 +107,20 @@ fn usage(regs: &SweepRegistries) {
     println!();
     println!("options: --quick --mesh WxH,.. --topo name:WxH,.. --workloads a,b|all");
     println!("         --algos a,b|all --vcs n,.. --rates r,.. --warmup N");
-    println!("         --measurement N --packet-len N --seed N --threads N --out PATH");
-    println!("         --no-timings --list --list-topologies --list-workloads");
-    println!("         --list-algorithms --help");
+    println!("         --measurement N --packet-len N --seed N --burst ON,OFF");
+    println!("         --saturation --sat-range LO,HI --sat-iters N --threads N");
+    println!("         --out PATH --no-timings --list --list-topologies");
+    println!("         --list-workloads --list-algorithms --help");
     println!("topologies: {}", regs.topologies.names().join(", "));
-    println!("workloads: {}", regs.workloads.names().join(", "));
+    println!(
+        "workloads: {}",
+        regs.workloads
+            .names()
+            .into_iter()
+            .chain(regs.workloads.family_specs())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!("algorithms: {}", regs.algorithms.names().join(", "));
 }
 
@@ -193,6 +213,43 @@ fn parse_args(
                     .parse()
                     .map_err(|_| "bad --seed".to_string())?;
             }
+            "--burst" => {
+                let raw = value("--burst")?;
+                let (on, off) = raw
+                    .split_once(',')
+                    .ok_or_else(|| format!("--burst '{raw}' is not ON,OFF"))?;
+                let on: f64 = on.parse().map_err(|_| format!("bad burst on '{on}'"))?;
+                let off: f64 = off.parse().map_err(|_| format!("bad burst off '{off}'"))?;
+                if !(on >= 1.0 && off >= 1.0) {
+                    return Err(format!("--burst '{raw}' dwell means must be >= 1 cycle"));
+                }
+                spec.burst = Some(BurstyOnOff::new(on, off));
+            }
+            "--saturation" => {
+                spec.saturation.get_or_insert_with(SaturationSpec::default);
+            }
+            "--sat-range" => {
+                let raw = value("--sat-range")?;
+                let (lo, hi) = raw
+                    .split_once(',')
+                    .ok_or_else(|| format!("--sat-range '{raw}' is not LO,HI"))?;
+                let lo: f64 = lo.parse().map_err(|_| format!("bad sat lo '{lo}'"))?;
+                let hi: f64 = hi.parse().map_err(|_| format!("bad sat hi '{hi}'"))?;
+                if !(lo > 0.0 && hi > lo) {
+                    return Err(format!("--sat-range '{raw}' needs 0 < LO < HI"));
+                }
+                let sat = spec.saturation.get_or_insert_with(SaturationSpec::default);
+                sat.lo = lo;
+                sat.hi = hi;
+            }
+            "--sat-iters" => {
+                let iters = value("--sat-iters")?
+                    .parse()
+                    .map_err(|_| "bad --sat-iters".to_string())?;
+                spec.saturation
+                    .get_or_insert_with(SaturationSpec::default)
+                    .iterations = iters;
+            }
             "--threads" => {
                 threads = Some(
                     value("--threads")?
@@ -236,6 +293,9 @@ fn main() -> ExitCode {
         ListMode::Workloads => {
             for name in regs.workloads.names() {
                 println!("{name}");
+            }
+            for spec in regs.workloads.family_specs() {
+                println!("{spec}");
             }
             return ExitCode::SUCCESS;
         }

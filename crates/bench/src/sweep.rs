@@ -25,7 +25,8 @@
 
 use crate::json::Json;
 use bsor::AlgorithmRegistry;
-use bsor_sim::{Scenario, SimConfig, TrafficSpec};
+use bsor_routing::RouteSet;
+use bsor_sim::{BurstyOnOff, Scenario, SimConfig, TrafficSpec};
 use bsor_topology::TopologyRegistry;
 use bsor_workloads::WorkloadRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -96,12 +97,55 @@ impl TopoSpec {
     }
 }
 
+/// Saturation-point search configuration: bisect the offered injection
+/// rate until the latency knee.
+///
+/// A case is *saturated* at a rate when its mean latency exceeds
+/// `knee ×` the latency measured at `lo`, or delivery collapses
+/// (fewer than [`SATURATION_DELIVERY_FLOOR`] of the packets generated
+/// in the window are delivered in it — latency is only tracked for
+/// delivered packets, so the survivor-biased mean alone can miss deep
+/// saturation in short windows), or the run deadlocks or delivers
+/// nothing. The search measures the baseline at `lo`, probes `hi`,
+/// then bisects `iterations` times; the reported saturation rate is
+/// the highest rate observed unsaturated. Fully seeded and
+/// thread-count independent, like every other sweep measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SaturationSpec {
+    /// Baseline (assumed unsaturated) rate, packets/cycle.
+    pub lo: f64,
+    /// Upper probe rate, packets/cycle.
+    pub hi: f64,
+    /// Bisection steps after the two endpoint probes.
+    pub iterations: u32,
+    /// Latency-knee multiplier over the baseline mean latency.
+    pub knee: f64,
+}
+
+impl Default for SaturationSpec {
+    fn default() -> SaturationSpec {
+        SaturationSpec {
+            lo: 0.05,
+            hi: 4.0,
+            iterations: 10,
+            knee: 4.0,
+        }
+    }
+}
+
+/// Minimum delivered/generated ratio below which a saturation-search
+/// probe counts as saturated regardless of its (survivor-biased)
+/// latency.
+pub const SATURATION_DELIVERY_FLOOR: f64 = 0.9;
+
 /// A declarative scenario grid.
 #[derive(Clone, Debug)]
 pub struct GridSpec {
     /// Topology axis, e.g. `[TopoSpec::mesh(8, 8)]`.
     pub topologies: Vec<TopoSpec>,
-    /// Workload names (see [`WorkloadRegistry::names`]).
+    /// Workload specs: exact registry names or parameterized spec
+    /// strings such as `hotspot:4` / `rand-perm:42` (see
+    /// [`WorkloadRegistry::build`]).
     pub workloads: Vec<String>,
     /// Algorithm names (see [`AlgorithmRegistry::names`]).
     pub algorithms: Vec<String>,
@@ -120,18 +164,34 @@ pub struct GridSpec {
     /// When false, every wall-clock field in the JSON is zeroed so two
     /// runs of the same grid diff byte-identically.
     pub record_timings: bool,
+    /// Optional on/off bursty injection applied to every run.
+    pub burst: Option<BurstyOnOff>,
+    /// Optional saturation-point search appended to every case.
+    pub saturation: Option<SaturationSpec>,
 }
 
 impl GridSpec {
     /// The full evaluation grid on the paper's 8×8 mesh.
+    ///
+    /// The workload axis stays pinned to the paper's six (the registry
+    /// also carries the adversarial patterns and parameterized
+    /// families; ask for them with `--workloads` or by editing the
+    /// spec) so the default artifact remains comparable with the
+    /// paper's tables run to run.
     pub fn standard() -> GridSpec {
         GridSpec {
             topologies: vec![TopoSpec::mesh(8, 8)],
-            workloads: WorkloadRegistry::standard()
-                .names()
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            workloads: [
+                "transpose",
+                "bit-complement",
+                "shuffle",
+                "h264",
+                "perf-model",
+                "wifi",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
             algorithms: vec![
                 "xy".into(),
                 "yx".into(),
@@ -146,6 +206,8 @@ impl GridSpec {
             packet_len: 8,
             seed: 0xB50B,
             record_timings: true,
+            burst: None,
+            saturation: None,
         }
     }
 
@@ -163,6 +225,8 @@ impl GridSpec {
             packet_len: 8,
             seed: 0xB50B,
             record_timings: true,
+            burst: None,
+            saturation: None,
         }
     }
 
@@ -222,8 +286,16 @@ pub struct PointResult {
     pub throughput: f64,
     /// Mean packet latency, cycles.
     pub mean_latency: Option<f64>,
+    /// Median packet latency, cycles (histogram bucket lower bound).
+    pub p50_latency: Option<u64>,
+    /// 95th-percentile packet latency, cycles.
+    pub p95_latency: Option<u64>,
+    /// 99th-percentile packet latency, cycles.
+    pub p99_latency: Option<u64>,
     /// Worst packet latency, cycles.
     pub max_latency: u64,
+    /// Busiest channel's observed load, accepted flits/cycle.
+    pub max_channel_load: f64,
     /// Packets generated in the measurement window.
     pub generated: u64,
     /// Packets delivered in the measurement window.
@@ -236,6 +308,22 @@ pub struct PointResult {
     pub wall_ms: f64,
     /// Simulation speed (0 when timings are off).
     pub cycles_per_sec: f64,
+}
+
+/// Outcome of a per-case saturation-point search.
+#[derive(Clone, Debug)]
+pub struct SaturationResult {
+    /// Highest rate observed unsaturated, packets/cycle.
+    pub rate: f64,
+    /// Baseline mean latency at the search's `lo` rate, cycles.
+    pub base_latency: f64,
+    /// Latency threshold defining the knee, cycles.
+    pub threshold: f64,
+    /// True when even the upper probe stayed below the knee (the
+    /// reported rate is then a lower bound, not a knee).
+    pub censored: bool,
+    /// Simulation runs the search consumed.
+    pub runs: u32,
 }
 
 /// One completed case: its route-set summary plus all load points.
@@ -252,6 +340,9 @@ pub struct CaseResult {
     pub error: Option<String>,
     /// Per-rate measurements (empty when `error` is set).
     pub points: Vec<PointResult>,
+    /// Saturation-point search outcome, when the grid requested one and
+    /// the baseline run delivered packets.
+    pub saturation: Option<SaturationResult>,
     /// Wall-clock milliseconds for the whole case (0 when timings off).
     pub wall_ms: f64,
 }
@@ -262,6 +353,7 @@ fn failed_case(case: &Case, error: String) -> CaseResult {
         mcl: None,
         error: Some(error),
         points: Vec::new(),
+        saturation: None,
         wall_ms: 0.0,
     }
 }
@@ -296,23 +388,37 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries) -> CaseResult 
         Err(e) => return failed_case(case, e.to_string()),
     };
     let mcl = routes.mcl(scenario.topology(), scenario.flows());
-    let mut points = Vec::with_capacity(spec.rates.len());
-    for &rate in &spec.rates {
-        let traffic = TrafficSpec::proportional(scenario.flows(), rate);
-        let config = SimConfig::new(case.vcs)
+    let sim_config = |vcs: u8| {
+        SimConfig::new(vcs)
             .with_warmup(spec.warmup)
             .with_measurement(spec.measurement)
             .with_packet_len(spec.packet_len)
-            .with_seed(spec.seed);
+            .with_seed(spec.seed)
+    };
+    let make_traffic = |rate: f64| {
+        let mut traffic = TrafficSpec::proportional(scenario.flows(), rate);
+        if let Some(burst) = spec.burst {
+            traffic = traffic.with_burst(burst);
+        }
+        traffic
+    };
+    let mut points = Vec::with_capacity(spec.rates.len());
+    for &rate in &spec.rates {
         let (report, timing) = scenario
-            .simulate_timed(&routes, traffic, config)
+            .simulate_timed(&routes, make_traffic(rate), sim_config(case.vcs))
             .expect("validated scenarios simulate");
+        // One per-flow histogram merge serves all three percentiles.
+        let hist = report.latency_histogram();
         points.push(PointResult {
             rate,
             offered: report.offered(),
             throughput: report.throughput(),
             mean_latency: report.mean_latency(),
+            p50_latency: hist.p50(),
+            p95_latency: hist.p95(),
+            p99_latency: hist.p99(),
             max_latency: report.max_latency(),
+            max_channel_load: report.max_channel_load(),
             generated: report.generated_packets,
             delivered: report.delivered_packets,
             deadlocked: report.deadlocked,
@@ -329,17 +435,82 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries) -> CaseResult 
             },
         });
     }
+    let saturation = spec.saturation.and_then(|sat| {
+        saturation_search(&sat, &scenario, &routes, &make_traffic, &|| {
+            sim_config(case.vcs)
+        })
+    });
     CaseResult {
         case: case.clone(),
         mcl: Some(mcl),
         error: None,
         points,
+        saturation,
         wall_ms: if spec.record_timings {
             started.elapsed().as_secs_f64() * 1e3
         } else {
             0.0
         },
     }
+}
+
+/// Bisects the offered rate to the latency knee (see [`SaturationSpec`]).
+/// Returns `None` when the baseline run at `sat.lo` delivers nothing (no
+/// latency to anchor the knee on).
+fn saturation_search(
+    sat: &SaturationSpec,
+    scenario: &Scenario,
+    routes: &RouteSet,
+    make_traffic: &dyn Fn(f64) -> TrafficSpec,
+    make_config: &dyn Fn() -> SimConfig,
+) -> Option<SaturationResult> {
+    let mut runs = 0u32;
+    // `None` means unconditionally saturated (deadlock, nothing
+    // delivered, or delivery collapse); `Some(l)` defers to the knee.
+    let mut mean_latency_at = |rate: f64| -> Option<f64> {
+        runs += 1;
+        let report = scenario
+            .simulate(routes, make_traffic(rate), make_config())
+            .expect("validated scenarios simulate");
+        let delivery_ok = report.generated_packets == 0
+            || report.delivered_packets as f64
+                >= SATURATION_DELIVERY_FLOOR * report.generated_packets as f64;
+        if report.deadlocked || !delivery_ok {
+            None
+        } else {
+            report.mean_latency()
+        }
+    };
+    let base_latency = mean_latency_at(sat.lo)?;
+    let threshold = base_latency * sat.knee;
+    let saturated = |rate: f64, mean_latency_at: &mut dyn FnMut(f64) -> Option<f64>| {
+        mean_latency_at(rate).is_none_or(|l| l > threshold)
+    };
+    if !saturated(sat.hi, &mut mean_latency_at) {
+        return Some(SaturationResult {
+            rate: sat.hi,
+            base_latency,
+            threshold,
+            censored: true,
+            runs,
+        });
+    }
+    let (mut lo, mut hi) = (sat.lo, sat.hi);
+    for _ in 0..sat.iterations {
+        let mid = 0.5 * (lo + hi);
+        if saturated(mid, &mut mean_latency_at) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(SaturationResult {
+        rate: lo,
+        base_latency,
+        threshold,
+        censored: false,
+        runs,
+    })
 }
 
 /// Runs every case of `spec` across `threads` scoped workers with the
@@ -392,11 +563,16 @@ pub fn run_grid_with(spec: &GridSpec, threads: usize, regs: &SweepRegistries) ->
 
 /// Assembles the schema-stable `BENCH_sweep.json` document.
 ///
-/// Schema `bsor-sweep/v1`: `grid` echoes the expanded spec, `cases`
-/// holds one entry per case in grid order, `timing` carries run-wide
-/// wall-clock numbers. The entire timing block — thread count included —
-/// is zeroed when timings are off, so two `--no-timings` sweeps of the
-/// same grid are byte-identical even across different `--threads`.
+/// Schema `bsor-sweep/v2`: `grid` echoes the expanded spec (including
+/// the `burst` and `saturation` knobs, `null` when unused), `cases`
+/// holds one entry per case in grid order — each point carrying
+/// `p50/p95/p99` latency percentiles and the busiest observed channel
+/// load, each case a `saturation` search outcome — and `timing` carries
+/// run-wide wall-clock numbers. The entire timing block — thread count
+/// included — is zeroed when timings are off, so two `--no-timings`
+/// sweeps of the same grid are byte-identical even across different
+/// `--threads`. v2 is a strict superset of v1: every v1 key survives
+/// with unchanged semantics.
 ///
 /// The `meshes`/`mesh` keys predate the topology axis and are kept for
 /// schema stability; non-mesh entries carry `name:WxH` labels in the
@@ -448,6 +624,28 @@ pub fn sweep_json(
         ("measurement", Json::from(spec.measurement)),
         ("packet_len", Json::from(spec.packet_len)),
         ("seed", Json::from(spec.seed)),
+        (
+            "burst",
+            match spec.burst {
+                None => Json::Null,
+                Some(b) => Json::object(vec![
+                    ("mean_on", Json::from(b.mean_on)),
+                    ("mean_off", Json::from(b.mean_off)),
+                ]),
+            },
+        ),
+        (
+            "saturation",
+            match spec.saturation {
+                None => Json::Null,
+                Some(s) => Json::object(vec![
+                    ("lo", Json::from(s.lo)),
+                    ("hi", Json::from(s.hi)),
+                    ("iterations", Json::from(u64::from(s.iterations))),
+                    ("knee", Json::from(s.knee)),
+                ]),
+            },
+        ),
     ]);
     let cases = results
         .iter()
@@ -461,7 +659,11 @@ pub fn sweep_json(
                         ("offered", Json::from(p.offered)),
                         ("throughput", Json::from(p.throughput)),
                         ("mean_latency", Json::from(p.mean_latency)),
+                        ("p50_latency", Json::from(p.p50_latency)),
+                        ("p95_latency", Json::from(p.p95_latency)),
+                        ("p99_latency", Json::from(p.p99_latency)),
                         ("max_latency", Json::from(p.max_latency)),
+                        ("max_channel_load", Json::from(p.max_channel_load)),
                         ("generated", Json::from(p.generated)),
                         ("delivered", Json::from(p.delivered)),
                         ("deadlocked", Json::from(p.deadlocked)),
@@ -471,6 +673,16 @@ pub fn sweep_json(
                     ])
                 })
                 .collect();
+            let saturation = match &r.saturation {
+                None => Json::Null,
+                Some(s) => Json::object(vec![
+                    ("rate", Json::from(s.rate)),
+                    ("base_latency", Json::from(s.base_latency)),
+                    ("threshold", Json::from(s.threshold)),
+                    ("censored", Json::from(s.censored)),
+                    ("runs", Json::from(u64::from(s.runs))),
+                ]),
+            };
             Json::object(vec![
                 ("mesh", Json::from(r.case.topo.label())),
                 ("workload", Json::from(r.case.workload.as_str())),
@@ -479,12 +691,13 @@ pub fn sweep_json(
                 ("mcl_mb_s", Json::from(r.mcl)),
                 ("error", Json::from(r.error.clone())),
                 ("points", Json::Array(points)),
+                ("saturation", saturation),
                 ("wall_ms", Json::from(r.wall_ms)),
             ])
         })
         .collect();
     Json::object(vec![
-        ("schema", Json::from("bsor-sweep/v1")),
+        ("schema", Json::from("bsor-sweep/v2")),
         ("grid", grid),
         ("cases", Json::Array(cases)),
         (
@@ -513,6 +726,8 @@ mod tests {
             packet_len: 4,
             seed: 7,
             record_timings: false,
+            burst: None,
+            saturation: None,
         }
     }
 
@@ -607,5 +822,98 @@ mod tests {
     fn mesh_labels_stay_schema_compatible() {
         assert_eq!(TopoSpec::mesh(8, 8).label(), "8x8");
         assert_eq!(TopoSpec::new("hypercube", 4, 2).label(), "hypercube:4x2");
+    }
+
+    #[test]
+    fn parameterized_workload_specs_sweep() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec![
+            "hotspot:2".into(),
+            "rand-perm:42".into(),
+            "tornado".into(),
+            "hotspot:nope".into(),
+        ];
+        spec.algorithms = vec!["xy".into()];
+        let results = run_grid(&spec, 2);
+        assert_eq!(results.len(), 4);
+        assert!(results[0].error.is_none(), "{:?}", results[0].error);
+        assert!(results[1].error.is_none(), "{:?}", results[1].error);
+        // tornado on a 4x4 mesh shifts one hop in each dimension.
+        assert!(results[2].error.is_none(), "{:?}", results[2].error);
+        // A malformed family argument is a recorded case error, not a
+        // panic and not a sweep abort.
+        assert!(results[3]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("bad workload spec"));
+        for r in &results[..3] {
+            for p in &r.points {
+                assert!(p.max_channel_load >= 0.0);
+                if p.mean_latency.is_some() {
+                    let p50 = p.p50_latency.expect("delivered packets have a median");
+                    let p99 = p.p99_latency.expect("and a p99");
+                    assert!(p50 <= p99);
+                    assert!(p99 <= p.max_latency);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_search_finds_a_knee_and_is_deterministic() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec!["transpose".into()];
+        spec.algorithms = vec!["xy".into()];
+        spec.rates = vec![0.1];
+        spec.saturation = Some(SaturationSpec {
+            lo: 0.05,
+            hi: 4.0,
+            iterations: 6,
+            knee: 4.0,
+        });
+        let a = run_grid(&spec, 1);
+        let b = run_grid(&spec, 4);
+        let sat_a = a[0].saturation.as_ref().expect("search ran");
+        let sat_b = b[0].saturation.as_ref().expect("search ran");
+        assert_eq!(
+            sat_a.rate, sat_b.rate,
+            "bisection must be thread-independent"
+        );
+        assert!(
+            !sat_a.censored,
+            "4.0 packets/cycle saturates a 4x4 transpose"
+        );
+        assert!(
+            sat_a.rate > spec.saturation.unwrap().lo && sat_a.rate < spec.saturation.unwrap().hi
+        );
+        assert!(sat_a.threshold > sat_a.base_latency);
+        assert_eq!(sat_a.runs, 2 + 6, "endpoints plus iterations");
+        // The knee must lie between an unsaturated and a saturated probe
+        // width of the final bisection interval.
+        let width = (spec.saturation.unwrap().hi - spec.saturation.unwrap().lo) / 64.0;
+        assert!(width > 0.0 && sat_a.rate + 2.0 * width <= spec.saturation.unwrap().hi);
+    }
+
+    #[test]
+    fn bursty_grid_matches_flat_mean_load() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec!["neighbor".into()];
+        spec.algorithms = vec!["xy".into()];
+        spec.rates = vec![0.4];
+        spec.measurement = 4_000;
+        let flat = run_grid(&spec, 1);
+        spec.burst = Some(BurstyOnOff::new(50.0, 150.0));
+        let bursty = run_grid(&spec, 1);
+        let (f, b) = (&flat[0].points[0], &bursty[0].points[0]);
+        let ratio = b.offered / f.offered;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "bursty offered load drifted: {ratio}"
+        );
+        // JSON carries the burst knob.
+        let doc = sweep_json(&spec, &bursty, 1, 0.0).pretty();
+        assert!(doc.contains("\"mean_on\": 50.0"));
+        assert!(doc.contains("\"schema\": \"bsor-sweep/v2\""));
     }
 }

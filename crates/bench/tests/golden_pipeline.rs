@@ -1,15 +1,20 @@
 //! Byte-identity goldens pinning the unified scenario/registry pipeline
-//! to the pre-refactor outputs.
+//! outputs.
 //!
-//! The files under `tests/golden/` were captured from the string-matched
-//! glue (`routes_by_name`/`workload_by_name` + per-binary plumbing)
-//! *before* the migration onto `Scenario`/`RouteAlgorithm`/registries:
+//! The files under `tests/golden/`:
 //!
-//! * `sweep_smoke.json` — `bsor-sweep --quick --no-timings --threads 2`
-//! * `fig_6_7_quick.csv` — `fig_6_7 --quick --csv`
+//! * `sweep_smoke.json` — `bsor-sweep --quick --no-timings --threads 2`.
+//!   Originally captured from the pre-refactor string-matched glue
+//!   (`routes_by_name`/`workload_by_name`); re-captured when the sweep
+//!   schema moved to `bsor-sweep/v2` (latency percentiles, channel
+//!   load, burst/saturation knobs) after verifying field-by-field that
+//!   every v1 key and value — every case, every point — was unchanged,
+//!   so the underlying simulation results still match the pre-refactor
+//!   engine bit-for-bit.
+//! * `fig_6_7_quick.csv` — `fig_6_7 --quick --csv`, captured from the
+//!   pre-refactor per-binary plumbing.
 //!
-//! The new pipeline must reproduce both byte-for-byte at the fixed
-//! seeds: the refactor is an API change, not a behavioral one.
+//! The pipeline must reproduce both byte-for-byte at the fixed seeds.
 
 use bsor_bench::sweep::{run_grid, sweep_json, GridSpec};
 use bsor_bench::{standard_mesh, vc_sweep_report, RunMode};

@@ -1,0 +1,91 @@
+//! Fixed-seed regression goldens for the latency-distribution and
+//! traffic-process additions: percentiles, channel-load counters, and
+//! the bursty / phase-scheduled injection paths.
+//!
+//! `golden_engine.rs` pins the scalar digest of the default Bernoulli
+//! path (unchanged since the seed engine); these tests pin the *new*
+//! observables at the same fixed seeds so any change to histogram
+//! bucketing, quantile extraction, channel-load accounting, or the
+//! burst/phase RNG consumption shows up as an exact-value diff.
+
+use bsor_routing::Baseline;
+use bsor_sim::{BurstyOnOff, PhaseSchedule, SimConfig, SimReport, Simulator, TrafficSpec};
+use bsor_topology::Topology;
+use bsor_workloads::{transpose, workload_by_name};
+
+fn config() -> SimConfig {
+    SimConfig::new(2)
+        .with_warmup(2_000)
+        .with_measurement(10_000)
+}
+
+fn run(traffic_of: impl Fn(&bsor_flow::FlowSet) -> TrafficSpec) -> SimReport {
+    let topo = Topology::mesh2d(8, 8);
+    let w = transpose(&topo).expect("8x8 is square");
+    let routes = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
+    let traffic = traffic_of(&w.flows);
+    Simulator::new(&topo, &w.flows, &routes, traffic, config())
+        .expect("valid")
+        .run()
+}
+
+/// The new observables, formatted so any drift is a visible diff.
+fn digest(r: &SimReport) -> String {
+    let hist = r.latency_histogram();
+    // Channel loads are exact rationals (flits / measured cycles);
+    // print the busiest eight links' flit counts to pin the counters
+    // themselves, not just the maximum.
+    let mut flits: Vec<u64> = r.link_flits.clone();
+    flits.sort_unstable_by(|a, b| b.cmp(a));
+    format!(
+        "gen={} del={} tracked={} p50={:?} p95={:?} p99={:?} max={} max_load={:.6} top8={:?}",
+        r.generated_packets,
+        r.delivered_packets,
+        hist.count(),
+        hist.p50(),
+        hist.p95(),
+        hist.p99(),
+        r.max_latency(),
+        r.max_channel_load(),
+        &flits[..8],
+    )
+}
+
+#[test]
+fn golden_percentiles_and_channel_loads_8x8_transpose_xy() {
+    let r = run(|flows| TrafficSpec::proportional(flows, 0.8));
+    assert_eq!(
+        digest(&r),
+        "gen=8099 del=8091 tracked=8077 p50=Some(19) p95=Some(43) p99=Some(76) max=382 \
+         max_load=0.796200 top8=[7962, 7962, 7723, 7723, 7396, 7395, 7080, 7080]"
+    );
+}
+
+#[test]
+fn golden_bursty_injection_8x8_transpose_xy() {
+    let r = run(|flows| {
+        TrafficSpec::proportional(flows, 0.8).with_burst(BurstyOnOff::new(100.0, 300.0))
+    });
+    assert_eq!(
+        digest(&r),
+        "gen=8330 del=8304 tracked=8256 p50=Some(24) p95=Some(72) p99=Some(248) max=1764 \
+         max_load=0.941900 top8=[9419, 9419, 8403, 8395, 8110, 8109, 7287, 7286]"
+    );
+}
+
+#[test]
+fn golden_phase_schedule_8x8_hotspot_xy() {
+    let topo = Topology::mesh2d(8, 8);
+    let w = workload_by_name(&topo, "hotspot:4").expect("spec resolves");
+    let routes = Baseline::XY.select(&topo, &w.flows, 2).expect("xy");
+    let traffic = TrafficSpec::proportional(&w.flows, 0.8)
+        .with_phases(PhaseSchedule::from_pairs([(3_000, 1.5), (3_000, 0.5)]));
+    let r = Simulator::new(&topo, &w.flows, &routes, traffic, config())
+        .expect("valid")
+        .run();
+    assert_eq!(
+        digest(&r),
+        "gen=7334 del=6491 tracked=5909 p50=Some(30) p95=Some(288) p99=Some(1088) max=5471 \
+         max_load=0.990100 top8=[9901, 9357, 8815, 8602, 8374, 8183, 7575, 7549]"
+    );
+}

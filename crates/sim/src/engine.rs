@@ -2,8 +2,9 @@
 //!
 //! Router model (per cycle, single-cycle per hop as in paper §6.1):
 //!
-//! 1. **Generation** — Bernoulli packet arrivals per flow (optionally
-//!    Markov-modulated) into per-node source queues.
+//! 1. **Generation** — Bernoulli or on/off bursty packet arrivals per
+//!    flow (optionally Markov-modulated, optionally phase-scheduled)
+//!    into per-node source queues.
 //! 2. **RC + VA** — head flits at buffer fronts look up the node table
 //!    (packets carry a table index, paper §4.2.1) and request an output
 //!    VC within the hop's VC mask. VC allocation is *atomic*: a VC buffer
@@ -25,7 +26,7 @@
 
 use crate::config::{SimConfig, SimError};
 use crate::stats::{FlowStats, RunTiming, SimReport};
-use crate::traffic::{TrafficSpec, VariationState};
+use crate::traffic::{BurstState, InjectionProcess, TrafficSpec, VariationState};
 use bsor_flow::{FlowId, FlowSet};
 use bsor_routing::tables::NodeTables;
 use bsor_routing::RouteSet;
@@ -178,6 +179,7 @@ pub struct Simulator<'a> {
     traffic: TrafficSpec,
     rng: StdRng,
     var_states: Vec<VariationState>,
+    burst_states: Vec<BurstState>,
     index: TopoIndex,
 
     /// All VC buffers in one arena: the buffer downstream of link `l` on
@@ -300,6 +302,7 @@ impl<'a> Simulator<'a> {
             flows,
             rng: StdRng::seed_from_u64(config.seed),
             var_states: (0..flows.len()).map(|_| VariationState::new()).collect(),
+            burst_states: (0..flows.len()).map(|_| BurstState::new()).collect(),
             tables,
             traffic,
             bufs: (0..(nl + nn) * vcs)
@@ -409,11 +412,26 @@ impl<'a> Simulator<'a> {
 
     fn generate_packets(&mut self) {
         let measuring = self.in_measurement();
+        // Phase scaling is deterministic (no RNG), so the default
+        // schedule-free path multiplies by exactly 1.0 and the seeded
+        // packet stream is bit-identical to the pre-schedule engine.
+        let phase_scale = self
+            .traffic
+            .phases
+            .as_ref()
+            .map_or(1.0, |s| s.scale_at(self.cycle));
         for i in 0..self.flows.len() {
             let flow = self.flows.flow(FlowId(i as u32));
-            let mut p = self.traffic.rates[i];
+            let mut p = self.traffic.rates[i] * phase_scale;
             if let Some(var) = self.traffic.variation {
                 p *= self.var_states[i].step(&var, &mut self.rng);
+            }
+            if let InjectionProcess::OnOff(burst) = self.traffic.injection {
+                p = if self.burst_states[i].step(&burst, &mut self.rng) {
+                    p * burst.on_multiplier()
+                } else {
+                    0.0
+                };
             }
             while p > 0.0 {
                 let fire = if p >= 1.0 { true } else { self.rng.gen_bool(p) };
@@ -672,6 +690,7 @@ impl<'a> Simulator<'a> {
                 fs.latency_sum += latency;
                 fs.latency_count += 1;
                 fs.latency_max = fs.latency_max.max(latency);
+                fs.histogram.record(latency);
             }
         }
     }
@@ -974,6 +993,122 @@ mod tests {
             l4 > l1 * 2.0,
             "4-stage pipeline latency {l4:.1} should far exceed single-cycle {l1:.1}"
         );
+    }
+
+    #[test]
+    fn bursty_injection_preserves_mean_load_but_clusters_arrivals() {
+        use crate::traffic::BurstyOnOff;
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        let config = quick_config().with_measurement(20_000);
+        let flat = Simulator::new(
+            &topo,
+            &flows,
+            &routes,
+            TrafficSpec::proportional(&flows, 0.3),
+            config.clone(),
+        )
+        .expect("valid")
+        .run();
+        let bursty = Simulator::new(
+            &topo,
+            &flows,
+            &routes,
+            TrafficSpec::proportional(&flows, 0.3).with_burst(BurstyOnOff::new(50.0, 150.0)),
+            config,
+        )
+        .expect("valid")
+        .run();
+        // Same long-run offered load (within sampling noise)...
+        let ratio = bursty.offered() / flat.offered();
+        assert!(
+            (0.85..=1.15).contains(&ratio),
+            "bursty offered load drifted: {ratio}"
+        );
+        // ...but clustered arrivals queue longer.
+        let flat_p95 = flat.p95_latency().expect("delivers") as f64;
+        let bursty_p95 = bursty.p95_latency().expect("delivers") as f64;
+        assert!(
+            bursty_p95 > flat_p95,
+            "bursts must stretch the latency tail: flat p95 {flat_p95}, bursty p95 {bursty_p95}"
+        );
+    }
+
+    #[test]
+    fn phase_schedule_gates_generation_at_cycle_boundaries() {
+        use crate::traffic::PhaseSchedule;
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        // Phase 1 covers exactly the warmup, phase 2 (silent) the rest:
+        // nothing may be generated inside the measurement window.
+        let config = SimConfig::new(2).with_warmup(500).with_measurement(2_000);
+        let traffic = TrafficSpec::proportional(&flows, 0.5)
+            .with_phases(PhaseSchedule::from_pairs([(500, 1.0), (2_000, 0.0)]));
+        let report = Simulator::new(&topo, &flows, &routes, traffic, config)
+            .expect("valid")
+            .run();
+        assert_eq!(
+            report.generated_packets, 0,
+            "the zero-scale phase must silence measurement-window generation"
+        );
+        // Flip the phases: generation only happens during measurement.
+        let config = SimConfig::new(2).with_warmup(500).with_measurement(2_000);
+        let traffic = TrafficSpec::proportional(&flows, 0.5)
+            .with_phases(PhaseSchedule::from_pairs([(500, 0.0), (2_000, 1.0)]));
+        let report = Simulator::new(&topo, &flows, &routes, traffic, config)
+            .expect("valid")
+            .run();
+        assert!(report.generated_packets > 0);
+    }
+
+    #[test]
+    fn default_injection_is_bit_identical_with_traffic_extensions_compiled_in() {
+        // The no-burst/no-phase path must not consume any extra RNG
+        // draws: a spec with an explicit one-phase schedule of scale 1.0
+        // produces the same packet stream as the plain spec.
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        use crate::traffic::PhaseSchedule;
+        let plain = Simulator::new(
+            &topo,
+            &flows,
+            &routes,
+            TrafficSpec::proportional(&flows, 0.4),
+            quick_config(),
+        )
+        .expect("valid")
+        .run();
+        let scaled = Simulator::new(
+            &topo,
+            &flows,
+            &routes,
+            TrafficSpec::proportional(&flows, 0.4)
+                .with_phases(PhaseSchedule::from_pairs([(7, 1.0)])),
+            quick_config(),
+        )
+        .expect("valid")
+        .run();
+        assert_eq!(plain, scaled);
+    }
+
+    #[test]
+    fn histograms_agree_with_scalar_latency_stats() {
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        let traffic = TrafficSpec::proportional(&flows, 0.2);
+        let report = Simulator::new(&topo, &flows, &routes, traffic, quick_config())
+            .expect("valid")
+            .run();
+        let hist = report.latency_histogram();
+        let tracked: u64 = report.per_flow.iter().map(|f| f.latency_count).sum();
+        assert_eq!(hist.count(), tracked, "every tracked packet is recorded");
+        let p50 = report.p50_latency().expect("delivers") as f64;
+        let p99 = report.p99_latency().expect("delivers");
+        let mean = report.mean_latency().expect("delivers");
+        assert!(p50 <= p99 as f64);
+        assert!(report.max_latency() >= p99);
+        // The histogram's quantiles bracket the mean at light load.
+        assert!(p50 <= mean * 1.5 && mean <= report.max_latency() as f64);
     }
 
     #[test]

@@ -51,5 +51,7 @@ pub use scenario::{
     AlgorithmError, Experiment, ExperimentError, RouteAlgorithm, Scenario, ScenarioBuilder,
     ScenarioCtx,
 };
-pub use stats::{FlowStats, RunTiming, SimReport};
-pub use traffic::{MarkovVariation, TrafficSpec};
+pub use stats::{FlowStats, LatencyHistogram, RunTiming, SimReport};
+pub use traffic::{
+    BurstyOnOff, InjectionProcess, MarkovVariation, Phase, PhaseSchedule, TrafficSpec,
+};

@@ -67,7 +67,7 @@
 
 use crate::config::{SimConfig, SimError};
 use crate::stats::{RunTiming, SimReport};
-use crate::traffic::{MarkovVariation, TrafficSpec};
+use crate::traffic::{BurstyOnOff, MarkovVariation, PhaseSchedule, TrafficSpec};
 use crate::Simulator;
 use bsor_cdg::{AcyclicCdg, CdgError, TurnModel};
 use bsor_flow::{FlowNetwork, FlowSet, FlowSetError};
@@ -571,6 +571,8 @@ impl Scenario {
             config: SimConfig::new(self.vcs),
             rate: 1.0,
             variation: None,
+            burst: None,
+            phases: None,
         }
     }
 }
@@ -587,6 +589,8 @@ pub struct Experiment<'a> {
     config: SimConfig,
     rate: f64,
     variation: Option<MarkovVariation>,
+    burst: Option<BurstyOnOff>,
+    phases: Option<PhaseSchedule>,
 }
 
 impl fmt::Debug for Experiment<'_> {
@@ -617,6 +621,18 @@ impl<'a> Experiment<'a> {
     /// Adds run-time bandwidth variation (paper §5.3).
     pub fn variation(mut self, variation: MarkovVariation) -> Self {
         self.variation = Some(variation);
+        self
+    }
+
+    /// Switches injection to the on/off bursty arrival process.
+    pub fn burst(mut self, burst: BurstyOnOff) -> Self {
+        self.burst = Some(burst);
+        self
+    }
+
+    /// Adds a multi-phase rate schedule (cycle-boundary switching).
+    pub fn phases(mut self, phases: PhaseSchedule) -> Self {
+        self.phases = Some(phases);
         self
     }
 
@@ -656,6 +672,12 @@ impl<'a> Experiment<'a> {
         let mut traffic = TrafficSpec::proportional(&self.scenario.flows, self.rate);
         if let Some(v) = self.variation {
             traffic = traffic.with_variation(v);
+        }
+        if let Some(b) = self.burst {
+            traffic = traffic.with_burst(b);
+        }
+        if let Some(p) = &self.phases {
+            traffic = traffic.with_phases(p.clone());
         }
         self.scenario.simulate(routes, traffic, self.config.clone())
     }

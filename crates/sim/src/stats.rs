@@ -8,6 +8,123 @@
 
 use std::time::Duration;
 
+/// Exact buckets below this latency; log-linear buckets above.
+const LINEAR_CUTOFF: u64 = 64;
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUBBUCKETS: u64 = 16;
+/// First octave of the log-linear range (`log2(LINEAR_CUTOFF)`).
+const FIRST_OCTAVE: u64 = LINEAR_CUTOFF.trailing_zeros() as u64;
+
+/// A deterministic log-linear latency histogram (HdrHistogram-style).
+///
+/// Latencies below 64 cycles land in exact unit-width buckets; above,
+/// each power-of-two octave is split into 16 equal sub-buckets,
+/// bounding the relative quantization
+/// error at 1/16 ≈ 6%. Recording and quantile extraction are pure
+/// integer arithmetic with no ordering sensitivity, so histograms can be
+/// compared structurally in regression tests and merged across flows
+/// without changing any result.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bucket counts, grown on demand to the highest touched bucket.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    fn bucket(value: u64) -> usize {
+        if value < LINEAR_CUTOFF {
+            value as usize
+        } else {
+            let octave = 63 - u64::from(value.leading_zeros());
+            let sub = (value >> (octave - 4)) & (SUBBUCKETS - 1);
+            (LINEAR_CUTOFF + (octave - FIRST_OCTAVE) * SUBBUCKETS + sub) as usize
+        }
+    }
+
+    /// Lower bound of bucket `index` (the value quantiles report).
+    fn bucket_low(index: usize) -> u64 {
+        let index = index as u64;
+        if index < LINEAR_CUTOFF {
+            index
+        } else {
+            let rel = index - LINEAR_CUTOFF;
+            let octave = rel / SUBBUCKETS + FIRST_OCTAVE;
+            let sub = rel % SUBBUCKETS;
+            (1 << octave) + (sub << (octave - 4))
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, value: u64) {
+        let b = LatencyHistogram::bucket(value);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// The latency at quantile `q` (0 < q ≤ 1): the lower bound of the
+    /// bucket holding the `⌈q·total⌉`-th smallest sample. Exact below
+    /// 64 cycles, within 6% above. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(LatencyHistogram::bucket_low(i));
+            }
+        }
+        unreachable!("rank {rank} exceeds recorded total {}", self.total)
+    }
+
+    /// Median latency (see [`LatencyHistogram::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+}
+
 /// Per-flow measurement results.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FlowStats {
@@ -24,6 +141,8 @@ pub struct FlowStats {
     pub latency_count: u64,
     /// Worst packet latency observed, cycles.
     pub latency_max: u64,
+    /// Distribution of the tracked latencies.
+    pub histogram: LatencyHistogram,
 }
 
 impl FlowStats {
@@ -128,6 +247,63 @@ impl SimReport {
             .unwrap_or(0)
     }
 
+    /// The network-wide latency distribution (all per-flow histograms
+    /// merged).
+    pub fn latency_histogram(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for f in &self.per_flow {
+            merged.merge(&f.histogram);
+        }
+        merged
+    }
+
+    /// Network-wide latency at quantile `q` (see
+    /// [`LatencyHistogram::quantile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < q <= 1.0`.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        self.latency_histogram().quantile(q)
+    }
+
+    /// Median packet latency in cycles.
+    pub fn p50_latency(&self) -> Option<u64> {
+        self.latency_quantile(0.50)
+    }
+
+    /// 95th-percentile packet latency in cycles.
+    pub fn p95_latency(&self) -> Option<u64> {
+        self.latency_quantile(0.95)
+    }
+
+    /// 99th-percentile packet latency in cycles.
+    pub fn p99_latency(&self) -> Option<u64> {
+        self.latency_quantile(0.99)
+    }
+
+    /// Per-link observed channel load in accepted flits/cycle over the
+    /// measurement window (the run-time counterpart of the paper's
+    /// offline MCL metric).
+    pub fn channel_loads(&self) -> Vec<f64> {
+        if self.measured_cycles == 0 {
+            return vec![0.0; self.link_flits.len()];
+        }
+        self.link_flits
+            .iter()
+            .map(|&f| f as f64 / self.measured_cycles as f64)
+            .collect()
+    }
+
+    /// The busiest channel's observed load in flits/cycle.
+    pub fn max_channel_load(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            0.0
+        } else {
+            self.max_link_flits() as f64 / self.measured_cycles as f64
+        }
+    }
+
     /// The busiest channel's flit count.
     pub fn max_link_flits(&self) -> u64 {
         self.link_flits.iter().copied().max().unwrap_or(0)
@@ -153,6 +329,7 @@ mod tests {
                     latency_sum: 500,
                     latency_count: 50,
                     latency_max: 30,
+                    histogram: LatencyHistogram::new(),
                 },
                 FlowStats {
                     generated: 40,
@@ -160,6 +337,7 @@ mod tests {
                     latency_sum: 600,
                     latency_count: 30,
                     latency_max: 45,
+                    histogram: LatencyHistogram::new(),
                 },
             ],
             link_flits: vec![3, 9, 1],
@@ -170,6 +348,9 @@ mod tests {
         assert!((report.mean_latency().unwrap() - 1100.0 / 80.0).abs() < 1e-12);
         assert_eq!(report.max_latency(), 45);
         assert_eq!(report.max_link_flits(), 9);
+        assert!((report.max_channel_load() - 9.0 / 500.0).abs() < 1e-12);
+        assert_eq!(report.channel_loads().len(), 3);
+        assert!((report.channel_loads()[1] - 0.018).abs() < 1e-12);
         assert_eq!(report.per_flow[0].mean_latency(), Some(10.0));
     }
 
@@ -180,5 +361,82 @@ mod tests {
         assert_eq!(report.mean_latency(), None);
         assert_eq!(report.max_latency(), 0);
         assert_eq!(report.max_link_flits(), 0);
+        assert_eq!(report.max_channel_load(), 0.0);
+        assert_eq!(report.p50_latency(), None);
+        assert_eq!(report.p99_latency(), None);
+    }
+
+    #[test]
+    fn histogram_is_exact_in_the_linear_range() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=63 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 63);
+        assert_eq!(h.quantile(0.5), Some(32));
+        assert_eq!(h.quantile(1.0), Some(63));
+        assert_eq!(h.quantile(1.0 / 63.0), Some(1));
+        assert_eq!(h.p95(), Some(60));
+    }
+
+    #[test]
+    fn histogram_buckets_are_contiguous_and_monotone() {
+        // Every value maps to a bucket whose lower bound is <= the value
+        // and within 1/16 relative error, and bucket indices never
+        // decrease with the value.
+        let mut prev_bucket = 0usize;
+        for v in 0u64..100_000 {
+            let b = LatencyHistogram::bucket(v);
+            assert!(b >= prev_bucket, "bucket regressed at {v}");
+            prev_bucket = b;
+            let low = LatencyHistogram::bucket_low(b);
+            assert!(low <= v, "lower bound {low} above sample {v}");
+            assert!(
+                (v - low) as f64 <= (v as f64 / 16.0).max(0.0) + 1e-9,
+                "bucket too wide at {v}: low {low}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_heavy_tails() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..95 {
+            h.record(10);
+        }
+        for _ in 0..5 {
+            h.record(10_000);
+        }
+        assert_eq!(h.p50(), Some(10));
+        assert_eq!(h.p95(), Some(10));
+        let p99 = h.p99().expect("nonempty");
+        assert!(
+            (9_375..=10_000).contains(&p99),
+            "p99 {p99} outside the 10k bucket"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for v in [3u64, 17, 200, 9_001, 3, 64, 65] {
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn histogram_rejects_zero_quantile() {
+        LatencyHistogram::new().quantile(0.0);
     }
 }

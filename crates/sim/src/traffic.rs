@@ -1,5 +1,7 @@
-//! Packet injection processes: proportional Bernoulli traffic and the
-//! two-stage Markov-modulated bandwidth variation of paper §5.3.
+//! Packet injection processes: proportional Bernoulli traffic, the
+//! two-stage Markov-modulated bandwidth variation of paper §5.3, on/off
+//! bursty injection with geometric dwell times, and multi-phase rate
+//! schedules that switch offered load at cycle boundaries.
 
 use bsor_flow::FlowSet;
 use rand::rngs::StdRng;
@@ -81,14 +83,182 @@ impl VariationState {
     }
 }
 
+/// On/off bursty injection: each flow alternates between an *on* stage
+/// (injecting at `rate / duty`, preserving the configured mean rate) and
+/// an *off* stage (silent); each stage lasts a geometrically distributed
+/// number of cycles. The long-run offered load matches the flat
+/// Bernoulli process with the same base rates — only the arrival
+/// clustering changes, which is exactly what stresses buffer depth and
+/// VC allocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstyOnOff {
+    /// Mean dwell time of the injecting stage, cycles.
+    pub mean_on: f64,
+    /// Mean dwell time of the silent stage, cycles.
+    pub mean_off: f64,
+}
+
+impl BurstyOnOff {
+    /// A bursty process with the given mean dwell times.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both means are at least one cycle.
+    pub fn new(mean_on: f64, mean_off: f64) -> BurstyOnOff {
+        assert!(
+            mean_on >= 1.0 && mean_off >= 1.0,
+            "dwell times must be at least a cycle"
+        );
+        BurstyOnOff { mean_on, mean_off }
+    }
+
+    /// Fraction of cycles spent in the on stage.
+    pub fn duty(&self) -> f64 {
+        self.mean_on / (self.mean_on + self.mean_off)
+    }
+
+    /// Rate multiplier applied while on (1/duty), so the long-run mean
+    /// offered load equals the base rate.
+    pub fn on_multiplier(&self) -> f64 {
+        1.0 / self.duty()
+    }
+}
+
+/// Per-flow on/off stage tracker (mirrors [`VariationState`]).
+#[derive(Clone, Debug)]
+pub(crate) struct BurstState {
+    on: bool,
+    cycles_left: u64,
+}
+
+impl BurstState {
+    pub(crate) fn new() -> BurstState {
+        BurstState {
+            on: false, // first toggle enters the on stage
+            cycles_left: 0,
+        }
+    }
+
+    /// Advances one cycle, returning whether the flow is injecting.
+    pub(crate) fn step(&mut self, params: &BurstyOnOff, rng: &mut StdRng) -> bool {
+        if self.cycles_left == 0 {
+            self.on = !self.on;
+            let mean = if self.on {
+                params.mean_on
+            } else {
+                params.mean_off
+            };
+            let p = 1.0 / mean;
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            self.cycles_left = (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64;
+        }
+        self.cycles_left -= 1;
+        self.on
+    }
+}
+
+/// One stage of a [`PhaseSchedule`]: hold the workload's rates at
+/// `scale ×` their base values for `cycles` cycles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Phase {
+    /// Stage length in cycles (≥ 1).
+    pub cycles: u64,
+    /// Rate multiplier applied to every flow during the stage.
+    pub scale: f64,
+}
+
+/// A multi-phase injection schedule: the per-flow rates are scaled by
+/// each phase's multiplier in turn, switching exactly at cycle
+/// boundaries, and the schedule repeats once exhausted. Cycle 0 of the
+/// simulation (warmup included) is cycle 0 of the first phase, so a
+/// report's measurement window covers a deterministic slice of the
+/// schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSchedule {
+    phases: Vec<Phase>,
+    total: u64,
+}
+
+impl PhaseSchedule {
+    /// Builds a schedule from its phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `phases` is empty, any phase is zero-length, or any
+    /// scale is negative or non-finite.
+    pub fn new(phases: Vec<Phase>) -> PhaseSchedule {
+        assert!(!phases.is_empty(), "a schedule needs at least one phase");
+        for p in &phases {
+            assert!(p.cycles >= 1, "phases must last at least a cycle");
+            assert!(
+                p.scale.is_finite() && p.scale >= 0.0,
+                "phase scale must be finite and non-negative"
+            );
+        }
+        let total = phases.iter().map(|p| p.cycles).sum();
+        PhaseSchedule { phases, total }
+    }
+
+    /// Convenience constructor from `(cycles, scale)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// As [`PhaseSchedule::new`].
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, f64)>) -> PhaseSchedule {
+        PhaseSchedule::new(
+            pairs
+                .into_iter()
+                .map(|(cycles, scale)| Phase { cycles, scale })
+                .collect(),
+        )
+    }
+
+    /// The phases, in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Cycles in one full pass of the schedule.
+    pub fn period(&self) -> u64 {
+        self.total
+    }
+
+    /// The rate multiplier in force at `cycle` (the schedule repeats).
+    pub fn scale_at(&self, cycle: u64) -> f64 {
+        let mut t = cycle % self.total;
+        for p in &self.phases {
+            if t < p.cycles {
+                return p.scale;
+            }
+            t -= p.cycles;
+        }
+        unreachable!("cycle {t} beyond schedule period {}", self.total)
+    }
+}
+
+/// Which arrival process generates packets from the per-flow rates.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum InjectionProcess {
+    /// Independent Bernoulli arrivals each cycle (the paper's §6.1
+    /// methodology and the historical default).
+    #[default]
+    Bernoulli,
+    /// On/off bursty arrivals with geometric stage dwell times.
+    OnOff(BurstyOnOff),
+}
+
 /// Per-flow injection rates in packets/cycle, with optional run-time
-/// variation.
+/// variation, burstiness and phase scheduling.
 #[derive(Clone, Debug)]
 pub struct TrafficSpec {
     /// Base injection rate of each flow, packets/cycle, indexed by flow.
     pub rates: Vec<f64>,
     /// Optional Markov-modulated variation applied multiplicatively.
     pub variation: Option<MarkovVariation>,
+    /// The arrival process mapping rates to packet generation events.
+    pub injection: InjectionProcess,
+    /// Optional multi-phase rate schedule (cycle-boundary switching).
+    pub phases: Option<PhaseSchedule>,
 }
 
 impl TrafficSpec {
@@ -110,6 +280,8 @@ impl TrafficSpec {
                 .map(|f| total_rate * f.demand / total_demand)
                 .collect(),
             variation: None,
+            injection: InjectionProcess::Bernoulli,
+            phases: None,
         }
     }
 
@@ -119,6 +291,8 @@ impl TrafficSpec {
         TrafficSpec {
             rates: vec![rate_per_flow; flows.len()],
             variation: None,
+            injection: InjectionProcess::Bernoulli,
+            phases: None,
         }
     }
 
@@ -128,7 +302,20 @@ impl TrafficSpec {
         self
     }
 
-    /// Total offered rate in packets/cycle.
+    /// Switches the arrival process to on/off bursty injection.
+    pub fn with_burst(mut self, burst: BurstyOnOff) -> Self {
+        self.injection = InjectionProcess::OnOff(burst);
+        self
+    }
+
+    /// Adds a multi-phase rate schedule.
+    pub fn with_phases(mut self, phases: PhaseSchedule) -> Self {
+        self.phases = Some(phases);
+        self
+    }
+
+    /// Total offered rate in packets/cycle (base rates, before phase
+    /// scaling).
     pub fn total_rate(&self) -> f64 {
         self.rates.iter().sum()
     }
@@ -206,5 +393,86 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn variation_rejects_out_of_band_fraction() {
         MarkovVariation::new(1.5, 10.0);
+    }
+
+    #[test]
+    fn burst_duty_cycle_matches_dwell_means() {
+        let params = BurstyOnOff::new(40.0, 60.0);
+        assert!((params.duty() - 0.4).abs() < 1e-12);
+        assert!((params.on_multiplier() - 2.5).abs() < 1e-12);
+        let mut state = BurstState::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let on_cycles = (0..200_000)
+            .filter(|_| state.step(&params, &mut rng))
+            .count();
+        let duty = on_cycles as f64 / 200_000.0;
+        assert!(
+            (0.35..0.45).contains(&duty),
+            "observed duty {duty} far from 0.4"
+        );
+    }
+
+    #[test]
+    fn burst_stages_dwell_for_whole_stretches() {
+        let params = BurstyOnOff::new(50.0, 50.0);
+        let mut state = BurstState::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut toggles = 0;
+        let mut last = None;
+        for _ in 0..10_000 {
+            let on = state.step(&params, &mut rng);
+            if last != Some(on) {
+                toggles += 1;
+            }
+            last = Some(on);
+        }
+        assert!(toggles < 400, "toggled {toggles} times in 10k cycles");
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell")]
+    fn burst_rejects_sub_cycle_dwell() {
+        BurstyOnOff::new(0.5, 10.0);
+    }
+
+    #[test]
+    fn phase_schedule_switches_at_cycle_boundaries_and_repeats() {
+        let sched = PhaseSchedule::from_pairs([(100, 1.0), (50, 0.0), (25, 2.5)]);
+        assert_eq!(sched.period(), 175);
+        assert_eq!(sched.phases().len(), 3);
+        assert_eq!(sched.scale_at(0), 1.0);
+        assert_eq!(sched.scale_at(99), 1.0);
+        assert_eq!(sched.scale_at(100), 0.0);
+        assert_eq!(sched.scale_at(149), 0.0);
+        assert_eq!(sched.scale_at(150), 2.5);
+        assert_eq!(sched.scale_at(174), 2.5);
+        // Wraps around.
+        assert_eq!(sched.scale_at(175), 1.0);
+        assert_eq!(sched.scale_at(175 + 160), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn phase_schedule_rejects_empty() {
+        PhaseSchedule::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a cycle")]
+    fn phase_schedule_rejects_zero_length_phase() {
+        PhaseSchedule::from_pairs([(0, 1.0)]);
+    }
+
+    #[test]
+    fn traffic_spec_builders_compose() {
+        let spec = TrafficSpec::proportional(&flows(), 0.4)
+            .with_burst(BurstyOnOff::new(20.0, 80.0))
+            .with_phases(PhaseSchedule::from_pairs([(10, 1.0), (10, 0.5)]));
+        assert_eq!(
+            spec.injection,
+            InjectionProcess::OnOff(BurstyOnOff::new(20.0, 80.0))
+        );
+        assert_eq!(spec.phases.as_ref().map(PhaseSchedule::period), Some(20));
+        assert!((spec.total_rate() - 0.4).abs() < 1e-12);
     }
 }

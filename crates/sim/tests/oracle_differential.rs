@@ -1,0 +1,216 @@
+//! Oracle-differential tests: a deliberately naive reference simulator
+//! cross-checks the arena engine on small meshes at low load.
+//!
+//! The reference replays the engine's *exact* packet-generation RNG
+//! stream (same `StdRng` seed, same per-flow `gen_bool` draw order), so
+//! generated-packet counts must match the engine bit-for-bit — any
+//! divergence in the engine's generation loop, flow indexing or
+//! measurement-window accounting shows up as a hard count mismatch.
+//! Delivery timing is then modeled with a single FIFO queue per link
+//! (one flit per cycle, wormhole occupancy of `packet_len` cycles),
+//! processing packets in injection order with no switch arbitration —
+//! an O(packets × hops) loop with none of the engine's data structures.
+//! At low load the two models agree closely on latency, so the mean
+//! packet latency is compared under a tight relative tolerance, and the
+//! reference (which under-approximates arbitration stalls) must never
+//! exceed the engine by more than the quantization slack.
+
+use bsor_flow::FlowSet;
+use bsor_routing::{Baseline, RouteSet};
+use bsor_sim::{SimConfig, SimReport, Simulator, TrafficSpec};
+use bsor_topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the naive reference simulator observed.
+struct OracleReport {
+    /// Packets generated inside the measurement window, per flow.
+    generated_per_flow: Vec<u64>,
+    /// Packets (tracked or not) delivered inside the measurement window.
+    delivered_in_window: u64,
+    /// Mean latency over tracked packets.
+    mean_latency: f64,
+    /// Tracked packets delivered (all of them, in this infinite-horizon
+    /// model).
+    tracked: u64,
+}
+
+/// The naive single-queue reference: replay the engine's generation RNG
+/// exactly, then push each packet through its route against per-link
+/// FIFO availability times, in injection order.
+fn oracle_run(
+    topo: &Topology,
+    flows: &FlowSet,
+    routes: &RouteSet,
+    traffic: &TrafficSpec,
+    config: &SimConfig,
+) -> OracleReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let total = config.warmup + config.measurement + config.drain;
+    let window = config.warmup..config.warmup + config.measurement;
+    let mut generated_per_flow = vec![0u64; flows.len()];
+    // (cycle, flow, tracked) in exact engine generation order.
+    let mut packets: Vec<(u64, usize, bool)> = Vec::new();
+    for cycle in 0..total {
+        for (i, &rate) in traffic.rates.iter().enumerate() {
+            let mut p = rate;
+            while p > 0.0 {
+                let fire = if p >= 1.0 { true } else { rng.gen_bool(p) };
+                if fire {
+                    let tracked = window.contains(&cycle);
+                    if tracked {
+                        generated_per_flow[i] += 1;
+                    }
+                    packets.push((cycle, i, tracked));
+                }
+                p -= 1.0;
+            }
+        }
+    }
+    // Naive timing: every link is one FIFO server moving one flit per
+    // cycle; a packet occupies each link for `packet_len` cycles. The
+    // zero-contention latency is `hops + packet_len`, matching the
+    // engine's single-cycle-per-hop router plus tail ejection.
+    let len = config.packet_len as u64;
+    let hops: Vec<Vec<usize>> = routes
+        .iter()
+        .map(|r| r.hops.iter().map(|h| h.link.index()).collect())
+        .collect();
+    let mut link_free = vec![0u64; topo.num_links()];
+    let mut latency_sum = 0u64;
+    let mut tracked = 0u64;
+    let mut delivered_in_window = 0u64;
+    for &(cycle, flow, is_tracked) in &packets {
+        let mut t = cycle;
+        for &link in &hops[flow] {
+            t = t.max(link_free[link]) + 1;
+            link_free[link] = t + len - 1;
+        }
+        let delivery = t + len;
+        if window.contains(&delivery) {
+            delivered_in_window += 1;
+        }
+        if is_tracked {
+            latency_sum += delivery - cycle;
+            tracked += 1;
+        }
+    }
+    OracleReport {
+        generated_per_flow,
+        delivered_in_window,
+        mean_latency: if tracked == 0 {
+            0.0
+        } else {
+            latency_sum as f64 / tracked as f64
+        },
+        tracked,
+    }
+}
+
+fn cross_check(topo: Topology, flows: FlowSet, rate: f64, seed: u64) {
+    let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy routes");
+    let mut config = SimConfig::new(2)
+        .with_warmup(500)
+        .with_measurement(5_000)
+        .with_packet_len(4)
+        .with_seed(seed);
+    // Long drain: every tracked packet must leave the network so the
+    // count comparison is exact, not truncated.
+    config.drain = 2_000;
+    let traffic = TrafficSpec::proportional(&flows, rate);
+    let oracle = oracle_run(&topo, &flows, &routes, &traffic, &config);
+    let report: SimReport = Simulator::new(&topo, &flows, &routes, traffic, config)
+        .expect("valid sim")
+        .run();
+    assert!(!report.deadlocked, "XY at low load cannot deadlock");
+
+    // 1. Generation replay: exact, per flow.
+    let oracle_generated: u64 = oracle.generated_per_flow.iter().sum();
+    assert_eq!(
+        report.generated_packets, oracle_generated,
+        "engine and oracle disagree on generated packets (seed {seed})"
+    );
+    for (i, fs) in report.per_flow.iter().enumerate() {
+        assert_eq!(
+            fs.generated, oracle.generated_per_flow[i],
+            "flow {i} generation diverged (seed {seed})"
+        );
+    }
+
+    // 2. Delivery accounting: with a drain longer than any low-load
+    // latency, every tracked packet is delivered and latency-counted.
+    let tracked: u64 = report.per_flow.iter().map(|f| f.latency_count).sum();
+    assert_eq!(
+        tracked, oracle.tracked,
+        "engine lost tracked packets (seed {seed})"
+    );
+    // Window-delivered counts may differ only by packets straddling the
+    // window edges (a handful at these rates).
+    let diff = report
+        .delivered_packets
+        .abs_diff(oracle.delivered_in_window);
+    assert!(
+        diff <= 8,
+        "windowed delivery counts diverged by {diff} (engine {}, oracle {}, seed {seed})",
+        report.delivered_packets,
+        oracle.delivered_in_window
+    );
+
+    // 3. Latency: the naive model tracks the engine closely at low load.
+    let engine_mean = report.mean_latency().expect("packets delivered");
+    let rel = (engine_mean - oracle.mean_latency).abs() / engine_mean;
+    assert!(
+        rel < 0.15,
+        "mean latency diverged {:.1}%: engine {engine_mean:.2}, oracle {:.2} (seed {seed})",
+        rel * 100.0,
+        oracle.mean_latency
+    );
+    // The FIFO model has no arbitration stalls: it may only undershoot
+    // (modulo its fixed +2 pipeline slack).
+    assert!(
+        oracle.mean_latency <= engine_mean + 2.0,
+        "oracle latency {:.2} above engine {engine_mean:.2} (seed {seed})",
+        oracle.mean_latency
+    );
+}
+
+/// All-pairs-shifted flows on a 3×3 mesh (synthetic patterns need
+/// power-of-two grids; the oracle does not).
+fn mesh3_flows(topo: &Topology) -> FlowSet {
+    let n = topo.num_nodes() as u32;
+    let mut flows = FlowSet::new();
+    for i in 0..n {
+        let j = (i + 4) % n;
+        if i != j {
+            flows.push(NodeId(i), NodeId(j), 10.0);
+        }
+    }
+    flows
+}
+
+#[test]
+fn oracle_matches_engine_on_3x3_mesh() {
+    for seed in [1, 42, 0xB50B] {
+        let topo = Topology::mesh2d(3, 3);
+        let flows = mesh3_flows(&topo);
+        cross_check(topo, flows, 0.05, seed);
+    }
+}
+
+#[test]
+fn oracle_matches_engine_on_4x4_transpose() {
+    for seed in [7, 1234] {
+        let topo = Topology::mesh2d(4, 4);
+        let w = bsor_workloads::transpose(&topo).expect("4x4 is square");
+        cross_check(topo, w.flows, 0.08, seed);
+    }
+}
+
+#[test]
+fn oracle_matches_engine_on_4x4_neighbor() {
+    for seed in [3, 99] {
+        let topo = Topology::mesh2d(4, 4);
+        let w = bsor_workloads::neighbor(&topo).expect("4 columns");
+        cross_check(topo, w.flows, 0.1, seed);
+    }
+}

@@ -36,11 +36,15 @@
 //! ```
 
 pub mod apps;
+pub mod patterns;
 pub mod registry;
 pub mod synthetic;
 
 pub use apps::{h264_decoder, performance_modeling, wifi_transmitter};
-pub use registry::{workload_by_name, WorkloadFactory, WorkloadRegistry};
+pub use patterns::{
+    bit_reversal, hotspot, hotspot_nodes, neighbor, rand_perm, tornado, uniform_random,
+};
+pub use registry::{workload_by_name, WorkloadFactory, WorkloadFamilyFactory, WorkloadRegistry};
 pub use synthetic::{bit_complement, shuffle, transpose, SYNTHETIC_DEMAND};
 
 use bsor_flow::FlowSet;
@@ -87,6 +91,20 @@ pub enum WorkloadError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A parameterized spec string named a known family but carried a
+    /// malformed or out-of-range argument (e.g. `hotspot:lots`).
+    BadSpec {
+        /// The full offending spec string.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The pattern produces no flows on this topology (e.g. tornado on a
+    /// 2×2 grid, where every shift is zero).
+    EmptyWorkload {
+        /// The workload that degenerated.
+        name: String,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -104,6 +122,12 @@ impl fmt::Display for WorkloadError {
                 "application needs {required} module nodes but the topology has {available}"
             ),
             WorkloadError::UnknownWorkload { name } => write!(f, "unknown workload '{name}'"),
+            WorkloadError::BadSpec { spec, reason } => {
+                write!(f, "bad workload spec '{spec}': {reason}")
+            }
+            WorkloadError::EmptyWorkload { name } => {
+                write!(f, "workload '{name}' produces no flows on this topology")
+            }
         }
     }
 }
@@ -165,5 +189,14 @@ mod tests {
         }
         .to_string()
         .is_empty());
+        let e = WorkloadError::BadSpec {
+            spec: "hotspot:lots".into(),
+            reason: "k must be a positive integer".into(),
+        };
+        assert!(e.to_string().contains("hotspot:lots"));
+        let e = WorkloadError::EmptyWorkload {
+            name: "tornado".into(),
+        };
+        assert!(e.to_string().contains("tornado"));
     }
 }

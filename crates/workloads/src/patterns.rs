@@ -1,0 +1,379 @@
+//! Adversarial and randomized synthetic traffic patterns.
+//!
+//! The paper evaluates BSOR on three bit-permutations (see
+//! [`crate::synthetic`]); worst-case-throughput claims only become
+//! credible under the adversarial patterns the oblivious-routing
+//! literature sweeps — hotspots, tornado shifts, bit reversal, nearest
+//! neighbor, uniform random and seeded random permutations. Every
+//! generator here is deterministic (randomized ones carry an explicit
+//! seed) and normalizes per-source demand to [`SYNTHETIC_DEMAND`] so
+//! MCL numbers stay comparable with the paper's Table 6.3 calibration.
+//!
+//! The parameterized families (`hotspot:<k>`, `rand-perm:<seed>`) are
+//! addressable through [`crate::WorkloadRegistry`] spec strings; see the
+//! registry docs for the grammar.
+
+use crate::synthetic::SYNTHETIC_DEMAND;
+use crate::{Workload, WorkloadError};
+use bsor_flow::FlowSet;
+use bsor_topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniform-random traffic as a static flow graph: every ordered pair of
+/// distinct nodes carries a flow, and each source's total demand is
+/// [`SYNTHETIC_DEMAND`] (split evenly over its `n - 1` destinations).
+///
+/// # Errors
+///
+/// [`WorkloadError::EmptyWorkload`] on single-node topologies.
+pub fn uniform_random(topo: &Topology) -> Result<Workload, WorkloadError> {
+    let n = topo.num_nodes() as u32;
+    if n < 2 {
+        return Err(WorkloadError::EmptyWorkload {
+            name: "uniform-random".to_owned(),
+        });
+    }
+    let per_flow = SYNTHETIC_DEMAND / (n - 1) as f64;
+    let mut flows = FlowSet::new();
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                flows.push(NodeId(s), NodeId(d), per_flow);
+            }
+        }
+    }
+    Ok(Workload::new("uniform-random", flows))
+}
+
+/// Tornado traffic (Dally & Towles §3.2): node `(x, y)` sends to
+/// `((x + ⌈w/2⌉ − 1) mod w, (y + ⌈h/2⌉ − 1) mod h)` — the classic
+/// adversary for dimension-order and minimal oblivious routing, rotating
+/// traffic almost half-way around each dimension.
+///
+/// # Errors
+///
+/// [`WorkloadError::EmptyWorkload`] when both dimensional shifts are
+/// zero (grids narrower than 3 in every dimension), where the pattern
+/// degenerates to self-flows.
+pub fn tornado(topo: &Topology) -> Result<Workload, WorkloadError> {
+    let (w, h) = (topo.width(), topo.height());
+    let shift_x = w.div_ceil(2).saturating_sub(1);
+    let shift_y = h.div_ceil(2).saturating_sub(1);
+    if shift_x == 0 && shift_y == 0 {
+        return Err(WorkloadError::EmptyWorkload {
+            name: "tornado".to_owned(),
+        });
+    }
+    let mut flows = FlowSet::new();
+    for s in topo.node_ids() {
+        let c = topo.coord(s);
+        let d = topo
+            .node_at((c.x + shift_x) % w, (c.y + shift_y) % h)
+            .expect("wrapped coordinate stays in the grid");
+        if d != s {
+            flows.push(s, d, SYNTHETIC_DEMAND);
+        }
+    }
+    Ok(Workload::new("tornado", flows))
+}
+
+/// Bit-reversal: destination address is the source address with its
+/// `b` bits reversed (`dᵢ = s_{b−1−i}`). Palindromic addresses are fixed
+/// points and carry no flow.
+///
+/// # Errors
+///
+/// [`WorkloadError`] if the topology is not a square power-of-two grid.
+pub fn bit_reversal(topo: &Topology) -> Result<Workload, WorkloadError> {
+    if topo.width() != topo.height() {
+        return Err(WorkloadError::NotSquare);
+    }
+    let n = topo.num_nodes();
+    if !n.is_power_of_two() {
+        return Err(WorkloadError::NotPowerOfTwo);
+    }
+    let b = n.trailing_zeros();
+    let mut flows = FlowSet::new();
+    for s in 0..n as u32 {
+        let d = s.reverse_bits() >> (32 - b);
+        if d != s {
+            flows.push(NodeId(s), NodeId(d), SYNTHETIC_DEMAND);
+        }
+    }
+    Ok(Workload::new("bit-reversal", flows))
+}
+
+/// Nearest-neighbor ring traffic: node `(x, y)` sends to
+/// `((x + 1) mod w, y)` — the benign short-haul baseline against which
+/// the adversarial patterns are compared.
+///
+/// # Errors
+///
+/// [`WorkloadError::EmptyWorkload`] on single-column topologies, where
+/// every node would send to itself.
+pub fn neighbor(topo: &Topology) -> Result<Workload, WorkloadError> {
+    let w = topo.width();
+    if w < 2 {
+        return Err(WorkloadError::EmptyWorkload {
+            name: "neighbor".to_owned(),
+        });
+    }
+    let mut flows = FlowSet::new();
+    for s in topo.node_ids() {
+        let c = topo.coord(s);
+        let d = topo
+            .node_at((c.x + 1) % w, c.y)
+            .expect("wrapped coordinate stays in the grid");
+        if d != s {
+            flows.push(s, d, SYNTHETIC_DEMAND);
+        }
+    }
+    Ok(Workload::new("neighbor", flows))
+}
+
+/// The `k` hotspot nodes of [`hotspot`] on `topo`: a centered
+/// `⌈√k⌉ × ⌈k/⌈√k⌉⌉` lattice over the grid, de-duplicated and padded
+/// with evenly spaced node indices on degenerate (skinny or tiny)
+/// topologies so exactly `k` distinct nodes come back.
+///
+/// # Panics
+///
+/// Panics unless `1 <= k < topo.num_nodes()` ([`hotspot`] reports the
+/// same bound as a typed [`WorkloadError::BadSpec`]).
+pub fn hotspot_nodes(topo: &Topology, k: usize) -> Vec<NodeId> {
+    let n = topo.num_nodes();
+    assert!(
+        k >= 1 && k < n,
+        "hotspot count {k} outside 1..{n} on this topology"
+    );
+    let (w, h) = (topo.width() as usize, topo.height() as usize);
+    let kx = (k as f64).sqrt().ceil() as usize;
+    let ky = k.div_ceil(kx);
+    let mut spots: Vec<NodeId> = Vec::with_capacity(k);
+    for j in 0..k {
+        let (gx, gy) = (j % kx, j / kx);
+        let x = (((2 * gx + 1) * w) / (2 * kx)).min(w - 1) as u16;
+        let y = (((2 * gy + 1) * h) / (2 * ky)).min(h - 1) as u16;
+        let node = topo.node_at(x, y).expect("lattice point is on the grid");
+        if !spots.contains(&node) {
+            spots.push(node);
+        }
+    }
+    // Pad collisions (skinny grids fold lattice rows together) with an
+    // even index spread, preserving determinism.
+    let mut j = 0;
+    while spots.len() < k {
+        let candidate = NodeId(((j * n) / k) as u32);
+        if !spots.contains(&candidate) {
+            spots.push(candidate);
+        }
+        j += 1;
+    }
+    spots
+}
+
+/// Hotspot traffic: `k` hotspot nodes spread over the grid each receive
+/// an equal share of every other node's [`SYNTHETIC_DEMAND`] — each
+/// source sends `SYNTHETIC_DEMAND / k` to every hotspot other than
+/// itself, concentrating load the way shared-memory homes or
+/// memory-controller tiles do.
+///
+/// # Errors
+///
+/// [`WorkloadError::BadSpec`] unless `1 <= k < num_nodes`.
+pub fn hotspot(topo: &Topology, k: usize) -> Result<Workload, WorkloadError> {
+    let n = topo.num_nodes();
+    if k == 0 || k >= n {
+        return Err(WorkloadError::BadSpec {
+            spec: format!("hotspot:{k}"),
+            reason: format!("k must be between 1 and {} on this topology", n - 1),
+        });
+    }
+    let spots = hotspot_nodes(topo, k);
+    let per_spot = SYNTHETIC_DEMAND / k as f64;
+    let mut flows = FlowSet::new();
+    for s in topo.node_ids() {
+        for &d in &spots {
+            if d != s {
+                flows.push(s, d, per_spot);
+            }
+        }
+    }
+    Ok(Workload::new(format!("hotspot:{k}"), flows))
+}
+
+/// Seeded random permutation traffic: a Fisher–Yates shuffle of the node
+/// set under `seed` maps each source to its destination; fixed points
+/// carry no flow. The same seed always produces the same permutation, so
+/// `rand-perm:<seed>` sweeps are reproducible.
+///
+/// # Errors
+///
+/// [`WorkloadError::EmptyWorkload`] in the (astronomically unlikely past
+/// trivial sizes) case that the shuffle is the identity permutation.
+pub fn rand_perm(topo: &Topology, seed: u64) -> Result<Workload, WorkloadError> {
+    let n = topo.num_nodes() as u32;
+    let mut perm: Vec<u32> = (0..n).collect();
+    perm.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut flows = FlowSet::new();
+    for (s, &d) in perm.iter().enumerate() {
+        if s as u32 != d {
+            flows.push(NodeId(s as u32), NodeId(d), SYNTHETIC_DEMAND);
+        }
+    }
+    if flows.is_empty() {
+        return Err(WorkloadError::EmptyWorkload {
+            name: format!("rand-perm:{seed}"),
+        });
+    }
+    Ok(Workload::new(format!("rand-perm:{seed}"), flows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_random_covers_all_pairs_with_normalized_demand() {
+        let topo = Topology::mesh2d(4, 4);
+        let w = uniform_random(&topo).expect("16 nodes");
+        assert_eq!(w.flows.len(), 16 * 15);
+        for s in topo.node_ids() {
+            let out: f64 = w
+                .flows
+                .iter()
+                .filter(|f| f.src == s)
+                .map(|f| f.demand)
+                .sum();
+            assert!(
+                (out - SYNTHETIC_DEMAND).abs() < 1e-9,
+                "src {s:?} sums {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn tornado_shifts_each_dimension_almost_halfway() {
+        let topo = Topology::mesh2d(8, 8);
+        let w = tornado(&topo).expect("8x8");
+        assert_eq!(w.flows.len(), 64, "no fixed points on an 8x8 tornado");
+        for f in w.flows.iter() {
+            let s = topo.coord(f.src);
+            let d = topo.coord(f.dst);
+            assert_eq!(d.x, (s.x + 3) % 8);
+            assert_eq!(d.y, (s.y + 3) % 8);
+        }
+    }
+
+    #[test]
+    fn tornado_degenerates_on_tiny_grids() {
+        let topo = Topology::mesh2d(2, 2);
+        assert_eq!(
+            tornado(&topo).unwrap_err(),
+            WorkloadError::EmptyWorkload {
+                name: "tornado".into()
+            }
+        );
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution() {
+        let topo = Topology::mesh2d(8, 8);
+        let w = bit_reversal(&topo).expect("square power of two");
+        // 2^3 palindromes of 6 bits are fixed points.
+        assert_eq!(w.flows.len(), 64 - 8);
+        for f in w.flows.iter() {
+            assert!(
+                w.flows.iter().any(|g| g.src == f.dst && g.dst == f.src),
+                "bit reversal pairs are symmetric"
+            );
+        }
+        assert_eq!(
+            bit_reversal(&Topology::mesh2d(8, 4)).unwrap_err(),
+            WorkloadError::NotSquare
+        );
+    }
+
+    #[test]
+    fn neighbor_sends_one_column_east() {
+        let topo = Topology::mesh2d(4, 4);
+        let w = neighbor(&topo).expect("4 columns");
+        assert_eq!(w.flows.len(), 16);
+        for f in w.flows.iter() {
+            let s = topo.coord(f.src);
+            let d = topo.coord(f.dst);
+            assert_eq!((d.x, d.y), ((s.x + 1) % 4, s.y));
+        }
+    }
+
+    #[test]
+    fn hotspot_nodes_are_distinct_and_spread() {
+        let topo = Topology::mesh2d(8, 8);
+        let spots = hotspot_nodes(&topo, 4);
+        assert_eq!(spots.len(), 4);
+        let coords: Vec<_> = spots.iter().map(|&s| topo.coord(s)).collect();
+        // The 2x2 lattice on an 8x8 grid centers at (2,2),(6,2),(2,6),(6,6).
+        assert!(coords.iter().all(|c| c.x == 2 || c.x == 6));
+        assert!(coords.iter().all(|c| c.y == 2 || c.y == 6));
+        // Skinny grids fall back to the index spread but stay distinct.
+        let ring = Topology::ring(8);
+        let spots = hotspot_nodes(&ring, 4);
+        assert_eq!(spots.len(), 4);
+        let mut dedup = spots.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn hotspot_per_source_demand_sums_correctly() {
+        let topo = Topology::mesh2d(4, 4);
+        let k = 3;
+        let w = hotspot(&topo, k).expect("3 < 16");
+        let spots = hotspot_nodes(&topo, k);
+        for s in topo.node_ids() {
+            let out: f64 = w
+                .flows
+                .iter()
+                .filter(|f| f.src == s)
+                .map(|f| f.demand)
+                .sum();
+            let expected = if spots.contains(&s) {
+                SYNTHETIC_DEMAND * (k - 1) as f64 / k as f64
+            } else {
+                SYNTHETIC_DEMAND
+            };
+            assert!((out - expected).abs() < 1e-9, "src {s:?} sums {out}");
+        }
+    }
+
+    #[test]
+    fn hotspot_rejects_out_of_range_k() {
+        let topo = Topology::mesh2d(2, 2);
+        assert!(matches!(
+            hotspot(&topo, 0).unwrap_err(),
+            WorkloadError::BadSpec { .. }
+        ));
+        assert!(matches!(
+            hotspot(&topo, 4).unwrap_err(),
+            WorkloadError::BadSpec { .. }
+        ));
+        assert!(hotspot(&topo, 3).is_ok());
+    }
+
+    #[test]
+    fn rand_perm_is_seed_deterministic_and_a_permutation() {
+        let topo = Topology::mesh2d(4, 4);
+        let a = rand_perm(&topo, 7).expect("nontrivial shuffle");
+        let b = rand_perm(&topo, 7).expect("nontrivial shuffle");
+        assert_eq!(a.flows, b.flows, "same seed, same permutation");
+        let c = rand_perm(&topo, 8).expect("nontrivial shuffle");
+        assert_ne!(a.flows, c.flows, "different seeds should differ");
+        // Injective over non-fixed points: destinations are distinct.
+        let mut dsts: Vec<u32> = a.flows.iter().map(|f| f.dst.0).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert_eq!(dsts.len(), a.flows.len());
+    }
+}

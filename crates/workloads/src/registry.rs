@@ -5,18 +5,53 @@
 //! … }` glue; this registry replaces them all. The six paper workloads
 //! are pre-registered under the names the sweep grid has always used
 //! (`transpose`, `bit-complement`, `shuffle`, `h264`, `perf-model`,
-//! `wifi`), and applications can [`WorkloadRegistry::register`] their
-//! own generators to make them addressable from every driver at once.
+//! `wifi`), the adversarial patterns of [`crate::patterns`] under
+//! `uniform-random`, `tornado`, `bit-reversal` and `neighbor`, and
+//! applications can [`WorkloadRegistry::register`] their own generators
+//! to make them addressable from every driver at once.
+//!
+//! # Spec strings
+//!
+//! Parameterized *families* are addressed with a `prefix:<arg>` spec
+//! string — the part before the first `:` names the family, the rest is
+//! its argument:
+//!
+//! ```text
+//! spec      := name | family ":" arg
+//! name      := "transpose" | "uniform-random" | …   (exact registry names)
+//! family    := "hotspot" (arg = k, 1 <= k < nodes)
+//!            | "rand-perm" (arg = u64 seed)
+//! ```
+//!
+//! Resolution order: exact names win (a registered name may itself
+//! contain `:`), then the family prefix is tried. Unknown names and
+//! unknown families return [`WorkloadError::UnknownWorkload`] carrying
+//! the offending spec; a malformed argument for a *known* family (e.g.
+//! `hotspot:lots`) returns [`WorkloadError::BadSpec`]. The parser never
+//! panics.
 
+use crate::patterns::{hotspot, rand_perm};
 use crate::{
-    bit_complement, h264_decoder, performance_modeling, shuffle, transpose, wifi_transmitter,
-    Workload, WorkloadError,
+    bit_complement, bit_reversal, h264_decoder, neighbor, performance_modeling, shuffle, tornado,
+    transpose, uniform_random, wifi_transmitter, Workload, WorkloadError,
 };
 use bsor_topology::Topology;
 
 /// A workload generator: instantiate the named traffic pattern on a
 /// topology.
 pub type WorkloadFactory = Box<dyn Fn(&Topology) -> Result<Workload, WorkloadError> + Send + Sync>;
+
+/// A parameterized workload family: instantiate the pattern on a
+/// topology from the argument text after the `prefix:` of a spec string.
+pub type WorkloadFamilyFactory =
+    Box<dyn Fn(&Topology, &str) -> Result<Workload, WorkloadError> + Send + Sync>;
+
+struct Family {
+    prefix: String,
+    /// Display form shown in listings, e.g. `hotspot:<k>`.
+    placeholder: String,
+    factory: WorkloadFamilyFactory,
+}
 
 /// Name-keyed registry of workload generators.
 ///
@@ -25,15 +60,19 @@ pub type WorkloadFactory = Box<dyn Fn(&Topology) -> Result<Workload, WorkloadErr
 /// use bsor_workloads::WorkloadRegistry;
 ///
 /// let registry = WorkloadRegistry::standard();
-/// assert_eq!(registry.names().len(), 6);
+/// assert_eq!(registry.names().len(), 10);
+/// assert_eq!(registry.family_specs(), vec!["hotspot:<k>", "rand-perm:<seed>"]);
 /// let mesh = Topology::mesh2d(8, 8);
 /// let w = registry.build(&mesh, "transpose").expect("square mesh");
 /// assert_eq!(w.flows.len(), 56);
+/// let h = registry.build(&mesh, "hotspot:4").expect("parameterized spec");
+/// assert_eq!(h.name, "hotspot:4");
 /// assert!(registry.build(&mesh, "nope").is_err());
 /// ```
 #[derive(Default)]
 pub struct WorkloadRegistry {
     entries: Vec<(String, WorkloadFactory)>,
+    families: Vec<Family>,
 }
 
 impl WorkloadRegistry {
@@ -42,8 +81,9 @@ impl WorkloadRegistry {
         WorkloadRegistry::default()
     }
 
-    /// The six paper workloads under their sweep-grid names, in paper
-    /// order.
+    /// The six paper workloads under their sweep-grid names in paper
+    /// order, the four adversarial patterns, and the `hotspot` /
+    /// `rand-perm` parameterized families.
     pub fn standard() -> WorkloadRegistry {
         let mut r = WorkloadRegistry::new();
         r.register("transpose", |t: &Topology| transpose(t));
@@ -52,6 +92,28 @@ impl WorkloadRegistry {
         r.register("h264", |t: &Topology| h264_decoder(t));
         r.register("perf-model", |t: &Topology| performance_modeling(t));
         r.register("wifi", |t: &Topology| wifi_transmitter(t));
+        r.register("uniform-random", |t: &Topology| uniform_random(t));
+        r.register("tornado", |t: &Topology| tornado(t));
+        r.register("bit-reversal", |t: &Topology| bit_reversal(t));
+        r.register("neighbor", |t: &Topology| neighbor(t));
+        r.register_family("hotspot", "hotspot:<k>", |t: &Topology, arg: &str| {
+            let k = arg.parse::<usize>().map_err(|_| WorkloadError::BadSpec {
+                spec: format!("hotspot:{arg}"),
+                reason: "k must be a positive integer".to_owned(),
+            })?;
+            hotspot(t, k)
+        });
+        r.register_family(
+            "rand-perm",
+            "rand-perm:<seed>",
+            |t: &Topology, arg: &str| {
+                let seed = arg.parse::<u64>().map_err(|_| WorkloadError::BadSpec {
+                    spec: format!("rand-perm:{arg}"),
+                    reason: "seed must be an unsigned 64-bit integer".to_owned(),
+                })?;
+                rand_perm(t, seed)
+            },
+        );
         r
     }
 
@@ -66,33 +128,82 @@ impl WorkloadRegistry {
         self.entries.push((name, Box::new(factory)));
     }
 
-    /// The generator registered under `name`, if any.
+    /// Registers (or replaces) a parameterized family addressed as
+    /// `prefix:<arg>` spec strings. `placeholder` is the display form
+    /// listings show (e.g. `hotspot:<k>`).
+    pub fn register_family(
+        &mut self,
+        prefix: impl Into<String>,
+        placeholder: impl Into<String>,
+        factory: impl Fn(&Topology, &str) -> Result<Workload, WorkloadError> + Send + Sync + 'static,
+    ) {
+        let prefix = prefix.into();
+        self.families.retain(|f| f.prefix != prefix);
+        self.families.push(Family {
+            prefix,
+            placeholder: placeholder.into(),
+            factory: Box::new(factory),
+        });
+    }
+
+    /// The generator registered under `name`, if any (exact names only;
+    /// parameterized specs resolve through [`WorkloadRegistry::build`]).
     pub fn get(&self, name: &str) -> Option<&WorkloadFactory> {
         self.entries.iter().find(|(n, _)| n == name).map(|(_, f)| f)
     }
 
-    /// Registered names, in registration order.
+    /// Registered exact names, in registration order (family
+    /// placeholders are listed by [`WorkloadRegistry::family_specs`]).
     pub fn names(&self) -> Vec<&str> {
         self.entries.iter().map(|(n, _)| n.as_str()).collect()
     }
 
-    /// Instantiates the workload `name` on `topo`.
+    /// Display specs of the registered parameterized families, in
+    /// registration order (e.g. `["hotspot:<k>", "rand-perm:<seed>"]`).
+    pub fn family_specs(&self) -> Vec<&str> {
+        self.families
+            .iter()
+            .map(|f| f.placeholder.as_str())
+            .collect()
+    }
+
+    /// Instantiates the workload spec `spec` on `topo` (an exact name or
+    /// a `family:<arg>` spec string; see the [module docs](self) for the
+    /// grammar).
     ///
     /// # Errors
     ///
-    /// [`WorkloadError::UnknownWorkload`] for unregistered names, or any
+    /// [`WorkloadError::UnknownWorkload`] for unregistered names and
+    /// families (carrying the full offending spec),
+    /// [`WorkloadError::BadSpec`] for malformed family arguments, or any
     /// error the generator raises (non-square mesh, too few nodes, …).
-    pub fn build(&self, topo: &Topology, name: &str) -> Result<Workload, WorkloadError> {
-        let factory = self
-            .get(name)
-            .ok_or_else(|| WorkloadError::UnknownWorkload {
-                name: name.to_owned(),
-            })?;
-        factory(topo)
+    /// Never panics, whatever the spec text.
+    pub fn build(&self, topo: &Topology, spec: &str) -> Result<Workload, WorkloadError> {
+        if let Some(factory) = self.get(spec) {
+            return factory(topo);
+        }
+        if let Some((prefix, arg)) = spec.split_once(':') {
+            if let Some(family) = self.families.iter().find(|f| f.prefix == prefix) {
+                return (family.factory)(topo, arg);
+            }
+            return Err(WorkloadError::UnknownWorkload {
+                name: spec.to_owned(),
+            });
+        }
+        if let Some(family) = self.families.iter().find(|f| f.prefix == spec) {
+            return Err(WorkloadError::BadSpec {
+                spec: spec.to_owned(),
+                reason: format!("family needs a parameter: {}", family.placeholder),
+            });
+        }
+        Err(WorkloadError::UnknownWorkload {
+            name: spec.to_owned(),
+        })
     }
 }
 
-/// Instantiates a workload by registry name (the standard six).
+/// Instantiates a workload by registry spec (the standard names and the
+/// `hotspot:<k>` / `rand-perm:<seed>` families).
 ///
 /// This is the one-call form of [`WorkloadRegistry::standard`] +
 /// [`WorkloadRegistry::build`], kept as the single home of workload name
@@ -111,7 +222,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_names_in_paper_order() {
+    fn standard_names_in_paper_then_pattern_order() {
         let r = WorkloadRegistry::standard();
         assert_eq!(
             r.names(),
@@ -121,9 +232,14 @@ mod tests {
                 "shuffle",
                 "h264",
                 "perf-model",
-                "wifi"
+                "wifi",
+                "uniform-random",
+                "tornado",
+                "bit-reversal",
+                "neighbor",
             ]
         );
+        assert_eq!(r.family_specs(), vec!["hotspot:<k>", "rand-perm:<seed>"]);
     }
 
     #[test]
@@ -131,10 +247,76 @@ mod tests {
         let topo = Topology::mesh2d(8, 8);
         let r = WorkloadRegistry::standard();
         for name in r.names() {
-            let w = r.build(&topo, name).expect("8x8 supports all six");
+            let w = r.build(&topo, name).expect("8x8 supports every name");
             assert!(!w.flows.is_empty(), "{name} has flows");
             w.flows.validate(&topo).expect("valid flows");
         }
+        for spec in ["hotspot:1", "hotspot:4", "rand-perm:0", "rand-perm:42"] {
+            let w = r.build(&topo, spec).expect("8x8 supports the families");
+            assert_eq!(w.name, spec);
+            w.flows.validate(&topo).expect("valid flows");
+        }
+    }
+
+    #[test]
+    fn parameterized_specs_never_panic() {
+        let topo = Topology::mesh2d(4, 4);
+        let r = WorkloadRegistry::standard();
+        // Unknown family: typed UnknownWorkload carrying the full spec.
+        for spec in ["nope:3", "hot-spot:4", ":", "a:b:c", ""] {
+            assert_eq!(
+                r.build(&topo, spec).unwrap_err(),
+                WorkloadError::UnknownWorkload { name: spec.into() },
+                "spec {spec:?}"
+            );
+        }
+        // Known family, malformed argument: typed BadSpec.
+        for spec in [
+            "hotspot:",
+            "hotspot:four",
+            "hotspot:-1",
+            "hotspot:9999999999999999999999",
+            "rand-perm:",
+            "rand-perm:x",
+        ] {
+            assert!(
+                matches!(
+                    r.build(&topo, spec).unwrap_err(),
+                    WorkloadError::BadSpec { .. }
+                ),
+                "spec {spec:?}"
+            );
+        }
+        // Known family, out-of-range argument: typed BadSpec too.
+        assert!(matches!(
+            r.build(&topo, "hotspot:0").unwrap_err(),
+            WorkloadError::BadSpec { .. }
+        ));
+        // Bare family prefix: BadSpec pointing at the placeholder.
+        let err = r.build(&topo, "hotspot").unwrap_err();
+        assert!(err.to_string().contains("hotspot:<k>"), "{err}");
+    }
+
+    #[test]
+    fn exact_names_shadow_family_prefixes() {
+        let topo = Topology::mesh2d(4, 4);
+        let mut r = WorkloadRegistry::standard();
+        r.register("hotspot:4", |t: &Topology| {
+            let mut flows = bsor_flow::FlowSet::new();
+            flows.push(
+                bsor_topology::NodeId(0),
+                bsor_topology::NodeId(t.num_nodes() as u32 - 1),
+                1.0,
+            );
+            Ok(Workload::new("shadowed", flows))
+        });
+        let w = r.build(&topo, "hotspot:4").expect("exact name wins");
+        assert_eq!(w.name, "shadowed");
+        // Other arguments still resolve through the family.
+        assert_eq!(
+            r.build(&topo, "hotspot:2").expect("family").name,
+            "hotspot:2"
+        );
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Property tests for the adversarial pattern generators: permutation
+//! patterns are bijections, hotspot demand normalization holds for every
+//! `k`, and seeded patterns are seed-deterministic — across grid sizes.
+
+use bsor_topology::Topology;
+use bsor_workloads::{
+    bit_reversal, hotspot, hotspot_nodes, neighbor, rand_perm, tornado, uniform_random, Workload,
+    WorkloadRegistry, SYNTHETIC_DEMAND,
+};
+use proptest::prelude::*;
+
+/// Asserts that the flow map `src -> dst` is injective (and therefore,
+/// with fixed points removed, a bijection on its support).
+fn assert_permutation(w: &Workload) -> Result<(), TestCaseError> {
+    let mut srcs: Vec<u32> = w.flows.iter().map(|f| f.src.0).collect();
+    let mut dsts: Vec<u32> = w.flows.iter().map(|f| f.dst.0).collect();
+    srcs.sort_unstable();
+    dsts.sort_unstable();
+    let n = srcs.len();
+    srcs.dedup();
+    dsts.dedup();
+    prop_assert_eq!(srcs.len(), n, "{} repeats a source", w.name);
+    prop_assert_eq!(dsts.len(), n, "{} repeats a destination", w.name);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn permutation_patterns_are_bijections(side_pow in 1u32..=3, seed in 0u64..1_000) {
+        let side = 1u16 << side_pow; // 2, 4, 8 — square power-of-two grids
+        let topo = Topology::mesh2d(side, side);
+        if let Ok(w) = tornado(&topo) {
+            assert_permutation(&w)?;
+        }
+        assert_permutation(&bit_reversal(&topo).expect("square power of two"))?;
+        assert_permutation(&neighbor(&topo).expect("side >= 2"))?;
+        assert_permutation(&rand_perm(&topo, seed).expect("nontrivial"))?;
+    }
+
+    #[test]
+    fn hotspot_weights_sum_correctly(w in 2u16..=8, h in 2u16..=8, k_raw in 1usize..16) {
+        let topo = Topology::mesh2d(w, h);
+        let n = topo.num_nodes();
+        let k = 1 + k_raw % (n - 1); // 1 <= k < n
+        let workload = hotspot(&topo, k).expect("k in range");
+        let spots = hotspot_nodes(&topo, k);
+        prop_assert_eq!(spots.len(), k);
+        let per_spot = SYNTHETIC_DEMAND / k as f64;
+        for s in topo.node_ids() {
+            let out: f64 = workload
+                .flows
+                .iter()
+                .filter(|f| f.src == s)
+                .map(|f| f.demand)
+                .sum();
+            let expected = if spots.contains(&s) {
+                per_spot * (k - 1) as f64
+            } else {
+                SYNTHETIC_DEMAND
+            };
+            prop_assert!(
+                (out - expected).abs() < 1e-9,
+                "src {:?} emits {} not {} (k={})", s, out, expected, k
+            );
+        }
+        // Every hotspot receives the same aggregate demand.
+        for &spot in &spots {
+            let inbound: f64 = workload
+                .flows
+                .iter()
+                .filter(|f| f.dst == spot)
+                .map(|f| f.demand)
+                .sum();
+            prop_assert!(((n - 1) as f64 * per_spot - inbound).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rand_perm_is_seed_deterministic(w in 2u16..=8, h in 2u16..=8, seed in 0u64..10_000) {
+        let topo = Topology::mesh2d(w, h);
+        let a = rand_perm(&topo, seed).expect("nontrivial");
+        let b = rand_perm(&topo, seed).expect("nontrivial");
+        prop_assert_eq!(&a.flows, &b.flows);
+        let registry = WorkloadRegistry::standard();
+        let via_spec = registry
+            .build(&topo, &format!("rand-perm:{seed}"))
+            .expect("spec resolves");
+        prop_assert_eq!(&a.flows, &via_spec.flows);
+    }
+
+    #[test]
+    fn uniform_random_demand_is_normalized(w in 2u16..=6, h in 2u16..=6) {
+        let topo = Topology::mesh2d(w, h);
+        let workload = uniform_random(&topo).expect("n >= 2");
+        let n = topo.num_nodes();
+        prop_assert_eq!(workload.flows.len(), n * (n - 1));
+        let total = workload.flows.total_demand();
+        prop_assert!((total - SYNTHETIC_DEMAND * n as f64).abs() < 1e-6);
+    }
+}
