@@ -42,12 +42,21 @@
 //!   --list-algorithms       print registered algorithm names and exit
 //! ```
 //!
+//! Every case is planned once through the shared `Planner`/`PlanCache`
+//! (route selection, Lemma-1 certificate, compiled node tables) and
+//! every rate point and saturation probe evaluates that plan with the
+//! `SimEvaluator`. Set `BSOR_PLAN_CACHE=off` to disable the cache and
+//! re-solve per point — the cost of running the full pipeline once per
+//! grid point; output is byte-identical either way. The
+//! `route solves:` stderr line reports the solve / cache-hit counters.
+//!
 //! Exit codes: 0 on success, 1 on bad arguments or write failure, 2
 //! when the sweep completed but one or more cases failed (the failures
 //! are recorded in the JSON's per-case `error` fields).
 
 use bsor_bench::sweep::{
-    expand, run_grid_with, sweep_json, GridSpec, SaturationSpec, SweepRegistries, TopoSpec,
+    expand, plan_cache_enabled_from_env, run_grid_stats, sweep_json, GridSpec, SaturationSpec,
+    SweepRegistries, TopoSpec,
 };
 use bsor_sim::BurstyOnOff;
 use std::process::ExitCode;
@@ -325,15 +334,18 @@ fn main() -> ExitCode {
             .map(|n| n.get())
             .unwrap_or(1)
     });
+    let cache = plan_cache_enabled_from_env();
     eprintln!(
-        "bsor-sweep: {} cases x {} rates = {} runs on {} threads",
+        "bsor-sweep: {} cases x {} rates = {} runs on {} threads (plan cache {})",
         spec.num_cases(),
         spec.rates.len(),
         spec.num_runs(),
-        threads
+        threads,
+        if cache { "on" } else { "off" }
     );
     let started = Instant::now();
-    let results = run_grid_with(&spec, threads, &regs);
+    let outcome = run_grid_stats(&spec, threads, &regs, cache);
+    let results = outcome.results;
     let total_wall_ms = if spec.record_timings {
         started.elapsed().as_secs_f64() * 1e3
     } else {
@@ -345,6 +357,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let failed = results.iter().filter(|r| r.error.is_some()).count();
+    // The solve counter is the cache's audit trail: with the cache on a
+    // sweep performs exactly one route solve (MILP or heuristic) per
+    // case; with BSOR_PLAN_CACHE=off every rate point and saturation
+    // probe re-solves (the naive per-point pipeline), with
+    // byte-identical JSON.
+    eprintln!(
+        "bsor-sweep: route solves: {} (cache hits: {})",
+        outcome.plans.solves, outcome.plans.cache_hits
+    );
     eprintln!(
         "bsor-sweep: wrote {out} ({} cases, {failed} failed) in {:.1}s",
         results.len(),

@@ -2,8 +2,9 @@
 //! in MB/second presented by various routing algorithms" — XY, YX, ROMM,
 //! Valiant, BSOR_MILP and BSOR_Dijkstra (each BSOR taking the best CDG of
 //! its exploration, as in the paper). An O1TURN column is added as an
-//! extension. Every column is one `RouteAlgorithm` run through the same
-//! scenario pipeline.
+//! extension. Every column is one `RouteAlgorithm` planned through the
+//! same `Planner`; the MCL printed is the plan's `predicted_mcl` — the
+//! static metric the table reports needs no simulation at all.
 //!
 //! ```text
 //! cargo run -p bsor-bench --release --bin table_6_3 [--quick] [--csv]
@@ -11,7 +12,7 @@
 
 use bsor_bench::{csv_mode, fmt_row, run_mode, scenario_for, standard_algorithms, standard_mesh};
 use bsor_routing::Baseline;
-use bsor_sim::RouteAlgorithm;
+use bsor_sim::{ExperimentError, Planner, RouteAlgorithm};
 use bsor_workloads::all_six;
 
 fn main() {
@@ -42,13 +43,14 @@ fn main() {
     let mut algorithms: Vec<(String, Box<dyn RouteAlgorithm + Send + Sync>)> =
         standard_algorithms(mode);
     algorithms.push(("O1TURN".into(), Box::new(Baseline::O1Turn { seed: 9 })));
+    let planner = Planner::new();
     for w in &workloads {
         let scenario = scenario_for(&topo, w, 2);
         let mut cells: Vec<String> = vec![w.name.clone()];
         for (_, algo) in &algorithms {
-            cells.push(match scenario.select_routes(algo.as_ref()) {
-                Ok(r) => format!("{:.2}", r.mcl(scenario.topology(), scenario.flows())),
-                Err(e) => format!("({e})"),
+            cells.push(match planner.plan(&scenario, algo.as_ref()) {
+                Ok(plan) => format!("{:.2}", plan.predicted_mcl()),
+                Err(e) => format!("({})", ExperimentError::from(e)),
             });
         }
         if csv {

@@ -15,10 +15,12 @@
 //!
 //! All binaries print whitespace-aligned tables (and CSV with `--csv`)
 //! to stdout. Every route computation goes through the unified
-//! [`Scenario`]/[`RouteAlgorithm`] pipeline — the same one the
-//! `bsor-sweep` CLI drives — so the figures, tables, sweep and examples
-//! all see identical inputs and identical deadlock validation. Criterion
-//! micro-benchmarks for the building blocks live in `benches/`.
+//! [`Scenario`] + [`Planner`] pipeline — one [`RoutePlan`] per
+//! algorithm, evaluated per load point with [`SimEvaluator`], the same
+//! split the `bsor-sweep` CLI drives — so the figures, tables, sweep
+//! and examples all see identical inputs and identical deadlock
+//! validation. Criterion micro-benchmarks for the building blocks live
+//! in `benches/`.
 //!
 //! A note on turn-model naming: the paper's figures draw the mesh with
 //! the y-axis pointing down, so its "negative-first" corresponds to
@@ -35,9 +37,13 @@ use bsor_flow::FlowSet;
 use bsor_lp::MilpOptions;
 use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
 use bsor_routing::{Baseline, RouteSet};
-use bsor_sim::{MarkovVariation, RouteAlgorithm, Scenario, SimConfig, Simulator, TrafficSpec};
+use bsor_sim::{
+    EvalPoint, Evaluator, ExperimentError, MarkovVariation, Planner, RouteAlgorithm, RoutePlan,
+    Scenario, SimConfig, SimEvaluator, Simulator, TrafficSpec,
+};
 use bsor_topology::Topology;
 use bsor_workloads::{h264_decoder, transpose, Workload};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The paper's evaluation substrate: an 8×8 mesh (§6.1).
@@ -140,24 +146,44 @@ pub fn scenario_for(topo: &Topology, workload: &Workload, vcs: u8) -> Scenario {
         .expect("bench workloads are valid on their topologies")
 }
 
+/// The six algorithms of [`standard_algorithms`], each planned on the
+/// workload's scenario: validated routes, Lemma-1 certificate, compiled
+/// tables and predicted MCL per algorithm (errors as text).
+pub fn algorithm_plans(
+    topo: &Topology,
+    workload: &Workload,
+    vcs: u8,
+    mode: RunMode,
+) -> Vec<(String, Result<Arc<RoutePlan>, String>)> {
+    let scenario = scenario_for(topo, workload, vcs);
+    let planner = Planner::new();
+    standard_algorithms(mode)
+        .into_iter()
+        .map(|(name, algo)| {
+            let plan = planner
+                .plan(&scenario, algo.as_ref())
+                .map_err(|e| ExperimentError::from(e).to_string());
+            (name, plan)
+        })
+        .collect()
+}
+
 /// The six algorithms of [`standard_algorithms`], each yielding a
 /// validated route set for the workload through the scenario pipeline
 /// (errors as text).
+///
+/// **Superseded** by [`algorithm_plans`], which additionally carries
+/// the compiled tables and MCL; this shim keeps route-level callers
+/// working for one release.
 pub fn algorithm_routes(
     topo: &Topology,
     workload: &Workload,
     vcs: u8,
     mode: RunMode,
 ) -> Vec<(String, Result<RouteSet, String>)> {
-    let scenario = scenario_for(topo, workload, vcs);
-    standard_algorithms(mode)
+    algorithm_plans(topo, workload, vcs, mode)
         .into_iter()
-        .map(|(name, algo)| {
-            let routes = scenario
-                .select_routes(algo.as_ref())
-                .map_err(|e| e.to_string());
-            (name, routes)
-        })
+        .map(|(name, plan)| (name, plan.map(|p| p.routes().clone())))
         .collect()
 }
 
@@ -279,7 +305,39 @@ pub fn figure_rates() -> Vec<f64> {
     rates_for(run_mode())
 }
 
+/// Evaluates one [`RoutePlan`] across a range of offered loads with the
+/// cycle-accurate [`SimEvaluator`] — plan once, evaluate N points on
+/// the plan's precompiled tables.
+pub fn plan_sweep(plan: &RoutePlan, offered_rates: &[f64], cfg: &SweepConfig) -> Vec<SweepPoint> {
+    let evaluator = SimEvaluator::new();
+    offered_rates
+        .iter()
+        .map(|&rate| {
+            let sim_cfg = SimConfig::new(cfg.vcs)
+                .with_warmup(cfg.warmup)
+                .with_measurement(cfg.measurement);
+            let mut point = EvalPoint::new(rate, sim_cfg);
+            if let Some(v) = cfg.variation {
+                point = point.with_variation(v);
+            }
+            let ev = evaluator
+                .evaluate(plan, &point)
+                .expect("consistent sweep inputs");
+            SweepPoint {
+                offered: rate,
+                throughput: ev.throughput,
+                latency: ev.mean_latency,
+                deadlocked: ev.deadlocked,
+            }
+        })
+        .collect()
+}
+
 /// Simulates one route set across a range of offered loads.
+///
+/// **Superseded** by [`plan_sweep`] (which reuses a plan's compiled
+/// tables instead of rebuilding them per point); kept for route-level
+/// callers for one release.
 pub fn load_sweep(
     topo: &Topology,
     flows: &FlowSet,
@@ -354,11 +412,11 @@ pub fn write_figure(
             )
         )?;
     }
-    for (name, routes) in algorithm_routes(topo, workload, cfg.vcs, mode) {
-        match routes {
+    for (name, plan) in algorithm_plans(topo, workload, cfg.vcs, mode) {
+        match plan {
             Err(e) => writeln!(out, "{name}: skipped ({e})")?,
-            Ok(routes) => {
-                for p in load_sweep(topo, &workload.flows, &routes, rates, cfg) {
+            Ok(plan) => {
+                for p in plan_sweep(&plan, rates, cfg) {
                     let latency = p
                         .latency
                         .map(|l| format!("{l:.1}"))
@@ -436,6 +494,7 @@ pub fn write_vc_sweep(
                 writeln!(out, "Figure 6-7: {} with {vcs} VC(s)", workload.name)?;
             }
             let scenario = scenario_for(topo, &workload, vcs);
+            let planner = Planner::new();
             let mut algos: Vec<(String, Box<dyn RouteAlgorithm + Send + Sync>)> = vec![
                 ("XY".into(), Box::new(Baseline::XY)),
                 ("BSOR-Dijkstra".into(), Box::new(BsorAlgorithm::dijkstra())),
@@ -444,10 +503,10 @@ pub fn write_vc_sweep(
                 algos.push(("ROMM".into(), Box::new(Baseline::Romm { seed: 9 })));
             }
             for (name, algo) in algos {
-                match scenario.select_routes(algo.as_ref()) {
-                    Err(e) => writeln!(out, "{name}: skipped ({e})")?,
-                    Ok(routes) => {
-                        for p in load_sweep(topo, &workload.flows, &routes, &rates, &cfg) {
+                match planner.plan(&scenario, algo.as_ref()) {
+                    Err(e) => writeln!(out, "{name}: skipped ({})", ExperimentError::from(e))?,
+                    Ok(plan) => {
+                        for p in plan_sweep(&plan, &rates, &cfg) {
                             let lat = p
                                 .latency
                                 .map(|l| format!("{l:.1}"))

@@ -3,20 +3,30 @@
 //! The paper's evaluation is a grid — topology × workload × routing
 //! algorithm × VC count × injection rate — and oblivious routing's
 //! selling point is that the expensive part (route selection) happens
-//! once per case while the simulator amortizes it over many load points.
-//! This module mirrors that structure: a [`GridSpec`] expands into
-//! *cases* (everything but the rate), cases fan out across
-//! `std::thread::scope` workers, and each worker runs its case's rate
-//! points serially on one freshly-built route set.
+//! once per case while evaluation amortizes it over many load points.
+//! This module mirrors that structure with the plan/evaluate split: a
+//! [`GridSpec`] expands into *cases* (everything but the rate), cases
+//! fan out across `std::thread::scope` workers, and every load point —
+//! the rate axis and each saturation-bisection probe alike — requests
+//! its case's [`bsor_sim::RoutePlan`] through one shared
+//! [`Planner`] and evaluates it with [`SimEvaluator`]. A
+//! [`bsor_sim::PlanCache`] (on by default; see
+//! [`plan_cache_enabled_from_env`]) collapses those requests to exactly
+//! one route solve per case; disabling it re-solves per request — the
+//! cost profile of driving `Experiment::run` once per grid point, which
+//! the pre-plan sweep avoided only by hand-hoisting route selection out
+//! of its loops — with byte-identical output, which is how CI proves
+//! the cache changes cost and nothing else. [`PlanStats`]
+//! reports the solve/cache-hit counters.
 //!
 //! Every axis is registry-driven ([`SweepRegistries`]): topologies come
 //! from [`TopologyRegistry`], workloads from [`WorkloadRegistry`] and
 //! algorithms from [`AlgorithmRegistry`], so registering a new entry
-//! makes it sweepable with no sweep-code changes. Each case runs through
-//! the unified [`Scenario`] pipeline, which validates deadlock freedom
-//! (paper Lemma 1) before simulating; algorithms whose routes would
-//! deadlock surface as per-case errors instead of silently jamming the
-//! simulator.
+//! makes it sweepable with no sweep-code changes. Each case plans
+//! through the unified [`Scenario`] pipeline, which validates deadlock
+//! freedom (paper Lemma 1) before simulating; algorithms whose routes
+//! would deadlock surface as per-case errors instead of silently
+//! jamming the simulator.
 //!
 //! Output is a schema-stable [`Json`] document. Every field is present
 //! in every run; wall-clock fields are zeroed when
@@ -25,8 +35,10 @@
 
 use crate::json::Json;
 use bsor::AlgorithmRegistry;
-use bsor_routing::RouteSet;
-use bsor_sim::{BurstyOnOff, Scenario, SimConfig, TrafficSpec};
+use bsor_sim::{
+    BurstyOnOff, EvalPoint, Evaluator, ExperimentError, PlanCache, PlanStats, Planner,
+    RouteAlgorithm, Scenario, SimConfig, SimEvaluator,
+};
 use bsor_topology::TopologyRegistry;
 use bsor_workloads::WorkloadRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -324,6 +336,20 @@ pub struct SaturationResult {
     pub censored: bool,
     /// Simulation runs the search consumed.
     pub runs: u32,
+    /// Highest rate the search actually observed unsaturated — the
+    /// lower edge of the final bisection bracket, packets/cycle. Unlike
+    /// the CLI-level `--sat-range` echo in `grid`, this records where
+    /// the search *ended up*, so truncated or censored searches are
+    /// auditable per case.
+    pub lo: f64,
+    /// Lowest rate the search actually observed saturated — the upper
+    /// edge of the final bracket (the knee lies in `[lo, hi]`). Equals
+    /// the configured upper bound when censored: no saturated probe was
+    /// seen and the bracket never closed.
+    pub hi: f64,
+    /// Bisection steps actually executed (0 when the search censored at
+    /// the upper probe and never bisected).
+    pub iterations: u32,
 }
 
 /// One completed case: its route-set summary plus all load points.
@@ -358,7 +384,7 @@ fn failed_case(case: &Case, error: String) -> CaseResult {
     }
 }
 
-fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries) -> CaseResult {
+fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries, planner: &Planner) -> CaseResult {
     let started = Instant::now();
     let (w, h) = case.topo.dims;
     let topo = match regs.topologies.build(&case.topo.name, w, h) {
@@ -380,14 +406,14 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries) -> CaseResult 
         Ok(s) => s,
         Err(e) => return failed_case(case, e.to_string()),
     };
-    // Route selection runs once per case; the pipeline re-validates the
-    // result (one route per flow, acyclic induced CDG) before any
-    // simulation happens.
-    let routes = match scenario.select_routes(algorithm) {
-        Ok(r) => r,
-        Err(e) => return failed_case(case, e.to_string()),
+    // Plan up front: route selection, Lemma-1 certification and table
+    // compilation happen here; failures become the case error exactly
+    // as the pre-plan pipeline reported them.
+    let plan = match planner.plan(&scenario, algorithm) {
+        Ok(p) => p,
+        Err(e) => return failed_case(case, ExperimentError::from(e).to_string()),
     };
-    let mcl = routes.mcl(scenario.topology(), scenario.flows());
+    let mcl = plan.predicted_mcl();
     let sim_config = |vcs: u8| {
         SimConfig::new(vcs)
             .with_warmup(spec.warmup)
@@ -395,34 +421,41 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries) -> CaseResult 
             .with_packet_len(spec.packet_len)
             .with_seed(spec.seed)
     };
-    let make_traffic = |rate: f64| {
-        let mut traffic = TrafficSpec::proportional(scenario.flows(), rate);
+    let point_for = |rate: f64| {
+        let mut point = EvalPoint::new(rate, sim_config(case.vcs));
         if let Some(burst) = spec.burst {
-            traffic = traffic.with_burst(burst);
+            point = point.with_burst(burst);
         }
-        traffic
+        point
     };
+    let evaluator = SimEvaluator::new();
     let mut points = Vec::with_capacity(spec.rates.len());
     for &rate in &spec.rates {
-        let (report, timing) = scenario
-            .simulate_timed(&routes, make_traffic(rate), sim_config(case.vcs))
-            .expect("validated scenarios simulate");
-        // One per-flow histogram merge serves all three percentiles.
-        let hist = report.latency_histogram();
+        // Every point re-requests the plan — with the cache on that is
+        // one lookup, with it off a full re-solve (the naive
+        // Experiment-per-point cost) — and evaluates on the plan's
+        // precompiled tables.
+        let plan = planner
+            .plan(&scenario, algorithm)
+            .expect("already planned this case");
+        let ev = evaluator
+            .evaluate(&plan, &point_for(rate))
+            .expect("validated plans simulate");
+        let timing = ev.timing.expect("sim backend records timing");
         points.push(PointResult {
             rate,
-            offered: report.offered(),
-            throughput: report.throughput(),
-            mean_latency: report.mean_latency(),
-            p50_latency: hist.p50(),
-            p95_latency: hist.p95(),
-            p99_latency: hist.p99(),
-            max_latency: report.max_latency(),
-            max_channel_load: report.max_channel_load(),
-            generated: report.generated_packets,
-            delivered: report.delivered_packets,
-            deadlocked: report.deadlocked,
-            cycles: report.cycles,
+            offered: ev.offered,
+            throughput: ev.throughput,
+            mean_latency: ev.mean_latency,
+            p50_latency: ev.p50_latency,
+            p95_latency: ev.p95_latency,
+            p99_latency: ev.p99_latency,
+            max_latency: ev.max_latency,
+            max_channel_load: ev.max_channel_load,
+            generated: ev.generated,
+            delivered: ev.delivered,
+            deadlocked: ev.deadlocked,
+            cycles: ev.cycles,
             wall_ms: if spec.record_timings {
                 timing.elapsed.as_secs_f64() * 1e3
             } else {
@@ -435,11 +468,9 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries) -> CaseResult 
             },
         });
     }
-    let saturation = spec.saturation.and_then(|sat| {
-        saturation_search(&sat, &scenario, &routes, &make_traffic, &|| {
-            sim_config(case.vcs)
-        })
-    });
+    let saturation = spec
+        .saturation
+        .and_then(|sat| saturation_search(&sat, &scenario, algorithm, planner, &point_for));
     CaseResult {
         case: case.clone(),
         mcl: Some(mcl),
@@ -457,28 +488,35 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries) -> CaseResult 
 /// Bisects the offered rate to the latency knee (see [`SaturationSpec`]).
 /// Returns `None` when the baseline run at `sat.lo` delivers nothing (no
 /// latency to anchor the knee on).
+///
+/// The saturation axis requests the case's plan per probe, exactly like
+/// the rate axis — the shared [`PlanCache`] is what makes the whole
+/// case cost a single route solve.
 fn saturation_search(
     sat: &SaturationSpec,
     scenario: &Scenario,
-    routes: &RouteSet,
-    make_traffic: &dyn Fn(f64) -> TrafficSpec,
-    make_config: &dyn Fn() -> SimConfig,
+    algorithm: &dyn RouteAlgorithm,
+    planner: &Planner,
+    point_for: &dyn Fn(f64) -> EvalPoint,
 ) -> Option<SaturationResult> {
+    let evaluator = SimEvaluator::new();
     let mut runs = 0u32;
     // `None` means unconditionally saturated (deadlock, nothing
     // delivered, or delivery collapse); `Some(l)` defers to the knee.
     let mut mean_latency_at = |rate: f64| -> Option<f64> {
         runs += 1;
-        let report = scenario
-            .simulate(routes, make_traffic(rate), make_config())
-            .expect("validated scenarios simulate");
-        let delivery_ok = report.generated_packets == 0
-            || report.delivered_packets as f64
-                >= SATURATION_DELIVERY_FLOOR * report.generated_packets as f64;
-        if report.deadlocked || !delivery_ok {
+        let plan = planner
+            .plan(scenario, algorithm)
+            .expect("already planned this case");
+        let ev = evaluator
+            .evaluate(&plan, &point_for(rate))
+            .expect("validated plans simulate");
+        let delivery_ok = ev.generated == 0
+            || ev.delivered as f64 >= SATURATION_DELIVERY_FLOOR * ev.generated as f64;
+        if ev.deadlocked || !delivery_ok {
             None
         } else {
-            report.mean_latency()
+            ev.mean_latency
         }
     };
     let base_latency = mean_latency_at(sat.lo)?;
@@ -487,17 +525,24 @@ fn saturation_search(
         mean_latency_at(rate).is_none_or(|l| l > threshold)
     };
     if !saturated(sat.hi, &mut mean_latency_at) {
+        // Censored: even the upper probe stayed unsaturated, so the
+        // final "bracket" is degenerate at the configured upper bound.
         return Some(SaturationResult {
             rate: sat.hi,
             base_latency,
             threshold,
             censored: true,
             runs,
+            lo: sat.hi,
+            hi: sat.hi,
+            iterations: 0,
         });
     }
     let (mut lo, mut hi) = (sat.lo, sat.hi);
+    let mut iterations = 0u32;
     for _ in 0..sat.iterations {
         let mid = 0.5 * (lo + hi);
+        iterations += 1;
         if saturated(mid, &mut mean_latency_at) {
             hi = mid;
         } else {
@@ -510,7 +555,39 @@ fn saturation_search(
         threshold,
         censored: false,
         runs,
+        lo,
+        hi,
+        iterations,
     })
+}
+
+/// Whether the `BSOR_PLAN_CACHE` environment variable enables the
+/// sweep's plan cache: on unless set to `off`, `0`, `false` or `no`
+/// (case-insensitive). Caching only changes how often route selection
+/// runs (off = once per plan request, i.e. per rate point and
+/// saturation probe; on = once per case) — the output JSON is
+/// byte-identical either way.
+pub fn plan_cache_enabled_from_env() -> bool {
+    match std::env::var("BSOR_PLAN_CACHE") {
+        Ok(v) => !matches!(
+            v.to_ascii_lowercase().as_str(),
+            "off" | "0" | "false" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// A completed sweep: per-case results in grid order plus the planner's
+/// solve/cache-hit counters.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// One entry per case, in deterministic expansion order.
+    pub results: Vec<CaseResult>,
+    /// Route solves performed and plan-cache hits across the whole
+    /// sweep. With the cache on, `solves` equals the number of cases —
+    /// one MILP / route selection per `(topo, workload, algo, vc)` no
+    /// matter how many rate points and saturation probes ran.
+    pub plans: PlanStats,
 }
 
 /// Runs every case of `spec` across `threads` scoped workers with the
@@ -521,12 +598,29 @@ pub fn run_grid(spec: &GridSpec, threads: usize) -> Vec<CaseResult> {
 
 /// Runs every case of `spec` across `threads` scoped workers using
 /// `regs` for name resolution, and returns the results in deterministic
-/// grid order.
+/// grid order (plan cache on).
+pub fn run_grid_with(spec: &GridSpec, threads: usize, regs: &SweepRegistries) -> Vec<CaseResult> {
+    run_grid_stats(spec, threads, regs, true).results
+}
+
+/// Like [`run_grid_with`], additionally choosing whether the shared
+/// [`PlanCache`] is enabled and returning the planner counters.
 ///
 /// Workers claim case indices from a shared atomic counter, so thread
 /// count and scheduling affect only wall-clock fields — the simulation
 /// results per case are independent and reassembled in expansion order.
-pub fn run_grid_with(spec: &GridSpec, threads: usize, regs: &SweepRegistries) -> Vec<CaseResult> {
+/// The planner (and its cache) is shared across workers.
+pub fn run_grid_stats(
+    spec: &GridSpec,
+    threads: usize,
+    regs: &SweepRegistries,
+    cache: bool,
+) -> SweepOutcome {
+    let planner = if cache {
+        Planner::new().with_cache(PlanCache::shared())
+    } else {
+        Planner::new()
+    };
     let cases = expand(spec);
     let threads = threads.max(1).min(cases.len().max(1));
     let next = AtomicUsize::new(0);
@@ -536,6 +630,7 @@ pub fn run_grid_with(spec: &GridSpec, threads: usize, regs: &SweepRegistries) ->
             .map(|_| {
                 let next = &next;
                 let cases = &cases;
+                let planner = &planner;
                 scope.spawn(move || {
                     let mut mine = Vec::new();
                     loop {
@@ -543,7 +638,7 @@ pub fn run_grid_with(spec: &GridSpec, threads: usize, regs: &SweepRegistries) ->
                         if i >= cases.len() {
                             break;
                         }
-                        mine.push((i, run_case(spec, &cases[i], regs)));
+                        mine.push((i, run_case(spec, &cases[i], regs, planner)));
                     }
                     mine
                 })
@@ -555,10 +650,13 @@ pub fn run_grid_with(spec: &GridSpec, threads: usize, regs: &SweepRegistries) ->
             }
         }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("every case index was claimed"))
-        .collect()
+    SweepOutcome {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every case index was claimed"))
+            .collect(),
+        plans: planner.stats(),
+    }
 }
 
 /// Assembles the schema-stable `BENCH_sweep.json` document.
@@ -572,7 +670,13 @@ pub fn run_grid_with(spec: &GridSpec, threads: usize, regs: &SweepRegistries) ->
 /// included — is zeroed when timings are off, so two `--no-timings`
 /// sweeps of the same grid are byte-identical even across different
 /// `--threads`. v2 is a strict superset of v1: every v1 key survives
-/// with unchanged semantics.
+/// with unchanged semantics. Per-case `saturation` objects additionally
+/// record the final bracket the search actually reached — `lo`/`hi`,
+/// the highest-unsaturated / lowest-saturated probes — and the
+/// bisection `iterations` actually executed (the `grid` block only
+/// echoes the CLI-level request), an additive extension that leaves
+/// every pre-existing key and all cache-off/cache-on runs
+/// byte-identical.
 ///
 /// The `meshes`/`mesh` keys predate the topology axis and are kept for
 /// schema stability; non-mesh entries carry `name:WxH` labels in the
@@ -681,6 +785,9 @@ pub fn sweep_json(
                     ("threshold", Json::from(s.threshold)),
                     ("censored", Json::from(s.censored)),
                     ("runs", Json::from(u64::from(s.runs))),
+                    ("lo", Json::from(s.lo)),
+                    ("hi", Json::from(s.hi)),
+                    ("iterations", Json::from(u64::from(s.iterations))),
                 ]),
             };
             Json::object(vec![
@@ -889,6 +996,14 @@ mod tests {
         );
         assert!(sat_a.threshold > sat_a.base_latency);
         assert_eq!(sat_a.runs, 2 + 6, "endpoints plus iterations");
+        // The per-case echo records the bracket the search actually
+        // reached, not the CLI-level bounds: the knee lies in [lo, hi],
+        // one bisection-resolution wide.
+        assert_eq!(sat_a.lo, sat_a.rate);
+        assert!(sat_a.hi > sat_a.lo);
+        let resolution = (4.0 - 0.05) / 64.0;
+        assert!((sat_a.hi - sat_a.lo - resolution).abs() < 1e-12);
+        assert_eq!(sat_a.iterations, 6);
         // The knee must lie between an unsaturated and a saturated probe
         // width of the final bisection interval.
         let width = (spec.saturation.unwrap().hi - spec.saturation.unwrap().lo) / 64.0;

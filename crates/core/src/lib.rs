@@ -47,8 +47,9 @@ pub use bsor_workloads as workloads;
 pub mod registry;
 
 pub use bsor_sim::{
-    AlgorithmError, Experiment, ExperimentError, RouteAlgorithm, Scenario, ScenarioBuilder,
-    ScenarioCtx,
+    AlgorithmError, EvalError, EvalPoint, Evaluation, Evaluator, Experiment, ExperimentError,
+    PlanCache, PlanError, PlanId, PlanKey, PlanStats, Planner, RouteAlgorithm, RoutePlan, Scenario,
+    ScenarioBuilder, ScenarioCtx, SimEvaluator, StaticMclEvaluator,
 };
 pub use bsor_topology::{TopologyError, TopologyRegistry};
 pub use bsor_workloads::{workload_by_name, WorkloadRegistry};
@@ -233,6 +234,7 @@ impl<'a> BsorBuilder<'a> {
     /// # Panics
     ///
     /// Panics unless `1 <= vcs <= 8`.
+    #[must_use]
     pub fn vcs(mut self, vcs: u8) -> Self {
         assert!((1..=8).contains(&vcs), "vcs must be 1..=8");
         self.vcs = vcs;
@@ -240,18 +242,21 @@ impl<'a> BsorBuilder<'a> {
     }
 
     /// Replaces the exploration strategies.
+    #[must_use]
     pub fn strategies(mut self, strategies: Vec<CdgStrategy>) -> Self {
         self.strategies = strategies;
         self
     }
 
     /// Appends one strategy.
+    #[must_use]
     pub fn add_strategy(mut self, strategy: CdgStrategy) -> Self {
         self.strategies.push(strategy);
         self
     }
 
     /// Sets the selector function.
+    #[must_use]
     pub fn selector(mut self, selector: SelectorKind) -> Self {
         self.selector = selector;
         self

@@ -87,6 +87,13 @@ impl RouteAlgorithm for BsorAlgorithm {
         &self.name
     }
 
+    /// Includes the selector configuration and any custom exploration
+    /// set — two `BsorAlgorithm`s may share a display name while
+    /// routing differently.
+    fn cache_key(&self) -> String {
+        format!("{}:{:?}:{:?}", self.name, self.selector, self.strategies)
+    }
+
     fn routes(&self, ctx: &ScenarioCtx<'_>) -> Result<RouteSet, AlgorithmError> {
         let mut builder = BsorBuilder::new(ctx.topo, ctx.flows).vcs(ctx.vcs);
         if let Some(strategies) = &self.strategies {

@@ -30,15 +30,9 @@ impl DeadlockAnalysis {
     }
 }
 
-/// Builds the `(channel, VC)` dependence graph induced by `routes` and
-/// reports whether it is acyclic.
-///
-/// Every consecutive hop pair `(h1, h2)` of every route contributes the
-/// dependence edges `{(h1.link, v1) -> (h2.link, v2) | v1 ∈ h1.vcs, v2 ∈
-/// h2.vcs}`. This is conservative for dynamically allocated VCs: if the
-/// expanded graph is acyclic, the routing is deadlock-free under any
-/// run-time VC choice within the masks.
-pub fn analyze(topo: &Topology, routes: &RouteSet, vcs: u8) -> DeadlockAnalysis {
+/// Builds the `(channel, VC)` dependence graph `routes` induce (the
+/// restricted CDG of Lemma 1), deduplicating edges.
+fn induced_graph(topo: &Topology, routes: &RouteSet, vcs: u8) -> DiGraph<(usize, u8), ()> {
     let nl = topo.num_links();
     let nv = vcs as usize;
     let mut g: DiGraph<(usize, u8), ()> = DiGraph::with_capacity(nl * nv, nl * nv);
@@ -62,6 +56,19 @@ pub fn analyze(topo: &Topology, routes: &RouteSet, vcs: u8) -> DeadlockAnalysis 
             }
         }
     }
+    g
+}
+
+/// Builds the `(channel, VC)` dependence graph induced by `routes` and
+/// reports whether it is acyclic.
+///
+/// Every consecutive hop pair `(h1, h2)` of every route contributes the
+/// dependence edges `{(h1.link, v1) -> (h2.link, v2) | v1 ∈ h1.vcs, v2 ∈
+/// h2.vcs}`. This is conservative for dynamically allocated VCs: if the
+/// expanded graph is acyclic, the routing is deadlock-free under any
+/// run-time VC choice within the masks.
+pub fn analyze(topo: &Topology, routes: &RouteSet, vcs: u8) -> DeadlockAnalysis {
+    let g = induced_graph(topo, routes, vcs);
     match algo::find_cycle(&g) {
         None => DeadlockAnalysis::Free,
         Some(cycle_edges) => {
@@ -74,6 +81,98 @@ pub fn analyze(topo: &Topology, routes: &RouteSet, vcs: u8) -> DeadlockAnalysis 
                 .collect();
             DeadlockAnalysis::Cyclic { cycle }
         }
+    }
+}
+
+/// A checkable witness of Lemma-1 deadlock freedom.
+///
+/// The certificate carries a topological rank for every `(channel, VC)`
+/// vertex of the dependence graph the routes induce; acyclicity follows
+/// from every dependence strictly increasing the rank, which
+/// [`DeadlockCertificate::verify`] re-checks in one pass over the routes
+/// without rebuilding or re-sorting the graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlockCertificate {
+    vcs: u8,
+    /// `rank[link * vcs + vc]` — position in a topological order of the
+    /// induced CDG.
+    rank: Vec<u32>,
+    dependencies: usize,
+}
+
+impl DeadlockCertificate {
+    /// Virtual channels the certified routing runs on.
+    pub fn vcs(&self) -> u8 {
+        self.vcs
+    }
+
+    /// Number of distinct channel dependencies the routes induce.
+    pub fn dependencies(&self) -> usize {
+        self.dependencies
+    }
+
+    /// Re-checks the witness against `routes`: every dependence edge the
+    /// routes create must strictly increase the stored topological rank
+    /// (and every hop must stay inside the certified VC range).
+    pub fn verify(&self, routes: &RouteSet) -> bool {
+        let nv = self.vcs as usize;
+        let rank = |l: usize, v: u8| self.rank.get(l * nv + v as usize);
+        for r in routes.iter() {
+            for hop in &r.hops {
+                if hop.vcs.iter().any(|v| v >= self.vcs) {
+                    return false;
+                }
+            }
+            for pair in r.hops.windows(2) {
+                for v1 in pair[0].vcs.iter() {
+                    for v2 in pair[1].vcs.iter() {
+                        match (
+                            rank(pair[0].link.index(), v1),
+                            rank(pair[1].link.index(), v2),
+                        ) {
+                            (Some(a), Some(b)) if a < b => {}
+                            _ => return false,
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Proves `routes` deadlock-free (paper Lemma 1) by topologically
+/// sorting the induced channel dependence graph, returning the order as
+/// a reusable [`DeadlockCertificate`].
+///
+/// # Errors
+///
+/// The dependence cycle (as `(link index, vc)` pairs in cycle order)
+/// when the routing is *not* deadlock-free — the same evidence
+/// [`analyze`] reports.
+pub fn certify(
+    topo: &Topology,
+    routes: &RouteSet,
+    vcs: u8,
+) -> Result<DeadlockCertificate, Vec<(usize, u8)>> {
+    let g = induced_graph(topo, routes, vcs);
+    match algo::toposort(&g) {
+        Ok(order) => {
+            let mut rank = vec![0u32; topo.num_links() * vcs as usize];
+            for (pos, node) in order.iter().enumerate() {
+                let (l, v) = *g.node(*node);
+                rank[l * vcs as usize + v as usize] = pos as u32;
+            }
+            Ok(DeadlockCertificate {
+                vcs,
+                rank,
+                dependencies: g.edge_count(),
+            })
+        }
+        Err(_) => match analyze(topo, routes, vcs) {
+            DeadlockAnalysis::Cyclic { cycle } => Err(cycle),
+            DeadlockAnalysis::Free => unreachable!("toposort found a cycle analyze did not"),
+        },
     }
 }
 

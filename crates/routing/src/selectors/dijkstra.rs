@@ -47,18 +47,21 @@ impl DijkstraSelector {
     }
 
     /// Overrides the weight parameters (e.g. to sweep the `M` constant).
+    #[must_use]
     pub fn with_weights(mut self, weights: WeightParams) -> Self {
         self.weights = Some(weights);
         self
     }
 
     /// Overrides the flow order.
+    #[must_use]
     pub fn with_order(mut self, order: FlowOrder) -> Self {
         self.order = order;
         self
     }
 
     /// Enables rip-up-and-reroute refinement passes.
+    #[must_use]
     pub fn with_refinement(mut self, passes: usize) -> Self {
         self.refinement_passes = passes;
         self

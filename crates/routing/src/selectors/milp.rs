@@ -104,24 +104,28 @@ impl MilpSelector {
     }
 
     /// Sets the hop slack.
+    #[must_use]
     pub fn with_hop_slack(mut self, slack: usize) -> Self {
         self.hop_slack = slack;
         self
     }
 
     /// Sets the candidate-path cap.
+    #[must_use]
     pub fn with_max_paths(mut self, cap: usize) -> Self {
         self.max_paths_per_flow = cap;
         self
     }
 
     /// Sets the objective.
+    #[must_use]
     pub fn with_objective(mut self, objective: MilpObjective) -> Self {
         self.objective = objective;
         self
     }
 
     /// Sets branch-and-bound options.
+    #[must_use]
     pub fn with_options(mut self, options: MilpOptions) -> Self {
         self.options = options;
         self

@@ -72,7 +72,11 @@ pub struct TableEntry {
 /// Stored as one flat entry arena in CSR layout — node `n` owns
 /// `entries[offsets[n] .. offsets[n + 1]]` — so the simulator's per-hop
 /// lookup is two array reads with no nested indirection.
-#[derive(Clone, Debug)]
+///
+/// Equality is structural (same offsets, entries and initial indices),
+/// which is what the plan-cache tests use to prove a cached
+/// `RoutePlan`'s compiled tables are identical to freshly built ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeTables {
     /// CSR offsets into `entries`, one slot per node plus a sentinel.
     offsets: Vec<u32>,

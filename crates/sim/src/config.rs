@@ -57,12 +57,14 @@ impl SimConfig {
     }
 
     /// Sets the warmup length.
+    #[must_use]
     pub fn with_warmup(mut self, cycles: u64) -> Self {
         self.warmup = cycles;
         self
     }
 
     /// Sets the measurement length.
+    #[must_use]
     pub fn with_measurement(mut self, cycles: u64) -> Self {
         self.measurement = cycles;
         self
@@ -73,6 +75,7 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if `flits == 0`.
+    #[must_use]
     pub fn with_packet_len(mut self, flits: usize) -> Self {
         assert!(flits > 0, "packets need at least one flit");
         self.packet_len = flits;
@@ -84,6 +87,7 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if `depth == 0`.
+    #[must_use]
     pub fn with_buffer_depth(mut self, depth: usize) -> Self {
         assert!(depth > 0, "buffers need at least one slot");
         self.buffer_depth = depth;
@@ -91,6 +95,7 @@ impl SimConfig {
     }
 
     /// Sets the RNG seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -101,6 +106,7 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if `cycles == 0`.
+    #[must_use]
     pub fn with_watchdog(mut self, cycles: u64) -> Self {
         assert!(cycles > 0, "watchdog must be positive");
         self.watchdog = cycles;
@@ -113,6 +119,7 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if `cycles == 0`.
+    #[must_use]
     pub fn with_pipeline_latency(mut self, cycles: u8) -> Self {
         assert!(cycles > 0, "pipeline latency must be at least one cycle");
         self.pipeline_latency = cycles;

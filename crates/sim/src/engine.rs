@@ -175,7 +175,10 @@ pub struct Simulator<'a> {
     topo: &'a Topology,
     flows: &'a FlowSet,
     config: SimConfig,
-    tables: NodeTables,
+    /// Borrowed when a caller (a `RoutePlan` evaluation) already holds
+    /// compiled tables; owned when built here. The hot path reads
+    /// through `Deref` either way.
+    tables: std::borrow::Cow<'a, NodeTables>,
     traffic: TrafficSpec,
     rng: StdRng,
     var_states: Vec<VariationState>,
@@ -243,6 +246,55 @@ impl<'a> Simulator<'a> {
         traffic: TrafficSpec,
         config: SimConfig,
     ) -> Result<Simulator<'a>, SimError> {
+        let tables = NodeTables::build(topo, routes);
+        Simulator::assemble(
+            topo,
+            flows,
+            routes,
+            std::borrow::Cow::Owned(tables),
+            traffic,
+            config,
+        )
+    }
+
+    /// Like [`Simulator::new`], but borrows `tables` already compiled
+    /// from `routes` (e.g. the ones a `RoutePlan` carries) instead of
+    /// rebuilding them — no per-run recompilation *or* copy.
+    ///
+    /// The caller is responsible for `tables` matching `routes`;
+    /// `NodeTables::build` is deterministic, so a plan's compiled tables
+    /// reproduce `Simulator::new` behavior bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when routes, flows, traffic and VC configuration are
+    /// inconsistent.
+    pub fn with_tables(
+        topo: &'a Topology,
+        flows: &'a FlowSet,
+        routes: &RouteSet,
+        tables: &'a NodeTables,
+        traffic: TrafficSpec,
+        config: SimConfig,
+    ) -> Result<Simulator<'a>, SimError> {
+        Simulator::assemble(
+            topo,
+            flows,
+            routes,
+            std::borrow::Cow::Borrowed(tables),
+            traffic,
+            config,
+        )
+    }
+
+    fn assemble(
+        topo: &'a Topology,
+        flows: &'a FlowSet,
+        routes: &RouteSet,
+        tables: std::borrow::Cow<'a, NodeTables>,
+        traffic: TrafficSpec,
+        config: SimConfig,
+    ) -> Result<Simulator<'a>, SimError> {
         if routes.len() != flows.len() {
             return Err(SimError::RouteCountMismatch {
                 flows: flows.len(),
@@ -267,7 +319,6 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        let tables = NodeTables::build(topo, routes);
         let index = TopoIndex::new(topo);
         let nl = topo.num_links();
         let nn = topo.num_nodes();

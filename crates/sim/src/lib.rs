@@ -41,12 +41,17 @@
 
 pub mod config;
 pub mod engine;
+pub mod plan;
 pub mod scenario;
 pub mod stats;
 pub mod traffic;
 
 pub use config::{SimConfig, SimError};
 pub use engine::Simulator;
+pub use plan::{
+    EvalError, EvalPoint, Evaluation, Evaluator, PlanCache, PlanError, PlanId, PlanKey, PlanStats,
+    Planner, RoutePlan, SimEvaluator, StaticMclEvaluator,
+};
 pub use scenario::{
     AlgorithmError, Experiment, ExperimentError, RouteAlgorithm, Scenario, ScenarioBuilder,
     ScenarioCtx,

@@ -1,0 +1,1049 @@
+//! Planning vs. evaluating: the cached [`RoutePlan`] API.
+//!
+//! BSOR's cost is front-loaded. Building the CDG and solving for
+//! minimum maximum channel load (the MILP of paper §3.5, or the
+//! Dijkstra heuristic of §3.6) is expensive, while replaying the
+//! resulting routes under different rates, bursts or phases is cheap.
+//! This module makes that split first-class:
+//!
+//! * a [`Planner`] turns `(topology, workload, algorithm, vcs)` — i.e. a
+//!   [`Scenario`] plus a [`RouteAlgorithm`] — into an immutable,
+//!   content-addressed [`RoutePlan`] artifact: the scenario's CDG,
+//!   validated routes, a checkable Lemma-1
+//!   [`DeadlockCertificate`], compiled [`NodeTables`], the static
+//!   per-channel loads and the predicted MCL;
+//! * an [`Evaluator`] judges a plan at an [`EvalPoint`] and returns a
+//!   common typed [`Evaluation`] report. Two backends ship:
+//!   [`StaticMclEvaluator`] (analytical channel-load/MCL estimate
+//!   straight from the plan, no simulation) and [`SimEvaluator`] (the
+//!   cycle-accurate arena engine);
+//! * a [`PlanCache`] keyed by a canonical hash of the plan inputs lets
+//!   every rate/burst/saturation axis reuse one plan per case instead of
+//!   re-solving the same selection per grid point.
+//!
+//! ```
+//! use bsor_routing::Baseline;
+//! use bsor_sim::{EvalPoint, Evaluator, Planner, Scenario, SimConfig, SimEvaluator,
+//!                StaticMclEvaluator};
+//! use bsor_flow::FlowSet;
+//! use bsor_topology::Topology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mesh = Topology::mesh2d(4, 4);
+//! let mut flows = FlowSet::new();
+//! flows.push(mesh.node_at(0, 0).unwrap(), mesh.node_at(3, 3).unwrap(), 25.0);
+//! let scenario = Scenario::builder(mesh, flows).vcs(2).build()?;
+//!
+//! // Plan once: routes + Lemma-1 certificate + compiled tables + MCL.
+//! let planner = Planner::new();
+//! let plan = planner.plan(&scenario, &Baseline::XY)?;
+//! assert!(plan.certificate().verify(plan.routes()));
+//! assert_eq!(plan.predicted_mcl(), 25.0);
+//!
+//! // Evaluate many times: analytically, or in the cycle-accurate engine.
+//! let config = SimConfig::new(2).with_warmup(100).with_measurement(1_000);
+//! let analytical = StaticMclEvaluator::new()
+//!     .evaluate(&plan, &EvalPoint::new(0.05, config.clone()))?;
+//! let simulated = SimEvaluator::new()
+//!     .evaluate(&plan, &EvalPoint::new(0.05, config))?;
+//! assert_eq!(analytical.predicted_mcl, simulated.predicted_mcl);
+//! assert!(simulated.delivered > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::{SimConfig, SimError};
+use crate::scenario::{AlgorithmError, RouteAlgorithm, Scenario};
+use crate::stats::{RunTiming, SimReport};
+use crate::traffic::{BurstyOnOff, MarkovVariation, PhaseSchedule, TrafficSpec};
+use crate::Simulator;
+use bsor_cdg::AcyclicCdg;
+use bsor_flow::FlowSet;
+use bsor_routing::deadlock::{self, DeadlockCertificate};
+use bsor_routing::tables::NodeTables;
+use bsor_routing::{RouteError, RouteSet};
+use bsor_topology::Topology;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The canonical encoding of everything a plan's content depends on:
+/// topology family, dimensions, links (endpoints and capacities), the
+/// local-bandwidth factor, the flow set (endpoints and demands), the VC
+/// count, the CDG's name *and dependence-edge structure*, and the
+/// algorithm's [`RouteAlgorithm::cache_key`] (which folds in seeds,
+/// selector budgets and exploration strategies — not just the display
+/// name).
+///
+/// Two scenarios with equal keys produce identical plans (every
+/// algorithm in the workspace is deterministic over these inputs), so
+/// the key doubles as the [`PlanCache`] lookup key — exact, not
+/// hash-truncated — while its 64-bit FNV-1a digest is the displayed
+/// [`PlanId`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    bytes: Vec<u8>,
+}
+
+impl PlanKey {
+    /// Encodes the plan inputs of `scenario` under `algorithm` (an
+    /// algorithm *cache key*, from [`RouteAlgorithm::cache_key`] — the
+    /// bare display name under-identifies configured algorithms).
+    pub fn new(scenario: &Scenario, algorithm: &str) -> PlanKey {
+        let mut bytes = Vec::new();
+        let push_u64 = |bytes: &mut Vec<u8>, v: u64| bytes.extend_from_slice(&v.to_le_bytes());
+        let push_f64 =
+            |bytes: &mut Vec<u8>, v: f64| bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        let push_str = |bytes: &mut Vec<u8>, s: &str| {
+            push_u64(bytes, s.len() as u64);
+            bytes.extend_from_slice(s.as_bytes());
+        };
+        let topo = scenario.topology();
+        bytes.push(topo.kind() as u8);
+        bytes.extend_from_slice(&topo.width().to_le_bytes());
+        bytes.extend_from_slice(&topo.height().to_le_bytes());
+        push_u64(&mut bytes, topo.num_nodes() as u64);
+        push_u64(&mut bytes, topo.num_links() as u64);
+        for l in topo.link_ids() {
+            let link = topo.link(l);
+            push_u64(&mut bytes, u64::from(link.src.0));
+            push_u64(&mut bytes, u64::from(link.dst.0));
+            push_f64(&mut bytes, link.capacity);
+        }
+        push_f64(&mut bytes, topo.local_bandwidth_factor());
+        push_u64(&mut bytes, scenario.flows().len() as u64);
+        for f in scenario.flows().iter() {
+            push_u64(&mut bytes, u64::from(f.src.0));
+            push_u64(&mut bytes, u64::from(f.dst.0));
+            push_f64(&mut bytes, f.demand);
+        }
+        bytes.push(scenario.vcs());
+        // The CDG by *content*, not just name: CDG-conforming selectors
+        // route inside its dependence edges, and `ScenarioBuilder::cdg`
+        // accepts arbitrary same-named derivations. Vertices are laid
+        // out canonically per (topology, vcs) — both encoded above — so
+        // the edge list pins the structure.
+        let cdg = scenario.cdg();
+        push_str(&mut bytes, cdg.name());
+        let graph = cdg.graph();
+        push_u64(&mut bytes, graph.node_count() as u64);
+        push_u64(&mut bytes, graph.edge_count() as u64);
+        for (_, src, dst, _) in graph.edges() {
+            push_u64(&mut bytes, src.index() as u64);
+            push_u64(&mut bytes, dst.index() as u64);
+        }
+        push_str(&mut bytes, algorithm);
+        PlanKey { bytes }
+    }
+
+    /// The key's 64-bit FNV-1a digest.
+    pub fn id(&self) -> PlanId {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        PlanId(h)
+    }
+}
+
+/// Content address of a [`RoutePlan`] (FNV-1a digest of its
+/// [`PlanKey`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanId(pub u64);
+
+impl fmt::Display for PlanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// An immutable, content-addressed routing plan: everything the
+/// expensive planning phase produces, ready to be evaluated any number
+/// of times.
+///
+/// A plan bundles the scenario it was planned on (topology, flows, VCs,
+/// CDG) with the validated [`RouteSet`], a checkable Lemma-1
+/// [`DeadlockCertificate`], the compiled [`NodeTables`] the router
+/// hardware would be programmed with, the static per-channel bandwidth
+/// loads and their maximum (the paper's MCL metric, what the MILP
+/// objective minimizes).
+///
+/// Plans compare structurally ([`PartialEq`]): a cache hit is required
+/// to be indistinguishable from a fresh plan of the same inputs.
+///
+/// ```
+/// use bsor_routing::Baseline;
+/// use bsor_sim::{Planner, Scenario};
+/// use bsor_flow::FlowSet;
+/// use bsor_topology::Topology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mesh = Topology::mesh2d(4, 4);
+/// let mut flows = FlowSet::new();
+/// flows.push(mesh.node_at(0, 0).unwrap(), mesh.node_at(3, 0).unwrap(), 50.0);
+/// let scenario = Scenario::builder(mesh, flows).vcs(2).build()?;
+/// let plan = Planner::new().plan(&scenario, &Baseline::XY)?;
+/// assert_eq!(plan.algorithm(), "XY");
+/// assert_eq!(plan.predicted_mcl(), 50.0);
+/// assert_eq!(plan.link_demands().len(), plan.topology().num_links());
+/// assert!(plan.certificate().verify(plan.routes()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoutePlan {
+    id: PlanId,
+    algorithm: String,
+    scenario: Scenario,
+    routes: RouteSet,
+    certificate: DeadlockCertificate,
+    tables: NodeTables,
+    link_demands: Vec<f64>,
+    predicted_mcl: f64,
+}
+
+impl RoutePlan {
+    /// The content address: the FNV-1a digest of the full [`PlanKey`]
+    /// encoding — topology (links and capacities), flows, VCs, the
+    /// CDG's name *and* dependence-edge structure, and the algorithm's
+    /// [`RouteAlgorithm::cache_key`] (seeds and budgets included, not
+    /// just the display name).
+    pub fn id(&self) -> PlanId {
+        self.id
+    }
+
+    /// Display name of the algorithm that produced the routes.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// The scenario the plan was computed for.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The interconnect.
+    pub fn topology(&self) -> &Topology {
+        self.scenario.topology()
+    }
+
+    /// The application's flows.
+    pub fn flows(&self) -> &FlowSet {
+        self.scenario.flows()
+    }
+
+    /// Virtual channels per physical channel.
+    pub fn vcs(&self) -> u8 {
+        self.scenario.vcs()
+    }
+
+    /// The acyclic CDG the scenario carried into planning.
+    pub fn cdg(&self) -> &AcyclicCdg {
+        self.scenario.cdg()
+    }
+
+    /// The validated, deadlock-free routes (one per flow).
+    pub fn routes(&self) -> &RouteSet {
+        &self.routes
+    }
+
+    /// The Lemma-1 witness: a topological order of the induced channel
+    /// dependence graph, re-checkable against the routes.
+    pub fn certificate(&self) -> &DeadlockCertificate {
+        &self.certificate
+    }
+
+    /// The compiled node tables (paper §4.2.1) the routes program.
+    pub fn tables(&self) -> &NodeTables {
+        &self.tables
+    }
+
+    /// Static bandwidth load per channel in MB/s: each flow's demand
+    /// summed over the channels its route crosses.
+    pub fn link_demands(&self) -> &[f64] {
+        &self.link_demands
+    }
+
+    /// The maximum of [`RoutePlan::link_demands`] — the paper's MCL
+    /// metric in MB/s, equal to the LP objective when the MILP selector
+    /// produced the routes.
+    pub fn predicted_mcl(&self) -> f64 {
+        self.predicted_mcl
+    }
+}
+
+impl PartialEq for RoutePlan {
+    /// Structural equality over everything planning computed (the
+    /// embedded scenario is covered by the content address, which
+    /// encodes its topology with link capacities, flows, VCs, the
+    /// CDG's name and dependence-edge structure, and the algorithm's
+    /// full cache key).
+    fn eq(&self, other: &RoutePlan) -> bool {
+        self.id == other.id
+            && self.algorithm == other.algorithm
+            && self.routes == other.routes
+            && self.certificate == other.certificate
+            && self.tables == other.tables
+            && self.link_demands == other.link_demands
+            && self.predicted_mcl == other.predicted_mcl
+    }
+}
+
+/// Why a [`Planner`] could not produce a [`RoutePlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// The routing algorithm failed.
+    Algorithm(AlgorithmError),
+    /// The algorithm produced malformed routes (wrong endpoints,
+    /// non-adjacent hops, …).
+    InvalidRoutes(RouteError),
+    /// The routes' induced channel dependence graph is cyclic — running
+    /// them could deadlock (paper Lemma 1), so no plan is produced.
+    Deadlock {
+        /// The offending algorithm's display name.
+        algorithm: String,
+        /// Length of the dependence cycle found.
+        cycle_len: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Algorithm(e) => write!(f, "{e}"),
+            PlanError::InvalidRoutes(e) => write!(f, "invalid routes: {e}"),
+            PlanError::Deadlock {
+                algorithm,
+                cycle_len,
+            } => write!(
+                f,
+                "{algorithm} produced routes with a {cycle_len}-long channel dependence \
+                 cycle (not deadlock-free, refusing to plan)"
+            ),
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Algorithm(e) => Some(e),
+            PlanError::InvalidRoutes(e) => Some(e),
+            PlanError::Deadlock { .. } => None,
+        }
+    }
+}
+
+impl From<AlgorithmError> for PlanError {
+    fn from(e: AlgorithmError) -> Self {
+        PlanError::Algorithm(e)
+    }
+}
+
+impl From<RouteError> for PlanError {
+    fn from(e: RouteError) -> Self {
+        PlanError::InvalidRoutes(e)
+    }
+}
+
+impl From<PlanError> for crate::scenario::ExperimentError {
+    /// Maps planning failures onto the legacy experiment errors (the
+    /// shimmed [`crate::Experiment`] pipeline reports identically to the
+    /// pre-plan one).
+    fn from(e: PlanError) -> Self {
+        use crate::scenario::ExperimentError;
+        match e {
+            PlanError::Algorithm(e) => ExperimentError::Algorithm(e),
+            PlanError::InvalidRoutes(e) => ExperimentError::InvalidRoutes(e),
+            PlanError::Deadlock {
+                algorithm,
+                cycle_len,
+            } => ExperimentError::CyclicCdg {
+                algorithm,
+                cycle_len,
+            },
+        }
+    }
+}
+
+/// A thread-safe plan store keyed by the canonical [`PlanKey`].
+///
+/// Share one cache (wrapped in an [`Arc`]) across every axis of a sweep
+/// — rates, bursts, the saturation bisection — and each `(topology,
+/// workload, algorithm, vcs)` case is solved once and reused by every
+/// point that asks for it. There is no in-flight deduplication:
+/// *concurrent* first requests for the same key (which the sweep never
+/// issues — a case's points run serially on one worker) each solve,
+/// benignly — results are deterministic and identical, the last insert
+/// wins, and [`PlanStats::solves`] counts every solve that ran.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<RoutePlan>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// An empty cache ready to share across threads.
+    pub fn shared() -> Arc<PlanCache> {
+        Arc::new(PlanCache::new())
+    }
+
+    /// The cached plan for `key`, if any.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<RoutePlan>> {
+        self.map
+            .lock()
+            .expect("plan cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Stores `plan` under `key` (replacing any previous entry).
+    pub fn insert(&self, key: PlanKey, plan: Arc<RoutePlan>) {
+        self.map
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, plan);
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("plan cache poisoned").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan.
+    pub fn clear(&self) {
+        self.map.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+/// Counters a [`Planner`] accumulates across [`Planner::plan`] calls.
+///
+/// `solves` counts actual route selections (the expensive MILP /
+/// Dijkstra work, successful or failed); `cache_hits` counts requests
+/// served from the [`PlanCache`] without solving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Route selections actually performed.
+    pub solves: u64,
+    /// Plan requests served from the cache.
+    pub cache_hits: u64,
+}
+
+/// Turns scenarios + algorithms into cached, validated [`RoutePlan`]s.
+///
+/// Planning runs the algorithm, validates the routes (one per flow,
+/// correct endpoints and VCs), **certifies** deadlock freedom (paper
+/// Lemma 1, as a re-checkable [`DeadlockCertificate`]), compiles the
+/// node tables and precomputes the static channel loads. With a
+/// [`PlanCache`] attached, repeated requests for the same canonical
+/// inputs return the same [`Arc`]ed artifact and count as
+/// [`PlanStats::cache_hits`] instead of re-solving.
+#[derive(Debug, Default)]
+pub struct Planner {
+    cache: Option<Arc<PlanCache>>,
+    solves: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Planner {
+    /// A planner with no cache: every call solves.
+    pub fn new() -> Planner {
+        Planner::default()
+    }
+
+    /// Attaches a (shareable) plan cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Planner {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<PlanCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Solve / cache-hit counters so far.
+    pub fn stats(&self) -> PlanStats {
+        PlanStats {
+            solves: self.solves.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Plans `algorithm` on `scenario`: cache lookup first, then the
+    /// full select → validate → certify (Lemma 1) → compile pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlanError`]: selection failure, malformed routes, or a
+    /// cyclic induced CDG.
+    pub fn plan(
+        &self,
+        scenario: &Scenario,
+        algorithm: &dyn RouteAlgorithm,
+    ) -> Result<Arc<RoutePlan>, PlanError> {
+        let key = PlanKey::new(scenario, &algorithm.cache_key());
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build_plan(scenario, algorithm, key.id())?);
+        if let Some(cache) = &self.cache {
+            cache.insert(key, plan.clone());
+        }
+        Ok(plan)
+    }
+}
+
+/// The uncached planning pipeline.
+fn build_plan(
+    scenario: &Scenario,
+    algorithm: &dyn RouteAlgorithm,
+    id: PlanId,
+) -> Result<RoutePlan, PlanError> {
+    let routes = algorithm.routes(&scenario.ctx())?;
+    routes.validate(scenario.topology(), scenario.flows(), scenario.vcs())?;
+    let certificate =
+        deadlock::certify(scenario.topology(), &routes, scenario.vcs()).map_err(|cycle| {
+            PlanError::Deadlock {
+                algorithm: algorithm.name().to_owned(),
+                cycle_len: cycle.len(),
+            }
+        })?;
+    let tables = NodeTables::build(scenario.topology(), &routes);
+    let link_demands = routes.link_loads(scenario.topology(), scenario.flows());
+    let predicted_mcl = link_demands.iter().copied().fold(0.0, f64::max);
+    Ok(RoutePlan {
+        id,
+        algorithm: algorithm.name().to_owned(),
+        scenario: scenario.clone(),
+        routes,
+        certificate,
+        tables,
+        link_demands,
+        predicted_mcl,
+    })
+}
+
+/// One load point to evaluate a plan at: the offered aggregate rate
+/// plus the simulation knobs ([`SimEvaluator`] uses all of them;
+/// [`StaticMclEvaluator`] reads only the rate and the packet length).
+#[derive(Clone, Debug)]
+pub struct EvalPoint {
+    /// Offered aggregate injection rate, packets/cycle (split across
+    /// flows proportionally to their demands).
+    pub rate: f64,
+    /// Simulator configuration (`vcs` is overridden with the plan's).
+    pub config: SimConfig,
+    /// Optional on/off bursty injection.
+    pub burst: Option<BurstyOnOff>,
+    /// Optional multi-phase rate schedule.
+    pub phases: Option<PhaseSchedule>,
+    /// Optional Markov-modulated bandwidth variation (paper §5.3).
+    pub variation: Option<MarkovVariation>,
+}
+
+impl EvalPoint {
+    /// A flat-Bernoulli point at `rate` under `config`.
+    pub fn new(rate: f64, config: SimConfig) -> EvalPoint {
+        EvalPoint {
+            rate,
+            config,
+            burst: None,
+            phases: None,
+            variation: None,
+        }
+    }
+
+    /// Switches injection to the on/off bursty arrival process.
+    #[must_use]
+    pub fn with_burst(mut self, burst: BurstyOnOff) -> EvalPoint {
+        self.burst = Some(burst);
+        self
+    }
+
+    /// Adds a multi-phase rate schedule.
+    #[must_use]
+    pub fn with_phases(mut self, phases: PhaseSchedule) -> EvalPoint {
+        self.phases = Some(phases);
+        self
+    }
+
+    /// Adds run-time bandwidth variation.
+    #[must_use]
+    pub fn with_variation(mut self, variation: MarkovVariation) -> EvalPoint {
+        self.variation = Some(variation);
+        self
+    }
+}
+
+/// The common typed report every [`Evaluator`] backend returns.
+///
+/// Fields an analytical backend cannot measure are `None`/zero and
+/// documented on the backend; everything both backends produce
+/// (throughput, channel load, the plan's predicted MCL) is directly
+/// comparable across them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Which backend produced the report (`"sim"`, `"static-mcl"`, …).
+    pub backend: &'static str,
+    /// The requested rate, packets/cycle.
+    pub rate: f64,
+    /// Offered load actually generated (simulated backends) or assumed
+    /// (analytical), packets/cycle.
+    pub offered: f64,
+    /// Delivered (or predicted deliverable) throughput, packets/cycle.
+    pub throughput: f64,
+    /// Mean packet latency, cycles (analytical backends report a
+    /// zero-load bound).
+    pub mean_latency: Option<f64>,
+    /// Median packet latency, cycles (`None` without a distribution).
+    pub p50_latency: Option<u64>,
+    /// 95th-percentile packet latency, cycles.
+    pub p95_latency: Option<u64>,
+    /// 99th-percentile packet latency, cycles.
+    pub p99_latency: Option<u64>,
+    /// Worst packet latency observed, cycles (0 without a simulation).
+    pub max_latency: u64,
+    /// Busiest channel's load in flits/cycle (observed or predicted).
+    pub max_channel_load: f64,
+    /// The plan's static MCL in MB/s (identical across backends).
+    pub predicted_mcl: f64,
+    /// Packets generated in the measurement window (0 analytical).
+    pub generated: u64,
+    /// Packets delivered in the measurement window (0 analytical).
+    pub delivered: u64,
+    /// Whether a deadlock was observed (always `false` analytical — the
+    /// plan carries a deadlock-freedom certificate).
+    pub deadlocked: bool,
+    /// Cycles actually simulated (0 analytical).
+    pub cycles: u64,
+    /// Wall-clock timing, when the backend measured one.
+    pub timing: Option<RunTiming>,
+}
+
+/// Why an [`Evaluator`] could not produce an [`Evaluation`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// The simulator rejected the evaluation point (bad rate,
+    /// inconsistent traffic, …).
+    Sim(SimError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for EvalError {
+    fn from(e: SimError) -> Self {
+        EvalError::Sim(e)
+    }
+}
+
+/// Judges a [`RoutePlan`] at an [`EvalPoint`].
+///
+/// Backends are interchangeable: both ship [`Evaluation`] with the same
+/// schema, so a driver can answer "is the analytical estimate good
+/// enough here, or do I need the engine?" by swapping one value.
+pub trait Evaluator {
+    /// Display name (`"sim"`, `"static-mcl"`).
+    fn name(&self) -> &str;
+
+    /// Evaluates `plan` at `point`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`].
+    fn evaluate(&self, plan: &RoutePlan, point: &EvalPoint) -> Result<Evaluation, EvalError>;
+}
+
+/// The analytical backend: channel-load / MCL arithmetic straight from
+/// the plan's static per-channel loads — no simulation, microseconds
+/// per point.
+///
+/// With proportional injection, flow *i* offers `rate ·
+/// demandᵢ/Σdemand` packets/cycle, so a channel's load in flits/cycle is
+/// `rate · packet_len · load_MB/s / Σdemand`. The reported throughput
+/// caps the offered rate once the busiest channel would exceed 1
+/// flit/cycle (uniform-scaling assumption), and the latency is the
+/// zero-load bound `demand-weighted mean hops · pipeline_latency +
+/// packet_len − 1` — hops are weighted by each flow's injection share
+/// (a high-demand short flow dominates the packet mix exactly as it
+/// does in the engine), at the configured per-hop pipeline cost, plus
+/// tail serialization. Burst/phase/variation knobs are ignored: they
+/// preserve the mean load this backend reasons about.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticMclEvaluator;
+
+impl StaticMclEvaluator {
+    /// The analytical evaluator.
+    pub fn new() -> StaticMclEvaluator {
+        StaticMclEvaluator
+    }
+}
+
+impl Evaluator for StaticMclEvaluator {
+    fn name(&self) -> &str {
+        "static-mcl"
+    }
+
+    fn evaluate(&self, plan: &RoutePlan, point: &EvalPoint) -> Result<Evaluation, EvalError> {
+        let total_demand = plan.flows().total_demand();
+        let packet_len = point.config.packet_len as f64;
+        // MB/s → flits/cycle at this offered rate.
+        let scale = if total_demand > 0.0 {
+            point.rate * packet_len / total_demand
+        } else {
+            0.0
+        };
+        let max_channel_load = plan.predicted_mcl * scale;
+        let throughput = if max_channel_load > 1.0 {
+            point.rate / max_channel_load
+        } else {
+            point.rate
+        };
+        // Zero-load packet mix: injection is demand-proportional, so a
+        // flow's hop count is weighted by its demand share.
+        let weighted_hops = if total_demand > 0.0 {
+            plan.flows()
+                .iter()
+                .zip(plan.routes.iter())
+                .map(|(f, r)| f.demand * r.len() as f64)
+                .sum::<f64>()
+                / total_demand
+        } else {
+            0.0
+        };
+        let per_hop = f64::from(point.config.pipeline_latency);
+        Ok(Evaluation {
+            backend: "static-mcl",
+            rate: point.rate,
+            offered: point.rate,
+            throughput,
+            mean_latency: Some(weighted_hops * per_hop + packet_len - 1.0),
+            p50_latency: None,
+            p95_latency: None,
+            p99_latency: None,
+            max_latency: 0,
+            max_channel_load,
+            predicted_mcl: plan.predicted_mcl,
+            generated: 0,
+            delivered: 0,
+            deadlocked: false,
+            cycles: 0,
+            timing: None,
+        })
+    }
+}
+
+/// The cycle-accurate backend: the arena engine of [`crate::engine`],
+/// fed the plan's precompiled node tables (no per-point recompilation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimEvaluator;
+
+impl SimEvaluator {
+    /// The simulating evaluator.
+    pub fn new() -> SimEvaluator {
+        SimEvaluator
+    }
+
+    /// Runs the engine on `plan` at `point` and returns the raw
+    /// [`SimReport`] plus wall-clock timing (what [`Evaluator::evaluate`]
+    /// summarizes into an [`Evaluation`]).
+    ///
+    /// `point.config.vcs` is overridden with the plan's VC count so the
+    /// two can never diverge.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Sim`] when the simulator rejects the inputs.
+    pub fn simulate(
+        &self,
+        plan: &RoutePlan,
+        point: &EvalPoint,
+    ) -> Result<(SimReport, RunTiming), EvalError> {
+        let mut config = point.config.clone();
+        config.vcs = plan.vcs();
+        let mut traffic = TrafficSpec::proportional(plan.flows(), point.rate);
+        if let Some(v) = point.variation {
+            traffic = traffic.with_variation(v);
+        }
+        if let Some(b) = point.burst {
+            traffic = traffic.with_burst(b);
+        }
+        if let Some(p) = &point.phases {
+            traffic = traffic.with_phases(p.clone());
+        }
+        let mut sim = Simulator::with_tables(
+            plan.topology(),
+            plan.flows(),
+            &plan.routes,
+            &plan.tables,
+            traffic,
+            config,
+        )?;
+        Ok(sim.run_timed())
+    }
+}
+
+impl Evaluator for SimEvaluator {
+    fn name(&self) -> &str {
+        "sim"
+    }
+
+    fn evaluate(&self, plan: &RoutePlan, point: &EvalPoint) -> Result<Evaluation, EvalError> {
+        let (report, timing) = self.simulate(plan, point)?;
+        // One per-flow histogram merge serves all three percentiles.
+        let hist = report.latency_histogram();
+        Ok(Evaluation {
+            backend: "sim",
+            rate: point.rate,
+            offered: report.offered(),
+            throughput: report.throughput(),
+            mean_latency: report.mean_latency(),
+            p50_latency: hist.p50(),
+            p95_latency: hist.p95(),
+            p99_latency: hist.p99(),
+            max_latency: report.max_latency(),
+            max_channel_load: report.max_channel_load(),
+            predicted_mcl: plan.predicted_mcl,
+            generated: report.generated_packets,
+            delivered: report.delivered_packets,
+            deadlocked: report.deadlocked,
+            cycles: report.cycles,
+            timing: Some(timing),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsor_routing::Baseline;
+    use bsor_topology::NodeId;
+
+    fn scenario(vcs: u8) -> Scenario {
+        let topo = Topology::mesh2d(4, 4);
+        let mut flows = FlowSet::new();
+        let n = topo.num_nodes() as u32;
+        for i in 0..n {
+            let j = (i + n / 2) % n;
+            if i != j {
+                flows.push(NodeId(i), NodeId(j), 10.0);
+            }
+        }
+        Scenario::builder(topo, flows).vcs(vcs).build().expect("ok")
+    }
+
+    #[test]
+    fn plan_matches_direct_selection_and_certifies() {
+        let s = scenario(2);
+        let plan = Planner::new().plan(&s, &Baseline::XY).expect("plans");
+        let direct = s.select_routes(&Baseline::XY).expect("selects");
+        assert_eq!(plan.routes(), &direct);
+        assert_eq!(plan.predicted_mcl(), direct.mcl(s.topology(), s.flows()));
+        assert!(plan.certificate().verify(plan.routes()));
+        assert!(plan.certificate().dependencies() > 0);
+        assert_eq!(plan.link_demands().len(), s.topology().num_links());
+        // The tables are the ones the simulator would have compiled.
+        assert_eq!(
+            plan.tables(),
+            &NodeTables::build(s.topology(), plan.routes())
+        );
+    }
+
+    #[test]
+    fn cache_hit_returns_the_same_artifact_and_counts() {
+        let s = scenario(2);
+        let planner = Planner::new().with_cache(PlanCache::shared());
+        let a = planner.plan(&s, &Baseline::XY).expect("plans");
+        let b = planner.plan(&s, &Baseline::XY).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached Arc");
+        assert_eq!(
+            planner.stats(),
+            PlanStats {
+                solves: 1,
+                cache_hits: 1
+            }
+        );
+        // A different algorithm is a different key.
+        let c = planner.plan(&s, &Baseline::YX).expect("plans");
+        assert_ne!(a.id(), c.id());
+        assert_eq!(planner.stats().solves, 2);
+        assert_eq!(planner.cache().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn static_latency_is_demand_weighted_and_pipeline_scaled() {
+        // One dominant 1-hop flow and one rare 3-hop flow: the packet
+        // mix is demand-proportional, so the zero-load estimate must
+        // sit near the short flow, not the unweighted hop mean.
+        let topo = Topology::mesh2d(4, 1);
+        let mut flows = FlowSet::new();
+        flows.push(NodeId(0), NodeId(1), 900.0); // 1 hop
+        flows.push(NodeId(0), NodeId(3), 100.0); // 3 hops
+        let s = Scenario::builder(topo, flows).vcs(1).build().expect("ok");
+        let plan = Planner::new().plan(&s, &Baseline::XY).expect("plans");
+        let weighted = (900.0 * 1.0 + 100.0 * 3.0) / 1000.0; // 1.2 hops
+        let config = SimConfig::new(1).with_packet_len(8);
+        let ev = StaticMclEvaluator::new()
+            .evaluate(&plan, &EvalPoint::new(0.1, config.clone()))
+            .expect("static");
+        assert!((ev.mean_latency.unwrap() - (weighted + 7.0)).abs() < 1e-12);
+        // Doubling the per-hop pipeline cost doubles the hop term only.
+        let ev2 = StaticMclEvaluator::new()
+            .evaluate(&plan, &EvalPoint::new(0.1, config.with_pipeline_latency(2)))
+            .expect("static");
+        assert!((ev2.mean_latency.unwrap() - (2.0 * weighted + 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_is_structurally_identical_to_fresh_plan() {
+        let s = scenario(2);
+        let cached = Planner::new().with_cache(PlanCache::shared());
+        cached.plan(&s, &Baseline::XY).expect("warm");
+        let hit = cached.plan(&s, &Baseline::XY).expect("hit");
+        let fresh = Planner::new().plan(&s, &Baseline::XY).expect("fresh");
+        assert_eq!(*hit, *fresh);
+    }
+
+    #[test]
+    fn same_name_different_config_algorithms_do_not_collide() {
+        use bsor_cdg::{AcyclicCdg, TurnModel};
+        let s = scenario(2);
+        let planner = Planner::new().with_cache(PlanCache::shared());
+        // ROMM's display name hides its seed; the cache key must not.
+        let a = planner
+            .plan(&s, &bsor_routing::Baseline::Romm { seed: 3 })
+            .expect("plans");
+        let b = planner
+            .plan(&s, &bsor_routing::Baseline::Romm { seed: 9 })
+            .expect("plans");
+        assert_eq!(
+            planner.stats().solves,
+            2,
+            "different seeds, different plans"
+        );
+        assert_eq!(planner.stats().cache_hits, 0);
+        assert_ne!(a.id(), b.id());
+        // Same-named CDGs with different dependence edges are different
+        // plan inputs too: the key encodes the edge structure.
+        let topo = Topology::mesh2d(4, 4);
+        let wf = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
+        let nl = AcyclicCdg::turn_model(&topo, 2, &TurnModel::north_last()).expect("valid");
+        let sc = |cdg: AcyclicCdg| {
+            Scenario::builder(topo.clone(), scenario(2).flows().clone())
+                .cdg(cdg)
+                .vcs(2)
+                .build()
+                .expect("ok")
+        };
+        let k1 = PlanKey::new(&sc(wf), "dijkstra");
+        let k2 = PlanKey::new(&sc(nl), "dijkstra");
+        assert_ne!(
+            k1, k2,
+            "CDG content must separate keys even if names differed"
+        );
+    }
+
+    #[test]
+    fn keys_separate_every_input_axis() {
+        let s2 = scenario(2);
+        let s4 = scenario(4);
+        let xy2 = PlanKey::new(&s2, "xy");
+        assert_eq!(xy2, PlanKey::new(&scenario(2), "xy"));
+        assert_ne!(xy2, PlanKey::new(&s2, "yx"));
+        assert_ne!(xy2, PlanKey::new(&s4, "xy"));
+        let torus = Scenario::builder(Topology::torus2d(4, 4), s2.flows().clone())
+            .vcs(2)
+            .build()
+            .expect("ok");
+        assert_ne!(xy2, PlanKey::new(&torus, "xy"));
+        assert_eq!(xy2.id(), PlanKey::new(&s2, "xy").id());
+    }
+
+    #[test]
+    fn static_evaluator_is_consistent_with_the_plan() {
+        let s = scenario(2);
+        let plan = Planner::new().plan(&s, &Baseline::XY).expect("plans");
+        let config = SimConfig::new(2).with_warmup(100).with_measurement(500);
+        let low = StaticMclEvaluator::new()
+            .evaluate(&plan, &EvalPoint::new(0.1, config.clone()))
+            .expect("static");
+        assert_eq!(low.backend, "static-mcl");
+        assert_eq!(low.predicted_mcl, plan.predicted_mcl());
+        assert_eq!(low.throughput, 0.1, "below saturation the rate passes");
+        assert!(low.max_channel_load > 0.0);
+        // Load scales linearly with rate; throughput caps at saturation.
+        let high = StaticMclEvaluator::new()
+            .evaluate(&plan, &EvalPoint::new(10.0, config))
+            .expect("static");
+        assert!((high.max_channel_load - 100.0 * low.max_channel_load).abs() < 1e-9);
+        assert!(high.throughput < high.rate);
+        assert!(!high.deadlocked);
+    }
+
+    #[test]
+    fn sim_evaluator_matches_scenario_simulation() {
+        let s = scenario(2);
+        let plan = Planner::new().plan(&s, &Baseline::XY).expect("plans");
+        let config = SimConfig::new(2).with_warmup(100).with_measurement(1_000);
+        let point = EvalPoint::new(0.2, config.clone());
+        let ev = SimEvaluator::new().evaluate(&plan, &point).expect("sims");
+        assert_eq!(ev.backend, "sim");
+        assert!(ev.delivered > 0);
+        // Byte-identical to the legacy path that recompiles tables.
+        let report = s
+            .simulate(
+                plan.routes(),
+                TrafficSpec::proportional(s.flows(), 0.2),
+                config,
+            )
+            .expect("legacy path");
+        assert_eq!(ev.generated, report.generated_packets);
+        assert_eq!(ev.delivered, report.delivered_packets);
+        assert_eq!(ev.mean_latency, report.mean_latency());
+        assert_eq!(ev.max_channel_load, report.max_channel_load());
+    }
+
+    #[test]
+    fn plan_error_display_and_sources() {
+        let e = PlanError::Deadlock {
+            algorithm: "x".into(),
+            cycle_len: 4,
+        };
+        assert!(e.to_string().contains("refusing to plan"));
+        assert!(Error::source(&e).is_none());
+        let e: PlanError = AlgorithmError::Failed("boom".into()).into();
+        assert_eq!(e.to_string(), "boom");
+        assert!(Error::source(&e).is_some());
+    }
+}

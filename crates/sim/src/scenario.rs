@@ -169,6 +169,17 @@ pub trait RouteAlgorithm {
     /// Display name (used in tables, errors and registries).
     fn name(&self) -> &str;
 
+    /// A string identifying the algorithm's *routing behavior* for
+    /// content-addressed plan caching ([`crate::PlanKey`]): two
+    /// algorithms with equal cache keys must produce identical routes
+    /// on identical scenarios. Defaults to the display name, which is
+    /// only correct for configuration-free algorithms — implementations
+    /// carrying seeds, selector budgets or exploration strategies must
+    /// fold them in (the in-tree impls use their `Debug` rendering).
+    fn cache_key(&self) -> String {
+        self.name().to_owned()
+    }
+
     /// Minimum virtual channels the algorithm needs for deadlock freedom
     /// (e.g. 2 for ROMM/Valiant, per the paper §6.1).
     fn required_vcs(&self) -> u8 {
@@ -200,6 +211,12 @@ impl RouteAlgorithm for bsor_routing::Baseline {
         bsor_routing::Baseline::name(self)
     }
 
+    /// Includes the seed of the randomized baselines (ROMM, Valiant,
+    /// O1TURN route differently per seed while sharing a display name).
+    fn cache_key(&self) -> String {
+        format!("{self:?}")
+    }
+
     fn required_vcs(&self) -> u8 {
         bsor_routing::Baseline::required_vcs(self)
     }
@@ -223,6 +240,11 @@ impl RouteAlgorithm for DijkstraSelector {
         "dijkstra"
     }
 
+    /// Includes the weight parameters and refinement passes.
+    fn cache_key(&self) -> String {
+        format!("dijkstra:{self:?}")
+    }
+
     /// Routes every flow inside `ctx.cdg` with the weighted
     /// shortest-path heuristic (paper §3.6).
     fn routes(&self, ctx: &ScenarioCtx<'_>) -> Result<RouteSet, AlgorithmError> {
@@ -234,6 +256,11 @@ impl RouteAlgorithm for DijkstraSelector {
 impl RouteAlgorithm for MilpSelector {
     fn name(&self) -> &str {
         "milp"
+    }
+
+    /// Includes the path budget, hop slack, objective and solver options.
+    fn cache_key(&self) -> String {
+        format!("milp:{self:?}")
     }
 
     /// Routes every flow inside `ctx.cdg` with the mixed integer-linear
@@ -390,6 +417,7 @@ impl ScenarioBuilder {
     }
 
     /// Sets a display name (propagates into reports and errors).
+    #[must_use]
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
@@ -400,6 +428,7 @@ impl ScenarioBuilder {
     /// # Panics
     ///
     /// Panics unless `1 <= vcs <= 8`.
+    #[must_use]
     pub fn vcs(mut self, vcs: u8) -> Self {
         assert!((1..=8).contains(&vcs), "vcs must be 1..=8");
         self.vcs = vcs;
@@ -408,6 +437,7 @@ impl ScenarioBuilder {
 
     /// Supplies a specific acyclic CDG instead of the default
     /// derivation.
+    #[must_use]
     pub fn cdg(mut self, cdg: AcyclicCdg) -> Self {
         self.cdg = Some(cdg);
         self
@@ -579,9 +609,13 @@ impl Scenario {
 
 /// One scenario × one algorithm × one load point, ready to run.
 ///
-/// [`Experiment::run`] is the single pipeline behind every driver:
-/// route selection, Lemma-1 deadlock validation, node-table
-/// compilation, and cycle-accurate simulation.
+/// **Superseded.** `Experiment` predates the plan/evaluate split and is
+/// kept as a thin shim for one release: [`Experiment::run`] now plans
+/// through [`crate::Planner`] (route selection, Lemma-1 certification,
+/// table compilation) and evaluates through [`crate::SimEvaluator`],
+/// producing byte-identical reports. New code should use those two
+/// layers directly — planning once and evaluating many points is what
+/// makes rate/burst/saturation sweeps cheap.
 #[derive(Clone)]
 pub struct Experiment<'a> {
     scenario: &'a Scenario,
@@ -606,6 +640,7 @@ impl fmt::Debug for Experiment<'_> {
 impl<'a> Experiment<'a> {
     /// Overrides the simulator configuration (VC count is pinned to the
     /// scenario's).
+    #[must_use]
     pub fn config(mut self, config: SimConfig) -> Self {
         self.config = config;
         self
@@ -613,24 +648,28 @@ impl<'a> Experiment<'a> {
 
     /// Sets the aggregate offered injection rate in packets/cycle
     /// (split across flows proportionally to their demands).
+    #[must_use]
     pub fn rate(mut self, rate: f64) -> Self {
         self.rate = rate;
         self
     }
 
     /// Adds run-time bandwidth variation (paper §5.3).
+    #[must_use]
     pub fn variation(mut self, variation: MarkovVariation) -> Self {
         self.variation = Some(variation);
         self
     }
 
     /// Switches injection to the on/off bursty arrival process.
+    #[must_use]
     pub fn burst(mut self, burst: BurstyOnOff) -> Self {
         self.burst = Some(burst);
         self
     }
 
     /// Adds a multi-phase rate schedule (cycle-boundary switching).
+    #[must_use]
     pub fn phases(mut self, phases: PhaseSchedule) -> Self {
         self.phases = Some(phases);
         self
@@ -651,19 +690,60 @@ impl<'a> Experiment<'a> {
         self.scenario.select_routes(self.algorithm)
     }
 
-    /// Runs the full pipeline: select → validate (Lemma 1) → compile
-    /// tables → simulate.
+    /// The experiment's load point in [`crate::Evaluator`] terms.
+    pub fn eval_point(&self) -> crate::plan::EvalPoint {
+        let mut point = crate::plan::EvalPoint::new(self.rate, self.config.clone());
+        if let Some(v) = self.variation {
+            point = point.with_variation(v);
+        }
+        if let Some(b) = self.burst {
+            point = point.with_burst(b);
+        }
+        if let Some(p) = &self.phases {
+            point = point.with_phases(p.clone());
+        }
+        point
+    }
+
+    /// Plans the experiment's algorithm on its scenario (uncached; hold
+    /// the [`crate::RoutePlan`] yourself — or use a
+    /// [`crate::Planner`] with a cache — to evaluate many points).
+    ///
+    /// # Errors
+    ///
+    /// Planning failures, converted to their [`ExperimentError`]
+    /// equivalents.
+    pub fn plan(&self) -> Result<std::sync::Arc<crate::plan::RoutePlan>, ExperimentError> {
+        crate::plan::Planner::new()
+            .plan(self.scenario, self.algorithm)
+            .map_err(ExperimentError::from)
+    }
+
+    /// Runs the full pipeline: plan (select → validate → certify
+    /// Lemma 1 → compile tables) → simulate.
+    ///
+    /// This is a compatibility shim over [`crate::Planner`] +
+    /// [`crate::SimEvaluator`]; one call plans and evaluates a single
+    /// point. Drivers sweeping many rates should plan once and evaluate
+    /// per point instead.
     ///
     /// # Errors
     ///
     /// Any [`ExperimentError`].
     pub fn run(&self) -> Result<SimReport, ExperimentError> {
-        let routes = self.select_routes()?;
-        self.run_routes(&routes)
+        let plan = self.plan()?;
+        let (report, _timing) = crate::plan::SimEvaluator::new()
+            .simulate(&plan, &self.eval_point())
+            .map_err(|crate::plan::EvalError::Sim(e)| ExperimentError::Sim(e))?;
+        Ok(report)
     }
 
     /// Simulates pre-selected routes (sharing one route computation
-    /// across several load points, as the sweep harness does).
+    /// across several load points).
+    ///
+    /// **Superseded:** the sweep harness now shares a
+    /// [`crate::RoutePlan`] instead, which also reuses the compiled
+    /// node tables; this entry point recompiles them per call.
     ///
     /// # Errors
     ///

@@ -297,18 +297,21 @@ impl TrafficSpec {
     }
 
     /// Adds Markov-modulated bandwidth variation.
+    #[must_use]
     pub fn with_variation(mut self, variation: MarkovVariation) -> Self {
         self.variation = Some(variation);
         self
     }
 
     /// Switches the arrival process to on/off bursty injection.
+    #[must_use]
     pub fn with_burst(mut self, burst: BurstyOnOff) -> Self {
         self.injection = InjectionProcess::OnOff(burst);
         self
     }
 
     /// Adds a multi-phase rate schedule.
+    #[must_use]
     pub fn with_phases(mut self, phases: PhaseSchedule) -> Self {
         self.phases = Some(phases);
         self

@@ -8,7 +8,7 @@
 //! cargo run --release --example bandwidth_variation
 //! ```
 
-use bsor::{BsorAlgorithm, Scenario};
+use bsor::{BsorAlgorithm, EvalPoint, Evaluator, Planner, Scenario, SimEvaluator};
 use bsor_routing::Baseline;
 use bsor_sim::{MarkovVariation, SimConfig};
 use bsor_topology::Topology;
@@ -21,39 +21,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .named("bandwidth-variation")
         .vcs(2)
         .build()?;
-    let bsor = scenario.select_routes(&BsorAlgorithm::dijkstra())?;
-    let xy = scenario.select_routes(&Baseline::XY)?;
+    // Plan once per algorithm from the *estimated* demands; every
+    // variation level below re-evaluates the same two plans.
+    let planner = Planner::new();
+    let bsor = planner.plan(&scenario, &BsorAlgorithm::dijkstra())?;
+    let xy = planner.plan(&scenario, &Baseline::XY)?;
     println!(
         "routes fixed from estimates: BSOR MCL {:.0}, XY MCL {:.0} MB/s",
-        bsor.mcl(scenario.topology(), scenario.flows()),
-        xy.mcl(scenario.topology(), scenario.flows())
+        bsor.predicted_mcl(),
+        xy.predicted_mcl()
     );
 
+    let evaluator = SimEvaluator::new();
     println!(
         "\n{:>10} {:>12} {:>12} {:>12} {:>12}",
         "variation", "XY tput", "BSOR tput", "XY lat", "BSOR lat"
     );
     for fraction in [0.10, 0.25, 0.50] {
-        // One experiment per variation level; the routes stay fixed
-        // while the traffic wanders.
-        let exp = scenario
-            .experiment(&Baseline::XY)
-            .config(
-                SimConfig::new(2)
-                    .with_warmup(2_000)
-                    .with_measurement(10_000),
-            )
-            .rate(2.0)
-            .variation(MarkovVariation::new(fraction, 200.0));
-        let r_xy = exp.run_routes(&xy)?;
-        let r_bsor = exp.run_routes(&bsor)?;
+        // One evaluation point per variation level; the plans stay
+        // fixed while the traffic wanders.
+        let point = EvalPoint::new(
+            2.0,
+            SimConfig::new(2)
+                .with_warmup(2_000)
+                .with_measurement(10_000),
+        )
+        .with_variation(MarkovVariation::new(fraction, 200.0));
+        let r_xy = evaluator.evaluate(&xy, &point)?;
+        let r_bsor = evaluator.evaluate(&bsor, &point)?;
         println!(
             "{:>9.0}% {:>12.4} {:>12.4} {:>12.1} {:>12.1}",
             fraction * 100.0,
-            r_xy.throughput(),
-            r_bsor.throughput(),
-            r_xy.mean_latency().unwrap_or(f64::NAN),
-            r_bsor.mean_latency().unwrap_or(f64::NAN)
+            r_xy.throughput,
+            r_bsor.throughput,
+            r_xy.mean_latency.unwrap_or(f64::NAN),
+            r_bsor.mean_latency.unwrap_or(f64::NAN)
         );
     }
 

@@ -11,7 +11,9 @@
 //! cargo run --release --example h264_decoder
 //! ```
 
-use bsor::{BsorAlgorithm, BsorBuilder, Scenario, SelectorKind};
+use bsor::{
+    BsorAlgorithm, BsorBuilder, EvalPoint, Evaluator, Planner, Scenario, SelectorKind, SimEvaluator,
+};
 use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
 use bsor_routing::Baseline;
 use bsor_sim::SimConfig;
@@ -57,15 +59,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .vcs(2)
         .build()?;
 
-    // The MILP selector through the unified trait.
+    // The MILP selector through the planner: one plan carries the
+    // validated routes, the Lemma-1 certificate, the compiled tables
+    // and the predicted MCL.
+    let planner = Planner::new();
     let milp_algo = BsorAlgorithm::milp("bsor-milp", MilpSelector::new().with_max_paths(80));
-    let milp_routes = scenario.select_routes(&milp_algo)?;
-    println!(
-        "BSOR-MILP best MCL: {:.2} MB/s",
-        milp_routes.mcl(scenario.topology(), scenario.flows())
-    );
+    let milp_plan = planner.plan(&scenario, &milp_algo)?;
+    println!("BSOR-MILP best MCL: {:.2} MB/s", milp_plan.predicted_mcl());
 
-    // Baselines through the same trait.
+    // Baselines through the same planner.
     println!("\nbaseline MCLs:");
     for baseline in [
         Baseline::XY,
@@ -73,33 +75,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Baseline::Romm { seed: 3 },
         Baseline::Valiant { seed: 3 },
     ] {
-        let routes = scenario.select_routes(&baseline)?;
-        println!(
-            "  {:8} {:8.2} MB/s",
-            baseline.name(),
-            routes.mcl(scenario.topology(), scenario.flows())
-        );
+        let plan = planner.plan(&scenario, &baseline)?;
+        println!("  {:8} {:8.2} MB/s", baseline.name(), plan.predicted_mcl());
     }
 
-    // Head-to-head simulation near the XY saturation point: identical
-    // experiments, different algorithms.
-    let xy_routes = scenario.select_routes(&Baseline::XY)?;
+    // Head-to-head evaluation near the XY saturation point: both plans
+    // were computed once; only the evaluation point changes.
+    let xy_plan = planner.plan(&scenario, &Baseline::XY)?;
+    let evaluator = SimEvaluator::new();
     let config = SimConfig::new(2)
         .with_warmup(2_000)
         .with_measurement(10_000);
     println!("\nsimulated throughput (packets/cycle) at rising offered load:");
     println!("{:>8} {:>10} {:>10}", "offered", "XY", "BSOR");
     for rate in [0.5, 1.0, 2.0, 3.0] {
-        let exp = scenario
-            .experiment(&milp_algo)
-            .config(config.clone())
-            .rate(rate);
-        let t_xy = exp.run_routes(&xy_routes)?;
-        let t_bsor = exp.run_routes(&milp_routes)?;
+        let point = EvalPoint::new(rate, config.clone());
+        let t_xy = evaluator.evaluate(&xy_plan, &point)?;
+        let t_bsor = evaluator.evaluate(&milp_plan, &point)?;
         println!(
             "{rate:>8.2} {:>10.4} {:>10.4}",
-            t_xy.throughput(),
-            t_bsor.throughput()
+            t_xy.throughput, t_bsor.throughput
         );
     }
     Ok(())

@@ -4,17 +4,21 @@
 //! latency gap — the paper's motivating case for bandwidth-aware
 //! routing on FPGA-hosted performance models (HAsim/FAST).
 //!
-//! Also demonstrates the load-balance statistics: BSOR spreads load so
-//! the peak-to-mean ratio drops versus dimension-order routing.
+//! Demonstrates the two `Evaluator` backends on one `RoutePlan`: the
+//! `StaticMclEvaluator` answers "will this load fit?" analytically in
+//! microseconds, and the plan's route set still feeds the load-balance
+//! statistics (BSOR drops the peak-to-mean ratio versus dimension-order
+//! routing).
 //!
 //! ```text
 //! cargo run --release --example performance_modeling
 //! ```
 
-use bsor::{BsorAlgorithm, Scenario};
+use bsor::{BsorAlgorithm, EvalPoint, Evaluator, Planner, Scenario, StaticMclEvaluator};
 use bsor_lp::MilpOptions;
 use bsor_routing::selectors::MilpSelector;
 use bsor_routing::Baseline;
+use bsor_sim::SimConfig;
 use bsor_topology::Topology;
 use bsor_workloads::workload_by_name;
 use std::time::Duration;
@@ -40,27 +44,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             time_limit: Some(Duration::from_secs(10)),
             ..MilpOptions::default()
         });
-    let bsor_routes = scenario.select_routes(&BsorAlgorithm::milp("BSOR-MILP", milp))?;
-    let xy_routes = scenario.select_routes(&Baseline::XY)?;
+    let planner = Planner::new();
+    let bsor = planner.plan(&scenario, &BsorAlgorithm::milp("BSOR-MILP", milp))?;
+    let xy = planner.plan(&scenario, &Baseline::XY)?;
 
     println!(
         "\n{:>14} {:>9} {:>10} {:>10} {:>12}",
         "algorithm", "MCL", "mean load", "links", "peak/mean"
     );
-    for (name, routes) in [("XY", &xy_routes), ("BSOR-MILP", &bsor_routes)] {
-        let b = routes.balance(scenario.topology(), scenario.flows());
+    for (name, plan) in [("XY", &xy), ("BSOR-MILP", &bsor)] {
+        let b = plan.routes().balance(plan.topology(), plan.flows());
         println!(
             "{name:>14} {:>9.2} {:>10.2} {:>10} {:>12.2}",
-            routes.mcl(scenario.topology(), scenario.flows()),
+            plan.predicted_mcl(),
             b.mean_load,
             b.used_links,
             b.peak_to_mean()
         );
     }
+
+    // The analytical backend: no simulation, just the plan's static
+    // channel loads scaled to an offered rate — ideal for "which loads
+    // are safe?" screening before any cycle-accurate run.
+    let evaluator = StaticMclEvaluator::new();
+    let config = SimConfig::new(2);
+    println!(
+        "\n{:>8} {:>16} {:>16}",
+        "rate", "XY max load", "BSOR max load"
+    );
+    for rate in [0.5, 1.0, 2.0] {
+        let point = EvalPoint::new(rate, config.clone());
+        let e_xy = evaluator.evaluate(&xy, &point)?;
+        let e_bsor = evaluator.evaluate(&bsor, &point)?;
+        println!(
+            "{rate:>8.2} {:>11.3} f/cyc {:>11.3} f/cyc",
+            e_xy.max_channel_load, e_bsor.max_channel_load
+        );
+    }
     println!(
         "\nBSOR found MCL {:.2} MB/s (paper's Table 6.3 row: \
          XY 95.04, BSOR-MILP 62.73 — same ordering)",
-        bsor_routes.mcl(scenario.topology(), scenario.flows())
+        bsor.predicted_mcl()
     );
     Ok(())
 }

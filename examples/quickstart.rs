@@ -1,14 +1,15 @@
-//! Quickstart: compose a scenario, compute bandwidth-sensitive
-//! deadlock-free routes through the unified `RouteAlgorithm` pipeline,
-//! compare against dimension-order routing, program the router tables
-//! and run a short cycle-accurate simulation.
+//! Quickstart: plan once, evaluate many times. A `Planner` turns a
+//! scenario + algorithm into an immutable `RoutePlan` — validated
+//! deadlock-free routes (paper Lemma 1, carried as a checkable
+//! certificate), programmed router tables and the predicted maximum
+//! channel load — and `Evaluator` backends judge that plan either
+//! analytically or in the cycle-accurate simulator.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use bsor::{AlgorithmRegistry, Scenario};
-use bsor_routing::tables::NodeTables;
+use bsor::{AlgorithmRegistry, EvalPoint, Evaluator, Planner, Scenario, SimEvaluator};
 use bsor_sim::SimConfig;
 use bsor_topology::Topology;
 use bsor_workloads::workload_by_name;
@@ -29,41 +30,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .vcs(2)
         .build()?;
 
-    // 2. Every algorithm is one registry lookup away; routes always come
-    //    back validated and deadlock-free (paper Lemma 1) or not at all.
+    // 2. Plan: every algorithm is one registry lookup away, and a plan
+    //    always comes back validated and certified deadlock-free
+    //    (paper Lemma 1) or not at all.
     let algorithms = AlgorithmRegistry::standard();
-    let bsor = algorithms.get("bsor-dijkstra").expect("registered");
-    let routes = scenario.select_routes(bsor)?;
+    let planner = Planner::new();
+    let bsor = planner.plan(
+        &scenario,
+        algorithms.get("bsor-dijkstra").expect("registered"),
+    )?;
+    let xy = planner.plan(&scenario, algorithms.get("xy").expect("registered"))?;
+    println!("BSOR MCL: {:.1} MB/s", bsor.predicted_mcl());
+    println!("XY MCL: {:.1} MB/s", xy.predicted_mcl());
     println!(
-        "BSOR MCL: {:.1} MB/s",
-        routes.mcl(scenario.topology(), scenario.flows())
+        "deadlock certificate: {} channel dependencies, verifies: {}",
+        bsor.certificate().dependencies(),
+        bsor.certificate().verify(bsor.routes())
     );
 
-    // 3. Compare with XY dimension-order routing through the same trait.
-    let xy = scenario.select_routes(algorithms.get("xy").expect("registered"))?;
-    println!(
-        "XY MCL: {:.1} MB/s",
-        xy.mcl(scenario.topology(), scenario.flows())
-    );
-
-    // 4. Program the node-table routers (paper §4.2.1).
-    let tables = NodeTables::build(scenario.topology(), &routes);
+    // 3. The plan already carries the programmed node-table routers
+    //    (paper §4.2.1) — no recompilation per run.
     println!(
         "node tables: max {} entries/router, {} bits/entry",
-        tables.max_entries(),
-        tables.entry_bits()
+        bsor.tables().max_entries(),
+        bsor.tables().entry_bits()
     );
 
-    // 5. Simulate at a moderate load — the experiment pipeline compiles
-    //    the tables and drives the cycle-accurate engine.
+    // 4. Evaluate at a moderate load — the `SimEvaluator` drives the
+    //    cycle-accurate engine on the plan's precompiled tables. Sweeps
+    //    re-evaluate the same plan instead of re-solving routes.
     let config = SimConfig::new(2)
         .with_warmup(2_000)
         .with_measurement(10_000);
-    let report = scenario.experiment(bsor).config(config).rate(1.0).run()?;
+    let report = SimEvaluator::new().evaluate(&bsor, &EvalPoint::new(1.0, config))?;
     println!(
         "simulated: {:.3} packets/cycle delivered, mean latency {:.1} cycles",
-        report.throughput(),
-        report.mean_latency().unwrap_or(f64::NAN)
+        report.throughput,
+        report.mean_latency.unwrap_or(f64::NAN)
     );
     Ok(())
 }
