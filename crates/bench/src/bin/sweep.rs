@@ -33,7 +33,12 @@
 //!                           rate to the latency knee)
 //!   --sat-range LO,HI       saturation search rate bounds  (default 0.05,4)
 //!   --sat-iters N           bisection steps                (default 10)
-//!   --threads N             worker threads                 (default: available cores)
+//!   --threads N             sweep worker threads           (default: available cores)
+//!   --engine-threads N      engine threads per simulation run; 0 = one per
+//!                           available core (default 1). Byte-identical output
+//!                           at every value.
+//!   --no-fast-forward       disable idle-cycle fast-forward (byte-identical
+//!                           output; exists so CI can smoke both paths)
 //!   --out PATH              output path                    (default BENCH_sweep.json)
 //!   --no-timings            zero wall-clock fields (byte-identical reruns)
 //!   --list                  print the expanded grid and exit
@@ -118,6 +123,7 @@ fn usage(regs: &SweepRegistries) {
     println!("         --algos a,b|all --vcs n,.. --rates r,.. --warmup N");
     println!("         --measurement N --packet-len N --seed N --burst ON,OFF");
     println!("         --saturation --sat-range LO,HI --sat-iters N --threads N");
+    println!("         --engine-threads N --no-fast-forward");
     println!("         --out PATH --no-timings --list --list-topologies");
     println!("         --list-workloads --list-algorithms --help");
     println!("topologies: {}", regs.topologies.names().join(", "));
@@ -194,12 +200,20 @@ fn parse_args(
             }
             "--vcs" => {
                 spec.vcs = parse_list(&value("--vcs")?, |s| {
-                    s.parse::<u8>().map_err(|_| format!("bad vc count '{s}'"))
+                    let vcs: u8 = s.parse().map_err(|_| format!("bad vc count '{s}'"))?;
+                    if !(1..=8).contains(&vcs) {
+                        return Err(format!("vc count '{s}' must be 1..=8"));
+                    }
+                    Ok(vcs)
                 })?;
             }
             "--rates" => {
                 spec.rates = parse_list(&value("--rates")?, |s| {
-                    s.parse::<f64>().map_err(|_| format!("bad rate '{s}'"))
+                    let rate: f64 = s.parse().map_err(|_| format!("bad rate '{s}'"))?;
+                    if !rate.is_finite() || rate < 0.0 {
+                        return Err(format!("rate '{s}' must be finite and >= 0"));
+                    }
+                    Ok(rate)
                 })?;
             }
             "--warmup" => {
@@ -216,6 +230,9 @@ fn parse_args(
                 spec.packet_len = value("--packet-len")?
                     .parse()
                     .map_err(|_| "bad --packet-len".to_string())?;
+                if spec.packet_len == 0 {
+                    return Err("--packet-len needs at least one flit".to_string());
+                }
             }
             "--seed" => {
                 spec.seed = value("--seed")?
@@ -266,6 +283,20 @@ fn parse_args(
                         .map_err(|_| "bad --threads".to_string())?,
                 );
             }
+            "--engine-threads" => {
+                let n: usize = value("--engine-threads")?
+                    .parse()
+                    .map_err(|_| "bad --engine-threads".to_string())?;
+                // 0 means one engine worker per available core.
+                spec.engine_threads = if n == 0 {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                } else {
+                    n
+                };
+            }
+            "--no-fast-forward" => spec.fast_forward = false,
             "--out" => out = value("--out")?,
             "--no-timings" => spec.record_timings = false,
             "--list" => list = ListMode::Grid,

@@ -176,6 +176,16 @@ pub struct GridSpec {
     /// When false, every wall-clock field in the JSON is zeroed so two
     /// runs of the same grid diff byte-identically.
     pub record_timings: bool,
+    /// Engine worker threads per simulation run (see
+    /// [`bsor_sim::SimConfig::engine_threads`]). Purely a wall-clock
+    /// knob: the engine is byte-deterministic at every value, and the
+    /// knob is deliberately *not* echoed in the JSON so sweeps at
+    /// different thread counts diff byte-identically.
+    pub engine_threads: usize,
+    /// Idle-cycle fast-forward (see
+    /// [`bsor_sim::SimConfig::fast_forward`]). Also byte-invariant and
+    /// also not echoed in the JSON.
+    pub fast_forward: bool,
     /// Optional on/off bursty injection applied to every run.
     pub burst: Option<BurstyOnOff>,
     /// Optional saturation-point search appended to every case.
@@ -218,6 +228,8 @@ impl GridSpec {
             packet_len: 8,
             seed: 0xB50B,
             record_timings: true,
+            engine_threads: 1,
+            fast_forward: true,
             burst: None,
             saturation: None,
         }
@@ -237,6 +249,8 @@ impl GridSpec {
             packet_len: 8,
             seed: 0xB50B,
             record_timings: true,
+            engine_threads: 1,
+            fast_forward: true,
             burst: None,
             saturation: None,
         }
@@ -322,6 +336,47 @@ pub struct PointResult {
     pub cycles_per_sec: f64,
 }
 
+/// How a saturation-point search concluded.
+///
+/// The bisection itself cannot distinguish "found the knee" from two
+/// degenerate brackets, so the search classifies them explicitly
+/// instead of silently reporting a rate:
+///
+/// * [`Knee`](SaturationOutcome::Knee) — a rate above the baseline was
+///   observed unsaturated and a higher one saturated; the reported rate
+///   is a real knee estimate.
+/// * [`Censored`](SaturationOutcome::Censored) — even the upper probe
+///   stayed unsaturated; the reported rate is a lower bound, not a
+///   knee.
+/// * [`BaselineSaturated`](SaturationOutcome::BaselineSaturated) — the
+///   baseline at `lo` was itself already saturated (deadlock, delivery
+///   collapse, or nothing delivered), or no probe above `lo` was ever
+///   observed unsaturated, so the "knee" would rest entirely on the
+///   unverified assumption that `lo` is below it. The reported rate is
+///   meaningless as a knee and callers must not treat it as one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SaturationOutcome {
+    /// The bracket closed on a genuine latency knee.
+    Knee,
+    /// The upper probe never saturated; the result is a lower bound.
+    Censored,
+    /// The baseline itself was saturated (or never confirmed
+    /// unsaturated above `lo`); no knee exists in the probed range.
+    BaselineSaturated,
+}
+
+impl SaturationOutcome {
+    /// The stable JSON label (`knee` / `censored` /
+    /// `baseline-saturated`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SaturationOutcome::Knee => "knee",
+            SaturationOutcome::Censored => "censored",
+            SaturationOutcome::BaselineSaturated => "baseline-saturated",
+        }
+    }
+}
+
 /// Outcome of a per-case saturation-point search.
 #[derive(Clone, Debug)]
 pub struct SaturationResult {
@@ -350,6 +405,10 @@ pub struct SaturationResult {
     /// Bisection steps actually executed (0 when the search censored at
     /// the upper probe and never bisected).
     pub iterations: u32,
+    /// How the search concluded (see [`SaturationOutcome`]). `censored`
+    /// is kept alongside for schema stability; it is `true` exactly
+    /// when the outcome is [`SaturationOutcome::Censored`].
+    pub outcome: SaturationOutcome,
 }
 
 /// One completed case: its route-set summary plus all load points.
@@ -366,8 +425,10 @@ pub struct CaseResult {
     pub error: Option<String>,
     /// Per-rate measurements (empty when `error` is set).
     pub points: Vec<PointResult>,
-    /// Saturation-point search outcome, when the grid requested one and
-    /// the baseline run delivered packets.
+    /// Saturation-point search outcome, when the grid requested one.
+    /// Degenerate searches (baseline already saturated, upper probe
+    /// never saturated) are classified via
+    /// [`SaturationResult::outcome`], not dropped.
     pub saturation: Option<SaturationResult>,
     /// Wall-clock milliseconds for the whole case (0 when timings off).
     pub wall_ms: f64,
@@ -420,6 +481,8 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries, planner: &Plan
             .with_measurement(spec.measurement)
             .with_packet_len(spec.packet_len)
             .with_seed(spec.seed)
+            .with_engine_threads(spec.engine_threads.max(1))
+            .with_fast_forward(spec.fast_forward)
     };
     let point_for = |rate: f64| {
         let mut point = EvalPoint::new(rate, sim_config(case.vcs));
@@ -434,14 +497,17 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries, planner: &Plan
         // Every point re-requests the plan — with the cache on that is
         // one lookup, with it off a full re-solve (the naive
         // Experiment-per-point cost) — and evaluates on the plan's
-        // precompiled tables.
-        let plan = planner
-            .plan(&scenario, algorithm)
-            .expect("already planned this case");
-        let ev = evaluator
-            .evaluate(&plan, &point_for(rate))
-            .expect("validated plans simulate");
-        let timing = ev.timing.expect("sim backend records timing");
+        // precompiled tables. Either step failing (e.g. a CLI rate the
+        // simulator rejects) is a recorded case error, never a panic.
+        let plan = match planner.plan(&scenario, algorithm) {
+            Ok(p) => p,
+            Err(e) => return failed_case(case, ExperimentError::from(e).to_string()),
+        };
+        let ev = match evaluator.evaluate(&plan, &point_for(rate)) {
+            Ok(ev) => ev,
+            Err(e) => return failed_case(case, format!("rate {rate}: {e}")),
+        };
+        let timing = ev.timing;
         points.push(PointResult {
             rate,
             offered: ev.offered,
@@ -456,21 +522,23 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries, planner: &Plan
             delivered: ev.delivered,
             deadlocked: ev.deadlocked,
             cycles: ev.cycles,
-            wall_ms: if spec.record_timings {
-                timing.elapsed.as_secs_f64() * 1e3
-            } else {
-                0.0
+            wall_ms: match &timing {
+                Some(t) if spec.record_timings => t.elapsed.as_secs_f64() * 1e3,
+                _ => 0.0,
             },
-            cycles_per_sec: if spec.record_timings {
-                timing.cycles_per_sec()
-            } else {
-                0.0
+            cycles_per_sec: match &timing {
+                Some(t) if spec.record_timings => t.cycles_per_sec(),
+                _ => 0.0,
             },
         });
     }
-    let saturation = spec
-        .saturation
-        .and_then(|sat| saturation_search(&sat, &scenario, algorithm, planner, &point_for));
+    let saturation = match spec.saturation {
+        None => None,
+        Some(sat) => match saturation_search(&sat, &scenario, algorithm, planner, &point_for) {
+            Ok(s) => Some(s),
+            Err(e) => return failed_case(case, e),
+        },
+    };
     CaseResult {
         case: case.clone(),
         mcl: Some(mcl),
@@ -486,8 +554,11 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries, planner: &Plan
 }
 
 /// Bisects the offered rate to the latency knee (see [`SaturationSpec`]).
-/// Returns `None` when the baseline run at `sat.lo` delivers nothing (no
-/// latency to anchor the knee on).
+/// Every requested search produces a result; degenerate brackets are
+/// classified by [`SaturationOutcome`] instead of being silently
+/// dropped or — worse — reported as knees. `Err` carries a probe
+/// failure (e.g. a rate the simulator rejects) for the caller to record
+/// as the case error.
 ///
 /// The saturation axis requests the case's plan per probe, exactly like
 /// the rate axis — the shared [`PlanCache`] is what makes the whole
@@ -498,36 +569,51 @@ fn saturation_search(
     algorithm: &dyn RouteAlgorithm,
     planner: &Planner,
     point_for: &dyn Fn(f64) -> EvalPoint,
-) -> Option<SaturationResult> {
+) -> Result<SaturationResult, String> {
     let evaluator = SimEvaluator::new();
     let mut runs = 0u32;
     // `None` means unconditionally saturated (deadlock, nothing
     // delivered, or delivery collapse); `Some(l)` defers to the knee.
-    let mut mean_latency_at = |rate: f64| -> Option<f64> {
+    let mut mean_latency_at = |rate: f64| -> Result<Option<f64>, String> {
         runs += 1;
         let plan = planner
             .plan(scenario, algorithm)
-            .expect("already planned this case");
+            .map_err(|e| ExperimentError::from(e).to_string())?;
         let ev = evaluator
             .evaluate(&plan, &point_for(rate))
-            .expect("validated plans simulate");
+            .map_err(|e| format!("saturation probe at rate {rate}: {e}"))?;
         let delivery_ok = ev.generated == 0
             || ev.delivered as f64 >= SATURATION_DELIVERY_FLOOR * ev.generated as f64;
         if ev.deadlocked || !delivery_ok {
-            None
+            Ok(None)
         } else {
-            ev.mean_latency
+            Ok(ev.mean_latency)
         }
     };
-    let base_latency = mean_latency_at(sat.lo)?;
-    let threshold = base_latency * sat.knee;
-    let saturated = |rate: f64, mean_latency_at: &mut dyn FnMut(f64) -> Option<f64>| {
-        mean_latency_at(rate).is_none_or(|l| l > threshold)
+    let Some(base_latency) = mean_latency_at(sat.lo)? else {
+        // The baseline itself deadlocked or collapsed: there is no
+        // latency to anchor a knee on, and silently reporting one (or
+        // nothing) would hide that the whole probed range is saturated.
+        return Ok(SaturationResult {
+            rate: 0.0,
+            base_latency: 0.0,
+            threshold: 0.0,
+            censored: false,
+            runs,
+            lo: 0.0,
+            hi: sat.lo,
+            iterations: 0,
+            outcome: SaturationOutcome::BaselineSaturated,
+        });
     };
-    if !saturated(sat.hi, &mut mean_latency_at) {
+    let threshold = base_latency * sat.knee;
+    let mut saturated = |rate: f64| -> Result<bool, String> {
+        Ok(mean_latency_at(rate)?.is_none_or(|l| l > threshold))
+    };
+    if !saturated(sat.hi)? {
         // Censored: even the upper probe stayed unsaturated, so the
         // final "bracket" is degenerate at the configured upper bound.
-        return Some(SaturationResult {
+        return Ok(SaturationResult {
             rate: sat.hi,
             base_latency,
             threshold,
@@ -536,20 +622,33 @@ fn saturation_search(
             lo: sat.hi,
             hi: sat.hi,
             iterations: 0,
+            outcome: SaturationOutcome::Censored,
         });
     }
     let (mut lo, mut hi) = (sat.lo, sat.hi);
     let mut iterations = 0u32;
+    let mut observed_unsaturated_above_lo = false;
     for _ in 0..sat.iterations {
         let mid = 0.5 * (lo + hi);
         iterations += 1;
-        if saturated(mid, &mut mean_latency_at) {
+        if saturated(mid)? {
             hi = mid;
         } else {
             lo = mid;
+            observed_unsaturated_above_lo = true;
         }
     }
-    Some(SaturationResult {
+    // If every bisection probe above `lo` saturated, the bracket
+    // collapsed onto the baseline: the only "unsaturated" rate is the
+    // assumed-unsaturated `lo` itself, which was never verified against
+    // anything. Reporting it as a knee would be exactly the silent
+    // failure this classification exists to prevent.
+    let outcome = if observed_unsaturated_above_lo {
+        SaturationOutcome::Knee
+    } else {
+        SaturationOutcome::BaselineSaturated
+    };
+    Ok(SaturationResult {
         rate: lo,
         base_latency,
         threshold,
@@ -558,6 +657,7 @@ fn saturation_search(
         lo,
         hi,
         iterations,
+        outcome,
     })
 }
 
@@ -676,7 +776,11 @@ pub fn run_grid_stats(
 /// bisection `iterations` actually executed (the `grid` block only
 /// echoes the CLI-level request), an additive extension that leaves
 /// every pre-existing key and all cache-off/cache-on runs
-/// byte-identical.
+/// byte-identical. Each saturation object also carries an `outcome`
+/// label (`knee` / `censored` / `baseline-saturated`, see
+/// [`SaturationOutcome`]) — additive again, and `engine_threads` /
+/// `fast_forward` are deliberately absent from the document so runs at
+/// any engine configuration diff byte-identically.
 ///
 /// The `meshes`/`mesh` keys predate the topology axis and are kept for
 /// schema stability; non-mesh entries carry `name:WxH` labels in the
@@ -788,6 +892,7 @@ pub fn sweep_json(
                     ("lo", Json::from(s.lo)),
                     ("hi", Json::from(s.hi)),
                     ("iterations", Json::from(u64::from(s.iterations))),
+                    ("outcome", Json::from(s.outcome.label())),
                 ]),
             };
             Json::object(vec![
@@ -833,6 +938,8 @@ mod tests {
             packet_len: 4,
             seed: 7,
             record_timings: false,
+            engine_threads: 1,
+            fast_forward: true,
             burst: None,
             saturation: None,
         }
@@ -1004,10 +1111,82 @@ mod tests {
         let resolution = (4.0 - 0.05) / 64.0;
         assert!((sat_a.hi - sat_a.lo - resolution).abs() < 1e-12);
         assert_eq!(sat_a.iterations, 6);
+        assert_eq!(sat_a.outcome, SaturationOutcome::Knee);
         // The knee must lie between an unsaturated and a saturated probe
         // width of the final bisection interval.
         let width = (spec.saturation.unwrap().hi - spec.saturation.unwrap().lo) / 64.0;
         assert!(width > 0.0 && sat_a.rate + 2.0 * width <= spec.saturation.unwrap().hi);
+        let doc = sweep_json(&spec, &a, 1, 0.0).pretty();
+        assert!(doc.contains("\"outcome\": \"knee\""));
+    }
+
+    #[test]
+    fn saturated_baseline_is_reported_not_silently_kneed() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec!["transpose".into()];
+        spec.algorithms = vec!["xy".into()];
+        spec.rates = vec![0.1];
+        // A 4x4 transpose under XY collapses well below 3 packets/cycle,
+        // so the "baseline" itself is already saturated.
+        spec.saturation = Some(SaturationSpec {
+            lo: 3.0,
+            hi: 4.0,
+            iterations: 4,
+            knee: 4.0,
+        });
+        let results = run_grid(&spec, 1);
+        let sat = results[0].saturation.as_ref().expect("search ran");
+        assert_eq!(sat.outcome, SaturationOutcome::BaselineSaturated);
+        assert!(!sat.censored);
+        assert_eq!(sat.rate, 0.0, "no rate was observed unsaturated");
+        assert_eq!(sat.runs, 1, "the search stops at the baseline probe");
+        let doc = sweep_json(&spec, &results, 1, 0.0).pretty();
+        assert!(doc.contains("\"outcome\": \"baseline-saturated\""));
+    }
+
+    #[test]
+    fn unsaturated_upper_probe_is_censored_not_a_knee() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec!["transpose".into()];
+        spec.algorithms = vec!["xy".into()];
+        spec.rates = vec![0.1];
+        // Both probes sit far below the 4x4 transpose knee, so the
+        // bracket never closes.
+        spec.saturation = Some(SaturationSpec {
+            lo: 0.05,
+            hi: 0.2,
+            iterations: 4,
+            knee: 4.0,
+        });
+        let results = run_grid(&spec, 1);
+        let sat = results[0].saturation.as_ref().expect("search ran");
+        assert_eq!(sat.outcome, SaturationOutcome::Censored);
+        assert!(sat.censored);
+        assert_eq!(
+            sat.rate, 0.2,
+            "censored result reports the lower bound probed"
+        );
+        assert_eq!(
+            sat.iterations, 0,
+            "no bisection after an unsaturated upper probe"
+        );
+        let doc = sweep_json(&spec, &results, 1, 0.0).pretty();
+        assert!(doc.contains("\"outcome\": \"censored\""));
+    }
+
+    #[test]
+    fn engine_knobs_do_not_change_sweep_bytes() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec!["transpose".into()];
+        spec.algorithms = vec!["xy".into()];
+        let reference = sweep_json(&spec, &run_grid(&spec, 1), 1, 0.0).pretty();
+        spec.engine_threads = 4;
+        spec.fast_forward = false;
+        let tuned = sweep_json(&spec, &run_grid(&spec, 2), 2, 0.0).pretty();
+        assert_eq!(
+            tuned, reference,
+            "engine knobs must never leak into the document"
+        );
     }
 
     #[test]

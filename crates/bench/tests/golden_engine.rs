@@ -31,9 +31,8 @@ fn transpose_report(algo: &str, rate: f64) -> SimReport {
     let config = SimConfig::new(2)
         .with_warmup(2_000)
         .with_measurement(10_000);
-    Simulator::new(&topo, &w.flows, &routes, traffic, config)
-        .expect("valid")
-        .run()
+    let mut sim = Simulator::new(&topo, &w.flows, &routes, traffic, config).expect("valid");
+    sim.run()
 }
 
 #[derive(Debug, PartialEq)]

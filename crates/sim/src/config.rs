@@ -32,6 +32,17 @@ pub struct SimConfig {
     /// Chapter 4 (a flit sent at cycle `t` becomes usable downstream at
     /// `t + pipeline_latency`).
     pub pipeline_latency: u8,
+    /// Worker threads for the spatially partitioned engine. `1` (the
+    /// default) runs the single-threaded reference schedule; higher
+    /// values split grid topologies (mesh, torus) into column bands
+    /// executed by scoped workers. Results are byte-identical for every
+    /// value — non-grid topologies fall back to the serial schedule.
+    pub engine_threads: usize,
+    /// Skip the router phases on cycles where the network is provably
+    /// empty (no flits buffered, queued, or in the hop pipeline). The
+    /// injection-schedule RNG still steps every cycle, so reports are
+    /// byte-identical with the skip on or off. Defaults to on.
+    pub fast_forward: bool,
 }
 
 impl SimConfig {
@@ -53,6 +64,8 @@ impl SimConfig {
             seed: 0xB50B,
             watchdog: 50_000,
             pipeline_latency: 1,
+            engine_threads: 1,
+            fast_forward: true,
         }
     }
 
@@ -123,6 +136,29 @@ impl SimConfig {
     pub fn with_pipeline_latency(mut self, cycles: u8) -> Self {
         assert!(cycles > 0, "pipeline latency must be at least one cycle");
         self.pipeline_latency = cycles;
+        self
+    }
+
+    /// Sets the engine worker-thread count (see
+    /// [`SimConfig::engine_threads`]). The fixed-seed report is
+    /// byte-identical at every value; only wall-clock time changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "engine needs at least one thread");
+        self.engine_threads = threads;
+        self
+    }
+
+    /// Enables or disables idle-cycle fast-forward (see
+    /// [`SimConfig::fast_forward`]). Reports are byte-identical either
+    /// way; the switch exists so CI can exercise both paths.
+    #[must_use]
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
         self
     }
 
@@ -223,6 +259,22 @@ mod tests {
     #[should_panic(expected = "vcs must be")]
     fn rejects_zero_vcs() {
         SimConfig::new(0);
+    }
+
+    #[test]
+    fn engine_knobs_default_to_serial_with_fast_forward() {
+        let c = SimConfig::new(2);
+        assert_eq!(c.engine_threads, 1);
+        assert!(c.fast_forward);
+        let c = c.with_engine_threads(4).with_fast_forward(false);
+        assert_eq!(c.engine_threads, 4);
+        assert!(!c.fast_forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_zero_engine_threads() {
+        let _ = SimConfig::new(2).with_engine_threads(0);
     }
 
     #[test]

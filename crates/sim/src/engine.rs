@@ -23,6 +23,37 @@
 //! flags `deadlocked` when in-network flits stop moving entirely, which
 //! is how the deadlock tests in this crate observe cyclic routings
 //! actually jam.
+//!
+//! # Execution strategies
+//!
+//! The engine runs the *same* router schedule three ways, all producing
+//! byte-identical reports for a fixed seed:
+//!
+//! * **Serial** (`engine_threads = 1`, the default): one pass over the
+//!   nodes per phase in node-id order, skipping nodes with no occupied
+//!   input buffer (an exact optimization — arbiter state only advances
+//!   when a candidate exists).
+//! * **Parallel** (`engine_threads > 1` on row-major grids: mesh, torus,
+//!   ring): the grid is split into contiguous column bands, one
+//!   `std::thread::scope` worker per band. The route phase is
+//!   node-parallel (VC claims never cross a node's own downstream
+//!   buffers). The switch phase sweeps rows as a wavefront — band `b`
+//!   enters row `y` only after band `b - 1` leaves it — which serializes
+//!   every pair of horizontally adjacent routers in exactly the serial
+//!   node order while letting bands pipeline across rows. Per-worker
+//!   outboxes (sent flits, freed packet slots) are merged at the cycle
+//!   barrier in fixed band order, so the merged stream equals the serial
+//!   one and results are independent of the thread count. Non-grid
+//!   topologies fall back to the serial schedule.
+//! * **Fast-forward** (`fast_forward`, default on): cycles where the
+//!   network is provably empty — no flit buffered in any VC, no backlog
+//!   in any source queue, nothing in the hop pipeline — skip the router
+//!   phases entirely. Packet generation still runs every cycle, so the
+//!   RNG stream (Bernoulli gap sampling, on/off dwell boundaries,
+//!   phase-schedule edges) is consumed identically and delivery timing
+//!   is provably unchanged: a flit sent on resume cycle `t` still lands
+//!   at the end of `t + pipeline_latency - 1` regardless of how many
+//!   pipeline slots were skipped.
 
 use crate::config::{SimConfig, SimError};
 use crate::stats::{FlowStats, RunTiming, SimReport};
@@ -30,10 +61,13 @@ use crate::traffic::{BurstState, InjectionProcess, TrafficSpec, VariationState};
 use bsor_flow::{FlowId, FlowSet};
 use bsor_routing::tables::NodeTables;
 use bsor_routing::RouteSet;
-use bsor_topology::{LinkId, NodeId, TopoIndex, Topology};
+use bsor_topology::{LinkId, NodeId, TopoIndex, Topology, TopologyKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 #[derive(Clone, Copy, Debug)]
@@ -73,25 +107,6 @@ enum PortState {
     },
 }
 
-/// One virtual-channel flit buffer plus its control state.
-#[derive(Clone, Debug)]
-struct VcBuffer {
-    flits: VecDeque<Flit>,
-    /// Packet currently allowed to occupy this buffer (atomic VCs).
-    owner: Option<u32>,
-    state: PortState,
-}
-
-impl VcBuffer {
-    fn new(depth: usize) -> VcBuffer {
-        VcBuffer {
-            flits: VecDeque::with_capacity(depth),
-            owner: None,
-            state: PortState::Idle,
-        }
-    }
-}
-
 /// Streaming state of a source queue into the injection port.
 #[derive(Clone, Copy, Debug)]
 struct InjectionProgress {
@@ -111,40 +126,278 @@ struct PacketSlot {
     tracked: bool,
 }
 
-#[derive(Clone, Debug, Default)]
-struct PacketArena {
-    slots: Vec<PacketSlot>,
-    free: Vec<u32>,
+// ---------------------------------------------------------------------------
+// Shared-state cells
+//
+// The parallel schedule partitions every per-element array by *node
+// ownership*: during a phase, each element is accessed by exactly one
+// worker (the proofs live on the phase methods below). `ShardVec` and
+// `SlotVec` make that discipline expressible: they hand out element
+// references through `&self` so disjoint elements can be touched from
+// different scoped threads, and the `unsafe` contract is exactly the
+// ownership protocol.
+// ---------------------------------------------------------------------------
+
+/// A fixed-length array of interior-mutable elements shared across
+/// engine workers. Element access is unsynchronized; callers must
+/// guarantee that no element is aliased mutably (the engine's phase
+/// protocol assigns every element to exactly one worker at a time).
+struct ShardVec<T> {
+    cells: Vec<UnsafeCell<T>>,
 }
 
-impl PacketArena {
-    fn alloc(&mut self, tracked: bool) -> u32 {
-        let slot = PacketSlot {
-            entry_cycle: 0,
-            tracked,
-        };
-        match self.free.pop() {
-            Some(id) => {
-                self.slots[id as usize] = slot;
-                id
-            }
-            None => {
-                let id = u32::try_from(self.slots.len()).expect("live packets exceed u32 slots");
-                self.slots.push(slot);
-                id
-            }
+// SAFETY: `ShardVec` only hands out element references under the
+// caller-guaranteed disjointness protocol; with `T: Send` the elements
+// may be mutated from whichever thread owns them for the phase.
+unsafe impl<T: Send> Sync for ShardVec<T> {}
+
+impl<T> Default for ShardVec<T> {
+    fn default() -> Self {
+        ShardVec { cells: Vec::new() }
+    }
+}
+
+impl<T> ShardVec<T> {
+    fn from_fn(n: usize, mut f: impl FnMut() -> T) -> Self {
+        ShardVec {
+            cells: (0..n).map(|_| UnsafeCell::new(f())).collect(),
         }
     }
 
-    fn release(&mut self, id: u32) {
-        self.free.push(id);
+    fn from_cells(cells: Vec<UnsafeCell<T>>) -> Self {
+        ShardVec { cells }
+    }
+
+    fn into_cells(self) -> Vec<UnsafeCell<T>> {
+        self.cells
+    }
+
+    /// # Safety
+    ///
+    /// No thread may hold a mutable reference to element `i`.
+    #[inline]
+    unsafe fn get(&self, i: usize) -> &T {
+        debug_assert!(i < self.cells.len());
+        &*self.cells[i].get()
+    }
+
+    /// # Safety
+    ///
+    /// The caller must be the unique accessor of element `i` for the
+    /// lifetime of the returned reference (the phase ownership protocol).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.cells.len());
+        &mut *self.cells[i].get()
+    }
+
+    /// Clones every element out. `&mut self` proves exclusivity, so this
+    /// needs no unsafe contract.
+    fn snapshot(&mut self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.cells.iter_mut().map(|c| c.get_mut().clone()).collect()
     }
 }
 
+/// The growable packet-slot arena, shared like a [`ShardVec`] but
+/// appendable from `&self` while workers are parked between cycles.
+/// Element access goes through a cached raw data pointer so no `&mut
+/// Vec` (which would assert unique access to *all* slots) is ever
+/// materialized while workers hold element references.
+struct SlotVec {
+    vec: UnsafeCell<Vec<PacketSlot>>,
+    data: Cell<*mut PacketSlot>,
+    len: Cell<usize>,
+}
+
+// SAFETY: same disjoint-element protocol as `ShardVec`; `push` is
+// restricted to the serial windows between cycle barriers.
+unsafe impl Sync for SlotVec {}
+
+impl SlotVec {
+    fn new() -> SlotVec {
+        SlotVec {
+            vec: UnsafeCell::new(Vec::new()),
+            data: Cell::new(std::ptr::null_mut()),
+            len: Cell::new(0),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Only callable while no thread holds any slot reference (the
+    /// serial window of the cycle loop): growth may reallocate and
+    /// invalidate every element pointer.
+    unsafe fn push(&self, slot: PacketSlot) -> u32 {
+        let v = &mut *self.vec.get();
+        let id = u32::try_from(v.len()).expect("live packets exceed u32 slots");
+        v.push(slot);
+        self.data.set(v.as_mut_ptr());
+        self.len.set(v.len());
+        id
+    }
+
+    /// # Safety
+    ///
+    /// `i` must be in bounds and no thread may be mutating slot `i`.
+    #[inline]
+    unsafe fn slot(&self, i: usize) -> PacketSlot {
+        debug_assert!(i < self.len.get());
+        *self.data.get().add(i)
+    }
+
+    /// # Safety
+    ///
+    /// `i` must be in bounds and the caller must be the unique accessor
+    /// of slot `i` for the lifetime of the returned reference.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot_mut(&self, i: usize) -> &mut PacketSlot {
+        debug_assert!(i < self.len.get());
+        &mut *self.data.get().add(i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle synchronization
+// ---------------------------------------------------------------------------
+
+/// A reusable generation-counting barrier. Parties spin briefly (the
+/// cheap case: all workers active on separate cores), then fall back to
+/// a condvar (the polite case: oversubscribed machines).
+struct CycleBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl CycleBarrier {
+    fn new(parties: usize) -> CycleBarrier {
+        CycleBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arriver: reset the count for the next round (late
+            // re-arrivers RMW the latest value, so Relaxed suffices),
+            // then open the generation under the lock so condvar
+            // waiters cannot miss the wakeup.
+            self.arrived.store(0, Ordering::Relaxed);
+            let _held = self.lock.lock().expect("barrier mutex");
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            self.cv.notify_all();
+        } else {
+            for _ in 0..128 {
+                if self.generation.load(Ordering::Acquire) != gen {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+            let mut guard = self.lock.lock().expect("barrier mutex");
+            while self.generation.load(Ordering::Acquire) == gen {
+                guard = self.cv.wait(guard).expect("barrier condvar");
+            }
+        }
+    }
+}
+
+/// Spin-then-yield wait until a wavefront row counter reaches `target`.
+#[inline]
+fn wait_row(progress: &AtomicU64, target: u64) {
+    let mut spins = 0u32;
+    while progress.load(Ordering::Acquire) < target {
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            // On oversubscribed (or single-core) machines the producer
+            // band needs the CPU to make the row progress we wait for.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One contiguous column range `[x0, x1)` of a row-major grid.
+#[derive(Clone, Copy, Debug)]
+struct Band {
+    x0: usize,
+    x1: usize,
+}
+
+/// Per-cycle facts every phase needs.
+#[derive(Clone, Copy, Debug)]
+struct CycleCtx {
+    cycle: u64,
+    measuring: bool,
+}
+
+/// What the main thread publishes to workers before barrier A.
+#[derive(Clone, Copy, Debug)]
+struct CycleCtl {
+    ctx: CycleCtx,
+    /// Monotone base for the wavefront row counters this cycle
+    /// (`row_progress[band]` stores `row_base + row + 1`; monotonicity
+    /// means the counters never need resetting).
+    row_base: u64,
+    done: bool,
+}
+
+/// The control word, written by the main thread while workers are
+/// parked at barrier A and read by workers right after it.
+struct CtlCell(UnsafeCell<CycleCtl>);
+
+// SAFETY: writes and reads are separated by the cycle barrier.
+unsafe impl Sync for CtlCell {}
+
+impl CtlCell {
+    fn new() -> CtlCell {
+        CtlCell(UnsafeCell::new(CycleCtl {
+            ctx: CycleCtx {
+                cycle: 0,
+                measuring: false,
+            },
+            row_base: 0,
+            done: false,
+        }))
+    }
+
+    /// # Safety
+    ///
+    /// Only callable while all workers are parked at barrier A.
+    unsafe fn publish(&self, ctl: CycleCtl) {
+        *self.0.get() = ctl;
+    }
+
+    /// # Safety
+    ///
+    /// Only callable after passing barrier A (which orders the read
+    /// after the main thread's `publish`).
+    unsafe fn read(&self) -> CycleCtl {
+        *self.0.get()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker state
+// ---------------------------------------------------------------------------
+
 /// Scratch buffers reused across cycles so the per-cycle loop never
-/// allocates. Taken out of the simulator while `switch_and_traverse`
-/// iterates (to sidestep aliasing with `&mut self` calls) and put back
-/// when the pass finishes.
+/// allocates. Taken out of the worker box while `switch_node` iterates
+/// (to sidestep aliasing with the `&mut WorkerBox` the move/eject calls
+/// need) and put back when the node finishes.
 #[derive(Clone, Debug, Default)]
 struct SwitchScratch {
     /// `port_forwarded` flags, sized to the widest router.
@@ -157,20 +410,764 @@ struct SwitchScratch {
     eject: Vec<(u32, u32)>,
     /// A bucket filtered down to this instant's eligible candidates.
     eligible: Vec<(u32, u32)>,
-    /// The current node's output links (copied so arbitration can call
-    /// `&mut self` methods while iterating).
+    /// The current node's output links.
     outs: Vec<LinkId>,
 }
+
+/// Everything one band worker accumulates during a cycle. Merged by the
+/// main thread between barrier C and the next barrier A, in fixed band
+/// order — which makes the merged streams identical to the serial
+/// engine's regardless of thread count.
+#[derive(Clone, Debug, Default)]
+struct WorkerBox {
+    scratch: SwitchScratch,
+    /// Flits sent this cycle: (flat destination buffer, flit), in this
+    /// band's serial discovery order.
+    outbox: Vec<(u32, Flit)>,
+    /// Packet slots freed by tail ejections this cycle.
+    released: Vec<u32>,
+    /// Flits moved from source queues into injection buffers.
+    injected_flits: u64,
+    /// Flits ejected (all of them, measured or not).
+    ejected_flits: u64,
+    /// Measured-window ejected flits.
+    delivered_flits: u64,
+    /// Measured-window delivered packets (tail ejections).
+    delivered_packets: u64,
+    /// Whether any flit moved in this band this cycle.
+    progress: bool,
+}
+
+impl WorkerBox {
+    fn new(max_ports: usize, max_out_degree: usize, vcs: usize) -> WorkerBox {
+        WorkerBox {
+            scratch: SwitchScratch {
+                port_forwarded: vec![false; max_ports],
+                forward: vec![Vec::with_capacity(max_ports * vcs); max_out_degree],
+                eject: Vec::with_capacity(max_ports * vcs),
+                eligible: Vec::with_capacity(max_ports * vcs),
+                outs: Vec::with_capacity(max_out_degree),
+            },
+            ..WorkerBox::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-case arena reuse
+// ---------------------------------------------------------------------------
+
+/// Flit-queue allocations kept alive between simulator instances on the
+/// same thread. A sweep worker churning through hundreds of cases reuses
+/// the previous case's `VecDeque` heap buffers instead of reallocating
+/// `(links + nodes) * vcs` of them per case.
+#[derive(Default)]
+struct EngineArena {
+    bufs: Vec<UnsafeCell<VecDeque<Flit>>>,
+    srcs: Vec<UnsafeCell<VecDeque<Flit>>>,
+}
+
+thread_local! {
+    static ARENA: RefCell<EngineArena> = RefCell::new(EngineArena::default());
+}
+
+// ---------------------------------------------------------------------------
+// Shared router state
+// ---------------------------------------------------------------------------
+
+/// All router state touched by the per-node phase methods, stored as
+/// structure-of-arrays so that cross-node accesses (a router claiming a
+/// VC in its *downstream* neighbor's buffer, or checking its occupancy)
+/// land in different arrays than the fields the neighbor itself mutates.
+///
+/// Buffer indexing matches the previous engine: the buffer downstream of
+/// link `l` on VC `v` is index `l * vcs + v`; node `n`'s injection-port
+/// buffer on VC `v` is `inj_base + n * vcs + v`.
+///
+/// # Phase ownership protocol (what makes the `unsafe` sound)
+///
+/// * **Route** (fully node-parallel): node `n` reads `flits[r].front()`
+///   and rewrites `state[r]` only for its own input buffers `r`, and
+///   writes `owner[d]` only for buffers `d` downstream of its own
+///   out-links. Every buffer has exactly one upstream router, so no two
+///   nodes touch the same element, and `state`/`owner` are distinct
+///   arrays, so the downstream node's own route pass never aliases.
+/// * **Switch** (row wavefront): node `n` pops its own input buffers and
+///   reads `flits[d].len() + transit_counts[d]` of its downstream
+///   buffers. The wavefront orders every horizontally adjacent pair
+///   (the only cross-band neighbors) exactly as the serial node order;
+///   vertical neighbors share a band and run on one thread.
+/// * **Inject** (fully node-parallel): touches only node-local state
+///   (source queue, injection buffers, `node_occ[n]`) plus the
+///   `entry_cycle` of a packet that is only now entering the network —
+///   which therefore cannot be concurrently ejecting anywhere.
+/// * **Stats**: a flow ejects only at its single route endpoint, so
+///   `stats[flow]` is written by exactly one node (one band).
+/// * Everything else (generation, arrival delivery, outbox merging)
+///   runs on the main thread while workers are parked at a barrier.
+struct Shared {
+    /// Flit queues per VC buffer (link buffers, then injection buffers).
+    flits: ShardVec<VecDeque<Flit>>,
+    /// Packet currently allowed to occupy each buffer (atomic VCs).
+    owner: ShardVec<Option<u32>>,
+    /// RC/VA control state per buffer.
+    state: ShardVec<PortState>,
+    /// Undelivered flits already bound for each link buffer (claims
+    /// buffer slots ahead of arrival). Link buffers only.
+    transit_counts: ShardVec<u8>,
+    /// Number of non-empty input buffers per node. Nodes at zero are
+    /// skipped by the route and switch phases — an exact optimization,
+    /// since arbiters only advance when a candidate exists.
+    node_occ: ShardVec<u32>,
+    /// Per-node source queues (whole packets, flit by flit).
+    src_queues: ShardVec<VecDeque<Flit>>,
+    inj_progress: ShardVec<Option<InjectionProgress>>,
+    rr_out: ShardVec<usize>,
+    rr_eject: ShardVec<usize>,
+    link_flits: ShardVec<u64>,
+    stats: ShardVec<FlowStats>,
+    slots: SlotVec,
+
+    /// CSR of each node's input buffers in arbitration order (every
+    /// in-link's VCs, then the injection VCs): node `n` reads
+    /// `node_inputs[node_input_off[n] .. node_input_off[n + 1]]`.
+    node_inputs: Vec<u32>,
+    node_input_off: Vec<u32>,
+    /// Each link's position within its source node's out-link list.
+    link_out_pos: Vec<u8>,
+    /// Owning (downstream) node of every buffer.
+    buf_node: Vec<u32>,
+    /// Offset of the first injection-port buffer.
+    inj_base: u32,
+
+    vcs: usize,
+    buffer_depth: usize,
+    local_bandwidth: usize,
+    packet_len: usize,
+}
+
+impl Shared {
+    /// RC + VA for every input buffer of node `n`.
+    ///
+    /// # Safety
+    ///
+    /// Route-phase ownership: the caller must be the unique worker
+    /// processing node `n` this phase, with no concurrent switch or
+    /// serial-window activity.
+    unsafe fn route_node(&self, n: usize, tables: &NodeTables) {
+        let node = NodeId(n as u32);
+        let start = self.node_input_off[n] as usize;
+        let end = self.node_input_off[n + 1] as usize;
+        for &r in &self.node_inputs[start..end] {
+            let r = r as usize;
+            let Some(front) = self.flits.get(r).front().copied() else {
+                continue;
+            };
+            let state = self.state.get_mut(r);
+            // RC: a head flit at the front of an Idle buffer gets routed.
+            if *state == PortState::Idle {
+                debug_assert!(front.is_head, "body flit at front of idle buffer");
+                *state = match front.cursor {
+                    None => PortState::Active {
+                        out: OutKind::Eject,
+                        out_vc: 0,
+                        next_cursor: None,
+                    },
+                    Some(idx) => {
+                        let entry = *tables.lookup(node, idx);
+                        PortState::Routed {
+                            out: entry.out_link,
+                            mask: entry.vcs.0,
+                            next_cursor: entry.next_index,
+                        }
+                    }
+                };
+            }
+            // VA: try to claim a downstream VC within the mask.
+            if let PortState::Routed {
+                out,
+                mask,
+                next_cursor,
+            } = *state
+            {
+                let out_base = out.index() * self.vcs;
+                let chosen = (0..self.vcs as u8)
+                    .filter(|v| mask & (1 << v) != 0)
+                    .find(|&v| self.owner.get(out_base + v as usize).is_none());
+                if let Some(v) = chosen {
+                    *self.owner.get_mut(out_base + v as usize) = Some(front.packet);
+                    *state = PortState::Active {
+                        out: OutKind::Forward(out),
+                        out_vc: v,
+                        next_cursor,
+                    };
+                }
+            }
+        }
+    }
+
+    /// SA + ST for node `n`.
+    ///
+    /// One pass over the node's input buffers buckets forward candidates
+    /// per output link and collects eject candidates; the per-output and
+    /// per-eject arbitration then works off the buckets. This visits each
+    /// buffer once instead of once per output channel, and is exactly
+    /// equivalent to rescanning: within a node, a move on output `X` can
+    /// only change `X`'s own downstream occupancy (checked before any
+    /// move) and the mover's port flag (filtered at pick time), and
+    /// ejections only mutate the ejecting buffer itself.
+    ///
+    /// # Safety
+    ///
+    /// Switch-phase ownership: the caller must be the unique worker
+    /// processing node `n`, and the row wavefront must have retired both
+    /// horizontal neighbors' conflicting rows (or the run is serial).
+    unsafe fn switch_node(&self, n: usize, index: &TopoIndex, ctx: CycleCtx, wb: &mut WorkerBox) {
+        let node = NodeId(n as u32);
+        let vcs = self.vcs;
+        let ports_start = self.node_input_off[n] as usize;
+        let ports_end = self.node_input_off[n + 1] as usize;
+        let num_ports = (ports_end - ports_start) / vcs;
+        // Detach the scratch so the arbitration loops can pass `wb`
+        // mutably to `move_flit`/`eject_flit`.
+        let mut scratch = std::mem::take(&mut wb.scratch);
+        scratch.port_forwarded[..num_ports].fill(false);
+        scratch.outs.clear();
+        scratch.outs.extend_from_slice(index.out_links(node));
+        for bucket in &mut scratch.forward[..scratch.outs.len()] {
+            bucket.clear();
+        }
+        scratch.eject.clear();
+
+        // Single scan: sort every occupied, allocated buffer front into
+        // its output's bucket (space permitting) or the eject list, in
+        // input order.
+        for bi in 0..ports_end - ports_start {
+            let r = self.node_inputs[ports_start + bi];
+            if self.flits.get(r as usize).is_empty() {
+                continue;
+            }
+            match *self.state.get(r as usize) {
+                PortState::Active {
+                    out: OutKind::Forward(l),
+                    out_vc,
+                    ..
+                } => {
+                    let dst = l.index() * vcs + out_vc as usize;
+                    let occupied =
+                        self.flits.get(dst).len() + *self.transit_counts.get(dst) as usize;
+                    if occupied < self.buffer_depth {
+                        scratch.forward[self.link_out_pos[l.index()] as usize]
+                            .push(((bi / vcs) as u32, r));
+                    }
+                }
+                PortState::Active {
+                    out: OutKind::Eject,
+                    ..
+                } => scratch.eject.push(((bi / vcs) as u32, r)),
+                _ => {}
+            }
+        }
+
+        // Forward outputs: one flit per output channel and per input
+        // port per cycle.
+        for (oi, &out) in scratch.outs.iter().enumerate() {
+            scratch.eligible.clear();
+            scratch.eligible.extend(
+                scratch.forward[oi]
+                    .iter()
+                    .copied()
+                    .filter(|&(port, _)| !scratch.port_forwarded[port as usize]),
+            );
+            if scratch.eligible.is_empty() {
+                continue;
+            }
+            let rr = self.rr_out.get_mut(out.index());
+            let pick = *rr % scratch.eligible.len();
+            *rr = rr.wrapping_add(1);
+            let (port, r) = scratch.eligible[pick];
+            scratch.port_forwarded[port as usize] = true;
+            self.move_flit(r as usize, out, ctx, wb);
+        }
+
+        // Ejection: up to local_bandwidth flits per cycle (the 4×
+        // resource channel); independent of the forward crossbar.
+        // After each ejection only the picked buffer can drop out of
+        // the candidate list, so the list shrinks in place.
+        let mut budget = self.local_bandwidth;
+        while budget > 0 && !scratch.eject.is_empty() {
+            let rr = self.rr_eject.get_mut(n);
+            let pick = *rr % scratch.eject.len();
+            *rr = rr.wrapping_add(1);
+            let (_, r) = scratch.eject[pick];
+            self.eject_flit(r as usize, ctx, wb);
+            budget -= 1;
+            let still_candidate = !self.flits.get(r as usize).is_empty()
+                && matches!(
+                    *self.state.get(r as usize),
+                    PortState::Active {
+                        out: OutKind::Eject,
+                        ..
+                    }
+                );
+            if !still_candidate {
+                scratch.eject.remove(pick);
+            }
+        }
+        wb.scratch = scratch;
+    }
+
+    /// # Safety
+    ///
+    /// Switch-phase ownership of node `buf_node[r]` (see `switch_node`).
+    unsafe fn move_flit(&self, r: usize, out: LinkId, ctx: CycleCtx, wb: &mut WorkerBox) {
+        let state = self.state.get_mut(r);
+        let (out_vc, next_cursor) = match *state {
+            PortState::Active {
+                out_vc,
+                next_cursor,
+                ..
+            } => (out_vc, next_cursor),
+            _ => unreachable!("move_flit on non-active buffer"),
+        };
+        let queue = self.flits.get_mut(r);
+        let mut flit = queue.pop_front().expect("candidate had a front flit");
+        if flit.is_head {
+            flit.cursor = next_cursor;
+        }
+        if flit.is_tail {
+            // The vacated buffer frees its ownership and control state.
+            *self.owner.get_mut(r) = None;
+            *state = PortState::Idle;
+        }
+        if queue.is_empty() {
+            *self.node_occ.get_mut(self.buf_node[r] as usize) -= 1;
+        }
+        let dst = out.index() * self.vcs + out_vc as usize;
+        *self.transit_counts.get_mut(dst) += 1;
+        wb.outbox.push((dst as u32, flit));
+        if ctx.measuring {
+            *self.link_flits.get_mut(out.index()) += 1;
+        }
+        wb.progress = true;
+    }
+
+    /// # Safety
+    ///
+    /// Switch-phase ownership of node `buf_node[r]` (see `switch_node`);
+    /// additionally relies on each flow ejecting at a single node for
+    /// the `stats` write.
+    unsafe fn eject_flit(&self, r: usize, ctx: CycleCtx, wb: &mut WorkerBox) {
+        let queue = self.flits.get_mut(r);
+        let flit = queue.pop_front().expect("candidate had a front flit");
+        if flit.is_tail {
+            *self.owner.get_mut(r) = None;
+            *self.state.get_mut(r) = PortState::Idle;
+        }
+        if queue.is_empty() {
+            *self.node_occ.get_mut(self.buf_node[r] as usize) -= 1;
+        }
+        wb.ejected_flits += 1;
+        if ctx.measuring {
+            wb.delivered_flits += 1;
+        }
+        if flit.is_tail {
+            if ctx.measuring {
+                self.stats.get_mut(flit.flow.index()).delivered += 1;
+                wb.delivered_packets += 1;
+            }
+            let slot = self.slots.slot(flit.packet as usize);
+            wb.released.push(flit.packet);
+            if slot.tracked {
+                let latency = ctx.cycle - slot.entry_cycle;
+                let fs = self.stats.get_mut(flit.flow.index());
+                fs.latency_sum += latency;
+                fs.latency_count += 1;
+                fs.latency_max = fs.latency_max.max(latency);
+                fs.histogram.record(latency);
+            }
+        }
+        wb.progress = true;
+    }
+
+    /// Moves flits from node `n`'s source queue into its injection-port
+    /// buffers.
+    ///
+    /// # Safety
+    ///
+    /// Inject-phase ownership of node `n` (all state touched is local
+    /// to the node, plus the entry stamp of a packet entering here).
+    unsafe fn inject_node(&self, n: usize, ctx: CycleCtx, wb: &mut WorkerBox) {
+        let vcs = self.vcs;
+        let inj_base = self.inj_base as usize;
+        let src = self.src_queues.get_mut(n);
+        let progress_slot = self.inj_progress.get_mut(n);
+        let mut budget = self.local_bandwidth;
+        while budget > 0 && !src.is_empty() {
+            match *progress_slot {
+                Some(InjectionProgress { vc, remaining }) => {
+                    let b = inj_base + n * vcs + vc as usize;
+                    let queue = self.flits.get_mut(b);
+                    if queue.len() >= self.buffer_depth {
+                        break;
+                    }
+                    let flit = src.pop_front().expect("nonempty");
+                    if queue.is_empty() {
+                        *self.node_occ.get_mut(n) += 1;
+                    }
+                    queue.push_back(flit);
+                    wb.injected_flits += 1;
+                    wb.progress = true;
+                    budget -= 1;
+                    *progress_slot = (remaining > 1).then_some(InjectionProgress {
+                        vc,
+                        remaining: remaining - 1,
+                    });
+                }
+                None => {
+                    let head = *src.front().expect("nonempty");
+                    debug_assert!(head.is_head, "packet streams are contiguous");
+                    let chosen = (0..vcs as u8).find(|&v| {
+                        let b = inj_base + n * vcs + v as usize;
+                        self.owner.get(b).is_none() && self.flits.get(b).len() < self.buffer_depth
+                    });
+                    let Some(v) = chosen else { break };
+                    let flit = src.pop_front().expect("nonempty");
+                    let b = inj_base + n * vcs + v as usize;
+                    *self.owner.get_mut(b) = Some(head.packet);
+                    let queue = self.flits.get_mut(b);
+                    if queue.is_empty() {
+                        *self.node_occ.get_mut(n) += 1;
+                    }
+                    queue.push_back(flit);
+                    wb.injected_flits += 1;
+                    self.slots.slot_mut(head.packet as usize).entry_cycle = ctx.cycle;
+                    wb.progress = true;
+                    budget -= 1;
+                    if self.packet_len > 1 {
+                        *progress_slot = Some(InjectionProgress {
+                            vc: v,
+                            remaining: self.packet_len - 1,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial-window state (generation, pipeline, counters)
+// ---------------------------------------------------------------------------
+
+/// Engine state only ever touched on the main thread, in the serial
+/// windows between cycle barriers (or anywhere in a serial run).
+struct SerState {
+    rng: StdRng,
+    var_states: Vec<VariationState>,
+    burst_states: Vec<BurstState>,
+    /// Recycled packet-slot ids.
+    free_slots: Vec<u32>,
+    /// Arrivals in flight through the router pipeline: the back slot is
+    /// this cycle's sends, the front slot delivers after
+    /// `pipeline_latency` cycles.
+    in_transit: VecDeque<Vec<(u32, Flit)>>,
+    /// Emptied send vectors kept for reuse (zero steady-state allocs).
+    spare_sends: Vec<Vec<(u32, Flit)>>,
+    in_network_flits: u64,
+    /// Flits sitting in source queues, waiting to be injected.
+    backlog_flits: u64,
+    cycle: u64,
+    last_progress: u64,
+    generated_total: u64,
+    delivered_total: u64,
+    delivered_flits: u64,
+}
+
+impl SerState {
+    fn measuring(&self, config: &SimConfig) -> bool {
+        self.cycle >= config.warmup && self.cycle < config.warmup + config.measurement
+    }
+
+    /// True when the network is provably empty and the router phases can
+    /// be skipped outright (the fast-forward condition). `in_network`
+    /// covers VC buffers *and* the hop pipeline (flits in transit were
+    /// injected but not yet ejected); `backlog` covers source queues.
+    fn network_empty(&self) -> bool {
+        self.in_network_flits == 0 && self.backlog_flits == 0
+    }
+
+    /// Packet generation for one cycle. Consumes the RNG stream
+    /// identically on every execution path (serial, parallel,
+    /// fast-forwarded), which is what keeps reports byte-identical.
+    ///
+    /// # Safety
+    ///
+    /// Serial window: all workers parked at a barrier (or serial run).
+    unsafe fn generate(
+        &mut self,
+        sh: &Shared,
+        flows: &FlowSet,
+        traffic: &TrafficSpec,
+        tables: &NodeTables,
+        config: &SimConfig,
+    ) {
+        let measuring = self.measuring(config);
+        // Phase scaling is deterministic (no RNG), so the default
+        // schedule-free path multiplies by exactly 1.0 and the seeded
+        // packet stream is bit-identical to the pre-schedule engine.
+        let phase_scale = traffic
+            .phases
+            .as_ref()
+            .map_or(1.0, |s| s.scale_at(self.cycle));
+        for i in 0..flows.len() {
+            let flow = flows.flow(FlowId(i as u32));
+            let mut p = traffic.rates[i] * phase_scale;
+            if let Some(var) = traffic.variation {
+                p *= self.var_states[i].step(&var, &mut self.rng);
+            }
+            if let InjectionProcess::OnOff(burst) = traffic.injection {
+                p = if self.burst_states[i].step(&burst, &mut self.rng) {
+                    p * burst.on_multiplier()
+                } else {
+                    0.0
+                };
+            }
+            while p > 0.0 {
+                let fire = if p >= 1.0 { true } else { self.rng.gen_bool(p) };
+                if fire {
+                    let slot = PacketSlot {
+                        entry_cycle: 0,
+                        tracked: measuring,
+                    };
+                    let packet = match self.free_slots.pop() {
+                        Some(id) => {
+                            *sh.slots.slot_mut(id as usize) = slot;
+                            id
+                        }
+                        None => sh.slots.push(slot),
+                    };
+                    let len = config.packet_len;
+                    let cursor = Some(tables.initial_index(flow.id));
+                    let queue = sh.src_queues.get_mut(flow.src.index());
+                    for k in 0..len {
+                        queue.push_back(Flit {
+                            packet,
+                            flow: flow.id,
+                            is_head: k == 0,
+                            is_tail: k == len - 1,
+                            cursor: if k == 0 { cursor } else { None },
+                        });
+                    }
+                    self.backlog_flits += len as u64;
+                    if measuring {
+                        sh.stats.get_mut(flow.id.index()).generated += 1;
+                        self.generated_total += 1;
+                    }
+                }
+                p -= 1.0;
+            }
+        }
+    }
+
+    /// End-of-cycle bookkeeping: merge the worker boxes in fixed band
+    /// order, advance the hop pipeline, deliver arrivals. Returns
+    /// whether any flit moved this cycle.
+    ///
+    /// # Safety
+    ///
+    /// Serial window: all workers parked at a barrier (or serial run).
+    unsafe fn finish_cycle(
+        &mut self,
+        sh: &Shared,
+        boxes: &ShardVec<WorkerBox>,
+        bands: usize,
+        pipeline_latency: usize,
+    ) -> bool {
+        let mut progress = false;
+        let mut sends = self.spare_sends.pop().unwrap_or_default();
+        for b in 0..bands {
+            let wb = boxes.get_mut(b);
+            progress |= std::mem::take(&mut wb.progress);
+            sends.append(&mut wb.outbox);
+            self.free_slots.append(&mut wb.released);
+            self.in_network_flits += wb.injected_flits;
+            self.in_network_flits -= wb.ejected_flits;
+            self.backlog_flits -= wb.injected_flits;
+            self.delivered_flits += wb.delivered_flits;
+            self.delivered_total += wb.delivered_packets;
+            wb.injected_flits = 0;
+            wb.ejected_flits = 0;
+            wb.delivered_flits = 0;
+            wb.delivered_packets = 0;
+        }
+        // This cycle's sends enter the pipeline; the oldest slot lands.
+        self.in_transit.push_back(sends);
+        if self.in_transit.len() >= pipeline_latency {
+            let mut arrivals = self
+                .in_transit
+                .pop_front()
+                .expect("nonempty by length check");
+            for (buf, flit) in arrivals.drain(..) {
+                let b = buf as usize;
+                *sh.transit_counts.get_mut(b) -= 1;
+                let queue = sh.flits.get_mut(b);
+                if queue.is_empty() {
+                    *sh.node_occ.get_mut(sh.buf_node[b] as usize) += 1;
+                }
+                queue.push_back(flit);
+            }
+            // Hand the emptied Vec back as a future send buffer so the
+            // pipeline churns zero allocations at steady state.
+            self.spare_sends.push(arrivals);
+        }
+        progress
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel drivers
+// ---------------------------------------------------------------------------
+
+/// Everything the band workers share by reference for the whole run.
+struct ParCtx<'e> {
+    sh: &'e Shared,
+    boxes: &'e ShardVec<WorkerBox>,
+    index: &'e TopoIndex,
+    tables: &'e NodeTables,
+    bands: &'e [Band],
+    /// Wavefront row counters, one per band: `row_base + row + 1` once
+    /// the band finished switching that row this cycle (monotone, never
+    /// reset).
+    rows: Vec<AtomicU64>,
+    barrier: CycleBarrier,
+    ctl: CtlCell,
+    width: usize,
+    height: usize,
+}
+
+/// One band's route/switch/inject work for a published cycle. Called
+/// between barriers A and C by the main thread (band 0) and every
+/// worker (bands 1..); contains barrier B between route and switch.
+///
+/// # Safety
+///
+/// `b` must be this caller's unique band index and the cycle protocol
+/// (barrier A passed, `ctl` published) must be in force.
+unsafe fn band_cycle(pc: &ParCtx<'_>, b: usize, ctx: CycleCtx, row_base: u64) {
+    let band = pc.bands[b];
+    let sh = pc.sh;
+    let wb = pc.boxes.get_mut(b);
+    // Route: node-parallel, no intra-phase ordering needed.
+    for y in 0..pc.height {
+        let row = y * pc.width;
+        for x in band.x0..band.x1 {
+            let n = row + x;
+            if *sh.node_occ.get(n) > 0 {
+                sh.route_node(n, pc.tables);
+            }
+        }
+    }
+    pc.barrier.wait(); // barrier B: route -> switch
+                       // Switch: row wavefront. Band b enters row y only after band b-1
+                       // has left it, which orders all horizontally adjacent neighbor
+                       // pairs exactly as the serial schedule (including torus wraps, by
+                       // transitivity along the row).
+    for y in 0..pc.height {
+        if b > 0 {
+            wait_row(&pc.rows[b - 1], row_base + y as u64 + 1);
+        }
+        let row = y * pc.width;
+        for x in band.x0..band.x1 {
+            let n = row + x;
+            if *sh.node_occ.get(n) > 0 {
+                sh.switch_node(n, pc.index, ctx, wb);
+            }
+        }
+        pc.rows[b].store(row_base + y as u64 + 1, Ordering::Release);
+    }
+    // Inject: node-local, safe to overlap with other bands' switch.
+    for y in 0..pc.height {
+        let row = y * pc.width;
+        for x in band.x0..band.x1 {
+            let n = row + x;
+            if !sh.src_queues.get(n).is_empty() {
+                sh.inject_node(n, ctx, wb);
+            }
+        }
+    }
+}
+
+/// A band worker: wait for the cycle to be published, run the band,
+/// wait out the merge window; exit when `done` is published.
+fn worker_loop(pc: &ParCtx<'_>, b: usize) {
+    loop {
+        pc.barrier.wait(); // barrier A: cycle published
+                           // SAFETY: barrier A orders this read after the main thread's
+                           // publish; band_cycle runs under the band ownership protocol.
+        unsafe {
+            let ctl = pc.ctl.read();
+            if ctl.done {
+                break;
+            }
+            band_cycle(pc, b, ctl.ctx, ctl.row_base);
+        }
+        pc.barrier.wait(); // barrier C: effects visible to the merge
+    }
+}
+
+/// Splits a row-major grid into `threads` contiguous column bands.
+/// Returns a single band (the serial schedule) for non-grid topologies,
+/// for `threads == 1`, and for grids narrower than the thread count
+/// would allow. The layout is verified (node id `y * width + x`), so
+/// hand-built topologies that merely claim a grid kind fall back too.
+fn make_bands(topo: &Topology, threads: usize) -> Vec<Band> {
+    let width = topo.width() as usize;
+    let height = topo.height() as usize;
+    let serial = vec![Band { x0: 0, x1: width }];
+    let k = threads.min(width).max(1);
+    if k <= 1 {
+        return serial;
+    }
+    match topo.kind() {
+        TopologyKind::Mesh2D | TopologyKind::Torus2D | TopologyKind::Ring => {}
+        _ => return serial,
+    }
+    if width * height != topo.num_nodes() {
+        return serial;
+    }
+    for y in 0..height {
+        for x in 0..width {
+            if topo.node_at(x as u16, y as u16) != Some(NodeId((y * width + x) as u32)) {
+                return serial;
+            }
+        }
+    }
+    (0..k)
+        .map(|b| Band {
+            x0: b * width / k,
+            x1: (b + 1) * width / k,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The simulator
+// ---------------------------------------------------------------------------
 
 /// The simulator. Construct with [`Simulator::new`], execute with
 /// [`Simulator::run`].
 ///
 /// All per-cycle state lives in flat arenas keyed by the dense
 /// `NodeId`/`LinkId`/VC indices of a [`TopoIndex`] snapshot: VC buffers
-/// in one `Vec` (`link * vcs + vc`, then injection ports), per-packet
-/// bookkeeping in a recycled slot arena, and per-node input-port lists
-/// in a precomputed CSR. The cycle loop performs no hashing and no
-/// allocation.
+/// as structure-of-arrays (`link * vcs + vc`, then injection ports),
+/// per-packet bookkeeping in a recycled slot arena, and per-node
+/// input-port lists in a precomputed CSR. The cycle loop performs no
+/// hashing and no allocation, skips routers with no occupied input
+/// buffer, fast-forwards provably idle cycles, and (on grid topologies
+/// with `engine_threads > 1`) splits the mesh into column bands run by
+/// scoped worker threads — all with byte-identical reports for a fixed
+/// seed (see the module docs for the determinism argument).
 pub struct Simulator<'a> {
     topo: &'a Topology,
     flows: &'a FlowSet,
@@ -180,56 +1177,12 @@ pub struct Simulator<'a> {
     /// through `Deref` either way.
     tables: std::borrow::Cow<'a, NodeTables>,
     traffic: TrafficSpec,
-    rng: StdRng,
-    var_states: Vec<VariationState>,
-    burst_states: Vec<BurstState>,
     index: TopoIndex,
-
-    /// All VC buffers in one arena: the buffer downstream of link `l` on
-    /// VC `v` is `bufs[l * vcs + v]`; node `n`'s injection-port buffer on
-    /// VC `v` is `bufs[inj_base + n * vcs + v]`.
-    bufs: Vec<VcBuffer>,
-    /// Offset of the first injection-port buffer in `bufs`.
-    inj_base: u32,
-    /// Per-node source queues (whole packets, flit by flit).
-    src_queues: Vec<VecDeque<Flit>>,
-    inj_progress: Vec<Option<InjectionProgress>>,
-
-    /// Flits sent this cycle (flat link-buffer index), gathered before
-    /// entering the pipeline.
-    pending_sends: Vec<(u32, Flit)>,
-    /// Arrivals in flight through the router pipeline: the back slot is
-    /// this cycle's sends, the front slot delivers after
-    /// `pipeline_latency` cycles.
-    in_transit: VecDeque<Vec<(u32, Flit)>>,
-    /// Undelivered flits already bound for each link buffer (claims
-    /// buffer slots ahead of arrival), indexed like `bufs`.
-    transit_counts: Vec<u8>,
-
-    /// CSR of each node's input buffers in arbitration order (every
-    /// in-link's VCs, then the injection VCs): node `n` reads
-    /// `node_inputs[node_input_off[n] .. node_input_off[n + 1]]`.
-    node_inputs: Vec<u32>,
-    node_input_off: Vec<u32>,
-    /// Each link's position within its source node's out-link list
-    /// (selects the forward-candidate bucket during switch allocation).
-    link_out_pos: Vec<u8>,
-
-    rr_out: Vec<usize>,
-    rr_eject: Vec<usize>,
-    scratch: SwitchScratch,
-
-    packets: PacketArena,
-
-    in_network_flits: u64,
-    cycle: u64,
-    last_progress: u64,
-
-    stats: Vec<FlowStats>,
-    link_flits: Vec<u64>,
-    generated_total: u64,
-    delivered_total: u64,
-    delivered_flits: u64,
+    /// Column bands of the parallel schedule; a single band runs serial.
+    bands: Vec<Band>,
+    sh: Shared,
+    boxes: ShardVec<WorkerBox>,
+    ser: SerState,
 }
 
 impl<'a> Simulator<'a> {
@@ -324,12 +1277,22 @@ impl<'a> Simulator<'a> {
         let nn = topo.num_nodes();
         let vcs = config.vcs as usize;
         let inj_base = (nl * vcs) as u32;
+        let nbufs = (nl + nn) * vcs;
         // Per-node input buffers in arbitration order: each in-link's
         // VCs, then the injection VCs — the order round-robin picks see.
-        let mut node_inputs = Vec::with_capacity((nl + nn) * vcs);
+        // In-links are recorded in link-id order, which makes the
+        // per-node route pass identical to the old global link scan.
+        let mut node_inputs = Vec::with_capacity(nbufs);
         let mut node_input_off = Vec::with_capacity(nn + 1);
         node_input_off.push(0u32);
         for n in topo.node_ids() {
+            debug_assert!(
+                index
+                    .in_links(n)
+                    .windows(2)
+                    .all(|w| w[0].index() < w[1].index()),
+                "in-link order must ascend for route-order equivalence"
+            );
             for &l in index.in_links(n) {
                 let base = l.index() * vcs;
                 node_inputs.extend((base..base + vcs).map(|i| i as u32));
@@ -348,52 +1311,83 @@ impl<'a> Simulator<'a> {
                 link_out_pos[l.index()] = u8::try_from(i).expect("out degree fits u8");
             }
         }
-        Ok(Simulator {
-            topo,
-            flows,
+        let mut buf_node = vec![0u32; nbufs];
+        for l in 0..nl {
+            let dst = index.link_dst(LinkId(l as u32)).0;
+            for v in 0..vcs {
+                buf_node[l * vcs + v] = dst;
+            }
+        }
+        for n in 0..nn {
+            for v in 0..vcs {
+                buf_node[inj_base as usize + n * vcs + v] = n as u32;
+            }
+        }
+        let bands = make_bands(topo, config.engine_threads);
+        let boxes = ShardVec::from_fn(bands.len(), || {
+            WorkerBox::new(max_ports, max_out_degree, vcs)
+        });
+        let (mut buf_cells, mut src_cells) = ARENA
+            .try_with(|a| {
+                let mut arena = a.borrow_mut();
+                (
+                    std::mem::take(&mut arena.bufs),
+                    std::mem::take(&mut arena.srcs),
+                )
+            })
+            .unwrap_or_default();
+        resize_cells(&mut buf_cells, nbufs, config.buffer_depth);
+        resize_cells(&mut src_cells, nn, 0);
+        let sh = Shared {
+            flits: ShardVec::from_cells(buf_cells),
+            owner: ShardVec::from_fn(nbufs, || None),
+            state: ShardVec::from_fn(nbufs, || PortState::Idle),
+            transit_counts: ShardVec::from_fn(nl * vcs, || 0u8),
+            node_occ: ShardVec::from_fn(nn, || 0u32),
+            src_queues: ShardVec::from_cells(src_cells),
+            inj_progress: ShardVec::from_fn(nn, || None),
+            rr_out: ShardVec::from_fn(nl, || 0usize),
+            rr_eject: ShardVec::from_fn(nn, || 0usize),
+            link_flits: ShardVec::from_fn(nl, || 0u64),
+            stats: ShardVec::from_fn(flows.len(), FlowStats::default),
+            slots: SlotVec::new(),
+            node_inputs,
+            node_input_off,
+            link_out_pos,
+            buf_node,
+            inj_base,
+            vcs,
+            buffer_depth: config.buffer_depth,
+            local_bandwidth: config.local_bandwidth,
+            packet_len: config.packet_len,
+        };
+        let ser = SerState {
             rng: StdRng::seed_from_u64(config.seed),
             var_states: (0..flows.len()).map(|_| VariationState::new()).collect(),
             burst_states: (0..flows.len()).map(|_| BurstState::new()).collect(),
-            tables,
-            traffic,
-            bufs: (0..(nl + nn) * vcs)
-                .map(|_| VcBuffer::new(config.buffer_depth))
-                .collect(),
-            inj_base,
-            src_queues: vec![VecDeque::new(); nn],
-            inj_progress: vec![None; nn],
-            pending_sends: Vec::new(),
+            free_slots: Vec::new(),
             in_transit: VecDeque::new(),
-            transit_counts: vec![0; nl * vcs],
-            node_inputs,
-            node_input_off,
-            rr_out: vec![0; nl],
-            rr_eject: vec![0; nn],
-            scratch: SwitchScratch {
-                port_forwarded: vec![false; max_ports],
-                forward: vec![Vec::with_capacity(max_ports * vcs); max_out_degree],
-                eject: Vec::with_capacity(max_ports * vcs),
-                eligible: Vec::with_capacity(max_ports * vcs),
-                outs: Vec::with_capacity(max_out_degree),
-            },
-            link_out_pos,
-            packets: PacketArena::default(),
+            spare_sends: Vec::new(),
             in_network_flits: 0,
+            backlog_flits: 0,
             cycle: 0,
             last_progress: 0,
-            stats: vec![FlowStats::default(); flows.len()],
-            link_flits: vec![0; nl],
             generated_total: 0,
             delivered_total: 0,
             delivered_flits: 0,
-            index,
+        };
+        Ok(Simulator {
+            topo,
+            flows,
             config,
+            tables,
+            traffic,
+            index,
+            bands,
+            sh,
+            boxes,
+            ser,
         })
-    }
-
-    fn in_measurement(&self) -> bool {
-        self.cycle >= self.config.warmup
-            && self.cycle < self.config.warmup + self.config.measurement
     }
 
     /// Runs warmup + measurement (+ drain) and returns the report.
@@ -403,403 +1397,215 @@ impl<'a> Simulator<'a> {
 
     /// Like [`Simulator::run`], additionally measuring wall-clock time.
     ///
-    /// The report itself stays fully deterministic for a fixed seed; the
-    /// timing travels separately so callers (the sweep harness, CI) can
-    /// record cycles/sec without perturbing reproducibility checks.
+    /// The report itself stays fully deterministic for a fixed seed —
+    /// independent of `engine_threads`, `fast_forward`, and wall-clock
+    /// jitter; the timing travels separately so callers (the sweep
+    /// harness, CI) can record cycles/sec without perturbing
+    /// reproducibility checks.
     pub fn run_timed(&mut self) -> (SimReport, RunTiming) {
         let started = Instant::now();
-        let total = self.config.total_cycles();
-        let mut deadlocked = false;
-        while self.cycle < total {
-            let progress = self.step();
-            if progress {
-                self.last_progress = self.cycle;
-            } else if self.in_network_flits > 0
-                && self.cycle - self.last_progress > self.config.watchdog
-            {
-                deadlocked = true;
-                break;
-            }
-            self.cycle += 1;
-        }
+        let deadlocked = if self.bands.len() > 1 {
+            self.run_parallel()
+        } else {
+            self.run_serial()
+        };
         let report = SimReport {
-            cycles: self.cycle,
+            cycles: self.ser.cycle,
             measured_cycles: self.config.measurement,
-            generated_packets: self.generated_total,
-            delivered_packets: self.delivered_total,
-            delivered_flits: self.delivered_flits,
-            per_flow: self.stats.clone(),
-            link_flits: self.link_flits.clone(),
+            generated_packets: self.ser.generated_total,
+            delivered_packets: self.ser.delivered_total,
+            delivered_flits: self.ser.delivered_flits,
+            per_flow: self.sh.stats.snapshot(),
+            link_flits: self.sh.link_flits.snapshot(),
             deadlocked,
         };
-        let timing = RunTiming::new(self.cycle, started.elapsed());
+        let timing = RunTiming::new(self.ser.cycle, started.elapsed());
         (report, timing)
     }
 
-    /// Executes one cycle; returns whether any flit moved.
-    fn step(&mut self) -> bool {
-        self.generate_packets();
-        self.route_and_allocate();
-        let mut progress = self.switch_and_traverse();
-        progress |= self.inject();
-        // This cycle's sends enter the pipeline; the oldest slot lands.
-        self.in_transit
-            .push_back(std::mem::take(&mut self.pending_sends));
-        if self.in_transit.len() >= self.config.pipeline_latency as usize {
-            let mut arrivals = self
-                .in_transit
-                .pop_front()
-                .expect("nonempty by length check");
-            for (buf, flit) in arrivals.drain(..) {
-                self.transit_counts[buf as usize] -= 1;
-                self.bufs[buf as usize].flits.push_back(flit);
-            }
-            // Hand the emptied Vec back as next cycle's send buffer so
-            // the pipeline churns zero allocations at steady state.
-            self.pending_sends = arrivals;
-        }
-        progress
-    }
-
-    fn generate_packets(&mut self) {
-        let measuring = self.in_measurement();
-        // Phase scaling is deterministic (no RNG), so the default
-        // schedule-free path multiplies by exactly 1.0 and the seeded
-        // packet stream is bit-identical to the pre-schedule engine.
-        let phase_scale = self
-            .traffic
-            .phases
-            .as_ref()
-            .map_or(1.0, |s| s.scale_at(self.cycle));
-        for i in 0..self.flows.len() {
-            let flow = self.flows.flow(FlowId(i as u32));
-            let mut p = self.traffic.rates[i] * phase_scale;
-            if let Some(var) = self.traffic.variation {
-                p *= self.var_states[i].step(&var, &mut self.rng);
-            }
-            if let InjectionProcess::OnOff(burst) = self.traffic.injection {
-                p = if self.burst_states[i].step(&burst, &mut self.rng) {
-                    p * burst.on_multiplier()
-                } else {
-                    0.0
-                };
-            }
-            while p > 0.0 {
-                let fire = if p >= 1.0 { true } else { self.rng.gen_bool(p) };
-                if fire {
-                    self.spawn_packet(flow.id, flow.src, measuring);
-                }
-                p -= 1.0;
-            }
-        }
-    }
-
-    fn spawn_packet(&mut self, flow: FlowId, src: NodeId, measuring: bool) {
-        let packet = self.packets.alloc(measuring);
-        let len = self.config.packet_len;
-        let cursor = Some(self.tables.initial_index(flow));
-        for k in 0..len {
-            self.src_queues[src.index()].push_back(Flit {
-                packet,
-                flow,
-                is_head: k == 0,
-                is_tail: k == len - 1,
-                cursor: if k == 0 { cursor } else { None },
-            });
-        }
-        if measuring {
-            self.stats[flow.index()].generated += 1;
-            self.generated_total += 1;
-        }
-    }
-
-    /// RC + VA for every buffer front.
-    fn route_and_allocate(&mut self) {
-        let vcs = self.config.vcs as usize;
-        for l in 0..self.topo.num_links() {
-            let node = self.index.link_dst(LinkId(l as u32));
-            for v in 0..vcs {
-                self.progress_front((l * vcs + v) as u32, node);
-            }
-        }
-        let inj_base = self.inj_base as usize;
-        for n in 0..self.topo.num_nodes() {
-            for v in 0..vcs {
-                self.progress_front((inj_base + n * vcs + v) as u32, NodeId(n as u32));
-            }
-        }
-    }
-
-    fn progress_front(&mut self, r: u32, node: NodeId) {
-        let buf = &self.bufs[r as usize];
-        let Some(front) = buf.flits.front().copied() else {
-            return;
-        };
-        // RC: a head flit at the front of an Idle buffer gets routed.
-        if buf.state == PortState::Idle {
-            debug_assert!(front.is_head, "body flit at front of idle buffer");
-            let state = match front.cursor {
-                None => PortState::Active {
-                    out: OutKind::Eject,
-                    out_vc: 0,
-                    next_cursor: None,
-                },
-                Some(idx) => {
-                    let entry = *self.tables.lookup(node, idx);
-                    PortState::Routed {
-                        out: entry.out_link,
-                        mask: entry.vcs.0,
-                        next_cursor: entry.next_index,
-                    }
-                }
-            };
-            self.bufs[r as usize].state = state;
-        }
-        // VA: try to claim a downstream VC within the mask.
-        if let PortState::Routed {
-            out,
-            mask,
-            next_cursor,
-        } = self.bufs[r as usize].state
-        {
-            let packet = front.packet;
-            let out_base = out.index() * self.config.vcs as usize;
-            let chosen = (0..self.config.vcs)
-                .filter(|v| mask & (1 << v) != 0)
-                .find(|&v| self.bufs[out_base + v as usize].owner.is_none());
-            if let Some(v) = chosen {
-                self.bufs[out_base + v as usize].owner = Some(packet);
-                self.bufs[r as usize].state = PortState::Active {
-                    out: OutKind::Forward(out),
-                    out_vc: v,
-                    next_cursor,
-                };
-            }
-        }
-    }
-
-    /// SA + ST for every router; returns whether any flit moved.
-    ///
-    /// One pass over the node's input buffers buckets forward candidates
-    /// per output link and collects eject candidates; the per-output and
-    /// per-eject arbitration then works off the buckets. This visits each
-    /// buffer once instead of once per output channel, and is exactly
-    /// equivalent to rescanning: within a node, a move on output `X` can
-    /// only change `X`'s own downstream occupancy (checked before any
-    /// move) and the mover's port flag (filtered at pick time), and
-    /// ejections only mutate the ejecting buffer itself.
-    fn switch_and_traverse(&mut self) -> bool {
-        let mut progress = false;
-        let vcs = self.config.vcs as usize;
-        // Detach the scratch buffers so the candidate scans can read
-        // `self.bufs` while `move_flit`/`eject_flit` mutate `self`.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        for n in 0..self.topo.num_nodes() {
-            let node = NodeId(n as u32);
-            let ports_start = self.node_input_off[n] as usize;
-            let ports_end = self.node_input_off[n + 1] as usize;
-            let num_ports = (ports_end - ports_start) / vcs;
-            scratch.port_forwarded[..num_ports].fill(false);
-            scratch.outs.clear();
-            scratch.outs.extend_from_slice(self.index.out_links(node));
-            for bucket in &mut scratch.forward[..scratch.outs.len()] {
-                bucket.clear();
-            }
-            scratch.eject.clear();
-
-            // Single scan: sort every occupied, allocated buffer front
-            // into its output's bucket (space permitting) or the eject
-            // list, in input order.
-            for bi in 0..ports_end - ports_start {
-                let r = self.node_inputs[ports_start + bi];
-                let buf = &self.bufs[r as usize];
-                if buf.flits.is_empty() {
+    /// The single-threaded schedule: one pass per phase in node order.
+    fn run_serial(&mut self) -> bool {
+        let total = self.config.total_cycles();
+        let nn = self.topo.num_nodes();
+        let config = &self.config;
+        let sh = &self.sh;
+        let boxes = &self.boxes;
+        let index = &self.index;
+        let tables: &NodeTables = self.tables.as_ref();
+        let flows = self.flows;
+        let traffic = &self.traffic;
+        let ser = &mut self.ser;
+        let mut deadlocked = false;
+        while ser.cycle < total {
+            // SAFETY: single-threaded run — every access is exclusive.
+            unsafe {
+                ser.generate(sh, flows, traffic, tables, config);
+                if config.fast_forward && ser.network_empty() {
+                    ser.cycle += 1;
                     continue;
                 }
-                match buf.state {
-                    PortState::Active {
-                        out: OutKind::Forward(l),
-                        out_vc,
-                        ..
-                    } => {
-                        let dst = l.index() * vcs + out_vc as usize;
-                        let occupied =
-                            self.bufs[dst].flits.len() + self.transit_counts[dst] as usize;
-                        if occupied < self.config.buffer_depth {
-                            scratch.forward[self.link_out_pos[l.index()] as usize]
-                                .push(((bi / vcs) as u32, r));
-                        }
+                let ctx = CycleCtx {
+                    cycle: ser.cycle,
+                    measuring: ser.measuring(config),
+                };
+                let wb = boxes.get_mut(0);
+                for n in 0..nn {
+                    if *sh.node_occ.get(n) > 0 {
+                        sh.route_node(n, tables);
                     }
-                    PortState::Active {
-                        out: OutKind::Eject,
-                        ..
-                    } => scratch.eject.push(((bi / vcs) as u32, r)),
-                    _ => {}
                 }
+                for n in 0..nn {
+                    if *sh.node_occ.get(n) > 0 {
+                        sh.switch_node(n, index, ctx, wb);
+                    }
+                }
+                for n in 0..nn {
+                    if !sh.src_queues.get(n).is_empty() {
+                        sh.inject_node(n, ctx, wb);
+                    }
+                }
+                let progress = ser.finish_cycle(sh, boxes, 1, config.pipeline_latency as usize);
+                if progress {
+                    ser.last_progress = ser.cycle;
+                } else if ser.in_network_flits > 0
+                    && ser.cycle - ser.last_progress > config.watchdog
+                {
+                    deadlocked = true;
+                    break;
+                }
+                ser.cycle += 1;
             }
+        }
+        deadlocked
+    }
 
-            // Forward outputs: one flit per output channel and per input
-            // port per cycle.
-            for (oi, &out) in scratch.outs.iter().enumerate() {
-                scratch.eligible.clear();
-                scratch.eligible.extend(
-                    scratch.forward[oi]
-                        .iter()
-                        .copied()
-                        .filter(|&(port, _)| !scratch.port_forwarded[port as usize]),
-                );
-                if scratch.eligible.is_empty() {
+    /// The column-band schedule: one scoped worker per band, three
+    /// barriers per simulated cycle, serial merge windows in between.
+    fn run_parallel(&mut self) -> bool {
+        let total = self.config.total_cycles();
+        let config = &self.config;
+        let sh = &self.sh;
+        let boxes = &self.boxes;
+        let index = &self.index;
+        let tables: &NodeTables = self.tables.as_ref();
+        let flows = self.flows;
+        let traffic = &self.traffic;
+        let bands = self.bands.as_slice();
+        let width = self.topo.width() as usize;
+        let height = self.topo.height() as usize;
+        let ser = &mut self.ser;
+        let nb = bands.len();
+        let pc = ParCtx {
+            sh,
+            boxes,
+            index,
+            tables,
+            bands,
+            rows: (0..nb).map(|_| AtomicU64::new(0)).collect(),
+            barrier: CycleBarrier::new(nb),
+            ctl: CtlCell::new(),
+            width,
+            height,
+        };
+        let mut deadlocked = false;
+        std::thread::scope(|scope| {
+            for b in 1..nb {
+                let pc = &pc;
+                scope.spawn(move || worker_loop(pc, b));
+            }
+            let mut row_base = 0u64;
+            while ser.cycle < total {
+                // SAFETY: workers are parked at barrier A, so the main
+                // thread owns everything (the serial window).
+                unsafe { ser.generate(sh, flows, traffic, tables, config) };
+                if config.fast_forward && ser.network_empty() {
+                    // Workers stay parked: no barriers on skipped cycles.
+                    ser.cycle += 1;
                     continue;
                 }
-                let pick = self.rr_out[out.index()] % scratch.eligible.len();
-                self.rr_out[out.index()] = self.rr_out[out.index()].wrapping_add(1);
-                let (port, r) = scratch.eligible[pick];
-                scratch.port_forwarded[port as usize] = true;
-                self.move_flit(r, out);
-                progress = true;
-            }
-
-            // Ejection: up to local_bandwidth flits per cycle (the 4×
-            // resource channel); independent of the forward crossbar.
-            // After each ejection only the picked buffer can drop out of
-            // the candidate list, so the list shrinks in place.
-            let mut budget = self.config.local_bandwidth;
-            while budget > 0 && !scratch.eject.is_empty() {
-                let pick = self.rr_eject[n] % scratch.eject.len();
-                self.rr_eject[n] = self.rr_eject[n].wrapping_add(1);
-                let (_, r) = scratch.eject[pick];
-                self.eject_flit(r);
-                budget -= 1;
-                progress = true;
-                let buf = &self.bufs[r as usize];
-                let still_candidate = !buf.flits.is_empty()
-                    && matches!(
-                        buf.state,
-                        PortState::Active {
-                            out: OutKind::Eject,
-                            ..
-                        }
-                    );
-                if !still_candidate {
-                    scratch.eject.remove(pick);
+                let ctx = CycleCtx {
+                    cycle: ser.cycle,
+                    measuring: ser.measuring(config),
+                };
+                // SAFETY: still in the serial window; barrier A orders
+                // this publish before every worker's read.
+                unsafe {
+                    pc.ctl.publish(CycleCtl {
+                        ctx,
+                        row_base,
+                        done: false,
+                    });
                 }
-            }
-        }
-        self.scratch = scratch;
-        progress
-    }
-
-    fn move_flit(&mut self, r: u32, out: LinkId) {
-        let buf = &mut self.bufs[r as usize];
-        let (out_vc, next_cursor) = match buf.state {
-            PortState::Active {
-                out_vc,
-                next_cursor,
-                ..
-            } => (out_vc, next_cursor),
-            _ => unreachable!("move_flit on non-active buffer"),
-        };
-        let mut flit = buf.flits.pop_front().expect("candidate had a front flit");
-        if flit.is_head {
-            flit.cursor = next_cursor;
-        }
-        if flit.is_tail {
-            // The vacated buffer frees its ownership and control state.
-            buf.owner = None;
-            buf.state = PortState::Idle;
-        }
-        let dst = (out.index() * self.config.vcs as usize + out_vc as usize) as u32;
-        self.transit_counts[dst as usize] += 1;
-        self.pending_sends.push((dst, flit));
-        if self.in_measurement() {
-            self.link_flits[out.index()] += 1;
-        }
-    }
-
-    fn eject_flit(&mut self, r: u32) {
-        let buf = &mut self.bufs[r as usize];
-        let flit = buf.flits.pop_front().expect("candidate had a front flit");
-        if flit.is_tail {
-            buf.owner = None;
-            buf.state = PortState::Idle;
-        }
-        self.in_network_flits -= 1;
-        let measuring = self.in_measurement();
-        if measuring {
-            self.delivered_flits += 1;
-        }
-        if flit.is_tail {
-            if measuring {
-                self.stats[flit.flow.index()].delivered += 1;
-                self.delivered_total += 1;
-            }
-            let slot = self.packets.slots[flit.packet as usize];
-            self.packets.release(flit.packet);
-            if slot.tracked {
-                let latency = self.cycle - slot.entry_cycle;
-                let fs = &mut self.stats[flit.flow.index()];
-                fs.latency_sum += latency;
-                fs.latency_count += 1;
-                fs.latency_max = fs.latency_max.max(latency);
-                fs.histogram.record(latency);
-            }
-        }
-    }
-
-    /// Moves flits from source queues into injection-port buffers.
-    fn inject(&mut self) -> bool {
-        let mut progress = false;
-        let vcs = self.config.vcs as usize;
-        let inj_base = self.inj_base as usize;
-        for n in 0..self.topo.num_nodes() {
-            let mut budget = self.config.local_bandwidth;
-            while budget > 0 && !self.src_queues[n].is_empty() {
-                match self.inj_progress[n] {
-                    Some(InjectionProgress { vc, remaining }) => {
-                        let buf = &mut self.bufs[inj_base + n * vcs + vc as usize];
-                        if buf.flits.len() >= self.config.buffer_depth {
-                            break;
-                        }
-                        let flit = self.src_queues[n].pop_front().expect("nonempty");
-                        buf.flits.push_back(flit);
-                        self.in_network_flits += 1;
-                        progress = true;
-                        budget -= 1;
-                        self.inj_progress[n] = (remaining > 1).then_some(InjectionProgress {
-                            vc,
-                            remaining: remaining - 1,
-                        });
-                    }
-                    None => {
-                        let head = *self.src_queues[n].front().expect("nonempty");
-                        debug_assert!(head.is_head, "packet streams are contiguous");
-                        let chosen = (0..self.config.vcs).find(|&v| {
-                            let buf = &self.bufs[inj_base + n * vcs + v as usize];
-                            buf.owner.is_none() && buf.flits.len() < self.config.buffer_depth
-                        });
-                        let Some(v) = chosen else { break };
-                        let flit = self.src_queues[n].pop_front().expect("nonempty");
-                        let buf = &mut self.bufs[inj_base + n * vcs + v as usize];
-                        buf.owner = Some(head.packet);
-                        buf.flits.push_back(flit);
-                        self.in_network_flits += 1;
-                        self.packets.slots[head.packet as usize].entry_cycle = self.cycle;
-                        progress = true;
-                        budget -= 1;
-                        if self.config.packet_len > 1 {
-                            self.inj_progress[n] = Some(InjectionProgress {
-                                vc: v,
-                                remaining: self.config.packet_len - 1,
-                            });
-                        }
-                    }
+                pc.barrier.wait(); // barrier A: start the cycle
+                                   // SAFETY: band 0 is the main thread's band.
+                unsafe { band_cycle(&pc, 0, ctx, row_base) };
+                pc.barrier.wait(); // barrier C: all bands done
+                                   // SAFETY: workers parked again — serial merge window.
+                let progress =
+                    unsafe { ser.finish_cycle(sh, boxes, nb, config.pipeline_latency as usize) };
+                if progress {
+                    ser.last_progress = ser.cycle;
+                } else if ser.in_network_flits > 0
+                    && ser.cycle - ser.last_progress > config.watchdog
+                {
+                    deadlocked = true;
                 }
+                row_base += height as u64;
+                if deadlocked {
+                    break;
+                }
+                ser.cycle += 1;
             }
-        }
-        progress
+            // SAFETY: workers parked at barrier A; the final barrier
+            // releases them to observe `done` and exit.
+            unsafe {
+                pc.ctl.publish(CycleCtl {
+                    ctx: CycleCtx {
+                        cycle: 0,
+                        measuring: false,
+                    },
+                    row_base,
+                    done: true,
+                });
+            }
+            pc.barrier.wait();
+        });
+        deadlocked
     }
 }
 
+impl Drop for Simulator<'_> {
+    /// Returns the flit-queue allocations to the thread-local arena so
+    /// the next simulator on this thread (the common sweep-worker case)
+    /// skips reallocating them.
+    fn drop(&mut self) {
+        let mut bufs = std::mem::take(&mut self.sh.flits).into_cells();
+        for c in &mut bufs {
+            c.get_mut().clear();
+        }
+        let mut srcs = std::mem::take(&mut self.sh.src_queues).into_cells();
+        for c in &mut srcs {
+            c.get_mut().clear();
+        }
+        let _ = ARENA.try_with(move |a| {
+            let mut arena = a.borrow_mut();
+            arena.bufs = bufs;
+            arena.srcs = srcs;
+        });
+    }
+}
+
+/// Resizes an arena allocation to `n` cleared deques, reusing retained
+/// heap capacity where available.
+fn resize_cells(cells: &mut Vec<UnsafeCell<VecDeque<Flit>>>, n: usize, capacity: usize) {
+    cells.truncate(n);
+    for c in cells.iter_mut() {
+        c.get_mut().clear();
+    }
+    while cells.len() < n {
+        cells.push(UnsafeCell::new(VecDeque::with_capacity(capacity)));
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1183,5 +1989,262 @@ mod tests {
             }
         }
         assert!(report.max_link_flits() > 0);
+    }
+
+    // --- engine parallelism & fast-forward ---------------------------------
+
+    /// Reference report for `mesh_and_flows` under `spec` with the given
+    /// engine knobs.
+    fn run_mesh(
+        topo: &Topology,
+        flows: &FlowSet,
+        traffic: &TrafficSpec,
+        threads: usize,
+        fast_forward: bool,
+    ) -> SimReport {
+        let routes = Baseline::XY.select(topo, flows, 2).expect("xy");
+        let config = SimConfig::new(2)
+            .with_warmup(300)
+            .with_measurement(2_000)
+            .with_packet_len(4)
+            .with_engine_threads(threads)
+            .with_fast_forward(fast_forward);
+        Simulator::new(topo, flows, &routes, traffic.clone(), config)
+            .expect("valid")
+            .run()
+    }
+
+    #[test]
+    fn parallel_and_fast_forward_reports_are_byte_identical() {
+        use crate::traffic::{BurstyOnOff, PhaseSchedule};
+        let (topo, flows) = mesh_and_flows();
+        let specs = [
+            TrafficSpec::proportional(&flows, 0.2),
+            TrafficSpec::proportional(&flows, 0.15).with_burst(BurstyOnOff::new(50.0, 150.0)),
+            // Long silent phases drain the network completely, which is
+            // what actually exercises the fast-forward skip path.
+            TrafficSpec::proportional(&flows, 0.3)
+                .with_phases(PhaseSchedule::from_pairs([(150, 1.0), (450, 0.0)])),
+        ];
+        for (si, spec) in specs.iter().enumerate() {
+            let reference = run_mesh(&topo, &flows, spec, 1, true);
+            assert!(reference.delivered_packets > 0, "spec {si} delivers");
+            for threads in [1usize, 2, 4] {
+                for ff in [true, false] {
+                    let report = run_mesh(&topo, &flows, spec, threads, ff);
+                    assert_eq!(
+                        report, reference,
+                        "spec {si}: {threads} threads, fast_forward={ff} must be byte-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_parallel_matches_serial_with_uneven_bands() {
+        let topo = Topology::torus2d(4, 4);
+        let mut flows = FlowSet::new();
+        for n in topo.node_ids() {
+            let c = topo.coord(n);
+            let d = topo.node_at(c.y, c.x).expect("in range");
+            if n != d {
+                flows.push(n, d, 25.0);
+            }
+        }
+        let spec = TrafficSpec::proportional(&flows, 0.15);
+        // Three bands over four columns: widths 1, 2, 1.
+        let serial = run_mesh(&topo, &flows, &spec, 1, true);
+        let banded = run_mesh(&topo, &flows, &spec, 3, true);
+        assert!(serial.delivered_packets > 0);
+        assert_eq!(banded, serial);
+    }
+
+    #[test]
+    fn ring_wrap_link_handoff_is_deterministic_across_bands() {
+        use bsor_routing::{Route, RouteHop, VcMask};
+        let topo = Topology::ring(4);
+        let n = |i: u16| NodeId(i as u32);
+        let hop = |a: NodeId, b: NodeId| RouteHop {
+            link: topo.find_link(a, b).expect("adjacent"),
+            vcs: VcMask::all(1),
+        };
+        let mut flows = FlowSet::new();
+        flows.push(n(3), n(1), 1.0); // crosses the wrap link 3 -> 0
+        flows.push(n(1), n(3), 1.0);
+        let routes = RouteSet::from_routes(vec![
+            Route {
+                flow: FlowId(0),
+                hops: vec![hop(n(3), n(0)), hop(n(0), n(1))],
+            },
+            Route {
+                flow: FlowId(1),
+                hops: vec![hop(n(1), n(2)), hop(n(2), n(3))],
+            },
+        ]);
+        let run = |threads: usize| {
+            let config = SimConfig::new(1)
+                .with_warmup(200)
+                .with_measurement(2_000)
+                .with_packet_len(4)
+                .with_engine_threads(threads);
+            Simulator::new(
+                &topo,
+                &flows,
+                &routes,
+                TrafficSpec::proportional(&flows, 0.3),
+                config,
+            )
+            .expect("valid")
+            .run()
+        };
+        let serial = run(1);
+        assert!(serial.delivered_packets > 0);
+        // Bands [0,1] and [2,3]: the wrap link's handoff crosses bands
+        // "backwards" (band 1 feeds band 0), the transitivity case of
+        // the wavefront argument.
+        assert_eq!(run(2), serial);
+        assert_eq!(run(4), serial);
+    }
+
+    #[test]
+    fn parallel_engine_detects_deadlock_too() {
+        use bsor_routing::{Route, RouteHop, VcMask};
+        let topo = Topology::mesh2d(2, 2);
+        let n = |x, y| topo.node_at(x, y).expect("in range");
+        let hop = |a, b| RouteHop {
+            link: topo.find_link(a, b).expect("adjacent"),
+            vcs: VcMask::all(1),
+        };
+        let mut flows = FlowSet::new();
+        flows.push(n(0, 0), n(1, 0), 1.0);
+        flows.push(n(0, 1), n(0, 0), 1.0);
+        flows.push(n(1, 1), n(0, 1), 1.0);
+        flows.push(n(1, 0), n(1, 1), 1.0);
+        let routes = RouteSet::from_routes(vec![
+            Route {
+                flow: FlowId(0),
+                hops: vec![
+                    hop(n(0, 0), n(0, 1)),
+                    hop(n(0, 1), n(1, 1)),
+                    hop(n(1, 1), n(1, 0)),
+                ],
+            },
+            Route {
+                flow: FlowId(1),
+                hops: vec![
+                    hop(n(0, 1), n(1, 1)),
+                    hop(n(1, 1), n(1, 0)),
+                    hop(n(1, 0), n(0, 0)),
+                ],
+            },
+            Route {
+                flow: FlowId(2),
+                hops: vec![
+                    hop(n(1, 1), n(1, 0)),
+                    hop(n(1, 0), n(0, 0)),
+                    hop(n(0, 0), n(0, 1)),
+                ],
+            },
+            Route {
+                flow: FlowId(3),
+                hops: vec![
+                    hop(n(1, 0), n(0, 0)),
+                    hop(n(0, 0), n(0, 1)),
+                    hop(n(0, 1), n(1, 1)),
+                ],
+            },
+        ]);
+        let config = SimConfig::new(1)
+            .with_warmup(0)
+            .with_measurement(5_000)
+            .with_watchdog(500)
+            .with_buffer_depth(4)
+            .with_packet_len(64)
+            .with_engine_threads(2);
+        let traffic = TrafficSpec::uniform(&flows, 1.0);
+        let mut sim = Simulator::new(&topo, &flows, &routes, traffic, config).expect("valid");
+        let report = sim.run();
+        assert!(
+            report.deadlocked,
+            "the turning ring must deadlock in parallel too"
+        );
+    }
+
+    #[test]
+    fn non_grid_topologies_fall_back_to_the_serial_schedule() {
+        let topo = Topology::hypercube(3);
+        let mut flows = FlowSet::new();
+        for n in topo.node_ids() {
+            let d = NodeId(n.0 ^ 0b111);
+            flows.push(n, d, 1.0);
+        }
+        // XOR dimension-order routes: flip the lowest differing bit.
+        use bsor_routing::{Route, RouteHop, VcMask};
+        let route_for = |src: NodeId, dst: NodeId| {
+            let mut hops = Vec::new();
+            let mut cur = src;
+            while cur != dst {
+                let next = NodeId(cur.0 ^ (1 << (cur.0 ^ dst.0).trailing_zeros()));
+                hops.push(RouteHop {
+                    link: topo.find_link(cur, next).expect("cube edge"),
+                    vcs: VcMask::all(4),
+                });
+                cur = next;
+            }
+            hops
+        };
+        let routes = RouteSet::from_routes(
+            flows
+                .iter()
+                .map(|f| Route {
+                    flow: f.id,
+                    hops: route_for(f.src, f.dst),
+                })
+                .collect(),
+        );
+        let run = |threads: usize| {
+            let config = SimConfig::new(4)
+                .with_warmup(200)
+                .with_measurement(1_500)
+                .with_packet_len(4)
+                .with_engine_threads(threads);
+            Simulator::new(
+                &topo,
+                &flows,
+                &routes,
+                TrafficSpec::proportional(&flows, 0.1),
+                config,
+            )
+            .expect("valid")
+            .run()
+        };
+        let serial = run(1);
+        assert!(serial.delivered_packets > 0);
+        assert_eq!(run(4), serial, "hypercube must fall back deterministically");
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_prefixes_without_changing_counts() {
+        use crate::traffic::PhaseSchedule;
+        let (topo, flows) = mesh_and_flows();
+        let routes = Baseline::XY.select(&topo, &flows, 2).expect("xy");
+        // A long silent phase then a burst of work: most cycles skip.
+        let spec = TrafficSpec::proportional(&flows, 0.4)
+            .with_phases(PhaseSchedule::from_pairs([(4_000, 0.0), (500, 1.0)]));
+        let run = |ff: bool| {
+            let config = SimConfig::new(2)
+                .with_warmup(4_000)
+                .with_measurement(500)
+                .with_packet_len(4)
+                .with_fast_forward(ff);
+            Simulator::new(&topo, &flows, &routes, spec.clone(), config)
+                .expect("valid")
+                .run()
+        };
+        let (with_skip, without_skip) = (run(true), run(false));
+        assert_eq!(with_skip, without_skip);
+        assert_eq!(with_skip.cycles, 4_500, "skipped cycles still count");
+        assert!(with_skip.generated_packets > 0);
     }
 }

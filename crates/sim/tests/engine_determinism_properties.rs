@@ -1,0 +1,150 @@
+//! Property tests for the engine's determinism contract: at any
+//! `engine_threads` value, with fast-forward on or off, a fixed-seed
+//! simulation produces a byte-identical `SimReport`. The parallel
+//! driver merges boundary handoffs in fixed node order and the
+//! fast-forward path consumes the generation RNG stream every cycle,
+//! so neither knob may perturb a single counter.
+
+use bsor_routing::Baseline;
+use bsor_sim::{BurstyOnOff, PhaseSchedule, SimConfig, SimReport, Simulator, TrafficSpec};
+use bsor_topology::Topology;
+use bsor_workloads::{neighbor, transpose, uniform_random, Workload};
+use proptest::prelude::*;
+
+/// Runs one fixed scenario at the given engine knobs.
+fn run_with(
+    topo: &Topology,
+    w: &Workload,
+    algo: Baseline,
+    traffic: TrafficSpec,
+    seed: u64,
+    threads: usize,
+    fast_forward: bool,
+) -> SimReport {
+    let routes = algo.select(topo, &w.flows, 2).expect("baseline routes");
+    let config = SimConfig::new(2)
+        .with_warmup(200)
+        .with_measurement(800)
+        .with_packet_len(4)
+        .with_seed(seed)
+        .with_engine_threads(threads)
+        .with_fast_forward(fast_forward);
+    let mut sim = Simulator::new(topo, &w.flows, &routes, traffic, config).expect("valid");
+    sim.run()
+}
+
+fn build_workload(topo: &Topology, which: u8) -> Workload {
+    match which {
+        // Transpose needs a power-of-two square side; odd grids fall
+        // back to uniform-random so the generator space stays dense.
+        0 => transpose(topo).unwrap_or_else(|_| uniform_random(topo).expect("n >= 2")),
+        1 => neighbor(topo).expect("side >= 2"),
+        _ => uniform_random(topo).expect("n >= 2"),
+    }
+}
+
+fn build_traffic(flows: &bsor_flow::FlowSet, rate: f64, shape: u8) -> TrafficSpec {
+    let base = TrafficSpec::proportional(flows, rate);
+    match shape {
+        0 => base,
+        1 => base.with_burst(BurstyOnOff::new(40.0, 120.0)),
+        _ => base.with_phases(PhaseSchedule::from_pairs([(100, 1.5), (150, 0.5)])),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// topology x workload x traffic-shape x rate x seed: the report at
+    /// 2 and 4 worker threads, and with fast-forward disabled, must be
+    /// byte-identical to the single-threaded fast-forwarding reference.
+    #[test]
+    fn report_is_identical_across_threads_and_fast_forward(
+        side in 3u16..=5,
+        torus_sel in 0u8..2,
+        which_workload in 0u8..3,
+        shape in 0u8..3,
+        rate_step in 1u32..=6,
+        seed in 0u64..1_000,
+    ) {
+        let torus = torus_sel == 1;
+        let topo = if torus {
+            Topology::torus2d(side, side)
+        } else {
+            Topology::mesh2d(side, side)
+        };
+        let w = build_workload(&topo, which_workload);
+        let rate = f64::from(rate_step) * 0.05; // 0.05 .. 0.30
+        let algo = if torus { Baseline::XY } else { Baseline::YX };
+
+        let reference = run_with(
+            &topo,
+            &w,
+            algo,
+            build_traffic(&w.flows, rate, shape),
+            seed,
+            1,
+            true,
+        );
+        for threads in [2usize, 4] {
+            for ff in [true, false] {
+                let got = run_with(
+                    &topo,
+                    &w,
+                    algo,
+                    build_traffic(&w.flows, rate, shape),
+                    seed,
+                    threads,
+                    ff,
+                );
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "threads={} ff={} diverged (side={}, torus={}, workload={}, shape={}, rate={}, seed={})",
+                    threads,
+                    ff,
+                    side,
+                    torus,
+                    which_workload,
+                    shape,
+                    rate,
+                    seed
+                );
+            }
+        }
+    }
+
+    /// Ring topologies band differently (width-1 bands, wrap links);
+    /// give them their own generator so shrinking stays local.
+    #[test]
+    fn ring_reports_are_identical_across_threads(
+        n in 4u16..=9,
+        rate_step in 1u32..=4,
+        seed in 0u64..500,
+    ) {
+        let topo = Topology::ring(n);
+        let w = neighbor(&topo).expect("ring of >= 2");
+        let rate = f64::from(rate_step) * 0.05;
+        let reference = run_with(
+            &topo,
+            &w,
+            Baseline::XY,
+            TrafficSpec::proportional(&w.flows, rate),
+            seed,
+            1,
+            true,
+        );
+        for threads in [2usize, 4] {
+            let got = run_with(
+                &topo,
+                &w,
+                Baseline::XY,
+                TrafficSpec::proportional(&w.flows, rate),
+                seed,
+                threads,
+                true,
+            );
+            prop_assert_eq!(&got, &reference, "ring n={} threads={} seed={}", n, threads, seed);
+        }
+    }
+}
