@@ -1,4 +1,5 @@
-//! A minimal, dependency-free JSON writer with deterministic output.
+//! A minimal, dependency-free JSON writer *and parser* with
+//! deterministic output.
 //!
 //! `BENCH_sweep.json` must be byte-identical across runs at a fixed seed
 //! so CI can diff two sweeps to detect nondeterminism. serde is not
@@ -6,8 +7,18 @@
 //! a hand-rolled emitter is easy to keep deterministic: object keys stay
 //! in insertion order, floats print through Rust's shortest-round-trip
 //! `Display`, and there is no reflection or hashing anywhere.
+//!
+//! The parser ([`Json::parse`]) exists for the `bsor-serve`
+//! line-delimited protocol: strict JSON (no comments, no trailing
+//! commas), typed errors with byte offsets, and a recursion-depth limit
+//! so adversarial input cannot overflow the stack.
 
 use std::fmt::Write as _;
+
+/// Nesting depth [`Json::parse`] accepts before rejecting the input
+/// (protocol messages are a handful of levels deep; a parser recursing
+/// on `[[[[…` unboundedly could overflow the stack).
+const MAX_PARSE_DEPTH: usize = 64;
 
 /// A JSON value tree. Build with the `From` impls and
 /// [`Json::object`]/[`Json::array`], serialize with [`Json::pretty`].
@@ -106,6 +117,116 @@ impl Json {
         out
     }
 
+    /// Serializes on one line with no whitespace (the line-delimited
+    /// serve protocol; no trailing newline). Deterministic like
+    /// [`Json::pretty`]: insertion-ordered keys, shortest-round-trip
+    /// floats.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
+    /// Parses strict JSON. The whole input must be one value (plus
+    /// surrounding whitespace); anything else is a typed
+    /// [`JsonParseError`] with the byte offset — never a panic.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Member `key` of an object (`None` on absent keys and non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Any numeric variant as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer variant as a `u64` (floats only when
+    /// integral).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            Json::UInt(u) => Some(*u),
+            Json::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f < u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -172,6 +293,244 @@ impl Json {
     }
 }
 
+/// Why [`Json::parse`] rejected an input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct JsonParseError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a following \uXXXX low
+                                // surrogate is required.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue; // hex4 already advanced
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // byte boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input was a str");
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or_else(|| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(hex)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Json::Float(f)),
+            _ => Err(JsonParseError {
+                offset: start,
+                message: format!("invalid number '{text}'"),
+            }),
+        }
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -225,5 +584,92 @@ mod tests {
     fn control_chars_escape() {
         assert_eq!(Json::from("\u{1}").pretty(), "\"\\u0001\"\n");
         assert_eq!(Json::from("a\tb\nc").pretty(), "\"a\\tb\\nc\"\n");
+    }
+
+    #[test]
+    fn parse_round_trips_both_serializations() {
+        let doc = Json::object(vec![
+            ("op", Json::from("plan")),
+            ("id", Json::from(7u64)),
+            ("neg", Json::Int(-3)),
+            ("rate", Json::from(0.25)),
+            ("whole", Json::from(3.0)),
+            (
+                "links",
+                Json::array(vec![Json::from(0u64), Json::from(1u64)]),
+            ),
+            ("note", Json::from("a\"b\\c\nd")),
+            ("none", Json::Null),
+            ("on", Json::from(true)),
+        ]);
+        assert_eq!(Json::parse(&doc.compact()).expect("compact"), doc);
+        assert_eq!(Json::parse(&doc.pretty()).expect("pretty"), doc);
+    }
+
+    #[test]
+    fn parse_distinguishes_number_variants() {
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("0.5").unwrap(), Json::Float(0.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "1 2",
+            "{\"a\":1}extra",
+            "--1",
+            "\u{1}",
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(!err.message.is_empty());
+            assert!(err.offset <= bad.len());
+        }
+        // Deep nesting is rejected, not a stack overflow.
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_surrogates() {
+        assert_eq!(
+            Json::parse("\"a\\u0041\\n\\t\\\\\"").unwrap(),
+            Json::from("aA\n\t\\")
+        );
+        // U+1F600 as a surrogate pair.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::from("\u{1F600}")
+        );
+        assert!(Json::parse("\"\\ud83d\"").is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn accessors_read_protocol_shapes() {
+        let req = Json::parse(r#"{"op":"evaluate","id":3,"rate":0.2,"sim":true,"links":[[0,1]]}"#)
+            .expect("parses");
+        assert_eq!(req.get("op").and_then(Json::as_str), Some("evaluate"));
+        assert_eq!(req.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(req.get("rate").and_then(Json::as_f64), Some(0.2));
+        assert_eq!(req.get("sim").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            req.get("links").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(req.get("missing"), None);
+        assert_eq!(Json::Null.get("op"), None);
     }
 }

@@ -29,6 +29,7 @@
 //! variants so the columns line up with the thesis tables.
 
 pub mod json;
+pub mod serve;
 pub mod sweep;
 
 use bsor::{BsorAlgorithm, BsorBuilder, CdgStrategy, SelectorKind};
@@ -175,6 +176,11 @@ pub fn algorithm_plans(
 /// **Superseded** by [`algorithm_plans`], which additionally carries
 /// the compiled tables and MCL; this shim keeps route-level callers
 /// working for one release.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `algorithm_plans` and read `RoutePlan::routes` — the plan also \
+            carries the certificate, tables and predicted MCL"
+)]
 pub fn algorithm_routes(
     topo: &Topology,
     workload: &Workload,
@@ -338,6 +344,11 @@ pub fn plan_sweep(plan: &RoutePlan, offered_rates: &[f64], cfg: &SweepConfig) ->
 /// **Superseded** by [`plan_sweep`] (which reuses a plan's compiled
 /// tables instead of rebuilding them per point); kept for route-level
 /// callers for one release.
+#[deprecated(
+    since = "0.1.0",
+    note = "plan once (`Planner::plan` or `algorithm_plans`) and use `plan_sweep`, \
+            which reuses the plan's compiled node tables across points"
+)]
 pub fn load_sweep(
     topo: &Topology,
     flows: &FlowSet,
@@ -608,6 +619,26 @@ mod tests {
     fn sweep_produces_monotone_offered_axis() {
         let topo = Topology::mesh2d(4, 4);
         let w = bsor_workloads::transpose(&topo).expect("square");
+        let plan = Planner::new()
+            .plan(&scenario_for(&topo, &w, 2), &Baseline::XY)
+            .expect("xy");
+        let cfg = SweepConfig {
+            warmup: 200,
+            measurement: 1_000,
+            vcs: 2,
+            variation: None,
+        };
+        let points = plan_sweep(&plan, &[0.05, 0.2], &cfg);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].offered < points[1].offered);
+        assert!(points.iter().all(|p| !p.deadlocked));
+    }
+
+    #[test]
+    #[allow(deprecated)] // shim regression coverage until removal
+    fn deprecated_route_shims_match_the_plan_path() {
+        let topo = Topology::mesh2d(4, 4);
+        let w = bsor_workloads::transpose(&topo).expect("square");
         let routes = scenario_for(&topo, &w, 2)
             .select_routes(&Baseline::XY)
             .expect("xy");
@@ -617,10 +648,13 @@ mod tests {
             vcs: 2,
             variation: None,
         };
-        let points = load_sweep(&topo, &w.flows, &routes, &[0.05, 0.2], &cfg);
-        assert_eq!(points.len(), 2);
-        assert!(points[0].offered < points[1].offered);
-        assert!(points.iter().all(|p| !p.deadlocked));
+        let via_routes = load_sweep(&topo, &w.flows, &routes, &[0.05], &cfg);
+        let plan = Planner::new()
+            .plan(&scenario_for(&topo, &w, 2), &Baseline::XY)
+            .expect("xy");
+        let via_plan = plan_sweep(&plan, &[0.05], &cfg);
+        assert_eq!(via_routes[0].throughput, via_plan[0].throughput);
+        assert_eq!(via_routes[0].latency, via_plan[0].latency);
     }
 
     #[test]

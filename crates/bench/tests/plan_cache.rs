@@ -83,6 +83,33 @@ fn cached_saturation_sweep_solves_exactly_once_per_case() {
 }
 
 #[test]
+fn sweep_outcome_exposes_plan_stats_and_saturation_programmatically() {
+    // The counters the CLI prints must be reachable by API callers:
+    // `SweepOutcome.plans` carries the planner's `PlanStats`, and every
+    // case's `SaturationOutcome` is a struct, not a log line.
+    let spec = sat_spec();
+    let regs = SweepRegistries::standard();
+    let outcome = run_grid_stats(&spec, 1, &regs, true);
+    let stats = outcome.plans;
+    assert_eq!(stats.solves, spec.num_cases() as u64);
+    let requests: u64 = outcome
+        .results
+        .iter()
+        .map(|r| r.points.len() as u64 + r.saturation.as_ref().map_or(0, |s| u64::from(s.runs)))
+        .sum();
+    assert_eq!(
+        stats.solves + stats.cache_hits,
+        spec.num_cases() as u64 + requests,
+        "solves and hits partition every plan request the sweep made"
+    );
+    for case in &outcome.results {
+        let sat = case.saturation.as_ref().expect("search outcome reachable");
+        assert!(sat.runs > 0);
+        assert!(sat.rate >= spec.saturation.as_ref().unwrap().lo);
+    }
+}
+
+#[test]
 fn failed_cases_cost_one_solve_and_report_unchanged_errors() {
     let mut spec = sat_spec();
     spec.workloads = vec!["nope".into(), "transpose".into()];

@@ -1,0 +1,125 @@
+//! Protocol round-trips against the real `bsor-serve` transports: the
+//! compiled binary over stdin/stdout (good, bad and malformed requests
+//! on one stream; byte-identical replays under `--no-timings`) and the
+//! TCP listener with concurrent clients sharing one plan cache.
+
+use bsor_bench::json::Json;
+use bsor_bench::serve::{serve_tcp, PlanService, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+
+/// The scripted session CI replays: every op, plus every failure mode.
+const SCRIPT: &str = concat!(
+    r#"{"id":1,"op":"plan","workload":"transpose","algorithm":"xy","width":4,"height":4}"#,
+    "\n",
+    r#"{"id":1,"op":"plan","workload":"transpose","algorithm":"xy","width":4,"height":4}"#,
+    "\n",
+    r#"{"id":3,"op":"evaluate","workload":"transpose","algorithm":"xy","width":4,"height":4,"rate":0.1}"#,
+    "\n",
+    r#"{"id":4,"op":"evaluate","workload":"transpose","algorithm":"xy","width":4,"height":4,"rate":0.2,"backend":"sim","warmup":100,"measurement":400}"#,
+    "\n",
+    r#"{"id":5,"op":"invalidate","links":[[0,1]]}"#,
+    "\n",
+    r#"{"id":6,"op":"plan","workload":"nope","algorithm":"xy"}"#,
+    "\n",
+    r#"{"id":7,"op":"warp"}"#,
+    "\n",
+    "this is not json\n",
+    r#"{"id":9,"op":"stats"}"#,
+    "\n",
+);
+
+fn run_binary(input: &str) -> Vec<String> {
+    let output = Command::new(env!("CARGO_BIN_EXE_bsor-serve"))
+        .arg("--no-timings")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("piped stdin")
+                .write_all(input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("bsor-serve runs");
+    assert!(output.status.success(), "clean EOF exits 0");
+    String::from_utf8(output.stdout)
+        .expect("utf8 responses")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn binary_answers_good_bad_and_malformed_requests_deterministically() {
+    let first = run_binary(SCRIPT);
+    assert_eq!(first.len(), 9, "one response line per request line");
+    let parsed: Vec<Json> = first
+        .iter()
+        .map(|line| Json::parse(line).expect("every response is valid JSON"))
+        .collect();
+    let ok = |i: usize| parsed[i].get("ok") == Some(&Json::Bool(true));
+    let code = |i: usize| {
+        parsed[i]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .expect("failed responses carry a code")
+    };
+    assert!(ok(0) && ok(1) && ok(2) && ok(3) && ok(4) && ok(8));
+    assert_eq!(first[0], first[1], "the cache hit answers byte-identically");
+    assert_eq!(code(5), "unknown-workload");
+    assert_eq!(code(6), "unknown-op");
+    assert_eq!(code(7), "bad-json");
+    let stats = parsed[8].get("result").expect("stats result");
+    assert_eq!(
+        stats.get("solves").and_then(Json::as_u64),
+        Some(1),
+        "one unique key planned, later requests hit or were invalidated"
+    );
+    // The determinism contract: same request stream, byte-identical
+    // response stream.
+    assert_eq!(first, run_binary(SCRIPT));
+}
+
+#[test]
+fn tcp_clients_share_one_plan_cache() {
+    let service = Arc::new(PlanService::new(ServeConfig {
+        timings: false,
+        ..ServeConfig::default()
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("bound");
+    {
+        let service = service.clone();
+        std::thread::spawn(move || {
+            let _ = serve_tcp(service, listener);
+        });
+    }
+    let request =
+        r#"{"id":"c","op":"plan","workload":"neighbor","algorithm":"yx","width":4,"height":4}"#;
+    let mut replies = Vec::new();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        writeln!(stream, "{request}").expect("writes");
+        let mut line = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut line)
+            .expect("one response line");
+        replies.push(line.trim().to_owned());
+    }
+    assert_eq!(replies[0], replies[1], "both clients get the cached plan");
+    let parsed = Json::parse(&replies[0]).expect("valid response");
+    assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        service.cache().stats().solves,
+        1,
+        "the second connection was a cache hit"
+    );
+    assert_eq!(service.requests(), 2);
+}

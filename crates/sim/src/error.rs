@@ -1,0 +1,216 @@
+//! The unified error surface: one [`Error`] enum every pipeline
+//! failure converts into, with a stable machine-readable
+//! [`Error::code`] for protocol boundaries.
+//!
+//! The workspace's typed errors stay fine-grained where they arise —
+//! [`PlanError`] from planning, [`EvalError`] from evaluation,
+//! [`ExperimentError`] from scenario building, [`WorkloadError`] from
+//! workload instantiation, [`SimError`] from the engine — but a caller
+//! that spans the whole pipeline (a sweep driver, a plan server) wants
+//! one type to bubble and one code vocabulary to expose. `From` impls
+//! exist for every constituent, so `?` converts anywhere:
+//!
+//! ```
+//! use bsor_sim::{Error, Scenario};
+//! use bsor_flow::FlowSet;
+//! use bsor_topology::Topology;
+//!
+//! fn build(width: u16) -> Result<Scenario, Error> {
+//!     let topo = Topology::mesh2d(width, width);
+//!     let flows = bsor_workloads::transpose(&topo)?.flows; // WorkloadError
+//!     Ok(Scenario::builder(topo, flows).vcs(2).build()?) // ExperimentError
+//! }
+//!
+//! let err = build(3).unwrap_err(); // transpose needs a power-of-two
+//! assert_eq!(err.code(), "bad-workload");
+//! ```
+//!
+//! # Code stability
+//!
+//! [`Error::code`] values are part of the serve protocol: existing
+//! codes never change meaning or spelling; new variants may introduce
+//! new codes. The full vocabulary is documented on [`Error::code`].
+
+use crate::config::SimError;
+use crate::plan::{EvalError, PlanError};
+use crate::scenario::{AlgorithmError, ExperimentError};
+use bsor_workloads::WorkloadError;
+use std::fmt;
+
+/// Any failure the scenario → plan → evaluate pipeline can produce,
+/// tagged with the stage that produced it.
+///
+/// Display defers to the wrapped error; [`Error::code`] gives the
+/// stable machine-readable classification (stage-independent: the same
+/// root cause maps to the same code whichever stage surfaced it).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Planning failed (route selection, validation, certification).
+    Plan(PlanError),
+    /// Evaluating a plan failed.
+    Eval(EvalError),
+    /// Building or running a scenario failed.
+    Experiment(ExperimentError),
+    /// Instantiating a workload on a topology failed.
+    Workload(WorkloadError),
+}
+
+impl Error {
+    /// The stable machine-readable code, for JSON protocol boundaries.
+    ///
+    /// The vocabulary (existing entries never change):
+    ///
+    /// | code | meaning |
+    /// |------|---------|
+    /// | `select-failed` | a route selector failed (unroutable flow, missing VCs, MILP) |
+    /// | `unsupported-topology` | the algorithm does not apply to the topology family |
+    /// | `algorithm-failed` | a framework-level algorithm failure |
+    /// | `invalid-routes` | malformed routes (endpoints, adjacency, VCs) |
+    /// | `deadlock` | the routes' induced channel dependence graph is cyclic |
+    /// | `invalid-flows` | the flow set failed validation against the topology |
+    /// | `cdg-underivable` | no acyclic CDG could be derived |
+    /// | `sim-rejected` | the simulator rejected the configuration or traffic |
+    /// | `unknown-workload` | no workload registered under the name |
+    /// | `bad-workload-spec` | a known family with a malformed argument |
+    /// | `bad-workload` | the workload cannot instantiate on the topology |
+    pub fn code(&self) -> &'static str {
+        fn algorithm(e: &AlgorithmError) -> &'static str {
+            match e {
+                AlgorithmError::Select(_) => "select-failed",
+                AlgorithmError::UnsupportedTopology { .. } => "unsupported-topology",
+                _ => "algorithm-failed",
+            }
+        }
+        match self {
+            Error::Plan(PlanError::Algorithm(e)) => algorithm(e),
+            Error::Plan(PlanError::InvalidRoutes(_)) => "invalid-routes",
+            Error::Plan(PlanError::Deadlock { .. }) => "deadlock",
+            Error::Eval(EvalError::Sim(_)) => "sim-rejected",
+            Error::Experiment(ExperimentError::Algorithm(e)) => algorithm(e),
+            Error::Experiment(ExperimentError::InvalidRoutes(_)) => "invalid-routes",
+            Error::Experiment(ExperimentError::CyclicCdg { .. }) => "deadlock",
+            Error::Experiment(ExperimentError::InvalidFlows(_)) => "invalid-flows",
+            Error::Experiment(ExperimentError::Cdg(_)) => "cdg-underivable",
+            Error::Experiment(ExperimentError::Sim(_)) => "sim-rejected",
+            Error::Workload(WorkloadError::UnknownWorkload { .. }) => "unknown-workload",
+            Error::Workload(WorkloadError::BadSpec { .. }) => "bad-workload-spec",
+            Error::Workload(_) => "bad-workload",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Plan(e) => write!(f, "{e}"),
+            Error::Eval(e) => write!(f, "{e}"),
+            Error::Experiment(e) => write!(f, "{e}"),
+            Error::Workload(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Plan(e) => Some(e),
+            Error::Eval(e) => Some(e),
+            Error::Experiment(e) => Some(e),
+            Error::Workload(e) => Some(e),
+        }
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<EvalError> for Error {
+    fn from(e: EvalError) -> Self {
+        Error::Eval(e)
+    }
+}
+
+impl From<ExperimentError> for Error {
+    fn from(e: ExperimentError) -> Self {
+        Error::Experiment(e)
+    }
+}
+
+impl From<WorkloadError> for Error {
+    fn from(e: WorkloadError) -> Self {
+        Error::Workload(e)
+    }
+}
+
+impl From<AlgorithmError> for Error {
+    /// Algorithm failures classify identically whichever stage surfaced
+    /// them; planning is the canonical one.
+    fn from(e: AlgorithmError) -> Self {
+        Error::Plan(PlanError::Algorithm(e))
+    }
+}
+
+impl From<SimError> for Error {
+    /// A bare engine rejection is an evaluation failure.
+    fn from(e: SimError) -> Self {
+        Error::Eval(EvalError::Sim(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsor_routing::RouteError;
+
+    #[test]
+    fn codes_are_stage_independent_and_stable() {
+        let plan: Error = PlanError::Deadlock {
+            algorithm: "x".into(),
+            cycle_len: 3,
+        }
+        .into();
+        let experiment: Error = ExperimentError::CyclicCdg {
+            algorithm: "x".into(),
+            cycle_len: 3,
+        }
+        .into();
+        assert_eq!(plan.code(), "deadlock");
+        assert_eq!(plan.code(), experiment.code());
+
+        let invalid: Error =
+            PlanError::InvalidRoutes(RouteError::MissingRoute(bsor_flow::FlowId(0))).into();
+        assert_eq!(invalid.code(), "invalid-routes");
+        assert_eq!(
+            Error::from(ExperimentError::InvalidRoutes(RouteError::MissingRoute(
+                bsor_flow::FlowId(0)
+            )))
+            .code(),
+            "invalid-routes"
+        );
+    }
+
+    #[test]
+    fn workload_codes_separate_spec_name_and_shape_failures() {
+        let unknown: Error = WorkloadError::UnknownWorkload { name: "x".into() }.into();
+        let bad_spec: Error = WorkloadError::BadSpec {
+            spec: "hotspot:lots".into(),
+            reason: "not a number".into(),
+        }
+        .into();
+        let shape: Error = WorkloadError::NotSquare.into();
+        assert_eq!(unknown.code(), "unknown-workload");
+        assert_eq!(bad_spec.code(), "bad-workload-spec");
+        assert_eq!(shape.code(), "bad-workload");
+    }
+
+    #[test]
+    fn display_and_source_defer_to_the_wrapped_error() {
+        let e: Error = WorkloadError::NotSquare.into();
+        assert_eq!(e.to_string(), WorkloadError::NotSquare.to_string());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod plan;
 pub mod scenario;
 pub mod stats;
@@ -48,9 +49,11 @@ pub mod traffic;
 
 pub use config::{SimConfig, SimError};
 pub use engine::Simulator;
+pub use error::Error;
 pub use plan::{
-    EvalError, EvalPoint, Evaluation, Evaluator, PlanCache, PlanError, PlanId, PlanKey, PlanStats,
-    Planner, RoutePlan, SimEvaluator, StaticMclEvaluator,
+    CacheStats, EvalError, EvalPoint, Evaluation, Evaluator, InvalidateOutcome, PlanCache,
+    PlanCacheConfig, PlanError, PlanId, PlanKey, PlanStats, Planner, RoutePlan, SimEvaluator,
+    StaticMclEvaluator,
 };
 pub use scenario::{
     AlgorithmError, Experiment, ExperimentError, RouteAlgorithm, Scenario, ScenarioBuilder,

@@ -67,7 +67,8 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// The canonical encoding of everything a plan's content depends on:
 /// topology family, dimensions, links (endpoints and capacities), the
@@ -273,6 +274,24 @@ impl RoutePlan {
     pub fn predicted_mcl(&self) -> f64 {
         self.predicted_mcl
     }
+
+    /// A deliberately rough estimate of the plan's heap footprint, used
+    /// by the [`PlanCache`] byte budget. It counts the dominant
+    /// variable-size pieces (route hops, per-channel demand and
+    /// certificate ranks, node-table entries, flows) at fixed per-item
+    /// costs plus a flat overhead — stable across platforms, not exact.
+    pub fn approx_bytes(&self) -> usize {
+        let topo = self.topology();
+        let hop_bytes: usize = self.routes.iter().map(|r| 48 + r.len() * 16).sum();
+        let channel_slots = topo.num_links() * usize::from(self.vcs());
+        hop_bytes
+            + self.link_demands.len() * 8
+            + channel_slots * 8 // certificate ranks
+            + topo.num_nodes() * self.flows().len() * 4 // node tables
+            + self.flows().len() * 32
+            + self.cdg().graph().edge_count() * 16
+            + 1024
+    }
 }
 
 impl PartialEq for RoutePlan {
@@ -294,6 +313,7 @@ impl PartialEq for RoutePlan {
 
 /// Why a [`Planner`] could not produce a [`RoutePlan`].
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum PlanError {
     /// The routing algorithm failed.
     Algorithm(AlgorithmError),
@@ -369,25 +389,290 @@ impl From<PlanError> for crate::scenario::ExperimentError {
     }
 }
 
-/// A thread-safe plan store keyed by the canonical [`PlanKey`].
+/// Sizing knobs for a [`PlanCache`].
+///
+/// The defaults are an unbounded cache over
+/// [`PlanCacheConfig::DEFAULT_SHARDS`] shards — the PR-5 behaviour,
+/// minus the lock contention. Capacities are totals across shards;
+/// enforcement is per shard (each shard gets an equal slice), so a
+/// bounded cache's occupancy can transiently sit below the total while
+/// one hot shard evicts. When `max_plans` is smaller than the shard
+/// count the cache collapses to `max_plans` shards, so tiny caches
+/// (capacity 1) behave as a strict global LRU.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanCacheConfig {
+    shards: usize,
+    max_plans: Option<usize>,
+    max_bytes: Option<usize>,
+}
+
+impl PlanCacheConfig {
+    /// Shard count used when none is requested.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Unbounded cache over the default shard count.
+    pub fn new() -> PlanCacheConfig {
+        PlanCacheConfig {
+            shards: Self::DEFAULT_SHARDS,
+            max_plans: None,
+            max_bytes: None,
+        }
+    }
+
+    /// Number of independently locked shards (clamped to ≥ 1).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> PlanCacheConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Caps the total number of cached plans; least-recently-used
+    /// entries are evicted past the cap. `0` means unbounded.
+    #[must_use]
+    pub fn max_plans(mut self, max_plans: usize) -> PlanCacheConfig {
+        self.max_plans = (max_plans > 0).then_some(max_plans);
+        self
+    }
+
+    /// Caps the total [`RoutePlan::approx_bytes`] held; least-recently-
+    /// used entries are evicted past the cap (a lone oversized plan is
+    /// retained rather than thrashed). `0` means unbounded.
+    #[must_use]
+    pub fn max_bytes(mut self, max_bytes: usize) -> PlanCacheConfig {
+        self.max_bytes = (max_bytes > 0).then_some(max_bytes);
+        self
+    }
+}
+
+impl Default for PlanCacheConfig {
+    fn default() -> PlanCacheConfig {
+        PlanCacheConfig::new()
+    }
+}
+
+/// A point-in-time snapshot of a [`PlanCache`]'s counters
+/// ([`PlanCache::stats`]).
+///
+/// `hits`/`misses`/`dedup_waits` partition lookups: a *hit* was served
+/// from the store, a *miss* started a solve, a *dedup wait* blocked on
+/// another request's in-flight solve for the same key instead of
+/// re-solving. `solve_ns_*` are wall-clock and therefore
+/// non-deterministic; everything else is a pure function of the request
+/// history.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that found nothing and became the solving leader.
+    pub misses: u64,
+    /// Lookups that blocked on an identical in-flight solve.
+    pub dedup_waits: u64,
+    /// Plans stored (leader completions plus direct
+    /// [`PlanCache::insert`]s).
+    pub inserts: u64,
+    /// Entries evicted by the LRU capacity/byte budget.
+    pub evicted_lru: u64,
+    /// Entries evicted by [`PlanCache::invalidate`] (demand on an
+    /// affected link, or a certificate that no longer verifies).
+    pub evicted_invalidated: u64,
+    /// Surviving plans whose [`DeadlockCertificate`] was re-verified by
+    /// an invalidation delta.
+    pub recertified: u64,
+    /// Solves currently in flight behind this cache.
+    pub in_flight: u64,
+    /// Solves performed through the cache's single-flight path.
+    pub solves: u64,
+    /// Total wall-clock nanoseconds spent in those solves.
+    pub solve_ns_total: u64,
+    /// The slowest single solve, nanoseconds.
+    pub solve_ns_max: u64,
+    /// Plans currently cached.
+    pub plans: u64,
+    /// Approximate bytes currently cached ([`RoutePlan::approx_bytes`]).
+    pub bytes: u64,
+}
+
+/// What a [`PlanCache::invalidate`] delta did
+/// ([`InvalidateOutcome::examined`] plans touched the affected links;
+/// the rest of the cache was never visited).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct InvalidateOutcome {
+    /// Cached plans whose topology contains an affected link.
+    pub examined: u64,
+    /// Of those, evicted: the plan routed demand over an affected link,
+    /// or its certificate failed re-verification.
+    pub evicted: u64,
+    /// Of those, kept after their [`DeadlockCertificate`] re-verified.
+    pub recertified: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<RoutePlan>,
+    last_used: u64,
+    bytes: usize,
+    /// The `(src, dst)` endpoint pairs this entry is indexed under in
+    /// [`Shard::link_index`] (every topology link), so removal can
+    /// clean the index without a scan.
+    indexed: Vec<(u32, u32)>,
+}
+
+/// A single-flight slot: the leader publishes the solve's result here
+/// and wakes every follower blocked in [`Flight::wait`].
+#[derive(Debug, Default)]
+struct Flight {
+    result: Mutex<Option<Result<Arc<RoutePlan>, PlanError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> Result<Arc<RoutePlan>, PlanError> {
+        let mut slot = self.result.lock().expect("flight poisoned");
+        while slot.is_none() {
+            slot = self.done.wait(slot).expect("flight poisoned");
+        }
+        slot.as_ref().expect("flight published").clone()
+    }
+
+    fn publish(&self, result: Result<Arc<RoutePlan>, PlanError>) {
+        *self.result.lock().expect("flight poisoned") = Some(result);
+        self.done.notify_all();
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<PlanKey, CacheEntry>,
+    flights: HashMap<PlanKey, Arc<Flight>>,
+    link_index: HashMap<(u32, u32), Vec<PlanKey>>,
+    tick: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &PlanKey) -> Option<Arc<RoutePlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.plan.clone()
+        })
+    }
+
+    fn remove(&mut self, key: &PlanKey) -> Option<CacheEntry> {
+        let entry = self.entries.remove(key)?;
+        self.bytes -= entry.bytes;
+        for pair in &entry.indexed {
+            if let Some(keys) = self.link_index.get_mut(pair) {
+                keys.retain(|k| k != key);
+                if keys.is_empty() {
+                    self.link_index.remove(pair);
+                }
+            }
+        }
+        Some(entry)
+    }
+
+    fn lru_key(&self) -> Option<PlanKey> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+    }
+}
+
+/// How a [`PlanCache::join`] resolved a lookup.
+enum Joined {
+    /// Served from the store.
+    Hit(Arc<RoutePlan>),
+    /// An identical solve is in flight; block on it.
+    Follower(Arc<Flight>),
+    /// Nothing cached or in flight: the caller must solve and
+    /// [`PlanCache::complete`] this flight.
+    Leader(Arc<Flight>),
+}
+
+/// A thread-safe plan store keyed by the canonical [`PlanKey`], sharded
+/// by [`PlanId`] so concurrent tenants contend per shard, not globally.
 ///
 /// Share one cache (wrapped in an [`Arc`]) across every axis of a sweep
-/// — rates, bursts, the saturation bisection — and each `(topology,
+/// — or across every client of a plan server — and each `(topology,
 /// workload, algorithm, vcs)` case is solved once and reused by every
-/// point that asks for it. There is no in-flight deduplication:
-/// *concurrent* first requests for the same key (which the sweep never
-/// issues — a case's points run serially on one worker) each solve,
-/// benignly — results are deterministic and identical, the last insert
-/// wins, and [`PlanStats::solves`] counts every solve that ran.
-#[derive(Debug, Default)]
+/// request that asks for it. Three behaviours beyond a plain map:
+///
+/// * **single flight** — concurrent first requests for the same key
+///   block on one solver ([`Planner::plan`] routes through it); errors
+///   are broadcast to the waiting followers but never cached, so the
+///   next request retries;
+/// * **LRU bounds** — optional plan-count and approximate-byte budgets
+///   ([`PlanCacheConfig`]) evict the least-recently-used entries;
+/// * **incremental invalidation** — [`PlanCache::invalidate`] takes a
+///   link delta and, via a link→plans index, visits only the plans
+///   whose topology contains an affected link: plans routing demand
+///   over it are evicted, survivors keep their entry only if their
+///   Lemma-1 [`DeadlockCertificate`] still verifies.
+///
+/// Counters for all of the above are snapshotted by
+/// [`PlanCache::stats`].
+#[derive(Debug)]
 pub struct PlanCache {
-    map: Mutex<HashMap<PlanKey, Arc<RoutePlan>>>,
+    shards: Vec<Mutex<Shard>>,
+    max_plans_per_shard: Option<usize>,
+    max_bytes_per_shard: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    dedup_waits: AtomicU64,
+    inserts: AtomicU64,
+    evicted_lru: AtomicU64,
+    evicted_invalidated: AtomicU64,
+    recertified: AtomicU64,
+    in_flight: AtomicU64,
+    solves: AtomicU64,
+    solve_ns_total: AtomicU64,
+    solve_ns_max: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new()
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (default shard count).
     pub fn new() -> PlanCache {
-        PlanCache::default()
+        PlanCache::with_config(PlanCacheConfig::new())
+    }
+
+    /// An empty cache sized by `config`.
+    pub fn with_config(config: PlanCacheConfig) -> PlanCache {
+        // A capacity smaller than the shard count would starve shards
+        // (per-shard cap 1 each but only `max_plans` total ever live):
+        // collapse to `max_plans` shards so tiny caches are strict LRU.
+        let shards = match config.max_plans {
+            Some(n) => config.shards.min(n),
+            None => config.shards,
+        }
+        .max(1);
+        let per = |total: Option<usize>| total.map(|t| t.div_ceil(shards).max(1));
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            max_plans_per_shard: per(config.max_plans),
+            max_bytes_per_shard: per(config.max_bytes),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            dedup_waits: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evicted_lru: AtomicU64::new(0),
+            evicted_invalidated: AtomicU64::new(0),
+            recertified: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            solve_ns_total: AtomicU64::new(0),
+            solve_ns_max: AtomicU64::new(0),
+        }
     }
 
     /// An empty cache ready to share across threads.
@@ -395,26 +680,180 @@ impl PlanCache {
         Arc::new(PlanCache::new())
     }
 
-    /// The cached plan for `key`, if any.
-    pub fn get(&self, key: &PlanKey) -> Option<Arc<RoutePlan>> {
-        self.map
-            .lock()
-            .expect("plan cache poisoned")
-            .get(key)
-            .cloned()
+    /// An empty cache sized by `config`, ready to share across threads.
+    pub fn shared_with(config: PlanCacheConfig) -> Arc<PlanCache> {
+        Arc::new(PlanCache::with_config(config))
     }
 
-    /// Stores `plan` under `key` (replacing any previous entry).
-    pub fn insert(&self, key: PlanKey, plan: Arc<RoutePlan>) {
-        self.map
+    fn shard(&self, key: &PlanKey) -> &Mutex<Shard> {
+        &self.shards[key.id().0 as usize % self.shards.len()]
+    }
+
+    /// The cached plan for `key`, if any (counts a hit or a miss; does
+    /// not join an in-flight solve — that is [`Planner::plan`]'s job).
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<RoutePlan>> {
+        let hit = self
+            .shard(key)
             .lock()
             .expect("plan cache poisoned")
-            .insert(key, plan);
+            .touch(key);
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Stores `plan` under `key` (replacing any previous entry),
+    /// applying the LRU budgets.
+    pub fn insert(&self, key: PlanKey, plan: Arc<RoutePlan>) {
+        let mut shard = self.shard(&key).lock().expect("plan cache poisoned");
+        self.insert_locked(&mut shard, key, plan);
+    }
+
+    fn insert_locked(&self, shard: &mut Shard, key: PlanKey, plan: Arc<RoutePlan>) {
+        shard.remove(&key); // replace, don't double-count bytes/index
+        let topo = plan.topology();
+        let indexed: Vec<(u32, u32)> = topo
+            .link_ids()
+            .map(|l| {
+                let link = topo.link(l);
+                (link.src.0, link.dst.0)
+            })
+            .collect();
+        for pair in &indexed {
+            shard.link_index.entry(*pair).or_default().push(key.clone());
+        }
+        let bytes = plan.approx_bytes();
+        shard.tick += 1;
+        let entry = CacheEntry {
+            plan,
+            last_used: shard.tick,
+            bytes,
+            indexed,
+        };
+        shard.bytes += bytes;
+        shard.entries.insert(key, entry);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let over = |shard: &Shard| {
+            self.max_plans_per_shard
+                .is_some_and(|cap| shard.entries.len() > cap)
+                || self
+                    .max_bytes_per_shard
+                    .is_some_and(|cap| shard.bytes > cap)
+        };
+        while over(shard) && shard.entries.len() > 1 {
+            let victim = shard.lru_key().expect("non-empty shard has an LRU key");
+            shard.remove(&victim);
+            self.evicted_lru.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks up `key`, joining or opening a single-flight solve on a
+    /// miss.
+    fn join(&self, key: &PlanKey) -> Joined {
+        let mut shard = self.shard(key).lock().expect("plan cache poisoned");
+        if let Some(plan) = shard.touch(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Joined::Hit(plan);
+        }
+        if let Some(flight) = shard.flights.get(key) {
+            self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+            return Joined::Follower(flight.clone());
+        }
+        let flight = Arc::new(Flight::default());
+        shard.flights.insert(key.clone(), flight.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        Joined::Leader(flight)
+    }
+
+    /// Publishes a leader's solve result: stores successes (LRU
+    /// budgets applied), broadcasts to followers, and retires the
+    /// flight. Errors are broadcast but never cached.
+    fn complete(
+        &self,
+        key: &PlanKey,
+        flight: &Arc<Flight>,
+        result: Result<Arc<RoutePlan>, PlanError>,
+        elapsed: std::time::Duration,
+    ) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        self.solve_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.solve_ns_max.fetch_max(ns, Ordering::Relaxed);
+        {
+            let mut shard = self.shard(key).lock().expect("plan cache poisoned");
+            shard.flights.remove(key);
+            if let Ok(plan) = &result {
+                self.insert_locked(&mut shard, key.clone(), plan.clone());
+            }
+        }
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        flight.publish(result);
+    }
+
+    /// Applies a link delta — failures or capacity changes, given as
+    /// `(src, dst)` node-id endpoint pairs, matched in either direction
+    /// — to the cached plans.
+    ///
+    /// Via the link→plans index this visits **only** plans whose
+    /// topology contains an affected link (O(affected), not a cache
+    /// scan, and never a cold cache): a plan routing nonzero
+    /// [`RoutePlan::link_demands`] over an affected link is evicted;
+    /// survivors are kept only while their [`DeadlockCertificate`]
+    /// still [`DeadlockCertificate::verify`]s. In-flight solves are
+    /// untouched (they land after the delta and re-solve on the next
+    /// request if affected).
+    pub fn invalidate(&self, links: &[(u32, u32)]) -> InvalidateOutcome {
+        let mut outcome = InvalidateOutcome::default();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("plan cache poisoned");
+            let mut affected: Vec<PlanKey> = Vec::new();
+            for &(a, b) in links {
+                for pair in [(a, b), (b, a)] {
+                    if let Some(keys) = shard.link_index.get(&pair) {
+                        for key in keys {
+                            if !affected.contains(key) {
+                                affected.push(key.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            for key in affected {
+                let Some(entry) = shard.entries.get(&key) else {
+                    continue;
+                };
+                outcome.examined += 1;
+                let plan = &entry.plan;
+                let topo = plan.topology();
+                let demands_affected = links.iter().any(|&(a, b)| {
+                    [(a, b), (b, a)].iter().any(|&(src, dst)| {
+                        topo.find_link(bsor_topology::NodeId(src), bsor_topology::NodeId(dst))
+                            .is_some_and(|l| plan.link_demands[l.index()] > 0.0)
+                    })
+                });
+                let keep = !demands_affected && plan.certificate().verify(plan.routes());
+                if keep {
+                    outcome.recertified += 1;
+                    self.recertified.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shard.remove(&key);
+                    outcome.evicted += 1;
+                    self.evicted_invalidated.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        outcome
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("plan cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache poisoned").entries.len())
+            .sum()
     }
 
     /// True when nothing is cached.
@@ -422,9 +861,39 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Drops every cached plan.
+    /// Drops every cached plan (in-flight solves finish and re-insert).
     pub fn clear(&self) {
-        self.map.lock().expect("plan cache poisoned").clear();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("plan cache poisoned");
+            shard.entries.clear();
+            shard.link_index.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /// A snapshot of the cache's counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let (mut plans, mut bytes) = (0u64, 0u64);
+        for shard in &self.shards {
+            let shard = shard.lock().expect("plan cache poisoned");
+            plans += shard.entries.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evicted_lru: self.evicted_lru.load(Ordering::Relaxed),
+            evicted_invalidated: self.evicted_invalidated.load(Ordering::Relaxed),
+            recertified: self.recertified.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            solves: self.solves.load(Ordering::Relaxed),
+            solve_ns_total: self.solve_ns_total.load(Ordering::Relaxed),
+            solve_ns_max: self.solve_ns_max.load(Ordering::Relaxed),
+            plans,
+            bytes,
+        }
     }
 }
 
@@ -486,6 +955,13 @@ impl Planner {
     /// Plans `algorithm` on `scenario`: cache lookup first, then the
     /// full select → validate → certify (Lemma 1) → compile pipeline.
     ///
+    /// With a cache attached the lookup is *single-flight*: concurrent
+    /// first requests for the same [`PlanKey`] block on one solver
+    /// instead of re-solving — the followers count as
+    /// [`PlanStats::cache_hits`] (and [`CacheStats::dedup_waits`]) when
+    /// the leader succeeds. A leader's error is broadcast to its
+    /// followers but never cached, so the next request retries.
+    ///
     /// # Errors
     ///
     /// Any [`PlanError`]: selection failure, malformed routes, or a
@@ -496,18 +972,30 @@ impl Planner {
         algorithm: &dyn RouteAlgorithm,
     ) -> Result<Arc<RoutePlan>, PlanError> {
         let key = PlanKey::new(scenario, &algorithm.cache_key());
-        if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.get(&key) {
+        let Some(cache) = &self.cache else {
+            self.solves.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(build_plan(scenario, algorithm, key.id())?));
+        };
+        match cache.join(&key) {
+            Joined::Hit(plan) => {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit);
+                Ok(plan)
+            }
+            Joined::Follower(flight) => {
+                let result = flight.wait();
+                if result.is_ok() {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                result
+            }
+            Joined::Leader(flight) => {
+                self.solves.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                let result = build_plan(scenario, algorithm, key.id()).map(Arc::new);
+                cache.complete(&key, &flight, result.clone(), start.elapsed());
+                result
             }
         }
-        self.solves.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(build_plan(scenario, algorithm, key.id())?);
-        if let Some(cache) = &self.cache {
-            cache.insert(key, plan.clone());
-        }
-        Ok(plan)
     }
 }
 
@@ -640,6 +1128,7 @@ pub struct Evaluation {
 
 /// Why an [`Evaluator`] could not produce an [`Evaluation`].
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum EvalError {
     /// The simulator rejected the evaluation point (bad rate,
     /// inconsistent traffic, …).

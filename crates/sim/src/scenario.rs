@@ -17,7 +17,7 @@
 //!
 //! ```
 //! use bsor_routing::Baseline;
-//! use bsor_sim::{RouteAlgorithm, Scenario, SimConfig};
+//! use bsor_sim::{Evaluator, RouteAlgorithm, Scenario, SimConfig, SimEvaluator};
 //! use bsor_flow::FlowSet;
 //! use bsor_topology::Topology;
 //!
@@ -27,12 +27,13 @@
 //! flows.push(mesh.node_at(0, 0).unwrap(), mesh.node_at(3, 3).unwrap(), 25.0);
 //! let scenario = Scenario::builder(mesh, flows).vcs(2).build()?;
 //! let config = SimConfig::new(2).with_warmup(100).with_measurement(1_000);
-//! let report = scenario
+//! let experiment = scenario
 //!     .experiment(&Baseline::XY)
 //!     .config(config)
-//!     .rate(0.05)
-//!     .run()?;
-//! assert!(report.delivered_packets > 0);
+//!     .rate(0.05);
+//! let plan = experiment.plan()?;
+//! let evaluation = SimEvaluator::new().evaluate(&plan, &experiment.eval_point())?;
+//! assert!(evaluation.delivered > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -101,6 +102,7 @@ pub struct ScenarioCtx<'a> {
 
 /// Why a [`RouteAlgorithm`] could not produce routes.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum AlgorithmError {
     /// A route selector failed (unroutable flow, missing VCs, MILP).
     Select(SelectError),
@@ -275,6 +277,7 @@ impl RouteAlgorithm for MilpSelector {
 
 /// Errors from the scenario/experiment pipeline.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum ExperimentError {
     /// The flow set failed validation against the topology.
     InvalidFlows(FlowSetError),
@@ -730,6 +733,11 @@ impl<'a> Experiment<'a> {
     /// # Errors
     ///
     /// Any [`ExperimentError`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "plan once with `Planner::plan` and evaluate with `SimEvaluator` \
+                (`Experiment::plan` + `Experiment::eval_point` bridge directly)"
+    )]
     pub fn run(&self) -> Result<SimReport, ExperimentError> {
         let plan = self.plan()?;
         let (report, _timing) = crate::plan::SimEvaluator::new()
@@ -748,6 +756,11 @@ impl<'a> Experiment<'a> {
     /// # Errors
     ///
     /// [`ExperimentError::Sim`] when the simulator rejects the inputs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "share an `Arc<RoutePlan>` (`Experiment::plan`) and evaluate with \
+                `SimEvaluator` — this entry point recompiles the node tables per call"
+    )]
     pub fn run_routes(&self, routes: &RouteSet) -> Result<SimReport, ExperimentError> {
         let mut traffic = TrafficSpec::proportional(&self.scenario.flows, self.rate);
         if let Some(v) = self.variation {
@@ -890,6 +903,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // shim regression coverage until removal
     fn experiment_runs_end_to_end() {
         let topo = Topology::mesh2d(4, 4);
         let flows = mesh_flows(&topo);
@@ -910,6 +924,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // shim regression coverage until removal
     fn experiment_reuses_routes_across_rates() {
         let topo = Topology::mesh2d(4, 4);
         let flows = mesh_flows(&topo);

@@ -73,6 +73,7 @@ impl Workload {
 
 /// Why a workload could not be instantiated on a topology.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum WorkloadError {
     /// Bit-permutation patterns need a square mesh.
     NotSquare,

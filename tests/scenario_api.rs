@@ -8,7 +8,7 @@
 use bsor::{AlgorithmRegistry, BsorAlgorithm, Scenario, TopologyRegistry, WorkloadRegistry};
 use bsor_repro::flow::FlowSet;
 use bsor_repro::routing::deadlock;
-use bsor_repro::sim::{AlgorithmError, ExperimentError, SimConfig};
+use bsor_repro::sim::{AlgorithmError, Evaluator, ExperimentError, SimConfig, SimEvaluator};
 use bsor_repro::topology::{NodeId, Topology};
 
 /// Smoke-size dimensions per registered topology family.
@@ -106,14 +106,18 @@ fn algorithm_registry_round_trips_through_an_experiment() {
     let scenario = Scenario::builder(topo, flows).vcs(2).build().expect("ok");
     for name in names {
         let algorithm = algorithms.get(name).expect("listed names resolve");
-        let report = scenario
+        let experiment = scenario
             .experiment(algorithm)
             .config(SimConfig::new(2).with_warmup(100).with_measurement(500))
-            .rate(0.2)
-            .run()
+            .rate(0.2);
+        let plan = experiment
+            .plan()
+            .unwrap_or_else(|e| panic!("{name} failed to plan: {e}"));
+        let evaluation = SimEvaluator::new()
+            .evaluate(&plan, &experiment.eval_point())
             .unwrap_or_else(|e| panic!("{name} failed the pipeline: {e}"));
-        assert!(!report.deadlocked, "{name} deadlocked in simulation");
-        assert!(report.delivered_packets > 0, "{name} delivered nothing");
+        assert!(!evaluation.deadlocked, "{name} deadlocked in simulation");
+        assert!(evaluation.delivered > 0, "{name} delivered nothing");
     }
 }
 

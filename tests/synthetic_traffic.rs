@@ -7,7 +7,9 @@
 
 use bsor::{AlgorithmRegistry, Scenario, WorkloadRegistry};
 use bsor_repro::routing::deadlock;
-use bsor_repro::sim::{BurstyOnOff, ExperimentError, PhaseSchedule, SimConfig};
+use bsor_repro::sim::{
+    BurstyOnOff, Evaluator, ExperimentError, PhaseSchedule, SimConfig, SimEvaluator,
+};
 use bsor_repro::topology::Topology;
 use proptest::prelude::*;
 
@@ -89,17 +91,19 @@ fn bursty_and_phased_traffic_run_through_the_experiment_pipeline() {
         .expect("builds");
     let xy = algorithms.get("xy").expect("registered");
     let config = SimConfig::new(2).with_warmup(200).with_measurement(2_000);
-    let report = scenario
+    let experiment = scenario
         .experiment(xy)
         .config(config)
         .rate(0.2)
         .burst(BurstyOnOff::new(30.0, 90.0))
-        .phases(PhaseSchedule::from_pairs([(400, 1.5), (400, 0.5)]))
-        .run()
+        .phases(PhaseSchedule::from_pairs([(400, 1.5), (400, 0.5)]));
+    let plan = experiment.plan().expect("hotspot plans");
+    let evaluation = SimEvaluator::new()
+        .evaluate(&plan, &experiment.eval_point())
         .expect("bursty phased hotspot simulates");
-    assert!(!report.deadlocked);
-    assert!(report.delivered_packets > 0);
-    assert!(report.p99_latency().expect("delivers") >= report.p50_latency().expect("delivers"));
+    assert!(!evaluation.deadlocked);
+    assert!(evaluation.delivered > 0);
+    assert!(evaluation.p99_latency.expect("delivers") >= evaluation.p50_latency.expect("delivers"));
 }
 
 proptest! {
