@@ -15,8 +15,12 @@
 //!
 //!   --quick                 reduced CI smoke grid (2 workloads, 3 algos, 3 rates)
 //!   --mesh WxH[,WxH...]     mesh sizes                     (default 8x8)
-//!   --topo n:WxH[,...]      topology axis entries by registry name
-//!                           (mesh:8x8, torus:4x4, ring:8x1, hypercube:4x2)
+//!   --topo spec[,...]       topology axis entries: registry name plus grid
+//!                           dims (mesh:8x8, torus:4x4, ring:8x1,
+//!                           hypercube:4x2) or a family/file spec
+//!                           (dragonfly:2,3,2 — commas inside an entry bind
+//!                           to the family, fattree:4, fullmesh:8,
+//!                           file:assets/topologies/wan5.topo)
 //!   --workloads a,b|all     workload specs: registry names or parameterized
 //!                           specs like hotspot:4 / rand-perm:42
 //!                           (default: the paper's six; all = every exact name)
@@ -42,7 +46,7 @@
 //!   --out PATH              output path                    (default BENCH_sweep.json)
 //!   --no-timings            zero wall-clock fields (byte-identical reruns)
 //!   --list                  print the expanded grid and exit
-//!   --list-topologies       print registered topology names and exit
+//!   --list-topologies       print topology names and family specs and exit
 //!   --list-workloads        print workload names and family specs and exit
 //!   --list-algorithms       print registered algorithm names and exit
 //! ```
@@ -100,16 +104,48 @@ fn parse_mesh(s: &str) -> Result<TopoSpec, String> {
     Ok(TopoSpec::mesh(w, h))
 }
 
-/// `name:WxH` (bare `WxH` means `mesh:WxH`).
-fn parse_topo(s: &str) -> Result<TopoSpec, String> {
+/// Splits a `--topo` list on commas, re-attaching purely numeric
+/// segments to the previous entry so family arguments like
+/// `dragonfly:2,3,2` survive the list syntax (a bare number is never a
+/// valid entry on its own).
+fn split_topo_list(raw: &str) -> Vec<String> {
+    let mut entries: Vec<String> = Vec::new();
+    for seg in raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match entries.last_mut() {
+            Some(last) if !seg.is_empty() && seg.bytes().all(|b| b.is_ascii_digit()) => {
+                last.push(',');
+                last.push_str(seg);
+            }
+            _ => entries.push(seg.to_owned()),
+        }
+    }
+    entries
+}
+
+/// One `--topo` entry: `name:WxH` (bare `WxH` means `mesh:WxH`), or a
+/// registry family/file spec (`dragonfly:2,3,2`, `fattree:4`,
+/// `fullmesh:8`, `file:<path>`). Family and file specs are resolved
+/// eagerly so a malformed spec — unparsable parameters, a missing or
+/// syntactically invalid topology file — fails argument parsing with
+/// exit code 1 and the registry's typed message instead of surfacing
+/// later as a per-case error.
+fn parse_topo(s: &str, regs: &SweepRegistries) -> Result<TopoSpec, String> {
     match s.split_once(':') {
         None => parse_mesh(s),
-        Some((name, dims)) => {
+        Some((name, rest)) => {
             if name.is_empty() {
                 return Err(format!("topology '{s}' has an empty name"));
             }
-            let (w, h) = parse_dims(dims)?;
-            Ok(TopoSpec::new(name, w, h))
+            if let Ok((w, h)) = parse_dims(rest) {
+                // Unknown grid names stay per-case errors (the sweep
+                // records them in the JSON), preserving the historical
+                // name:WxH behavior.
+                return Ok(TopoSpec::new(name, w, h));
+            }
+            match regs.topologies.build_spec(s) {
+                Ok(_) => Ok(TopoSpec::from_spec(s)),
+                Err(e) => Err(e.to_string()),
+            }
         }
     }
 }
@@ -126,7 +162,15 @@ fn usage(regs: &SweepRegistries) {
     println!("         --engine-threads N --no-fast-forward");
     println!("         --out PATH --no-timings --list --list-topologies");
     println!("         --list-workloads --list-algorithms --help");
-    println!("topologies: {}", regs.topologies.names().join(", "));
+    println!(
+        "topologies: {}",
+        regs.topologies
+            .names()
+            .into_iter()
+            .chain(regs.topologies.family_specs())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!(
         "workloads: {}",
         regs.workloads
@@ -173,7 +217,12 @@ fn parse_args(
         match arg.as_str() {
             "--quick" => {}
             "--mesh" => spec.topologies = parse_list(&value("--mesh")?, parse_mesh)?,
-            "--topo" => spec.topologies = parse_list(&value("--topo")?, parse_topo)?,
+            "--topo" => {
+                spec.topologies = split_topo_list(&value("--topo")?)
+                    .iter()
+                    .map(|s| parse_topo(s, regs))
+                    .collect::<Result<_, _>>()?;
+            }
             "--workloads" => {
                 let raw = value("--workloads")?;
                 spec.workloads = if raw == "all" {
@@ -327,6 +376,9 @@ fn main() -> ExitCode {
         ListMode::Topologies => {
             for name in regs.topologies.names() {
                 println!("{name}");
+            }
+            for spec in regs.topologies.family_specs() {
+                println!("{spec}");
             }
             return ExitCode::SUCCESS;
         }

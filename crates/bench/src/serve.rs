@@ -19,7 +19,7 @@
 //! response   = { "id": any, "ok": true,  "result": object }
 //!            | { "id": any, "ok": false, "error": { "code": string, "message": string } }
 //!
-//! plan       = { "op": "plan", "topology"?: name, "width"?: int, "height"?: int,
+//! plan       = { "op": "plan", "topology"?: name | spec, "width"?: int, "height"?: int,
 //!                "workload": spec, "algorithm": name, "vcs"?: int }
 //! evaluate   = plan fields + { "op": "evaluate", "rate": number,
 //!                "backend"?: "static" | "sim", "warmup"?: int, "measurement"?: int,
@@ -30,7 +30,11 @@
 //!
 //! Topology names, workload specs and algorithm names resolve through
 //! the same [`SweepRegistries`] the sweep CLI uses (`bsor-sweep
-//! --list-*` enumerates them). Malformed input of any kind — bad JSON,
+//! --list-*` enumerates them). A `topology` value containing `:` is a
+//! full registry spec (`dragonfly:2,3,2`, `fattree:4`, `fullmesh:8`,
+//! `file:<path>`) resolved through `TopologyRegistry::build_spec`,
+//! ignoring `width`/`height`; a bare name keeps the historical
+//! name + dims path. Malformed input of any kind — bad JSON,
 //! missing fields, unknown names — produces a typed [`ServeError`]
 //! response on the same line, never a panic and never a dropped
 //! connection.
@@ -318,11 +322,12 @@ impl PlanService {
         if let Some(hit) = self.scenarios.lock().expect("memo poisoned").get(&key) {
             return Ok(hit.clone());
         }
-        let topo = self
-            .regs
-            .topologies
-            .build(&key.0, key.1, key.2)
-            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        let topo = if key.0.contains(':') {
+            self.regs.topologies.build_spec(&key.0)
+        } else {
+            self.regs.topologies.build(&key.0, key.1, key.2)
+        }
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
         let workload = self.regs.workloads.build(&topo, &key.3)?;
         let scenario = Arc::new(
             Scenario::builder(topo, workload.flows)

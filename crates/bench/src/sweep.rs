@@ -70,7 +70,8 @@ impl SweepRegistries {
     }
 }
 
-/// One topology axis entry: a registry name plus grid dimensions.
+/// One topology axis entry: a registry name plus grid dimensions, or a
+/// full registry spec string (`dragonfly:2,3,2`, `file:assets/...`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TopoSpec {
     /// Registry name (`mesh`, `torus`, `ring`, `hypercube`, …).
@@ -78,6 +79,10 @@ pub struct TopoSpec {
     /// Grid dimensions handed to the factory (non-grid families
     /// reinterpret them; see `bsor_topology::registry`).
     pub dims: (u16, u16),
+    /// When set, the full spec string resolved through
+    /// `TopologyRegistry::build_spec` instead of `name`/`dims` — the
+    /// family-generator and file-loader path.
+    pub spec: Option<String>,
 }
 
 impl TopoSpec {
@@ -86,6 +91,7 @@ impl TopoSpec {
         TopoSpec {
             name: "mesh".to_owned(),
             dims: (width, height),
+            spec: None,
         }
     }
 
@@ -94,12 +100,27 @@ impl TopoSpec {
         TopoSpec {
             name: name.into(),
             dims: (width, height),
+            spec: None,
+        }
+    }
+
+    /// A full-spec entry (`dragonfly:2,3,2`, `fattree:4`, `fullmesh:8`,
+    /// `file:<path>`), resolved through `TopologyRegistry::build_spec`.
+    pub fn from_spec(spec: impl Into<String>) -> TopoSpec {
+        TopoSpec {
+            name: String::new(),
+            dims: (0, 0),
+            spec: Some(spec.into()),
         }
     }
 
     /// Display label: bare `WxH` for meshes (schema compatibility with
-    /// the original mesh-only grid), `name:WxH` for everything else.
+    /// the original mesh-only grid), `name:WxH` for named grid entries,
+    /// and the raw spec string for full-spec entries.
     pub fn label(&self) -> String {
+        if let Some(spec) = &self.spec {
+            return spec.clone();
+        }
         let (w, h) = self.dims;
         if self.name == "mesh" {
             format!("{w}x{h}")
@@ -447,8 +468,14 @@ fn failed_case(case: &Case, error: String) -> CaseResult {
 
 fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries, planner: &Planner) -> CaseResult {
     let started = Instant::now();
-    let (w, h) = case.topo.dims;
-    let topo = match regs.topologies.build(&case.topo.name, w, h) {
+    let built = match &case.topo.spec {
+        Some(spec) => regs.topologies.build_spec(spec),
+        None => {
+            let (w, h) = case.topo.dims;
+            regs.topologies.build(&case.topo.name, w, h)
+        }
+    };
+    let topo = match built {
         Ok(t) => t,
         Err(e) => return failed_case(case, e.to_string()),
     };
@@ -1036,6 +1063,36 @@ mod tests {
     fn mesh_labels_stay_schema_compatible() {
         assert_eq!(TopoSpec::mesh(8, 8).label(), "8x8");
         assert_eq!(TopoSpec::new("hypercube", 4, 2).label(), "hypercube:4x2");
+        assert_eq!(
+            TopoSpec::from_spec("dragonfly:2,3,2").label(),
+            "dragonfly:2,3,2"
+        );
+    }
+
+    #[test]
+    fn family_spec_entries_sweep_end_to_end() {
+        let mut spec = tiny_spec();
+        spec.topologies = vec![
+            TopoSpec::from_spec("dragonfly:2,3,2"),
+            TopoSpec::from_spec("fullmesh:8"),
+            TopoSpec::from_spec("fattree:nope"),
+        ];
+        // uniform-random works on any node count; the grid walkers
+        // would report typed RequiresGrid errors here instead.
+        spec.workloads = vec!["uniform-random".into()];
+        spec.algorithms = vec!["bsor-dijkstra".into()];
+        spec.rates = vec![0.1];
+        let results = run_grid(&spec, 2);
+        assert_eq!(results.len(), 3);
+        for r in &results[..2] {
+            assert!(r.error.is_none(), "{}: {:?}", r.case.topo.label(), r.error);
+            assert!(r.mcl.unwrap() > 0.0);
+        }
+        assert!(results[2]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("bad topology spec"));
     }
 
     #[test]

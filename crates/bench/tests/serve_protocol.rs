@@ -88,6 +88,64 @@ fn binary_answers_good_bad_and_malformed_requests_deterministically() {
 }
 
 #[test]
+fn file_loaded_topology_plans_evaluates_and_invalidates() {
+    let spec = concat!(
+        "file:",
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../assets/topologies/wan5.topo"
+    );
+    let plan = format!(
+        r#"{{"id":1,"op":"plan","topology":"{spec}","workload":"uniform-random","algorithm":"bsor-dijkstra","vcs":1}}"#
+    );
+    let script = format!(
+        concat!(
+            "{plan}\n",
+            "{plan}\n",
+            r#"{{"id":3,"op":"evaluate","topology":"{spec}","workload":"uniform-random","algorithm":"bsor-dijkstra","vcs":1,"rate":0.1}}"#,
+            "\n",
+            r#"{{"id":4,"op":"invalidate","links":[[0,1]]}}"#,
+            "\n",
+            "{plan}\n",
+            r#"{{"id":6,"op":"plan","topology":"file:assets/topologies/missing.topo","workload":"uniform-random","algorithm":"bsor-dijkstra"}}"#,
+            "\n",
+            r#"{{"id":7,"op":"stats"}}"#,
+            "\n",
+        ),
+        plan = plan,
+        spec = spec,
+    );
+    let first = run_binary(&script);
+    assert_eq!(first.len(), 7, "one response line per request line");
+    let parsed: Vec<Json> = first
+        .iter()
+        .map(|line| Json::parse(line).expect("every response is valid JSON"))
+        .collect();
+    let ok = |i: usize| parsed[i].get("ok") == Some(&Json::Bool(true));
+    assert!(ok(0) && ok(1) && ok(2) && ok(3) && ok(4) && ok(6));
+    assert_eq!(first[0], first[1], "the cache hit answers byte-identically");
+    assert!(
+        !ok(5),
+        "a missing topology file is a typed per-request error"
+    );
+    assert_eq!(
+        parsed[5]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad-request")
+    );
+    let stats = parsed[6].get("result").expect("stats result");
+    assert_eq!(
+        stats.get("solves").and_then(Json::as_u64),
+        Some(2),
+        "the invalidate forced exactly one re-solve of the file topology"
+    );
+    // Same stream, byte-identical responses — file-loaded topologies keep
+    // the determinism contract.
+    assert_eq!(first, run_binary(&script));
+}
+
+#[test]
 fn tcp_clients_share_one_plan_cache() {
     let service = Arc::new(PlanService::new(ServeConfig {
         timings: false,

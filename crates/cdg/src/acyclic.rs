@@ -190,6 +190,71 @@ impl AcyclicCdg {
             .expect("priority-increasing edges cannot form a cycle")
     }
 
+    /// Derives an acyclic CDG from an up*/down* spanning-tree order — the
+    /// VC-free escape ordering for arbitrary graphs (no grid directions
+    /// required).
+    ///
+    /// A BFS tree rooted at node 0 orders nodes by `(depth, id)`;
+    /// channels pointing toward a smaller key are *up*, all others
+    /// *down*, and every dependence edge from a down channel to an up
+    /// channel is removed (on every VC layer). Kept edges strictly
+    /// increase the channel order `up: K_max - key(head)`,
+    /// `down: K_max + 1 + key(head)`, so the result is acyclic by
+    /// construction. On symmetric topologies every node pair stays
+    /// routable — climb the tree to the common ancestor, then descend —
+    /// even with a single virtual channel; on asymmetric graphs some
+    /// pairs may lose all conforming routes (route selection reports
+    /// that as a typed error, and
+    /// `bsor_routing::deadlock::certify_arbitrary` refutes such graphs
+    /// where no deadlock-free alternative exists).
+    ///
+    /// # Errors
+    ///
+    /// [`CdgError::NoVirtualChannels`] when `vcs == 0`.
+    pub fn up_down(topo: &Topology, vcs: u8) -> Result<Self, CdgError> {
+        if vcs == 0 {
+            return Err(CdgError::NoVirtualChannels);
+        }
+        let n = topo.num_nodes();
+        let mut depth = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        depth[0] = 0;
+        queue.push_back(0usize);
+        while let Some(x) = queue.pop_front() {
+            for &l in topo.out_links(NodeId(x as u32)) {
+                let y = topo.link(l).dst.index();
+                if depth[y] == usize::MAX {
+                    depth[y] = depth[x] + 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        let mut by_key: Vec<usize> = (0..n).collect();
+        by_key.sort_by_key(|&i| (depth[i], i));
+        let mut pos = vec![0u32; n];
+        for (p, &i) in by_key.iter().enumerate() {
+            pos[i] = p as u32;
+        }
+        let up = |link: bsor_topology::LinkId| {
+            let l = topo.link(link);
+            pos[l.dst.index()] < pos[l.src.index()]
+        };
+        let mut cdg = Cdg::build(topo, vcs);
+        let before = cdg.graph().edge_count();
+        let doomed: Vec<_> = cdg
+            .graph()
+            .edges()
+            .filter(|&(_, s, d, _)| !up(cdg.vertex(s).link) && up(cdg.vertex(d).link))
+            .map(|(id, _, _, _)| id)
+            .collect();
+        for e in doomed {
+            cdg.graph_mut().remove_edge(e);
+        }
+        let removed = before - cdg.graph().edge_count();
+        Ok(AcyclicCdg::try_new(cdg, "up-down", removed)
+            .expect("down-to-up edge removal leaves a rank-monotone graph"))
+    }
+
     /// Derives a multi-VC acyclic CDG in which a packet may take *any*
     /// turn provided it climbs to a strictly higher virtual channel, while
     /// same-VC moves must respect `model` (paper Figure 3-6(c): "all turns
@@ -452,6 +517,53 @@ mod tests {
         assert_eq!(
             AcyclicCdg::ad_hoc_routable(&ring, 1, 0).unwrap_err(),
             CdgError::NotAGrid
+        );
+    }
+
+    #[test]
+    fn up_down_is_acyclic_on_every_topology_family() {
+        for topo in [
+            Topology::mesh2d(3, 3),
+            Topology::torus2d(4, 4),
+            Topology::ring(6),
+            bsor_topology::full_mesh(5).expect("valid"),
+            bsor_topology::dragonfly(2, 3, 2).expect("valid"),
+            bsor_topology::fat_tree(4).expect("valid"),
+        ] {
+            let a = AcyclicCdg::up_down(&topo, 1).expect("vcs > 0");
+            assert!(algo::is_acyclic(a.graph()), "{:?}", topo.kind());
+        }
+    }
+
+    #[test]
+    fn up_down_keeps_all_pairs_routable_on_symmetric_graphs() {
+        // The VC-free escape property: even at one VC, climbing the BFS
+        // tree and descending reaches every destination.
+        for topo in [
+            Topology::torus2d(3, 3),
+            bsor_topology::fat_tree(4).expect("valid"),
+            bsor_topology::dragonfly(2, 3, 2).expect("valid"),
+        ] {
+            let a = AcyclicCdg::up_down(&topo, 1).expect("vcs > 0");
+            for s in topo.node_ids() {
+                let hops = algo::bfs_hops(a.graph(), &a.sources_for(s));
+                for d in topo.node_ids() {
+                    if s == d {
+                        continue;
+                    }
+                    let ok = a.sinks_for(d).iter().any(|v| hops[v.index()] != usize::MAX);
+                    assert!(ok, "{:?}: {s} cannot reach {d}", topo.kind());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up_down_needs_a_virtual_channel() {
+        let t = Topology::ring(4);
+        assert_eq!(
+            AcyclicCdg::up_down(&t, 0).unwrap_err(),
+            CdgError::NoVirtualChannels
         );
     }
 

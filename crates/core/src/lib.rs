@@ -84,6 +84,10 @@ pub enum CdgStrategy {
         /// RNG seed.
         seed: u64,
     },
+    /// Up*/down* spanning-tree escape ordering: works on any topology
+    /// and keeps every pair routable on symmetric graphs even at one
+    /// VC (the VC-free escape path for arbitrary graphs).
+    UpDown,
     /// Turn model plus "any turn when climbing to a higher VC".
     EscalatingVc(TurnModel),
     /// Independent per-VC virtual networks.
@@ -106,6 +110,7 @@ impl CdgStrategy {
             },
             CdgStrategy::AdHoc { seed } => vec![AcyclicCdg::ad_hoc_routable(topo, vcs, *seed)],
             CdgStrategy::AdHocAny { seed } => vec![Ok(AcyclicCdg::ad_hoc(topo, vcs, *seed))],
+            CdgStrategy::UpDown => vec![AcyclicCdg::up_down(topo, vcs)],
             CdgStrategy::EscalatingVc(m) => vec![AcyclicCdg::escalating_vc(topo, vcs, m)],
             CdgStrategy::VirtualNetworks(layers) => {
                 vec![AcyclicCdg::virtual_networks(topo, layers)]

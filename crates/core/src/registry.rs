@@ -103,11 +103,22 @@ impl RouteAlgorithm for BsorAlgorithm {
             // unprotected ad-hoc CDGs (some seeds disconnect pairs —
             // exploring several finds usable ones, and failures are
             // recorded per CDG).
-            builder = builder.strategies(
-                (0..AD_HOC_ANY_SEEDS)
-                    .map(|seed| CdgStrategy::AdHocAny { seed })
-                    .collect(),
-            );
+            let mut strategies: Vec<CdgStrategy> = (0..AD_HOC_ANY_SEEDS)
+                .map(|seed| CdgStrategy::AdHocAny { seed })
+                .collect();
+            if matches!(
+                ctx.topo.kind(),
+                TopologyKind::Dragonfly
+                    | TopologyKind::FatTree
+                    | TopologyKind::FullMesh
+                    | TopologyKind::Arbitrary
+            ) {
+                // Arbitrary-graph families additionally explore the
+                // up*/down* escape ordering, which keeps every pair
+                // routable on symmetric graphs even at one VC.
+                strategies.push(CdgStrategy::UpDown);
+            }
+            builder = builder.strategies(strategies);
         }
         builder
             .selector(self.selector.clone())
@@ -274,6 +285,29 @@ mod tests {
                 .select_routes(&BsorAlgorithm::dijkstra())
                 .expect("ad-hoc exploration routes it");
             assert!(deadlock::is_deadlock_free(scenario.topology(), &routes, 2));
+        }
+    }
+
+    #[test]
+    fn bsor_algorithm_routes_arbitrary_graph_families_on_one_vc() {
+        // The up*/down* strategy guarantees a usable CDG even at a
+        // single VC, where unprotected ad-hoc breaking often strands
+        // pairs.
+        for topo in [
+            bsor_topology::dragonfly(2, 3, 2).expect("valid"),
+            bsor_topology::fat_tree(4).expect("valid"),
+            bsor_topology::full_mesh(6).expect("valid"),
+        ] {
+            let mut flows = FlowSet::new();
+            let n = topo.num_nodes() as u32;
+            for i in 0..n {
+                flows.push(NodeId(i), NodeId((i + n / 2) % n), 10.0);
+            }
+            let scenario = Scenario::builder(topo, flows).vcs(1).build().expect("ok");
+            let routes = scenario
+                .select_routes(&BsorAlgorithm::dijkstra())
+                .expect("up*/down* exploration routes it");
+            assert!(deadlock::is_deadlock_free(scenario.topology(), &routes, 1));
         }
     }
 

@@ -181,6 +181,228 @@ pub fn is_deadlock_free(topo: &Topology, routes: &RouteSet, vcs: u8) -> bool {
     analyze(topo, routes, vcs).is_free()
 }
 
+/// Whether a deadlock-free *all-pairs* routing exists on `topo` with a
+/// single virtual channel — the arbitrary-network existence question,
+/// answered by [`certify_arbitrary`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArbitraryCertification {
+    /// A witness order exists: `rank[link index]` is a channel order
+    /// under which every ordered node pair is routable along strictly
+    /// rank-increasing channels (no 180° turns), so Lemma 1 certifies
+    /// any routing that follows the order.
+    Certified {
+        /// One rank per directed channel, indexed by link index.
+        rank: Vec<u32>,
+    },
+    /// Provably impossible: the listed channels (by link index, in
+    /// cycle order) are *mandatory* for node pairs that chain head to
+    /// tail, forcing a dependence cycle into every all-pairs routing.
+    Refuted {
+        /// Link indices forming the mandatory-dependence cycle.
+        cycle: Vec<usize>,
+    },
+    /// Neither a refutation nor a witness was found (the up*/down*
+    /// witness construction is incomplete on asymmetric graphs).
+    Inconclusive,
+}
+
+impl ArbitraryCertification {
+    /// True when a witness order was found.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, ArbitraryCertification::Certified { .. })
+    }
+
+    /// True when deadlock-free all-pairs routing is provably impossible.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, ArbitraryCertification::Refuted { .. })
+    }
+}
+
+/// Decides (up to an honest `Inconclusive`) whether `topo` admits a
+/// deadlock-free all-pairs routing on **one** virtual channel — the
+/// existence condition for arbitrary networks, beside the per-route-set
+/// Lemma-1 check of [`certify`].
+///
+/// Two halves:
+///
+/// 1. **Refutation** (a necessary condition): channel `c` is
+///    *mandatory* for the pair `(u, v)` when every `u → v` path uses
+///    `c`. If `c1` is mandatory for `(u, v)` and `c2` is mandatory for
+///    `(head(c1), v)`, every routing's `u → v` route uses `c1` and
+///    later `c2`, so any acyclic induced CDG must rank
+///    `c1` before `c2`. A cycle among these forced precedences is a
+///    proof that *no* deadlock-free all-pairs routing exists (e.g. a
+///    unidirectional ring).
+/// 2. **Witness** (a sufficient condition): an up*/down* channel order
+///    from a BFS spanning tree rooted at node 0 — channels toward
+///    smaller `(depth, id)` keys are "up", ranked before all "down"
+///    channels; a monotone-reachability sweep then verifies every
+///    ordered pair is routable along strictly rank-increasing channels
+///    without 180° turns. On symmetric connected topologies the tree
+///    paths themselves are such routes, so the check passes by
+///    construction.
+///
+/// Strongly connected graphs that pass neither test report
+/// [`ArbitraryCertification::Inconclusive`]; graphs that are not
+/// strongly connected (no constructor in this workspace produces one)
+/// are also reported `Inconclusive` rather than analyzed.
+pub fn certify_arbitrary(topo: &Topology) -> ArbitraryCertification {
+    let n = topo.num_nodes();
+    let nl = topo.num_links();
+
+    // BFS over out-channels from `u`, skipping channel `skip`
+    // (`usize::MAX` to skip nothing, or follow in-channels instead to
+    // test reverse reachability).
+    let reach = |u: usize, skip: usize, reversed: bool| -> Vec<bool> {
+        let mut reached = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        reached[u] = true;
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            let node = bsor_topology::NodeId(x as u32);
+            let channels = if reversed {
+                topo.in_links(node)
+            } else {
+                topo.out_links(node)
+            };
+            for &l in channels {
+                if l.index() == skip {
+                    continue;
+                }
+                let link = topo.link(l);
+                let y = if reversed { link.src } else { link.dst }.index();
+                if !reached[y] {
+                    reached[y] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        reached
+    };
+
+    // The mandatory-channel analysis below reads "v unreachable" as
+    // "channel c is unavoidable", which is only meaningful when every
+    // pair is routable to begin with.
+    let forward = reach(0, usize::MAX, false);
+    let backward = reach(0, usize::MAX, true);
+    if forward.iter().any(|&ok| !ok) || backward.iter().any(|&ok| !ok) {
+        return ArbitraryCertification::Inconclusive;
+    }
+
+    // reach_without[c][u][v]: is v reachable from u avoiding channel c?
+    // One BFS per (channel, source); sizes here are NoC- or WAN-scale,
+    // so the cubic-ish sweep stays cheap.
+    let reach_without: Vec<Vec<Vec<bool>>> = (0..nl)
+        .map(|c| (0..n).map(|u| reach(u, c, false)).collect())
+        .collect();
+
+    // Forced precedences: c1 ≺ c2 when, for some destination v, c1 is
+    // mandatory from tail(c1) (every tail(c1) → v path uses c1 — and
+    // then c1 is mandatory from *any* source whose paths to v exist,
+    // since a c1-free prefix would splice onto a c1-free tail) and c2
+    // is mandatory from head(c1): the route that must use c1 must then
+    // also use c2 afterwards, so an acyclic induced CDG has to rank c1
+    // before c2.
+    let mut constraints: DiGraph<usize, ()> = DiGraph::with_capacity(nl, nl);
+    for c in 0..nl {
+        constraints.add_node(c);
+    }
+    for c1 in 0..nl {
+        let link1 = topo.link(bsor_topology::LinkId(c1 as u32));
+        let (tail1, head1) = (link1.src.index(), link1.dst.index());
+        for c2 in 0..nl {
+            if c1 == c2 {
+                continue;
+            }
+            let forced =
+                (0..n).any(|v| !reach_without[c1][tail1][v] && !reach_without[c2][head1][v]);
+            if forced {
+                constraints.add_edge(
+                    bsor_netgraph::NodeId(c1 as u32),
+                    bsor_netgraph::NodeId(c2 as u32),
+                    (),
+                );
+            }
+        }
+    }
+    if let Some(cycle_edges) = algo::find_cycle(&constraints) {
+        let cycle = cycle_edges
+            .iter()
+            .map(|&e| {
+                let (s, _) = constraints.endpoints(e).expect("live edge");
+                *constraints.node(s)
+            })
+            .collect();
+        return ArbitraryCertification::Refuted { cycle };
+    }
+
+    // Witness: up*/down* order from a BFS tree rooted at node 0.
+    let mut depth = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    depth[0] = 0;
+    queue.push_back(0usize);
+    while let Some(x) = queue.pop_front() {
+        for &l in topo.out_links(bsor_topology::NodeId(x as u32)) {
+            let y = topo.link(l).dst.index();
+            if depth[y] == usize::MAX {
+                depth[y] = depth[x] + 1;
+                queue.push_back(y);
+            }
+        }
+    }
+    // Position of each node in the (depth, id) key order.
+    let mut by_key: Vec<usize> = (0..n).collect();
+    by_key.sort_by_key(|&i| (depth[i], i));
+    let mut pos = vec![0u32; n];
+    for (p, &i) in by_key.iter().enumerate() {
+        pos[i] = p as u32;
+    }
+    let rank: Vec<u32> = (0..nl)
+        .map(|c| {
+            let link = topo.link(bsor_topology::LinkId(c as u32));
+            let (a, b) = (pos[link.src.index()], pos[link.dst.index()]);
+            if b < a {
+                // Up channel: earlier the closer its head is to the root.
+                (n as u32 - 1) - b
+            } else {
+                // Down channel: later the deeper its head.
+                n as u32 + b
+            }
+        })
+        .collect();
+
+    // Monotone-reachability sweep: from every source, channels usable
+    // in ascending rank order (no 180° turns) must reach every node.
+    let mut order: Vec<usize> = (0..nl).collect();
+    order.sort_by_key(|&c| rank[c]);
+    for u in 0..n {
+        let mut channel_ok = vec![false; nl];
+        let mut node_ok = vec![false; n];
+        node_ok[u] = true;
+        for &c in &order {
+            let link = topo.link(bsor_topology::LinkId(c as u32));
+            let (s, d) = (link.src.index(), link.dst.index());
+            let usable = s == u
+                || topo
+                    .in_links(bsor_topology::NodeId(s as u32))
+                    .iter()
+                    .any(|&p| {
+                        channel_ok[p.index()]
+                            && rank[p.index()] < rank[c]
+                            && topo.link(p).src.index() != d
+                    });
+            if usable {
+                channel_ok[c] = true;
+                node_ok[d] = true;
+            }
+        }
+        if node_ok.iter().any(|&ok| !ok) {
+            return ArbitraryCertification::Inconclusive;
+        }
+    }
+    ArbitraryCertification::Certified { rank }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +526,82 @@ mod tests {
             ],
         }]);
         assert!(is_deadlock_free(&topo, &routes, 2));
+    }
+
+    #[test]
+    fn full_mesh_and_grids_certify_for_all_pairs() {
+        // Symmetric connected topologies always admit an up*/down*
+        // witness order.
+        for topo in [
+            bsor_topology::full_mesh(4).expect("valid"),
+            Topology::mesh2d(3, 3),
+            Topology::torus2d(4, 4),
+        ] {
+            match certify_arbitrary(&topo) {
+                ArbitraryCertification::Certified { rank } => {
+                    assert_eq!(rank.len(), topo.num_links());
+                }
+                other => panic!("expected a witness order, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn loaded_wan_file_certifies() {
+        // A zoo-style symmetric WAN parsed from the file grammar.
+        let text = "node a\nnode b\nnode c\nnode d\n\
+                    link a b\nlink b c\nlink c d\nlink d a\nlink a c\n";
+        let topo = bsor_topology::parse_topology_file("wan", text).expect("parses");
+        assert!(certify_arbitrary(&topo).is_certified());
+    }
+
+    #[test]
+    fn unidirectional_ring_is_provably_deadlocked() {
+        // Every pair's only route winds around the ring, so the three
+        // channels form a mandatory-dependence cycle: no deadlock-free
+        // all-pairs routing exists on one VC, full stop.
+        let text = "dlink a b\ndlink b c\ndlink c a\n";
+        let topo = bsor_topology::parse_topology_file("ring3", text).expect("parses");
+        match certify_arbitrary(&topo) {
+            ArbitraryCertification::Refuted { cycle } => {
+                assert_eq!(cycle.len(), 3);
+                let mut sorted = cycle.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2]);
+            }
+            other => panic!("expected a refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certified_rank_supports_monotone_tree_routes() {
+        // Spot-check the witness semantics on a mesh: walking up the
+        // BFS tree to the root and back down is strictly
+        // rank-increasing, which is what Lemma 1 needs.
+        let topo = Topology::mesh2d(3, 3);
+        let rank = match certify_arbitrary(&topo) {
+            ArbitraryCertification::Certified { rank } => rank,
+            other => panic!("expected a witness, got {other:?}"),
+        };
+        // (2,2) -> root (0,0) along the tree, then down to (1,1).
+        let n = |x, y| topo.node_at(x, y).expect("in range");
+        let path = [
+            n(2, 2),
+            n(2, 1),
+            n(2, 0),
+            n(1, 0),
+            n(0, 0),
+            n(1, 0),
+            n(1, 1),
+        ];
+        let ranks: Vec<u32> = path
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .map(|w| rank[topo.find_link(w[0], w[1]).expect("adjacent").index()])
+            .collect();
+        assert!(
+            ranks.windows(2).all(|w| w[0] < w[1]),
+            "ranks not monotone: {ranks:?}"
+        );
     }
 }

@@ -365,8 +365,20 @@ impl From<SimError> for ExperimentError {
 
 /// Derives a default acyclic CDG for `topo`: the west-first turn model
 /// on grids, falling back to routable then unprotected ad-hoc cycle
-/// breaking on topologies turn models reject (tori, rings, hypercubes).
+/// breaking on topologies turn models reject (tori, rings, hypercubes);
+/// the arbitrary-graph families (dragonfly, fat tree, full mesh, loaded
+/// files) get the up*/down* escape ordering, which keeps every pair
+/// routable on symmetric graphs even at one VC.
 fn default_cdg(topo: &Topology, vcs: u8) -> Result<AcyclicCdg, CdgError> {
+    if matches!(
+        topo.kind(),
+        TopologyKind::Dragonfly
+            | TopologyKind::FatTree
+            | TopologyKind::FullMesh
+            | TopologyKind::Arbitrary
+    ) {
+        return AcyclicCdg::up_down(topo, vcs);
+    }
     if let Ok(cdg) = AcyclicCdg::turn_model(topo, vcs, &TurnModel::west_first()) {
         return Ok(cdg);
     }
@@ -945,9 +957,31 @@ mod tests {
             Topology::torus2d(4, 4),
             Topology::ring(6),
             Topology::hypercube(3),
+            bsor_topology::dragonfly(2, 3, 2).expect("valid"),
+            bsor_topology::fat_tree(4).expect("valid"),
+            bsor_topology::full_mesh(6).expect("valid"),
         ] {
             let cdg = default_cdg(&topo, 2).expect("derivable");
             assert_eq!(cdg.vcs(), 2);
+        }
+    }
+
+    #[test]
+    fn arbitrary_graph_scenarios_route_at_one_vc() {
+        // The up*/down* default CDG keeps CDG-conforming selectors
+        // (here Dijkstra) fully routable on the new families with a
+        // single VC — the VC-free escape-ordering path.
+        for topo in [
+            bsor_topology::dragonfly(2, 3, 2).expect("valid"),
+            bsor_topology::fat_tree(4).expect("valid"),
+        ] {
+            let flows = mesh_flows(&topo);
+            let scenario = Scenario::builder(topo, flows).vcs(1).build().expect("ok");
+            assert_eq!(scenario.cdg().name(), "up-down");
+            let routes = scenario
+                .select_routes(&DijkstraSelector::new())
+                .expect("routable");
+            assert!(deadlock::is_deadlock_free(scenario.topology(), &routes, 1));
         }
     }
 

@@ -1,0 +1,574 @@
+//! Arbitrary-graph topologies: an edge-list / topology-zoo-style file
+//! loader plus parametric dragonfly, k-ary fat-tree and full-mesh
+//! generators.
+//!
+//! The paper stresses that BSOR is defined over arbitrary channel
+//! dependence graphs; this module supplies the non-grid substrates. All
+//! constructors here produce [`Topology`] values whose node ids follow
+//! first-appearance (loader) or tier/group-major (generators) order,
+//! with display coordinates laid out on a single row so `node_at(i, 0)`
+//! agrees with `NodeId(i)`.
+//!
+//! # Topology file grammar
+//!
+//! Line-oriented, whitespace-separated tokens, `#` starts a comment
+//! (whole-line or trailing):
+//!
+//! ```text
+//! # nodes may be declared up front (optional; links auto-declare)
+//! node <name>
+//! # undirected link: one channel in each direction
+//! link <a> <b> [capacity-MB/s]
+//! # directed link: a single channel a -> b
+//! dlink <a> <b> [capacity-MB/s]
+//! ```
+//!
+//! Node names are arbitrary non-whitespace tokens; ids are assigned in
+//! first-appearance order. Rejected with a typed
+//! [`TopologyFileError`] (never a panic): self-loops, duplicate
+//! channels, non-positive or non-finite capacities, fewer than 2 or
+//! more than 65535 nodes, unknown keywords, malformed lines, and graphs
+//! that are not strongly connected (every routing question must have an
+//! answer).
+//!
+//! ```
+//! use bsor_topology::graph::parse_topology_file;
+//!
+//! // A 3-node triangle WAN.
+//! let text = "link a b 2000\nlink b c\nlink c a  # trailing comments work\n";
+//! let topo = parse_topology_file("triangle", text).expect("valid");
+//! assert_eq!(topo.num_nodes(), 3);
+//! assert_eq!(topo.num_links(), 6);
+//! ```
+
+use crate::geometry::Coord;
+use crate::net::{NodeId, Topology, TopologyKind};
+use crate::registry::TopologyError;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Why a topology file failed to load: I/O, a malformed line, or a
+/// structurally invalid graph. Every variant carries the offending path
+/// (and line, for parse errors) so CLI surfaces can point at the exact
+/// problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyFileError {
+    /// The file could not be read.
+    Io {
+        /// Path that failed to open or read.
+        path: String,
+        /// The underlying I/O error, stringified.
+        message: String,
+    },
+    /// A line failed to parse.
+    Parse {
+        /// Path (or label) of the offending file.
+        path: String,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with the line.
+        message: String,
+    },
+    /// The parsed graph is structurally unusable as a topology.
+    Invalid {
+        /// Path (or label) of the offending file.
+        path: String,
+        /// Which structural constraint failed.
+        message: String,
+    },
+}
+
+impl fmt::Display for TopologyFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyFileError::Io { path, message } => {
+                write!(f, "topology file '{path}': {message}")
+            }
+            TopologyFileError::Parse {
+                path,
+                line,
+                message,
+            } => write!(f, "topology file '{path}' line {line}: {message}"),
+            TopologyFileError::Invalid { path, message } => {
+                write!(f, "topology file '{path}': {message}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyFileError {}
+
+/// Loads an edge-list topology file from disk (see the [module
+/// docs](self) for the grammar).
+///
+/// # Errors
+///
+/// [`TopologyFileError::Io`] when the file cannot be read, otherwise
+/// whatever [`parse_topology_file`] reports. Never panics.
+pub fn load_topology_file(path: &str) -> Result<Topology, TopologyFileError> {
+    let text = std::fs::read_to_string(path).map_err(|e| TopologyFileError::Io {
+        path: path.to_owned(),
+        message: e.to_string(),
+    })?;
+    parse_topology_file(path, &text)
+}
+
+/// Parses topology-file `text`, labeling errors with `path` (which need
+/// not exist on disk — tests and in-memory callers pass any label).
+///
+/// # Errors
+///
+/// [`TopologyFileError::Parse`] for malformed lines,
+/// [`TopologyFileError::Invalid`] for structurally unusable graphs
+/// (too few/many nodes, duplicate channels, not strongly connected).
+pub fn parse_topology_file(path: &str, text: &str) -> Result<Topology, TopologyFileError> {
+    let parse = |line: usize, message: String| TopologyFileError::Parse {
+        path: path.to_owned(),
+        line,
+        message,
+    };
+    let invalid = |message: String| TopologyFileError::Invalid {
+        path: path.to_owned(),
+        message,
+    };
+
+    let mut ids: HashMap<String, u32> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let intern = |name: &str, ids: &mut HashMap<String, u32>, order: &mut Vec<String>| -> u32 {
+        if let Some(&id) = ids.get(name) {
+            return id;
+        }
+        let id = order.len() as u32;
+        ids.insert(name.to_owned(), id);
+        order.push(name.to_owned());
+        id
+    };
+    // (src, dst, capacity override) in file order.
+    let mut channels: Vec<(u32, u32, Option<f64>)> = Vec::new();
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "node" => {
+                if tokens.len() != 2 {
+                    return Err(parse(lineno, "'node' takes exactly one name".to_owned()));
+                }
+                intern(tokens[1], &mut ids, &mut order);
+            }
+            kw @ ("link" | "dlink") => {
+                if !(3..=4).contains(&tokens.len()) {
+                    return Err(parse(
+                        lineno,
+                        format!("'{kw}' takes two node names and an optional capacity"),
+                    ));
+                }
+                let capacity = match tokens.get(3) {
+                    None => None,
+                    Some(raw) => {
+                        let c: f64 = raw.parse().map_err(|_| {
+                            parse(lineno, format!("capacity '{raw}' is not a number"))
+                        })?;
+                        if !c.is_finite() || c <= 0.0 {
+                            return Err(parse(
+                                lineno,
+                                format!("capacity '{raw}' must be finite and positive"),
+                            ));
+                        }
+                        Some(c)
+                    }
+                };
+                let a = intern(tokens[1], &mut ids, &mut order);
+                let b = intern(tokens[2], &mut ids, &mut order);
+                if a == b {
+                    return Err(parse(
+                        lineno,
+                        format!("self-loop on '{}' is not allowed", tokens[1]),
+                    ));
+                }
+                let pairs: &[(u32, u32)] = if kw == "link" {
+                    &[(a, b), (b, a)]
+                } else {
+                    &[(a, b)]
+                };
+                for &(s, d) in pairs {
+                    if !seen.insert((s, d)) {
+                        return Err(parse(
+                            lineno,
+                            format!(
+                                "duplicate channel '{}' -> '{}'",
+                                order[s as usize], order[d as usize]
+                            ),
+                        ));
+                    }
+                    channels.push((s, d, capacity));
+                }
+            }
+            other => {
+                return Err(parse(
+                    lineno,
+                    format!("unknown keyword '{other}' (expected node, link or dlink)"),
+                ));
+            }
+        }
+    }
+
+    let n = order.len();
+    if n < 2 {
+        return Err(invalid(format!("needs at least 2 nodes, found {n}")));
+    }
+    if n > u16::MAX as usize {
+        return Err(invalid(format!("needs at most 65535 nodes, found {n}")));
+    }
+
+    // Strong connectivity: every node reachable from node 0 forward and
+    // backward, so every routing question has an answer.
+    let mut fwd = vec![Vec::new(); n];
+    let mut bwd = vec![Vec::new(); n];
+    for &(s, d, _) in &channels {
+        fwd[s as usize].push(d as usize);
+        bwd[d as usize].push(s as usize);
+    }
+    for (adj, dir) in [(&fwd, "from"), (&bwd, "to")] {
+        let mut reached = vec![false; n];
+        let mut queue = vec![0usize];
+        reached[0] = true;
+        while let Some(v) = queue.pop() {
+            for &w in &adj[v] {
+                if !reached[w] {
+                    reached[w] = true;
+                    queue.push(w);
+                }
+            }
+        }
+        if let Some(missing) = reached.iter().position(|&r| !r) {
+            return Err(invalid(format!(
+                "not strongly connected: no path {dir} '{}' {} '{}'",
+                order[0],
+                if dir == "from" { "to" } else { "from" },
+                order[missing]
+            )));
+        }
+    }
+
+    let coords = (0..n).map(|i| Coord::new(i as u16, 0)).collect();
+    let mut topo = Topology::from_parts(TopologyKind::Arbitrary, n as u16, 1, coords);
+    for &(s, d, capacity) in &channels {
+        topo.push_link(NodeId(s), NodeId(d), None);
+        if let Some(c) = capacity {
+            let id = topo.find_link(NodeId(s), NodeId(d)).expect("just pushed");
+            topo.set_capacity(id, c);
+        }
+    }
+    Ok(topo)
+}
+
+fn bad_spec(spec: String, reason: String) -> TopologyError {
+    TopologyError::BadSpec { spec, reason }
+}
+
+/// Builds a dragonfly topology: `g` groups of `a` routers each, every
+/// group internally a full mesh, and exactly one bidirectional global
+/// link between every pair of groups, attached round-robin over each
+/// group's `h` global ports per router.
+///
+/// Node `group * a + local` is router `local` of group `group`. With
+/// `a = 2, g = 3, h = 2` this is 6 nodes and 12 directed channels.
+///
+/// # Errors
+///
+/// [`TopologyError::BadSpec`] unless `a >= 1`, `h >= 1`, `g >= 2`,
+/// `g - 1 <= a * h` (enough global ports to reach every other group)
+/// and `a * g <= 65535`.
+pub fn dragonfly(a: u16, g: u16, h: u16) -> Result<Topology, TopologyError> {
+    let spec = format!("dragonfly:{a},{g},{h}");
+    if a < 1 || h < 1 || g < 2 {
+        return Err(bad_spec(
+            spec,
+            "needs a >= 1 routers/group, g >= 2 groups, h >= 1 global ports".to_owned(),
+        ));
+    }
+    if (g as usize - 1) > a as usize * h as usize {
+        return Err(bad_spec(
+            spec,
+            format!(
+                "g - 1 = {} other groups exceed the a * h = {} global ports per group",
+                g - 1,
+                a as usize * h as usize
+            ),
+        ));
+    }
+    let n = a as usize * g as usize;
+    if n > u16::MAX as usize {
+        return Err(bad_spec(spec, format!("a * g = {n} exceeds 65535 nodes")));
+    }
+    let coords = (0..n).map(|i| Coord::new(i as u16, 0)).collect();
+    let mut topo = Topology::from_parts(TopologyKind::Dragonfly, n as u16, 1, coords);
+    // Intra-group full mesh.
+    for grp in 0..g as u32 {
+        for i in 0..a as u32 {
+            for j in 0..a as u32 {
+                if i != j {
+                    topo.push_link(NodeId(grp * a as u32 + i), NodeId(grp * a as u32 + j), None);
+                }
+            }
+        }
+    }
+    // One bidirectional global link per unordered group pair; each
+    // group hands out attachment routers round-robin so port loads stay
+    // balanced and no two pairs share a channel.
+    let mut port = vec![0u32; g as usize];
+    for g1 in 0..g as u32 {
+        for g2 in (g1 + 1)..g as u32 {
+            let s = NodeId(g1 * a as u32 + port[g1 as usize] % a as u32);
+            let d = NodeId(g2 * a as u32 + port[g2 as usize] % a as u32);
+            port[g1 as usize] += 1;
+            port[g2 as usize] += 1;
+            topo.push_link(s, d, None);
+            topo.push_link(d, s, None);
+        }
+    }
+    Ok(topo)
+}
+
+/// Builds a k-ary fat tree: `(k/2)²` core switches, then per pod
+/// (`k` pods) `k/2` aggregation and `k/2` edge switches. Aggregation
+/// switch `j` of every pod connects up to cores `j*k/2 .. (j+1)*k/2`
+/// and down to all of its pod's edge switches; every link is a
+/// bidirectional channel pair.
+///
+/// Node ids: cores first (`0 .. (k/2)²`), then pod-major
+/// (`(k/2)² + pod * k + 0 .. k/2` aggregation,
+/// `… + k/2 .. k` edge). `k = 4` is the textbook 20-switch instance.
+///
+/// # Errors
+///
+/// [`TopologyError::BadSpec`] unless `k` is even and `2 <= k <= 64`.
+pub fn fat_tree(k: u16) -> Result<Topology, TopologyError> {
+    let spec = format!("fattree:{k}");
+    if !(2..=64).contains(&k) || k % 2 != 0 {
+        return Err(bad_spec(spec, "k must be even and in 2..=64".to_owned()));
+    }
+    let half = k as u32 / 2;
+    let cores = half * half;
+    let n = (cores + k as u32 * k as u32) as usize;
+    let coords = (0..n).map(|i| Coord::new(i as u16, 0)).collect();
+    let mut topo = Topology::from_parts(TopologyKind::FatTree, n as u16, 1, coords);
+    let both = |topo: &mut Topology, a: NodeId, b: NodeId| {
+        topo.push_link(a, b, None);
+        topo.push_link(b, a, None);
+    };
+    for pod in 0..k as u32 {
+        let base = cores + pod * k as u32;
+        for j in 0..half {
+            let agg = NodeId(base + j);
+            for c in (j * half)..((j + 1) * half) {
+                both(&mut topo, agg, NodeId(c));
+            }
+            for e in 0..half {
+                both(&mut topo, agg, NodeId(base + half + e));
+            }
+        }
+    }
+    Ok(topo)
+}
+
+/// Builds a full mesh (complete graph) on `n` nodes: one directed
+/// channel between every ordered pair.
+///
+/// # Errors
+///
+/// [`TopologyError::BadSpec`] unless `2 <= n <= 256` (a complete
+/// digraph is quadratic in links; 256 nodes is already 65280 channels).
+pub fn full_mesh(n: u16) -> Result<Topology, TopologyError> {
+    if !(2..=256).contains(&n) {
+        return Err(bad_spec(
+            format!("fullmesh:{n}"),
+            "n must be in 2..=256".to_owned(),
+        ));
+    }
+    let coords = (0..n).map(|i| Coord::new(i, 0)).collect();
+    let mut topo = Topology::from_parts(TopologyKind::FullMesh, n, 1, coords);
+    for s in 0..n as u32 {
+        for d in 0..n as u32 {
+            if s != d {
+                topo.push_link(NodeId(s), NodeId(d), None);
+            }
+        }
+    }
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::DEFAULT_CAPACITY;
+
+    #[test]
+    fn dragonfly_2_3_2_shape() {
+        let t = dragonfly(2, 3, 2).expect("valid");
+        assert_eq!(t.kind(), TopologyKind::Dragonfly);
+        assert_eq!(t.num_nodes(), 6);
+        // 3 groups x 2 intra channels + 3 group pairs x 2 directions.
+        assert_eq!(t.num_links(), 12);
+        // Strongly connected: every pair has a finite hop count.
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                let hops = t.min_hops(a, b);
+                assert!(hops <= 3, "{a} -> {b} took {hops}");
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_global_links_touch_every_group_pair() {
+        let (a, g) = (4, 5);
+        let t = dragonfly(a, g, 1).expect("ports suffice: 4 >= 4");
+        let group = |n: NodeId| n.0 / a as u32;
+        let mut pairs = HashSet::new();
+        for l in t.link_ids() {
+            let link = t.link(l);
+            let (g1, g2) = (group(link.src), group(link.dst));
+            if g1 != g2 {
+                pairs.insert((g1.min(g2), g1.max(g2)));
+            }
+        }
+        assert_eq!(pairs.len(), (g as usize * (g as usize - 1)) / 2);
+    }
+
+    #[test]
+    fn dragonfly_rejects_bad_parameters() {
+        for (a, g, h) in [(0, 3, 2), (2, 1, 2), (2, 3, 0), (1, 5, 1)] {
+            assert!(
+                matches!(dragonfly(a, g, h), Err(TopologyError::BadSpec { .. })),
+                "dragonfly:{a},{g},{h}"
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree_k4_is_the_textbook_instance() {
+        let t = fat_tree(4).expect("valid");
+        assert_eq!(t.kind(), TopologyKind::FatTree);
+        assert_eq!(t.num_nodes(), 20);
+        // 4 cores x 4 agg uplinks? Each of 8 agg switches has 2 core +
+        // 2 edge bidirectional links: 8 * 4 * 2 directed channels.
+        assert_eq!(t.num_links(), 64);
+        // Edge-to-edge across pods routes up and down in 4 hops.
+        let edge0 = NodeId(4 + 2); // pod 0, first edge switch
+        let edge3 = NodeId(4 + 3 * 4 + 2); // pod 3, first edge switch
+        assert_eq!(t.min_hops(edge0, edge3), 4);
+    }
+
+    #[test]
+    fn fat_tree_rejects_odd_and_oversized_k() {
+        for k in [0, 1, 3, 5, 65, 66] {
+            assert!(
+                matches!(fat_tree(k), Err(TopologyError::BadSpec { .. })),
+                "fattree:{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_mesh_is_complete() {
+        let t = full_mesh(8).expect("valid");
+        assert_eq!(t.kind(), TopologyKind::FullMesh);
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.num_links(), 8 * 7);
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                if a != b {
+                    assert_eq!(t.min_hops(a, b), 1);
+                }
+            }
+        }
+        assert!(matches!(full_mesh(1), Err(TopologyError::BadSpec { .. })));
+        assert!(matches!(full_mesh(257), Err(TopologyError::BadSpec { .. })));
+    }
+
+    #[test]
+    fn loader_round_trips_names_capacities_and_directions() {
+        let text = "
+            # A 4-node WAN with one directed shortcut.
+            node sea
+            node chi
+            link sea chi 2500
+            link chi nyc
+            link nyc atl 1250.5
+            link atl sea
+            dlink sea nyc
+        ";
+        let t = parse_topology_file("wan", text).expect("valid file");
+        assert_eq!(t.kind(), TopologyKind::Arbitrary);
+        assert_eq!(t.num_nodes(), 4);
+        // 4 undirected links -> 8 channels, plus the dlink.
+        assert_eq!(t.num_links(), 9);
+        // First-appearance ids: sea=0, chi=1, nyc=2, atl=3.
+        let l = t.find_link(NodeId(0), NodeId(1)).expect("sea -> chi");
+        assert_eq!(t.link(l).capacity, 2500.0);
+        let l = t.find_link(NodeId(1), NodeId(2)).expect("chi -> nyc");
+        assert_eq!(t.link(l).capacity, DEFAULT_CAPACITY);
+        assert!(t.find_link(NodeId(0), NodeId(2)).is_some(), "dlink fwd");
+        assert!(t.find_link(NodeId(2), NodeId(0)).is_none(), "dlink only");
+    }
+
+    #[test]
+    fn loader_rejects_malformed_lines_with_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("wat a b", 1, "unknown keyword"),
+            ("node", 1, "exactly one name"),
+            ("\nlink a", 2, "optional capacity"),
+            ("link a a", 1, "self-loop"),
+            ("link a b -3", 1, "finite and positive"),
+            ("link a b inf", 1, "finite and positive"),
+            ("link a b fast", 1, "not a number"),
+            ("link a b\n\ndlink a b", 3, "duplicate channel"),
+        ];
+        for &(text, line, needle) in cases {
+            match parse_topology_file("bad", text) {
+                Err(TopologyFileError::Parse {
+                    line: l, message, ..
+                }) => {
+                    assert_eq!(l, line, "{text:?}");
+                    assert!(message.contains(needle), "{text:?}: {message}");
+                }
+                other => panic!("{text:?} parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn loader_rejects_structurally_invalid_graphs() {
+        // Too few nodes.
+        let err = parse_topology_file("tiny", "node only").unwrap_err();
+        assert!(matches!(err, TopologyFileError::Invalid { .. }), "{err}");
+        assert!(err.to_string().contains("at least 2 nodes"));
+        // Weakly but not strongly connected.
+        let err = parse_topology_file("oneway", "dlink a b\ndlink c b\ndlink a c").unwrap_err();
+        assert!(err.to_string().contains("not strongly connected"), "{err}");
+        // Disconnected components.
+        let err = parse_topology_file("split", "link a b\nlink c d").unwrap_err();
+        assert!(err.to_string().contains("not strongly connected"), "{err}");
+    }
+
+    #[test]
+    fn loader_accepts_a_strongly_connected_directed_ring() {
+        let t = parse_topology_file("ring3", "dlink a b\ndlink b c\ndlink c a").expect("valid");
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_links(), 3);
+        assert_eq!(t.min_hops(NodeId(0), NodeId(2)), 2);
+    }
+
+    #[test]
+    fn load_missing_file_is_a_typed_io_error() {
+        let err = load_topology_file("/nonexistent/nowhere.topo").unwrap_err();
+        assert!(matches!(err, TopologyFileError::Io { .. }), "{err}");
+    }
+}

@@ -24,11 +24,15 @@
 //! ```
 
 pub mod geometry;
+pub mod graph;
 pub mod index;
 pub mod net;
 pub mod registry;
 
 pub use geometry::{Coord, Direction};
+pub use graph::{
+    dragonfly, fat_tree, full_mesh, load_topology_file, parse_topology_file, TopologyFileError,
+};
 pub use index::TopoIndex;
 pub use net::{Link, LinkId, NodeId, Topology, TopologyKind};
-pub use registry::{TopologyError, TopologyFactory, TopologyRegistry};
+pub use registry::{TopologyError, TopologyFactory, TopologyFamilyFactory, TopologyRegistry};

@@ -74,6 +74,17 @@ pub enum TopologyKind {
     Ring,
     /// Binary hypercube (paper Figure 1-3(c)).
     Hypercube,
+    /// Dragonfly: fully-connected groups joined by global links
+    /// (see [`crate::graph::dragonfly`]).
+    Dragonfly,
+    /// k-ary fat tree: core, aggregation and edge switch tiers
+    /// (see [`crate::graph::fat_tree`]).
+    FatTree,
+    /// Full mesh (complete graph, see [`crate::graph::full_mesh`]).
+    FullMesh,
+    /// An arbitrary graph loaded from an edge-list description
+    /// (see [`crate::graph::load_topology_file`]).
+    Arbitrary,
 }
 
 /// A network-on-chip interconnect: nodes joined by directed channels.
@@ -100,7 +111,12 @@ pub struct Topology {
 pub const DEFAULT_CAPACITY: f64 = 1000.0;
 
 impl Topology {
-    fn from_parts(kind: TopologyKind, width: u16, height: u16, coords: Vec<Coord>) -> Self {
+    pub(crate) fn from_parts(
+        kind: TopologyKind,
+        width: u16,
+        height: u16,
+        coords: Vec<Coord>,
+    ) -> Self {
         Topology {
             kind,
             width,
@@ -114,7 +130,7 @@ impl Topology {
         }
     }
 
-    fn push_link(&mut self, src: NodeId, dst: NodeId, direction: Option<Direction>) {
+    pub(crate) fn push_link(&mut self, src: NodeId, dst: NodeId, direction: Option<Direction>) {
         debug_assert!(src != dst, "self links are not allowed");
         let id = LinkId(self.links.len() as u32);
         self.links.push(Link {

@@ -11,7 +11,31 @@
 //! `hypercube` needs `width × height` to be a power of two and uses its
 //! log2 as the dimension), so one CLI syntax — `name:WxH` — covers every
 //! family.
+//!
+//! # Spec strings
+//!
+//! Parameterized families that do not fit the `WxH` shape are addressed
+//! through [`TopologyRegistry::build_spec`] with a `prefix:<arg>` spec
+//! string, mirroring the workload registry's grammar:
+//!
+//! ```text
+//! spec      := "WxH"                     (bare dims: a mesh)
+//!            | name ":" "WxH"            (grid-dimension families)
+//!            | family ":" arg            (parameterized families)
+//! family    := "dragonfly" (arg = "a,g,h")
+//!            | "fattree"   (arg = k)
+//!            | "fullmesh"  (arg = n)
+//!            | "file"      (arg = path to an edge-list topology file)
+//! ```
+//!
+//! Family prefixes win over `name:WxH` parsing (none of the standard
+//! families take `WxH` arguments, so there is no ambiguity in
+//! practice). Unknown names return
+//! [`TopologyError::UnknownTopology`]; a known family with a malformed
+//! argument returns [`TopologyError::BadSpec`]. The parser never
+//! panics, whatever the spec text.
 
+use crate::graph;
 use crate::net::Topology;
 use std::error::Error;
 use std::fmt;
@@ -35,6 +59,14 @@ pub enum TopologyError {
         /// Human-readable constraint that was violated.
         reason: String,
     },
+    /// A known family was addressed with a malformed or rejected
+    /// argument (e.g. `dragonfly:nope`, or an unreadable `file:` path).
+    BadSpec {
+        /// The full offending spec string.
+        spec: String,
+        /// Human-readable constraint that was violated.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -47,6 +79,9 @@ impl fmt::Display for TopologyError {
                 height,
                 reason,
             } => write!(f, "topology '{name}' rejects {width}x{height}: {reason}"),
+            TopologyError::BadSpec { spec, reason } => {
+                write!(f, "bad topology spec '{spec}': {reason}")
+            }
         }
     }
 }
@@ -56,6 +91,17 @@ impl Error for TopologyError {}
 /// A topology constructor: `(width, height)` in, topology out.
 pub type TopologyFactory = Box<dyn Fn(u16, u16) -> Result<Topology, TopologyError> + Send + Sync>;
 
+/// A parameterized topology family: build from the argument text after
+/// the `prefix:` of a spec string.
+pub type TopologyFamilyFactory = Box<dyn Fn(&str) -> Result<Topology, TopologyError> + Send + Sync>;
+
+struct Family {
+    prefix: String,
+    /// Display form shown in listings, e.g. `dragonfly:<a,g,h>`.
+    placeholder: String,
+    factory: TopologyFamilyFactory,
+}
+
 /// Name-keyed registry of topology factories.
 ///
 /// ```
@@ -63,15 +109,24 @@ pub type TopologyFactory = Box<dyn Fn(u16, u16) -> Result<Topology, TopologyErro
 ///
 /// let registry = TopologyRegistry::standard();
 /// assert_eq!(registry.names(), vec!["mesh", "torus", "ring", "hypercube"]);
+/// assert_eq!(
+///     registry.family_specs(),
+///     vec!["dragonfly:<a,g,h>", "fattree:<k>", "fullmesh:<n>", "file:<path>"],
+/// );
 /// let torus = registry.build("torus", 4, 4).expect("valid dims");
 /// assert_eq!(torus.kind(), TopologyKind::Torus2D);
 /// // 8 nodes in a 4x2 footprint fold into a dimension-3 hypercube.
 /// let cube = registry.build("hypercube", 4, 2).expect("power of two");
 /// assert_eq!(cube.num_nodes(), 8);
+/// // Parameterized families resolve through spec strings.
+/// let df = registry.build_spec("dragonfly:2,3,2").expect("valid spec");
+/// assert_eq!(df.kind(), TopologyKind::Dragonfly);
+/// assert_eq!(df.num_nodes(), 6);
 /// ```
 #[derive(Default)]
 pub struct TopologyRegistry {
     entries: Vec<(String, TopologyFactory)>,
+    families: Vec<Family>,
 }
 
 impl TopologyRegistry {
@@ -80,7 +135,10 @@ impl TopologyRegistry {
         TopologyRegistry::default()
     }
 
-    /// The four built-in families: `mesh`, `torus`, `ring`, `hypercube`.
+    /// The four built-in grid families (`mesh`, `torus`, `ring`,
+    /// `hypercube`) plus the parameterized spec families
+    /// (`dragonfly:<a,g,h>`, `fattree:<k>`, `fullmesh:<n>`,
+    /// `file:<path>`).
     pub fn standard() -> TopologyRegistry {
         let mut r = TopologyRegistry::new();
         r.register("mesh", |w, h| {
@@ -114,6 +172,44 @@ impl TopologyRegistry {
             }
             Ok(Topology::hypercube(n.trailing_zeros() as u8))
         });
+        r.register_family("dragonfly", "dragonfly:<a,g,h>", |arg: &str| {
+            let spec = || format!("dragonfly:{arg}");
+            let parts: Vec<&str> = arg.split(',').collect();
+            if parts.len() != 3 {
+                return Err(TopologyError::BadSpec {
+                    spec: spec(),
+                    reason: "expected three comma-separated integers a,g,h".to_owned(),
+                });
+            }
+            let mut nums = [0u16; 3];
+            for (slot, raw) in nums.iter_mut().zip(&parts) {
+                *slot = raw.trim().parse().map_err(|_| TopologyError::BadSpec {
+                    spec: spec(),
+                    reason: format!("'{raw}' is not an unsigned 16-bit integer"),
+                })?;
+            }
+            graph::dragonfly(nums[0], nums[1], nums[2])
+        });
+        r.register_family("fattree", "fattree:<k>", |arg: &str| {
+            let k = arg.trim().parse().map_err(|_| TopologyError::BadSpec {
+                spec: format!("fattree:{arg}"),
+                reason: "k must be an unsigned 16-bit integer".to_owned(),
+            })?;
+            graph::fat_tree(k)
+        });
+        r.register_family("fullmesh", "fullmesh:<n>", |arg: &str| {
+            let n = arg.trim().parse().map_err(|_| TopologyError::BadSpec {
+                spec: format!("fullmesh:{arg}"),
+                reason: "n must be an unsigned 16-bit integer".to_owned(),
+            })?;
+            graph::full_mesh(n)
+        });
+        r.register_family("file", "file:<path>", |arg: &str| {
+            graph::load_topology_file(arg).map_err(|e| TopologyError::BadSpec {
+                spec: format!("file:{arg}"),
+                reason: e.to_string(),
+            })
+        });
         r
     }
 
@@ -133,9 +229,37 @@ impl TopologyRegistry {
         self.entries.iter().find(|(n, _)| n == name).map(|(_, f)| f)
     }
 
-    /// Registered names, in registration order.
+    /// Registered names, in registration order (family placeholders are
+    /// listed by [`TopologyRegistry::family_specs`]).
     pub fn names(&self) -> Vec<&str> {
         self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Registers (or replaces) a parameterized family addressed as
+    /// `prefix:<arg>` spec strings. `placeholder` is the display form
+    /// listings show (e.g. `dragonfly:<a,g,h>`).
+    pub fn register_family(
+        &mut self,
+        prefix: impl Into<String>,
+        placeholder: impl Into<String>,
+        factory: impl Fn(&str) -> Result<Topology, TopologyError> + Send + Sync + 'static,
+    ) {
+        let prefix = prefix.into();
+        self.families.retain(|f| f.prefix != prefix);
+        self.families.push(Family {
+            prefix,
+            placeholder: placeholder.into(),
+            factory: Box::new(factory),
+        });
+    }
+
+    /// Display specs of the registered parameterized families, in
+    /// registration order (e.g. `["dragonfly:<a,g,h>", …]`).
+    pub fn family_specs(&self) -> Vec<&str> {
+        self.families
+            .iter()
+            .map(|f| f.placeholder.as_str())
+            .collect()
     }
 
     /// Builds the topology `name` with the given grid dimensions.
@@ -153,6 +277,56 @@ impl TopologyRegistry {
             })?;
         factory(width, height)
     }
+
+    /// Builds a topology from a spec string: bare `WxH` dims (a mesh),
+    /// `name:WxH` for the grid-dimension families, or `family:<arg>`
+    /// for the parameterized families (see the [module docs](self) for
+    /// the grammar).
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownTopology`] for unregistered names and
+    /// families (carrying the full offending spec),
+    /// [`TopologyError::BadSpec`] for malformed family arguments or
+    /// specs that fit no grammar production, and
+    /// [`TopologyError::BadDimensions`] when a grid family rejects its
+    /// dimensions. Never panics, whatever the spec text.
+    pub fn build_spec(&self, spec: &str) -> Result<Topology, TopologyError> {
+        if let Some((w, h)) = parse_dims(spec) {
+            return self.build("mesh", w, h);
+        }
+        if let Some((prefix, arg)) = spec.split_once(':') {
+            if let Some(family) = self.families.iter().find(|f| f.prefix == prefix) {
+                return (family.factory)(arg);
+            }
+            if let Some((w, h)) = parse_dims(arg) {
+                return self.build(prefix, w, h);
+            }
+            return Err(TopologyError::BadSpec {
+                spec: spec.to_owned(),
+                reason: "expected WxH dimensions or a registered family argument".to_owned(),
+            });
+        }
+        if let Some(family) = self.families.iter().find(|f| f.prefix == spec) {
+            return Err(TopologyError::BadSpec {
+                spec: spec.to_owned(),
+                reason: format!("family needs a parameter: {}", family.placeholder),
+            });
+        }
+        Err(TopologyError::UnknownTopology {
+            name: spec.to_owned(),
+        })
+    }
+}
+
+/// `WxH` with both dimensions nonzero, or `None`.
+fn parse_dims(s: &str) -> Option<(u16, u16)> {
+    let (w, h) = s.split_once('x')?;
+    let (w, h) = (w.parse().ok()?, h.parse().ok()?);
+    if w == 0 || h == 0 {
+        return None;
+    }
+    Some((w, h))
 }
 
 fn bad(name: &str, width: u16, height: u16, reason: &str) -> TopologyError {
@@ -215,6 +389,67 @@ mod tests {
         ));
         let err = r.build("nope", 4, 4).unwrap_err();
         assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn build_spec_covers_every_grammar_production() {
+        let r = TopologyRegistry::standard();
+        // Bare dims are a mesh.
+        assert_eq!(r.build_spec("4x4").unwrap().kind(), TopologyKind::Mesh2D);
+        // name:WxH routes through the grid factories.
+        assert_eq!(
+            r.build_spec("torus:4x4").unwrap().kind(),
+            TopologyKind::Torus2D
+        );
+        assert_eq!(r.build_spec("ring:6x1").unwrap().num_nodes(), 6);
+        // family:<arg> routes through the family factories.
+        assert_eq!(
+            r.build_spec("fattree:4").unwrap().kind(),
+            TopologyKind::FatTree
+        );
+        assert_eq!(r.build_spec("fullmesh:8").unwrap().num_links(), 56);
+    }
+
+    #[test]
+    fn build_spec_is_typed_on_every_failure_mode() {
+        let r = TopologyRegistry::standard();
+        // Unknown name / unknown family.
+        assert!(matches!(
+            r.build_spec("klein-bottle"),
+            Err(TopologyError::UnknownTopology { .. })
+        ));
+        assert!(matches!(
+            r.build_spec("nowhere:4x4"),
+            Err(TopologyError::UnknownTopology { .. })
+        ));
+        // Known family, malformed argument.
+        for spec in [
+            "dragonfly:",
+            "dragonfly:2,3",
+            "dragonfly:a,b,c",
+            "fattree:nope",
+            "fattree:3",
+            "fullmesh:1",
+            "file:/nonexistent/nowhere.topo",
+        ] {
+            assert!(
+                matches!(r.build_spec(spec), Err(TopologyError::BadSpec { .. })),
+                "spec {spec:?}"
+            );
+        }
+        // Bare family prefix points at the placeholder.
+        let err = r.build_spec("dragonfly").unwrap_err();
+        assert!(err.to_string().contains("dragonfly:<a,g,h>"), "{err}");
+        // Unknown prefix with a non-WxH argument.
+        assert!(matches!(
+            r.build_spec("nope:not-dims"),
+            Err(TopologyError::BadSpec { .. })
+        ));
+        // Grid family rejecting its dims still surfaces BadDimensions.
+        assert!(matches!(
+            r.build_spec("torus:2x2"),
+            Err(TopologyError::BadDimensions { .. })
+        ));
     }
 
     #[test]

@@ -106,6 +106,16 @@ pub enum WorkloadError {
         /// The workload that degenerated.
         name: String,
     },
+    /// The pattern walks grid coordinates, which this topology family
+    /// does not have (dragonfly, fat-tree, full-mesh and file-loaded
+    /// graphs are laid out as a 1 × n line, so a coordinate walk would
+    /// silently produce a meaningless pattern).
+    RequiresGrid {
+        /// The workload that needs a grid.
+        name: String,
+        /// The offending topology family.
+        kind: bsor_topology::TopologyKind,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -128,6 +138,12 @@ impl fmt::Display for WorkloadError {
             }
             WorkloadError::EmptyWorkload { name } => {
                 write!(f, "workload '{name}' produces no flows on this topology")
+            }
+            WorkloadError::RequiresGrid { name, kind } => {
+                write!(
+                    f,
+                    "workload '{name}' requires a grid topology, not {kind:?}"
+                )
             }
         }
     }
@@ -199,5 +215,10 @@ mod tests {
             name: "tornado".into(),
         };
         assert!(e.to_string().contains("tornado"));
+        let e = WorkloadError::RequiresGrid {
+            name: "tornado".into(),
+            kind: bsor_topology::TopologyKind::Dragonfly,
+        };
+        assert!(e.to_string().contains("grid"));
     }
 }

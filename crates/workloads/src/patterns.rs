@@ -16,10 +16,21 @@
 use crate::synthetic::SYNTHETIC_DEMAND;
 use crate::{Workload, WorkloadError};
 use bsor_flow::FlowSet;
-use bsor_topology::{NodeId, Topology};
+use bsor_topology::{NodeId, Topology, TopologyKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Families whose `(x, y)` coordinates describe a real grid the
+/// coordinate-walking patterns may traverse. The arbitrary-graph
+/// families are laid out as a 1 × n line purely for node identity, so a
+/// coordinate walk there would be silently meaningless.
+fn has_grid_coordinates(kind: TopologyKind) -> bool {
+    matches!(
+        kind,
+        TopologyKind::Mesh2D | TopologyKind::Torus2D | TopologyKind::Ring | TopologyKind::Hypercube
+    )
+}
 
 /// Uniform-random traffic as a static flow graph: every ordered pair of
 /// distinct nodes carries a flow, and each source's total demand is
@@ -54,10 +65,17 @@ pub fn uniform_random(topo: &Topology) -> Result<Workload, WorkloadError> {
 ///
 /// # Errors
 ///
+/// [`WorkloadError::RequiresGrid`] on the arbitrary-graph families, or
 /// [`WorkloadError::EmptyWorkload`] when both dimensional shifts are
 /// zero (grids narrower than 3 in every dimension), where the pattern
 /// degenerates to self-flows.
 pub fn tornado(topo: &Topology) -> Result<Workload, WorkloadError> {
+    if !has_grid_coordinates(topo.kind()) {
+        return Err(WorkloadError::RequiresGrid {
+            name: "tornado".to_owned(),
+            kind: topo.kind(),
+        });
+    }
     let (w, h) = (topo.width(), topo.height());
     let shift_x = w.div_ceil(2).saturating_sub(1);
     let shift_y = h.div_ceil(2).saturating_sub(1);
@@ -86,8 +104,11 @@ pub fn tornado(topo: &Topology) -> Result<Workload, WorkloadError> {
 /// # Errors
 ///
 /// [`WorkloadError`] if the topology is not a square power-of-two grid.
+/// The arbitrary-graph families (whose 1 × n layout carries no grid
+/// semantics) skip the squareness check: any power-of-two node count
+/// works, since the pattern only permutes node indices.
 pub fn bit_reversal(topo: &Topology) -> Result<Workload, WorkloadError> {
-    if topo.width() != topo.height() {
+    if has_grid_coordinates(topo.kind()) && topo.width() != topo.height() {
         return Err(WorkloadError::NotSquare);
     }
     let n = topo.num_nodes();
@@ -111,9 +132,16 @@ pub fn bit_reversal(topo: &Topology) -> Result<Workload, WorkloadError> {
 ///
 /// # Errors
 ///
+/// [`WorkloadError::RequiresGrid`] on the arbitrary-graph families, or
 /// [`WorkloadError::EmptyWorkload`] on single-column topologies, where
 /// every node would send to itself.
 pub fn neighbor(topo: &Topology) -> Result<Workload, WorkloadError> {
+    if !has_grid_coordinates(topo.kind()) {
+        return Err(WorkloadError::RequiresGrid {
+            name: "neighbor".to_owned(),
+            kind: topo.kind(),
+        });
+    }
     let w = topo.width();
     if w < 2 {
         return Err(WorkloadError::EmptyWorkload {
@@ -360,6 +388,36 @@ mod tests {
             WorkloadError::BadSpec { .. }
         ));
         assert!(hotspot(&topo, 3).is_ok());
+    }
+
+    #[test]
+    fn grid_walkers_reject_arbitrary_graphs_with_typed_errors() {
+        let df = bsor_topology::dragonfly(2, 3, 2).expect("valid");
+        for (name, result) in [("tornado", tornado(&df)), ("neighbor", neighbor(&df))] {
+            match result.unwrap_err() {
+                WorkloadError::RequiresGrid { name: n, kind } => {
+                    assert_eq!(n, name);
+                    assert_eq!(kind, TopologyKind::Dragonfly);
+                }
+                other => panic!("{name}: expected RequiresGrid, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn node_count_patterns_work_on_arbitrary_graphs() {
+        // uniform-random, hotspot and rand-perm only need node identity.
+        let fm = bsor_topology::full_mesh(6).expect("valid");
+        assert_eq!(uniform_random(&fm).expect("any n").flows.len(), 6 * 5);
+        assert!(hotspot(&fm, 2).is_ok());
+        assert!(rand_perm(&fm, 3).is_ok());
+        // bit-reversal skips the squareness check off-grid but still
+        // needs a power-of-two node count.
+        let ft = bsor_topology::fat_tree(4).expect("valid"); // 20 nodes
+        assert_eq!(bit_reversal(&ft).unwrap_err(), WorkloadError::NotPowerOfTwo);
+        let fm8 = bsor_topology::full_mesh(8).expect("valid");
+        let w = bit_reversal(&fm8).expect("8 is a power of two");
+        assert!(!w.flows.is_empty());
     }
 
     #[test]
