@@ -447,10 +447,24 @@ impl PlanService {
                 )
             })?;
             let narrow = |v: u64| {
-                u32::try_from(v)
-                    .map_err(|_| ServeError::BadRequest("node id out of range".to_owned()))
+                u32::try_from(v).map_err(|_| {
+                    ServeError::BadRequest(format!("link [{a}, {b}] has a node id over u32::MAX"))
+                })
             };
             delta.push((narrow(a)?, narrow(b)?));
+        }
+        // Ids past every cached topology's node count cannot name a
+        // real link, so the delta is a client error, not a no-op.
+        if let Some(nodes) = self.cache.max_node_count() {
+            for &(a, b) in &delta {
+                if a as usize >= nodes || b as usize >= nodes {
+                    return Err(ServeError::BadRequest(format!(
+                        "link [{a}, {b}] is out of range: cached topologies have at most \
+                         {nodes} nodes (ids 0..={})",
+                        nodes - 1
+                    )));
+                }
+            }
         }
         let outcome = self.cache.invalidate(&delta);
         Ok(Json::object(vec![
@@ -645,6 +659,10 @@ mod tests {
             ),
             (r#"{"op":"invalidate"}"#, "bad-request"),
             (r#"{"op":"invalidate","links":[[0]]}"#, "bad-request"),
+            (
+                r#"{"op":"invalidate","links":[[0,4294967296]]}"#,
+                "bad-request",
+            ),
         ] {
             let response = Json::parse(&svc.handle_line(line)).expect("valid response JSON");
             assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{line}");

@@ -146,6 +146,69 @@ fn file_loaded_topology_plans_evaluates_and_invalidates() {
 }
 
 #[test]
+fn invalidate_rejects_out_of_range_node_ids() {
+    const SCRIPT: &str = concat!(
+        // Over u32 — rejected even before anything is cached.
+        r#"{"id":1,"op":"invalidate","links":[[0,4294967296]]}"#,
+        "\n",
+        // Cache a 4x4 plan (16 nodes, ids 0..=15)...
+        r#"{"id":2,"op":"plan","workload":"transpose","algorithm":"xy","width":4,"height":4}"#,
+        "\n",
+        // ...so id 16 can't name a real link: typed error, not a no-op.
+        r#"{"id":3,"op":"invalidate","links":[[0,16]]}"#,
+        "\n",
+        r#"{"id":4,"op":"invalidate","links":[[0,15]]}"#,
+        "\n",
+    );
+    let lines = run_binary(SCRIPT);
+    assert_eq!(lines.len(), 4, "one response line per request line");
+    let parsed: Vec<Json> = lines
+        .iter()
+        .map(|line| Json::parse(line).expect("every response is valid JSON"))
+        .collect();
+    let error = |i: usize| {
+        assert_eq!(
+            parsed[i].get("ok"),
+            Some(&Json::Bool(false)),
+            "{}",
+            lines[i]
+        );
+        let error = parsed[i]
+            .get("error")
+            .expect("failed responses carry an error");
+        (
+            error.get("code").and_then(Json::as_str).expect("code"),
+            error
+                .get("message")
+                .and_then(Json::as_str)
+                .expect("message"),
+        )
+    };
+    let (code, message) = error(0);
+    assert_eq!(code, "bad-request");
+    assert!(
+        message.contains("[0, 4294967296]"),
+        "the error names the offending pair: {message}"
+    );
+    assert_eq!(parsed[1].get("ok"), Some(&Json::Bool(true)));
+    let (code, message) = error(2);
+    assert_eq!(code, "bad-request");
+    assert!(
+        message.contains("[0, 16]"),
+        "the error names the offending pair: {message}"
+    );
+    assert!(
+        message.contains("16 nodes"),
+        "the error states the bound: {message}"
+    );
+    assert_eq!(
+        parsed[3].get("ok"),
+        Some(&Json::Bool(true)),
+        "in-range ids still invalidate"
+    );
+}
+
+#[test]
 fn tcp_clients_share_one_plan_cache() {
     let service = Arc::new(PlanService::new(ServeConfig {
         timings: false,

@@ -10,15 +10,17 @@
 //! registered topology.
 //!
 //! [`AlgorithmRegistry`] is the name → algorithm map every driver
-//! enumerates. [`AlgorithmRegistry::standard`] seeds it with the seven
+//! enumerates. [`AlgorithmRegistry::standard`] seeds it with the nine
 //! sweep-grid names (`xy`, `yx`, `romm`, `valiant`, `o1turn`,
-//! `bsor-dijkstra`, `bsor-milp`), configured exactly as the sweep
-//! harness has always configured them — deterministic node budgets, no
-//! wall-clock limits.
+//! `bsor-dijkstra`, `bsor-milp`, `ac-oblivious`, `random-walk`),
+//! configured exactly as the sweep harness has always configured them —
+//! deterministic seeds and node budgets, no wall-clock limits.
 
 use crate::{BsorBuilder, CdgStrategy, SelectorKind};
 use bsor_lp::MilpOptions;
-use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
+use bsor_routing::selectors::{
+    AcObliviousSelector, DijkstraSelector, MilpSelector, RandomWalkSelector,
+};
 use bsor_routing::{Baseline, RouteSet};
 use bsor_sim::{AlgorithmError, RouteAlgorithm, ScenarioCtx};
 use bsor_topology::TopologyKind;
@@ -175,8 +177,9 @@ impl AlgorithmRegistry {
         AlgorithmRegistry::default()
     }
 
-    /// The seven sweep-grid algorithms: `xy`, `yx`, `romm`, `valiant`,
-    /// `o1turn`, `bsor-dijkstra`, `bsor-milp`.
+    /// The nine sweep-grid algorithms: `xy`, `yx`, `romm`, `valiant`,
+    /// `o1turn`, `bsor-dijkstra`, `bsor-milp`, plus the demand-oblivious
+    /// counterpoints `ac-oblivious` and `random-walk`.
     pub fn standard() -> AlgorithmRegistry {
         let mut r = AlgorithmRegistry::new();
         r.register("xy", Baseline::XY);
@@ -201,6 +204,14 @@ impl AlgorithmRegistry {
         );
         r.register("bsor-dijkstra", BsorAlgorithm::dijkstra());
         r.register("bsor-milp", BsorAlgorithm::milp("bsor-milp", sweep_milp()));
+        r.register(
+            "ac-oblivious",
+            AcObliviousSelector::new().with_seed(BASELINE_SEED),
+        );
+        r.register(
+            "random-walk",
+            RandomWalkSelector::new().with_seed(BASELINE_SEED),
+        );
         r
     }
 
@@ -250,7 +261,9 @@ mod tests {
                 "valiant",
                 "o1turn",
                 "bsor-dijkstra",
-                "bsor-milp"
+                "bsor-milp",
+                "ac-oblivious",
+                "random-walk"
             ]
         );
         assert!(r.get("bsor-dijkstra").is_some());

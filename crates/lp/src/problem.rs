@@ -97,9 +97,9 @@ impl Error for LpError {}
 
 /// A linear or mixed-integer linear model, always in minimization sense.
 ///
-/// Variables have bounds `lo <= x <= hi` with `lo >= 0` finite and `hi`
-/// finite or `f64::INFINITY`. Use negative objective coefficients to
-/// maximize.
+/// Variables have bounds `lo <= x <= hi` with `lo` finite (negative is
+/// fine — the solver shifts `x' = x - lo`) and `hi` finite or
+/// `f64::INFINITY`. Use negative objective coefficients to maximize.
 #[derive(Clone, Debug, Default)]
 pub struct Model {
     pub(crate) vars: Vec<Variable>,
@@ -117,12 +117,9 @@ impl Model {
     ///
     /// # Panics
     ///
-    /// Panics if `lo` is negative or not finite, or `hi < lo`.
+    /// Panics if `lo` is not finite (NaN or infinite), or `hi < lo`.
     pub fn add_var(&mut self, kind: VarKind, lo: f64, hi: f64, obj: f64) -> VarId {
-        assert!(
-            lo.is_finite() && lo >= 0.0,
-            "lower bound must be finite and >= 0"
-        );
+        assert!(lo.is_finite(), "lower bound must be finite");
         assert!(hi >= lo, "upper bound below lower bound");
         let id = VarId(self.vars.len() as u32);
         self.vars.push(Variable {
@@ -182,9 +179,9 @@ impl Model {
     ///
     /// # Panics
     ///
-    /// Panics if the bounds are inverted or `lo` is negative.
+    /// Panics if the bounds are inverted or `lo` is not finite.
     pub fn set_bounds(&mut self, var: VarId, lo: f64, hi: f64) {
-        assert!(lo.is_finite() && lo >= 0.0 && hi >= lo, "invalid bounds");
+        assert!(lo.is_finite() && hi >= lo, "invalid bounds");
         let v = &mut self.vars[var.index()];
         v.lo = lo;
         v.hi = hi;
@@ -280,10 +277,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "lower bound")]
-    fn negative_lower_bound_rejected() {
+    fn negative_lower_bound_accepted() {
+        // The simplex shift x' = x - lo is sign-agnostic, so finite
+        // negative bounds are valid (the AC oblivious dual needs them).
         let mut m = Model::minimize();
-        m.add_var(VarKind::Continuous, -1.0, 1.0, 0.0);
+        let x = m.add_var(VarKind::Continuous, -1.0, 1.0, 0.0);
+        assert_eq!(m.bounds(x), (-1.0, 1.0));
+        m.set_bounds(x, -2.5, -0.5);
+        assert_eq!(m.bounds(x), (-2.5, -0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must be finite")]
+    fn nan_lower_bound_rejected() {
+        let mut m = Model::minimize();
+        m.add_var(VarKind::Continuous, f64::NAN, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must be finite")]
+    fn negative_infinite_lower_bound_rejected() {
+        let mut m = Model::minimize();
+        m.add_var(VarKind::Continuous, f64::NEG_INFINITY, 1.0, 0.0);
     }
 
     #[test]

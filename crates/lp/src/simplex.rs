@@ -18,12 +18,35 @@ use crate::problem::{Cmp, LpError, Model, Solution};
 
 /// Pivot magnitude threshold.
 const EPS_PIVOT: f64 = 1e-9;
+/// Ratio-test inclusion threshold: rows whose coefficient is below the
+/// stable-pivot magnitude are excluded from the step-length minimum
+/// (their post-pivot drift is clamped away instead — see
+/// [`Tableau::pivot`]).
+const EPS_RATIO: f64 = EPS_PIVOT;
 /// Reduced-cost optimality tolerance.
 const EPS_COST: f64 = 1e-9;
+/// Reduced-cost threshold under Bland's rule. Deliberately looser than
+/// [`EPS_COST`]: Bland mode exists to break degenerate cycles, and
+/// noise-level reduced costs (which Dantzig pricing would also chase)
+/// can sustain a float-noise livelock forever. Stopping at a 1e-7
+/// reduced cost concedes an objective error far below the solution
+/// certification tolerance.
+const EPS_COST_BLAND: f64 = 1e-7;
 /// Phase-1 feasibility tolerance.
 const EPS_FEAS: f64 = 1e-7;
 /// Iterations of unchanged objective before switching to Bland's rule.
 const STALL_LIMIT: usize = 64;
+/// Scale of the deterministic right-hand-side perturbation.
+///
+/// Highly degenerate LPs (many identical zero right-hand sides — the
+/// oblivious-routing duals have hundreds) can pin the simplex at a
+/// degenerate vertex for an astronomical number of zero-step pivots;
+/// Bland's rule only guarantees *finite* escape, not a practical one.
+/// Perturbing each row by a tiny distinct amount breaks the ties so
+/// every pivot makes real progress. The induced solution error
+/// (~1e-9 per row) is far below the 1e-6-scale certification tolerance
+/// applied to the extracted solution.
+const PERTURB: f64 = 1e-9;
 
 struct Tableau {
     /// Row-major coefficient matrix, `rows x (cols + 1)`, last column = rhs.
@@ -77,6 +100,16 @@ impl Tableau {
             }
             self.cost[col] = 0.0;
         }
+        // Snap ratio-test-slack-sized negative right-hand sides back to
+        // zero: they are bounded noise from the Harris slack, and left
+        // alone they make the ratio test treat the row as a zero-step
+        // pivot magnet, compounding the error across later pivots.
+        for r in 0..self.rows {
+            let rhs = self.a[r * w + self.cols];
+            if rhs < 0.0 && rhs > -1e-8 {
+                self.a[r * w + self.cols] = 0.0;
+            }
+        }
         self.basis[row] = col;
     }
 
@@ -87,7 +120,7 @@ impl Tableau {
         let mut enter: Option<usize> = None;
         if bland {
             for (j, &ok) in allowed.iter().enumerate().take(self.cols) {
-                if ok && self.cost[j] < -EPS_COST {
+                if ok && self.cost[j] < -EPS_COST_BLAND {
                     enter = Some(j);
                     break;
                 }
@@ -104,18 +137,46 @@ impl Tableau {
         let Some(col) = enter else {
             return Ok(false);
         };
-        // Ratio test.
-        let mut leave: Option<usize> = None;
-        let mut best_ratio = f64::INFINITY;
+        // Two-pass (Harris-style) ratio test. Pass 1 bounds the step
+        // length over EVERY row with a meaningfully positive coefficient
+        // (see [`EPS_RATIO`]) — excluding small coefficients from the
+        // minimum lets a pivot drive their rows negative, an error that
+        // compounds across pivots until the solver returns super-optimal
+        // garbage. A small slack `delta` keeps degenerate noise from
+        // dictating the bound. Pass 2 picks, among rows within the
+        // bound, the largest coefficient for numerical stability —
+        // except under Bland's rule, where the lowest basis index must
+        // win for the anti-cycling guarantee.
+        // Under Bland's rule the eligibility set must be EXACTLY the
+        // min-ratio rows (the anti-cycling proof breaks on a slackened
+        // set), so the slack applies only to Dantzig pricing.
+        const DELTA: f64 = 1e-9;
+        let delta = if bland { 0.0 } else { DELTA };
+        let mut theta = f64::INFINITY;
         for r in 0..self.rows {
             let arc = self.at(r, col);
-            if arc > EPS_PIVOT {
-                let ratio = self.rhs(r) / arc;
-                let better = ratio < best_ratio - 1e-12
-                    || (ratio < best_ratio + 1e-12
-                        && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]));
-                if leave.is_none() || better {
-                    best_ratio = ratio;
+            if arc > EPS_RATIO {
+                theta = theta.min((self.rhs(r).max(0.0) + delta) / arc);
+            }
+        }
+        if theta.is_infinite() {
+            return Err(LpError::Unbounded);
+        }
+        let mut leave: Option<usize> = None;
+        for r in 0..self.rows {
+            let arc = self.at(r, col);
+            if arc > EPS_RATIO && self.rhs(r).max(0.0) / arc <= theta {
+                let better = match leave {
+                    None => true,
+                    Some(lr) => {
+                        if bland {
+                            self.basis[r] < self.basis[lr]
+                        } else {
+                            arc > self.at(lr, col)
+                        }
+                    }
+                };
+                if better {
                     leave = Some(r);
                 }
             }
@@ -128,26 +189,60 @@ impl Tableau {
     }
 
     fn run(&mut self, allowed: &[bool], max_iters: usize) -> Result<(), LpError> {
-        let mut stall = 0usize;
-        let mut last_obj = f64::INFINITY;
-        let mut bland = false;
+        let mut guard = StallGuard::new();
         for _ in 0..max_iters {
-            if !self.step(allowed, bland)? {
+            if !self.step(allowed, guard.bland())? {
                 return Ok(());
             }
-            let obj = -self.cost[self.cols];
-            if (last_obj - obj).abs() <= 1e-12 {
-                stall += 1;
-                if stall >= STALL_LIMIT {
-                    bland = true;
-                }
-            } else {
-                stall = 0;
-                bland = false;
-            }
-            last_obj = obj;
+            guard.observe(-self.cost[self.cols]);
         }
         Err(LpError::IterationLimit)
+    }
+}
+
+/// Anti-cycling policy for [`Tableau::run`]: tracks objective progress
+/// and decides when to price with Bland's rule instead of Dantzig's.
+///
+/// Progress is judged with a tolerance *relative* to the objective
+/// magnitude (`1e-12 * (1 + |obj|)`), so a 1e-13 wiggle on a 1e9-scale
+/// objective still counts as a stall. Once engaged, Bland mode is
+/// sticky: it stays on until a strict improvement beyond the tolerance,
+/// rather than disengaging after one tiny numerical twitch (which could
+/// re-enter the same degenerate cycle).
+struct StallGuard {
+    last_obj: f64,
+    stall: usize,
+    bland: bool,
+}
+
+impl StallGuard {
+    fn new() -> StallGuard {
+        StallGuard {
+            last_obj: f64::INFINITY,
+            stall: 0,
+            bland: false,
+        }
+    }
+
+    /// Whether the next pivot should use Bland's rule.
+    fn bland(&self) -> bool {
+        self.bland
+    }
+
+    /// Records the objective after a pivot (minimization sense).
+    fn observe(&mut self, obj: f64) {
+        let tol = 1e-12 * (1.0 + obj.abs());
+        if self.last_obj - obj > tol {
+            // Strict improvement: progress is real, Dantzig is safe again.
+            self.stall = 0;
+            self.bland = false;
+        } else {
+            self.stall += 1;
+            if self.stall >= STALL_LIMIT {
+                self.bland = true;
+            }
+        }
+        self.last_obj = obj;
     }
 }
 
@@ -177,7 +272,10 @@ fn prepare(model: &Model) -> Result<Prepared, LpError> {
     let mut obj_const = 0.0;
     let mut n_struct = 0usize;
     for (i, v) in model.vars.iter().enumerate() {
-        if !(v.lo.is_finite() && v.lo >= 0.0 && v.hi >= v.lo) {
+        // The x' = x - lo shift below is sign-agnostic, so any finite
+        // lower bound is fine; only NaN / infinite lo or inverted
+        // bounds are malformed.
+        if !(v.lo.is_finite() && v.hi >= v.lo) {
             return Err(LpError::InvalidModel(format!(
                 "variable x{i} has invalid bounds [{}, {}]",
                 v.lo, v.hi
@@ -290,7 +388,10 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         for &(j, coef) in coeffs {
             a[r * w + j] += sign * coef;
         }
-        a[r * w + cols] = sign * rhs;
+        // Distinct per-row offsets (golden-ratio spread, deterministic)
+        // break degenerate ratio-test ties; see [`PERTURB`].
+        let jitter = PERTURB * (1.0 + (r as f64 * 0.618_033_988_749_894_9).fract());
+        a[r * w + cols] = sign * rhs + jitter;
         let eff = match (cmp, sign < 0.0) {
             (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
             (Cmp::Le, true) | (Cmp::Ge, false) => Cmp::Ge,
@@ -395,16 +496,42 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
     for r in 0..m {
         let b = t.basis[r];
         if b < n {
-            xs[b] = t.rhs(r);
+            xs[b] = t.rhs(r).max(0.0);
+        }
+    }
+    // Certify the claimed optimum actually satisfies the model. A long
+    // degenerate pivot sequence can corrupt the tableau enough that
+    // "optimality" is declared at an infeasible point; better to fail
+    // loudly than hand back a bogus objective.
+    for (coeffs, cmp, rhs) in &prep.rows {
+        let lhs: f64 = coeffs.iter().map(|&(j, coef)| coef * xs[j]).sum();
+        let scale = 1.0 + rhs.abs() + coeffs.iter().map(|&(_, c)| c.abs()).sum::<f64>();
+        let tol = 1e-6 * scale;
+        let violated = match cmp {
+            Cmp::Le => lhs > rhs + tol,
+            Cmp::Ge => lhs < rhs - tol,
+            Cmp::Eq => (lhs - rhs).abs() > tol,
+        };
+        if violated {
+            return Err(LpError::IterationLimit);
         }
     }
     let mut values = vec![0.0; model.vars.len()];
     let mut objective = prep.obj_const;
     for (i, v) in model.vars.iter().enumerate() {
-        let x = match prep.col_of_var[i] {
+        let mut x = match prep.col_of_var[i] {
             Some(j) => prep.shift[i] + xs[j],
             None => prep.shift[i],
         };
+        // Snap values sitting within perturbation distance of a bound
+        // exactly onto it, undoing the right-hand-side jitter for
+        // callers that compare against bounds.
+        const SNAP: f64 = 8.0 * PERTURB;
+        if (x - v.lo).abs() <= SNAP {
+            x = v.lo;
+        } else if v.hi.is_finite() && (v.hi - x).abs() <= SNAP {
+            x = v.hi;
+        }
         values[i] = x;
         objective += v.obj * (x - prep.shift[i]);
     }
@@ -567,6 +694,122 @@ mod tests {
         assert!((s.value(x) - 0.5).abs() < 1e-9);
         assert!((s.value(y) - 7.0).abs() < 1e-9);
         assert!((s.objective() - (1.5 - 7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bounds_via_shift() {
+        // min x with x in [-5, 3]: the shift x' = x + 5 handles the
+        // negative bound; optimum sits at the lower bound.
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, -5.0, 3.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 3.0);
+        let s = solve(&m).expect("feasible");
+        assert!((s.value(x) + 5.0).abs() < 1e-7);
+        assert!((s.objective() + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_bounds_with_constraints() {
+        // Unrestricted-in-sign auxiliaries, the AC-dual shape:
+        // min p1 - p2 s.t. p1 - p2 >= -4, p in [-10, 10]^2 => -4.
+        let mut m = Model::minimize();
+        let p1 = m.add_var(VarKind::Continuous, -10.0, 10.0, 1.0);
+        let p2 = m.add_var(VarKind::Continuous, -10.0, 10.0, -1.0);
+        m.add_constraint(vec![(p1, 1.0), (p2, -1.0)], Cmp::Ge, -4.0);
+        let s = solve(&m).expect("feasible");
+        assert!((s.objective() + 4.0).abs() < 1e-7);
+        assert!((s.value(p1) - s.value(p2) + 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_bounds_unconstrained_fast_path() {
+        // m == 0 path: each variable at its objective-minimizing bound.
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, -2.0, 4.0, 3.0);
+        let y = m.add_var(VarKind::Continuous, -7.0, -1.0, -1.0);
+        let s = solve(&m).expect("bounded by variable bounds");
+        assert!((s.value(x) + 2.0).abs() < 1e-9);
+        assert!((s.value(y) + 1.0).abs() < 1e-9);
+        assert!((s.objective() - (-6.0 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_and_neg_infinite_bounds_still_rejected() {
+        // Bypass add_var's assertions via direct construction to check
+        // prepare()'s own validation.
+        let mut m = Model::minimize();
+        let x = m.add_var(VarKind::Continuous, 0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        m.vars[0].lo = f64::NEG_INFINITY;
+        assert!(matches!(
+            solve(&m).unwrap_err(),
+            LpError::InvalidModel(msg) if msg.contains("x0")
+        ));
+        m.vars[0].lo = f64::NAN;
+        assert!(matches!(solve(&m).unwrap_err(), LpError::InvalidModel(_)));
+    }
+
+    #[test]
+    fn stall_guard_relative_tolerance_on_large_objectives() {
+        // A 1e-13-relative wiggle on a 1e9-scale objective is noise, not
+        // progress: the guard must keep counting toward Bland's rule.
+        // (The old absolute 1e-12 check classified any 1e-4 absolute
+        // change on that scale as progress and never engaged Bland.)
+        let mut g = StallGuard::new();
+        let mut obj = 1e9;
+        g.observe(obj);
+        for _ in 0..STALL_LIMIT {
+            obj -= 1e-4; // far below 1e-12 * (1 + 1e9)
+            g.observe(obj);
+        }
+        assert!(g.bland(), "sub-tolerance wiggles must engage Bland");
+    }
+
+    #[test]
+    fn stall_guard_is_sticky_until_strict_improvement() {
+        let mut g = StallGuard::new();
+        g.observe(100.0);
+        for _ in 0..STALL_LIMIT {
+            g.observe(100.0);
+        }
+        assert!(g.bland());
+        // One more exactly-degenerate pivot: must stay in Bland mode
+        // (the old logic needed only a 2e-12 absolute dip to flip back).
+        g.observe(100.0 - 2e-12);
+        assert!(g.bland(), "Bland must persist through degenerate pivots");
+        // A strict improvement releases it.
+        g.observe(99.0);
+        assert!(!g.bland());
+        // ... and the stall counter restarted from zero.
+        g.observe(99.0);
+        assert!(!g.bland());
+    }
+
+    #[test]
+    fn degenerate_scaled_objective_terminates() {
+        // Beale's cycling example with the objective scaled by 1e9 so
+        // every float wiggle is large in absolute terms: the relative
+        // stall tolerance must still spot degeneracy and engage Bland's
+        // rule instead of cycling to IterationLimit.
+        let k = 1e9;
+        let mut m = Model::minimize();
+        let x = cont(&mut m, f64::INFINITY, -0.75 * k);
+        let y = cont(&mut m, f64::INFINITY, 150.0 * k);
+        let z = cont(&mut m, f64::INFINITY, -0.02 * k);
+        let u = cont(&mut m, f64::INFINITY, 6.0 * k);
+        m.add_constraint(
+            vec![(x, 0.25), (y, -60.0), (z, -0.04), (u, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint(
+            vec![(x, 0.5), (y, -90.0), (z, -0.02), (u, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint(vec![(z, 1.0)], Cmp::Le, 1.0);
+        let s = solve(&m).expect("scaled Beale example has optimum -0.05e9");
+        assert!((s.objective() / k + 0.05).abs() < 1e-6);
     }
 
     #[test]

@@ -204,6 +204,14 @@ pub enum ArbitraryCertification {
     /// Neither a refutation nor a witness was found (the up*/down*
     /// witness construction is incomplete on asymmetric graphs).
     Inconclusive,
+    /// The graph is not strongly connected, so *all-pairs* routing does
+    /// not exist at all and the deadlock question is vacuous. The
+    /// listed node (by index) is the witness: it cannot reach node 0,
+    /// or node 0 cannot reach it.
+    NotStronglyConnected {
+        /// A node disconnected from node 0 in one direction.
+        node: usize,
+    },
 }
 
 impl ArbitraryCertification {
@@ -244,8 +252,11 @@ impl ArbitraryCertification {
 ///
 /// Strongly connected graphs that pass neither test report
 /// [`ArbitraryCertification::Inconclusive`]; graphs that are not
-/// strongly connected (no constructor in this workspace produces one)
-/// are also reported `Inconclusive` rather than analyzed.
+/// strongly connected (no constructor in this workspace produces one,
+/// but a hand-written `.topo` file can) report
+/// [`ArbitraryCertification::NotStronglyConnected`] with a witness node
+/// — all-pairs routing does not exist there, so neither certification
+/// nor refutation applies.
 pub fn certify_arbitrary(topo: &Topology) -> ArbitraryCertification {
     let n = topo.num_nodes();
     let nl = topo.num_links();
@@ -285,8 +296,8 @@ pub fn certify_arbitrary(topo: &Topology) -> ArbitraryCertification {
     // pair is routable to begin with.
     let forward = reach(0, usize::MAX, false);
     let backward = reach(0, usize::MAX, true);
-    if forward.iter().any(|&ok| !ok) || backward.iter().any(|&ok| !ok) {
-        return ArbitraryCertification::Inconclusive;
+    if let Some(node) = (0..n).find(|&v| !forward[v] || !backward[v]) {
+        return ArbitraryCertification::NotStronglyConnected { node };
     }
 
     // reach_without[c][u][v]: is v reachable from u avoiding channel c?
@@ -570,6 +581,25 @@ mod tests {
                 assert_eq!(sorted, vec![0, 1, 2]);
             }
             other => panic!("expected a refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_reports_not_strongly_connected() {
+        // 0 <-> 1 and 2 <-> 3 with a one-way bridge 1 -> 2: nodes 2 and
+        // 3 can never reach node 0, so all-pairs routing does not exist
+        // and the certifier says which node witnesses that instead of
+        // shrugging Inconclusive.
+        let topo = bsor_topology::directed_graph(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)])
+            .expect("valid edges");
+        match certify_arbitrary(&topo) {
+            ArbitraryCertification::NotStronglyConnected { node } => {
+                assert!(
+                    node == 2 || node == 3,
+                    "witness {node} is in the cut-off pair"
+                );
+            }
+            other => panic!("expected NotStronglyConnected, got {other:?}"),
         }
     }
 

@@ -9,6 +9,9 @@
 //!   §3.5).
 //! * [`selectors::DijkstraSelector`] — the scalable weighted
 //!   shortest-path heuristic (paper §3.6).
+//! * [`selectors::AcObliviousSelector`] /
+//!   [`selectors::RandomWalkSelector`] — demand-oblivious counterpoints:
+//!   the Applegate–Cohen worst-case-optimal LP and a seeded random walk.
 //! * [`Baseline`] — XY, YX, O1TURN, ROMM and Valiant.
 //! * [`deadlock`] — rebuilds the channel dependence graph induced by a
 //!   route set and checks acyclicity (paper Lemma 1).
@@ -41,12 +44,15 @@ pub mod deadlock;
 pub mod route;
 pub mod selector;
 pub mod selectors {
-    //! BSOR route selectors (`SF` instances in the paper's framework).
+    //! BSOR route selectors (`SF` instances in the paper's framework)
+    //! and the demand-oblivious selectors they are compared against.
     pub mod dijkstra;
     pub mod milp;
+    pub mod oblivious;
 
     pub use dijkstra::DijkstraSelector;
     pub use milp::{MilpObjective, MilpReport, MilpSelector};
+    pub use oblivious::{AcObliviousSelector, ObliviousSolution, RandomWalkSelector};
 }
 pub mod tables;
 

@@ -39,6 +39,16 @@ pub enum SelectError {
     },
     /// The MILP solver failed (infeasible model, budget exhausted, …).
     Milp(LpError),
+    /// An LP-based selector refused the topology because its model would
+    /// exceed the configured link budget (the dense simplex tableau
+    /// grows with the square of the directed-link count, so oversized
+    /// instances are rejected up front instead of hanging the solver).
+    BudgetExceeded {
+        /// Directed links of the offending topology.
+        links: usize,
+        /// The configured budget.
+        max_links: usize,
+    },
 }
 
 impl fmt::Display for SelectError {
@@ -55,6 +65,11 @@ impl fmt::Display for SelectError {
                 "algorithm needs {required} virtual channels but only {available} are available"
             ),
             SelectError::Milp(e) => write!(f, "MILP route selection failed: {e}"),
+            SelectError::BudgetExceeded { links, max_links } => write!(
+                f,
+                "topology has {links} directed links, over the selector's {max_links}-link \
+                 LP budget (raise it with with_max_links to solve anyway)"
+            ),
         }
     }
 }

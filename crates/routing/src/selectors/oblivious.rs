@@ -1,0 +1,786 @@
+//! Demand-oblivious route selectors.
+//!
+//! BSOR is application-aware: it optimizes routes for one known traffic
+//! matrix. The classic counterpoint is *oblivious* routing, which fixes
+//! routes before any demand is known and bounds the worst case instead.
+//! This module implements two members of that family:
+//!
+//! * [`AcObliviousSelector`] (`ac-oblivious`) — the Applegate–Cohen
+//!   worst-case-optimal LP. It minimizes the **oblivious ratio** `r`:
+//!   the maximum, over all demand matrices on the commodity set, of the
+//!   routing's congestion divided by the best possible congestion for
+//!   that matrix. The polynomial-size dual formulation is solved exactly
+//!   on the workspace's two-phase simplex, then the splittable optimum
+//!   is rounded into one CDG-conforming route per commodity by seeded
+//!   randomized rounding.
+//! * [`RandomWalkSelector`] (`random-walk`) — a scalable stand-in from
+//!   the same family: a seeded greedy walk towards the sink with a
+//!   detour probability, demand-independent by construction. Where the
+//!   LP's dense tableau would be intractable (the model has `L²·S`
+//!   coupling rows for `L` directed links and `S` sources), the walk
+//!   still produces oblivious route sets on any topology.
+//!
+//! Both selectors route inside the scenario's acyclic CDG — every step
+//! of a produced route follows a CDG edge restricted to sink-reachable
+//! vertices — so the routes are deadlock-free by construction and pass
+//! the pipeline's mandatory Lemma-1 certification unchanged.
+//!
+//! # The Applegate–Cohen LP
+//!
+//! For directed links `e, h`, commodities `k = (i, j)` (distinct
+//! source/destination pairs of the flow set) and commodity sources `i`:
+//!
+//! ```text
+//! minimize  r
+//! subject to
+//!   f is a unit flow per commodity          (conservation rows)
+//!   ∀e:        Σ_h cap(h)·π(e,h) ≤ r
+//!   ∀e,(i,j):  f_e(i,j) ≤ cap(e)·p_e(i,j)
+//!   ∀e,i,h=(u,v):  π(e,h) + p_e(i,u) − p_e(i,v) ≥ 0,   p_e(i,i) = 0
+//!   f, π, p ≥ 0
+//! ```
+//!
+//! The `π(e,·)` row makes `Σ cap·π` a feasible fractional cut against
+//! *any* demand matrix; LP duality turns the inner maximization over
+//! demand matrices into these polynomially many constraints. The
+//! optimum `r` is exactly the best oblivious ratio achievable by any
+//! (splittable) routing of the commodity set, and is always ≥ 1.
+//!
+//! The model is dense: `L² + L·K + L·S·(N−1) + 1` variables. A
+//! configurable link budget ([`AcObliviousSelector::with_max_links`])
+//! refuses topologies beyond it with a typed
+//! [`SelectError::BudgetExceeded`] instead of hanging the dense tableau.
+
+use crate::route::{Route, RouteHop, RouteSet, VcMask};
+use crate::selector::SelectError;
+use bsor_flow::{Flow, FlowId, FlowNetwork, FlowSet};
+use bsor_lp::{Cmp, Model, VarId, VarKind};
+use bsor_netgraph::{algo, NodeId as GraphNode};
+use bsor_topology::{LinkId, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Default directed-link budget for the AC LP: admits the WAN sample
+/// (14 links), small meshes and rings, and `fullmesh4`; refuses the 8×8
+/// mesh (224) and `fullmesh8` (56), whose dense tableaus are intractable.
+pub const DEFAULT_MAX_LINKS: usize = 16;
+
+/// Additive weight floor during randomized rounding: keeps
+/// CDG-reachable channels with zero LP flow usable when cycle breaking
+/// forbids the LP's preferred (CDG-ignorant) paths.
+const WALK_EPS: f64 = 1e-6;
+
+/// The Applegate–Cohen worst-case-optimal oblivious selector.
+///
+/// Solves the dual LP for the optimal splittable oblivious routing of
+/// the flow set's commodities, then rounds it into one unsplittable
+/// CDG-conforming route per commodity (repeated source/destination
+/// pairs share a commodity and therefore a route).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AcObliviousSelector {
+    /// Randomized-rounding seed (fold into cache keys: different seeds
+    /// round to different route sets).
+    pub seed: u64,
+    /// Maximum directed links before the LP is refused with
+    /// [`SelectError::BudgetExceeded`].
+    pub max_links: usize,
+}
+
+impl Default for AcObliviousSelector {
+    fn default() -> Self {
+        AcObliviousSelector {
+            seed: 9,
+            max_links: DEFAULT_MAX_LINKS,
+        }
+    }
+}
+
+impl AcObliviousSelector {
+    /// Selector with default parameters.
+    pub fn new() -> Self {
+        AcObliviousSelector::default()
+    }
+
+    /// Overrides the randomized-rounding seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the directed-link budget.
+    #[must_use]
+    pub fn with_max_links(mut self, max_links: usize) -> Self {
+        self.max_links = max_links;
+        self
+    }
+
+    /// Solves the AC LP for `commodities` over `topo`, returning the
+    /// splittable optimum (oblivious ratio + per-commodity link flows)
+    /// without rounding. This is what the ratio table reports.
+    ///
+    /// # Errors
+    ///
+    /// [`SelectError::BudgetExceeded`] when `topo` has more directed
+    /// links than the budget; [`SelectError::Milp`] when the simplex
+    /// fails (an infeasible model indicates a disconnected commodity).
+    pub fn solve(
+        &self,
+        topo: &Topology,
+        commodities: &[(NodeId, NodeId)],
+    ) -> Result<ObliviousSolution, SelectError> {
+        let num_links = topo.num_links();
+        if num_links > self.max_links {
+            return Err(SelectError::BudgetExceeded {
+                links: num_links,
+                max_links: self.max_links,
+            });
+        }
+        if commodities.is_empty() {
+            return Ok(ObliviousSolution {
+                ratio: 1.0,
+                commodities: Vec::new(),
+                link_flow: Vec::new(),
+            });
+        }
+        let sources: Vec<NodeId> = {
+            let set: BTreeSet<NodeId> = commodities.iter().map(|&(i, _)| i).collect();
+            set.into_iter().collect()
+        };
+        let source_index = |node: NodeId| -> usize {
+            sources
+                .binary_search(&node)
+                .expect("every commodity source is listed")
+        };
+        let l = num_links;
+        let n = topo.num_nodes();
+        let k = commodities.len();
+        let s = sources.len();
+
+        let mut m = Model::minimize();
+        // Objective: the oblivious ratio alone.
+        let r = m.add_var(VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        // f[c * l + e]: fraction of commodity c's unit demand on link e.
+        let f: Vec<VarId> = (0..k * l)
+            .map(|_| m.add_var(VarKind::Continuous, 0.0, f64::INFINITY, 0.0))
+            .collect();
+        // pi[e * l + h]: the fractional-cut weights certifying link e.
+        let pi: Vec<VarId> = (0..l * l)
+            .map(|_| m.add_var(VarKind::Continuous, 0.0, f64::INFINITY, 0.0))
+            .collect();
+        // p[(e * s + si) * n + v]: shortest-path potentials under pi(e,·)
+        // from source si; p(i, i) is identically 0 and omitted.
+        let p: Vec<Option<VarId>> = (0..l * s * n)
+            .map(|idx| {
+                let si = (idx / n) % s;
+                let v = idx % n;
+                if sources[si].index() == v {
+                    None
+                } else {
+                    Some(m.add_var(VarKind::Continuous, 0.0, f64::INFINITY, 0.0))
+                }
+            })
+            .collect();
+        let p_at = |e: usize, si: usize, v: usize| p[(e * s + si) * n + v];
+
+        let cap = |e: usize| topo.link(LinkId(e as u32)).capacity;
+
+        // ∀e: Σ_h cap(h)·π(e,h) − r ≤ 0.
+        for e in 0..l {
+            let mut terms: Vec<(VarId, f64)> = (0..l).map(|h| (pi[e * l + h], cap(h))).collect();
+            terms.push((r, -1.0));
+            m.add_constraint(terms, Cmp::Le, 0.0);
+        }
+        // Unit flow conservation per commodity (sink row omitted: it is
+        // implied by the others and would only add a redundant equality).
+        for (c, &(src, dst)) in commodities.iter().enumerate() {
+            for u in topo.node_ids() {
+                if u == dst {
+                    continue;
+                }
+                let mut terms: Vec<(VarId, f64)> = Vec::new();
+                for &e in topo.out_links(u) {
+                    terms.push((f[c * l + e.index()], 1.0));
+                }
+                for &e in topo.in_links(u) {
+                    terms.push((f[c * l + e.index()], -1.0));
+                }
+                let rhs = if u == src { 1.0 } else { 0.0 };
+                m.add_constraint(terms, Cmp::Eq, rhs);
+            }
+        }
+        // ∀e,(i,j): f_e(i,j) − cap(e)·p_e(i,j) ≤ 0.
+        for e in 0..l {
+            for (c, &(src, dst)) in commodities.iter().enumerate() {
+                let pj = p_at(e, source_index(src), dst.index()).expect("dst != src");
+                m.add_constraint(vec![(f[c * l + e], 1.0), (pj, -cap(e))], Cmp::Le, 0.0);
+            }
+        }
+        // ∀e,i,h=(u,v): π(e,h) + p_e(i,u) − p_e(i,v) ≥ 0, written as ≤ 0
+        // of the negation so phase 1 needs no artificials for these rows.
+        for e in 0..l {
+            for si in 0..s {
+                for h in 0..l {
+                    let link = topo.link(LinkId(h as u32));
+                    let mut terms = vec![(pi[e * l + h], -1.0)];
+                    if let Some(pu) = p_at(e, si, link.src.index()) {
+                        terms.push((pu, -1.0));
+                    }
+                    if let Some(pv) = p_at(e, si, link.dst.index()) {
+                        terms.push((pv, 1.0));
+                    }
+                    m.add_constraint(terms, Cmp::Le, 0.0);
+                }
+            }
+        }
+
+        let sol = m.solve_relaxation().map_err(SelectError::Milp)?;
+        let ratio = sol.value(r);
+        let link_flow: Vec<Vec<f64>> = (0..k)
+            .map(|c| (0..l).map(|e| sol.value(f[c * l + e]).max(0.0)).collect())
+            .collect();
+        Ok(ObliviousSolution {
+            ratio,
+            commodities: commodities.to_vec(),
+            link_flow,
+        })
+    }
+
+    /// Solves the LP for the flow set's commodities and rounds the
+    /// splittable optimum into one CDG-conforming route per flow.
+    ///
+    /// # Errors
+    ///
+    /// [`SelectError::BudgetExceeded`] over the link budget,
+    /// [`SelectError::Milp`] when the LP fails, and
+    /// [`SelectError::Unroutable`] when the acyclic CDG disconnects a
+    /// commodity.
+    pub fn select(&self, net: &FlowNetwork<'_>, flows: &FlowSet) -> Result<RouteSet, SelectError> {
+        let commodities = commodities_of(flows);
+        let sol = self.solve(net.topology(), &commodities)?;
+        let cdg = net.acyclic().cdg();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut paths: Vec<Vec<GraphNode>> = Vec::with_capacity(commodities.len());
+        for (c, &(src, dst)) in commodities.iter().enumerate() {
+            let probe = Flow::new(FlowId(0), src, dst, 1.0);
+            let path = guided_walk(net, &probe, &mut rng, |v| {
+                sol.link_flow[c][cdg.vertex(v).link.index()] + WALK_EPS
+            })
+            .ok_or_else(|| unroutable(flows, src, dst))?;
+            paths.push(path);
+        }
+        Ok(routes_from_commodity_paths(
+            net,
+            flows,
+            &commodities,
+            &paths,
+        ))
+    }
+}
+
+/// The splittable optimum of the AC LP.
+#[derive(Clone, Debug)]
+pub struct ObliviousSolution {
+    ratio: f64,
+    commodities: Vec<(NodeId, NodeId)>,
+    /// `link_flow[c][e]`: fraction of commodity `c` on directed link `e`.
+    link_flow: Vec<Vec<f64>>,
+}
+
+impl ObliviousSolution {
+    /// The optimal oblivious ratio: worst-case congestion of this
+    /// routing over the best per-matrix congestion, ≥ 1 whenever the
+    /// commodity set is nonempty.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// The commodity set the LP was solved for.
+    pub fn commodities(&self) -> &[(NodeId, NodeId)] {
+        &self.commodities
+    }
+
+    /// Fraction of commodity `c`'s demand routed over `link`.
+    pub fn link_fraction(&self, c: usize, link: LinkId) -> f64 {
+        self.link_flow[c][link.index()]
+    }
+}
+
+/// A seeded random-walk oblivious selector: at every CDG vertex the walk
+/// greedily steps toward the sink (fewest dependence hops remaining),
+/// taking a uniformly random sink-reachable detour with probability
+/// [`RandomWalkSelector::detour_prob`]. Routes depend only on topology,
+/// CDG and seed — never on demands — so the selector is oblivious, and
+/// it scales to any topology the CDG covers (no LP involved).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomWalkSelector {
+    /// Walk seed (fold into cache keys).
+    pub seed: u64,
+    /// Probability of a uniformly random (still sink-reachable) step
+    /// instead of a greedy one. 0 degenerates to randomized-tie-break
+    /// BFS; 1 is a uniform random walk on the reachable DAG.
+    pub detour_prob: f64,
+}
+
+impl Default for RandomWalkSelector {
+    fn default() -> Self {
+        RandomWalkSelector {
+            seed: 9,
+            detour_prob: 0.15,
+        }
+    }
+}
+
+impl RandomWalkSelector {
+    /// Selector with default parameters.
+    pub fn new() -> Self {
+        RandomWalkSelector::default()
+    }
+
+    /// Overrides the walk seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the detour probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[must_use]
+    pub fn with_detour_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "detour probability must be in [0, 1]"
+        );
+        self.detour_prob = p;
+        self
+    }
+
+    /// Walks one CDG-conforming route per commodity (repeated pairs
+    /// share a route), ignoring all demands.
+    ///
+    /// # Errors
+    ///
+    /// [`SelectError::Unroutable`] when the acyclic CDG disconnects a
+    /// commodity.
+    pub fn select(&self, net: &FlowNetwork<'_>, flows: &FlowSet) -> Result<RouteSet, SelectError> {
+        let commodities = commodities_of(flows);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut paths: Vec<Vec<GraphNode>> = Vec::with_capacity(commodities.len());
+        for &(src, dst) in &commodities {
+            let probe = Flow::new(FlowId(0), src, dst, 1.0);
+            let path = detour_walk(net, &probe, &mut rng, self.detour_prob)
+                .ok_or_else(|| unroutable(flows, src, dst))?;
+            paths.push(path);
+        }
+        Ok(routes_from_commodity_paths(
+            net,
+            flows,
+            &commodities,
+            &paths,
+        ))
+    }
+}
+
+/// The distinct (source, destination) pairs of a flow set, sorted.
+fn commodities_of(flows: &FlowSet) -> Vec<(NodeId, NodeId)> {
+    let set: BTreeSet<(NodeId, NodeId)> = flows.iter().map(|f| (f.src, f.dst)).collect();
+    set.into_iter().collect()
+}
+
+/// The `Unroutable` error for the first flow matching a commodity.
+fn unroutable(flows: &FlowSet, src: NodeId, dst: NodeId) -> SelectError {
+    let flow = flows
+        .iter()
+        .find(|f| f.src == src && f.dst == dst)
+        .map(|f| f.id)
+        .unwrap_or(FlowId(0));
+    SelectError::Unroutable { flow }
+}
+
+/// Expands per-commodity CDG vertex paths into one route per flow.
+fn routes_from_commodity_paths(
+    net: &FlowNetwork<'_>,
+    flows: &FlowSet,
+    commodities: &[(NodeId, NodeId)],
+    paths: &[Vec<GraphNode>],
+) -> RouteSet {
+    let cdg = net.acyclic().cdg();
+    RouteSet::from_routes(
+        flows
+            .iter()
+            .map(|flow| {
+                let c = commodities
+                    .binary_search(&(flow.src, flow.dst))
+                    .expect("commodities cover every flow");
+                Route {
+                    flow: flow.id,
+                    hops: paths[c]
+                        .iter()
+                        .map(|&v| {
+                            let cv = cdg.vertex(v);
+                            RouteHop {
+                                link: cv.link,
+                                vcs: VcMask::single(cv.vc.0),
+                            }
+                        })
+                        .collect(),
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Hop distance from every CDG vertex to the flow's nearest sink
+/// (`usize::MAX` when no sink is reachable), plus the sink-reachable
+/// start vertices. Restricting every walk step to finite-distance
+/// vertices guarantees the walk always has a candidate until it stands
+/// on a sink, and the DAG guarantees it gets there in finitely many
+/// steps — so the walks below cannot stall or cycle.
+fn sink_distances(net: &FlowNetwork<'_>, flow: &Flow) -> (Vec<usize>, Vec<GraphNode>) {
+    let graph = net.acyclic().graph();
+    let dist = algo::bfs_hops_to(graph, &net.sinks(flow));
+    let starts: Vec<GraphNode> = net
+        .sources(flow)
+        .into_iter()
+        .filter(|v| dist[v.index()] != usize::MAX)
+        .collect();
+    (dist, starts)
+}
+
+/// Randomized rounding walk: steps are weighted by `weight_of` (the LP's
+/// per-link flow mass plus a floor) over sink-reachable candidates.
+fn guided_walk(
+    net: &FlowNetwork<'_>,
+    flow: &Flow,
+    rng: &mut StdRng,
+    weight_of: impl Fn(GraphNode) -> f64,
+) -> Option<Vec<GraphNode>> {
+    let (dist, starts) = sink_distances(net, flow);
+    if starts.is_empty() {
+        return None;
+    }
+    let graph = net.acyclic().graph();
+    let mut cur = weighted_pick(&starts, rng, &weight_of);
+    let mut path = vec![cur];
+    while dist[cur.index()] > 0 {
+        let candidates: Vec<GraphNode> = graph
+            .successors(cur)
+            .filter(|v| dist[v.index()] != usize::MAX)
+            .collect();
+        cur = weighted_pick(&candidates, rng, &weight_of);
+        path.push(cur);
+    }
+    Some(path)
+}
+
+/// Greedy-towards-sink walk with a uniform detour probability.
+fn detour_walk(
+    net: &FlowNetwork<'_>,
+    flow: &Flow,
+    rng: &mut StdRng,
+    detour_prob: f64,
+) -> Option<Vec<GraphNode>> {
+    let (dist, starts) = sink_distances(net, flow);
+    if starts.is_empty() {
+        return None;
+    }
+    let graph = net.acyclic().graph();
+    let mut cur = step_pick(&starts, &dist, rng, detour_prob);
+    let mut path = vec![cur];
+    while dist[cur.index()] > 0 {
+        let candidates: Vec<GraphNode> = graph
+            .successors(cur)
+            .filter(|v| dist[v.index()] != usize::MAX)
+            .collect();
+        cur = step_pick(&candidates, &dist, rng, detour_prob);
+        path.push(cur);
+    }
+    Some(path)
+}
+
+/// Weighted choice among `items` (weights are strictly positive).
+fn weighted_pick(
+    items: &[GraphNode],
+    rng: &mut StdRng,
+    weight_of: impl Fn(GraphNode) -> f64,
+) -> GraphNode {
+    debug_assert!(!items.is_empty());
+    let total: f64 = items.iter().map(|&v| weight_of(v)).sum();
+    let mut t = rng.gen_range(0.0..total);
+    for &v in items {
+        t -= weight_of(v);
+        if t <= 0.0 {
+            return v;
+        }
+    }
+    *items.last().expect("non-empty candidate set")
+}
+
+/// One random-walk step: uniformly random with probability
+/// `detour_prob`, otherwise uniform among the closest-to-sink candidates.
+fn step_pick(items: &[GraphNode], dist: &[usize], rng: &mut StdRng, detour_prob: f64) -> GraphNode {
+    debug_assert!(!items.is_empty());
+    if detour_prob > 0.0 && rng.gen_bool(detour_prob) {
+        return items[rng.gen_range(0..items.len())];
+    }
+    let best = items
+        .iter()
+        .map(|v| dist[v.index()])
+        .min()
+        .expect("non-empty candidate set");
+    let closest: Vec<GraphNode> = items
+        .iter()
+        .copied()
+        .filter(|v| dist[v.index()] == best)
+        .collect();
+    closest[rng.gen_range(0..closest.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock;
+    use bsor_cdg::{AcyclicCdg, TurnModel};
+
+    fn mesh_flows(topo: &Topology, demand: f64) -> FlowSet {
+        let mut fs = FlowSet::new();
+        let n = topo.num_nodes() as u32;
+        for i in 0..n {
+            let j = (i + n / 2) % n;
+            if i != j {
+                fs.push(NodeId(i), NodeId(j), demand);
+            }
+        }
+        fs
+    }
+
+    fn all_pairs(topo: &Topology) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::new();
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn single_commodity_ratio_is_one() {
+        // With one commodity, scaling invariance makes any fixed routing
+        // of it worst-case optimal: the ratio is exactly 1.
+        let topo = Topology::ring(4);
+        let commodities = vec![(NodeId(0), NodeId(2))];
+        let sol = AcObliviousSelector::new()
+            .solve(&topo, &commodities)
+            .expect("in budget");
+        assert!((sol.ratio() - 1.0).abs() < 1e-4, "ratio {}", sol.ratio());
+    }
+
+    #[test]
+    fn ring_ratios_match_theory() {
+        // All-pairs demands on the n-cycle have optimal oblivious ratio
+        // 2 - 2/n (Cohen et al.); the two-commodity case on the 4-ring
+        // works out to 6/5 by hand (the long alternatives of (0,1) and
+        // (2,3) share both reverse links, so a direct-fraction a gives
+        // max(2a, max(a, 2(1-a)) * 3/2) minimized at a = 2/3).
+        let ring4 = Topology::ring(4);
+        let ring5 = Topology::ring(5);
+        for (topo, commodities, expect) in [
+            (&ring4, all_pairs(&ring4), 1.5),
+            (&ring5, all_pairs(&ring5), 1.6),
+            (
+                &ring4,
+                vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))],
+                1.2,
+            ),
+        ] {
+            let sol = AcObliviousSelector::new()
+                .solve(topo, &commodities)
+                .expect("in budget");
+            assert!(
+                (sol.ratio() - expect).abs() < 1e-3,
+                "expected {expect}, got {}",
+                sol.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_is_finite_and_at_least_one_on_small_topologies() {
+        let fm4 = bsor_topology::full_mesh(4).expect("valid");
+        // Star commodities keep the fullmesh LP small enough for a
+        // debug-mode test; the rings get the full all-pairs set.
+        let star: Vec<_> = fm4
+            .node_ids()
+            .filter(|&b| b != NodeId(0))
+            .map(|b| (NodeId(0), b))
+            .collect();
+        let mesh = Topology::mesh2d(2, 2);
+        for (topo, commodities) in [(&mesh, all_pairs(&mesh)), (&fm4, star)] {
+            let sol = AcObliviousSelector::new()
+                .solve(topo, &commodities)
+                .expect("in budget");
+            assert!(sol.ratio().is_finite());
+            // 1e-4 slack: the solver's rhs anti-degeneracy perturbation
+            // costs ~1e-5 of absolute precision on these models.
+            assert!(sol.ratio() >= 1.0 - 1e-4, "ratio {}", sol.ratio());
+        }
+    }
+
+    #[test]
+    fn lp_flows_conserve_unit_demand() {
+        let topo = Topology::mesh2d(2, 2);
+        let commodities = vec![(NodeId(0), NodeId(3))];
+        let sol = AcObliviousSelector::new()
+            .solve(&topo, &commodities)
+            .expect("in budget");
+        // Net outflow at the source is the unit demand.
+        let out: f64 = topo
+            .out_links(NodeId(0))
+            .iter()
+            .map(|&e| sol.link_fraction(0, e))
+            .sum();
+        let inn: f64 = topo
+            .in_links(NodeId(0))
+            .iter()
+            .map(|&e| sol.link_fraction(0, e))
+            .sum();
+        assert!((out - inn - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_refusal_is_typed() {
+        let topo = Topology::mesh2d(8, 8);
+        let err = AcObliviousSelector::new()
+            .solve(&topo, &[(NodeId(0), NodeId(63))])
+            .unwrap_err();
+        match err {
+            SelectError::BudgetExceeded { links, max_links } => {
+                assert_eq!(links, topo.num_links());
+                assert_eq!(max_links, DEFAULT_MAX_LINKS);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // A raised budget would accept it (not solved here: too slow).
+        assert!(topo.num_links() <= 224);
+    }
+
+    #[test]
+    fn ac_routes_are_valid_and_deadlock_free() {
+        let topo = Topology::mesh2d(2, 2);
+        let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let flows = mesh_flows(&topo, 10.0);
+        let routes = AcObliviousSelector::new()
+            .select(&net, &flows)
+            .expect("routable");
+        routes.validate(&topo, &flows, 2).expect("valid");
+        assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
+    }
+
+    #[test]
+    fn ac_select_is_deterministic_per_seed() {
+        let topo = Topology::mesh2d(2, 2);
+        let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let flows = mesh_flows(&topo, 10.0);
+        let sel = AcObliviousSelector::new().with_seed(42);
+        let a = sel.select(&net, &flows).expect("routable");
+        let b = sel.select(&net, &flows).expect("routable");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_pairs_share_one_commodity_route() {
+        let topo = Topology::ring(4);
+        let acyclic = AcyclicCdg::ad_hoc(&topo, 2, 1);
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let mut flows = FlowSet::new();
+        flows.push(NodeId(0), NodeId(2), 5.0);
+        flows.push(NodeId(0), NodeId(2), 7.0);
+        let routes = RandomWalkSelector::new().select(&net, &flows).expect("ok");
+        assert_eq!(
+            routes.route(FlowId(0)).hops,
+            routes.route(FlowId(1)).hops,
+            "one commodity, one route"
+        );
+    }
+
+    #[test]
+    fn random_walk_routes_every_topology_family() {
+        for topo in [
+            Topology::mesh2d(4, 4),
+            Topology::ring(6),
+            bsor_topology::full_mesh(5).expect("valid"),
+        ] {
+            let acyclic = if topo.kind() == bsor_topology::TopologyKind::Mesh2D {
+                AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid")
+            } else {
+                AcyclicCdg::up_down(&topo, 2).expect("valid")
+            };
+            let net = FlowNetwork::new(&topo, &acyclic);
+            let flows = mesh_flows(&topo, 10.0);
+            let routes = RandomWalkSelector::new()
+                .select(&net, &flows)
+                .expect("routable");
+            routes.validate(&topo, &flows, 2).expect("valid");
+            assert!(deadlock::is_deadlock_free(&topo, &routes, 2));
+        }
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_seed_sensitive() {
+        let topo = Topology::mesh2d(4, 4);
+        let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let flows = mesh_flows(&topo, 10.0);
+        let a = RandomWalkSelector::new()
+            .with_seed(1)
+            .select(&net, &flows)
+            .expect("ok");
+        let b = RandomWalkSelector::new()
+            .with_seed(1)
+            .select(&net, &flows)
+            .expect("ok");
+        let c = RandomWalkSelector::new()
+            .with_seed(2)
+            .select(&net, &flows)
+            .expect("ok");
+        assert_eq!(a, b);
+        // Seeds are allowed to coincide on tiny instances, but on a 4x4
+        // transposed-halves flow set two seeds routing identically would
+        // indicate the rng is ignored.
+        assert_ne!(a, c, "different seeds should explore different walks");
+    }
+
+    #[test]
+    fn zero_detour_walk_takes_shortest_cdg_routes() {
+        let topo = Topology::mesh2d(3, 3);
+        let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let mut flows = FlowSet::new();
+        flows.push(NodeId(0), NodeId(8), 10.0);
+        let routes = RandomWalkSelector::new()
+            .with_detour_prob(0.0)
+            .select(&net, &flows)
+            .expect("ok");
+        let probe = Flow::new(FlowId(0), NodeId(0), NodeId(8), 10.0);
+        let min_links = net.min_route_links(&probe).expect("connected");
+        assert_eq!(routes.route(FlowId(0)).len(), min_links);
+    }
+
+    #[test]
+    fn empty_commodity_set_solves_trivially() {
+        let topo = Topology::ring(4);
+        let sol = AcObliviousSelector::new().solve(&topo, &[]).expect("ok");
+        assert_eq!(sol.ratio(), 1.0);
+        assert!(sol.commodities().is_empty());
+    }
+}

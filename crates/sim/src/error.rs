@@ -64,6 +64,7 @@ impl Error {
     /// | code | meaning |
     /// |------|---------|
     /// | `select-failed` | a route selector failed (unroutable flow, missing VCs, MILP) |
+    /// | `budget-exceeded` | an LP-based selector refused the topology as over its size budget |
     /// | `unsupported-topology` | the algorithm does not apply to the topology family |
     /// | `algorithm-failed` | a framework-level algorithm failure |
     /// | `invalid-routes` | malformed routes (endpoints, adjacency, VCs) |
@@ -76,7 +77,9 @@ impl Error {
     /// | `bad-workload` | the workload cannot instantiate on the topology |
     pub fn code(&self) -> &'static str {
         fn algorithm(e: &AlgorithmError) -> &'static str {
+            use bsor_routing::SelectError;
             match e {
+                AlgorithmError::Select(SelectError::BudgetExceeded { .. }) => "budget-exceeded",
                 AlgorithmError::Select(_) => "select-failed",
                 AlgorithmError::UnsupportedTopology { .. } => "unsupported-topology",
                 _ => "algorithm-failed",
@@ -191,6 +194,22 @@ mod tests {
             .code(),
             "invalid-routes"
         );
+    }
+
+    #[test]
+    fn budget_refusals_classify_separately_from_selector_failures() {
+        use bsor_routing::SelectError;
+        let budget: Error = AlgorithmError::Select(SelectError::BudgetExceeded {
+            links: 224,
+            max_links: 16,
+        })
+        .into();
+        let unroutable: Error = AlgorithmError::Select(SelectError::Unroutable {
+            flow: bsor_flow::FlowId(0),
+        })
+        .into();
+        assert_eq!(budget.code(), "budget-exceeded");
+        assert_eq!(unroutable.code(), "select-failed");
     }
 
     #[test]

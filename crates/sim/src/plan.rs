@@ -861,6 +861,25 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// The largest node count among the cached plans' topologies, or
+    /// `None` when the cache is empty. `bsor-serve` uses this to
+    /// range-check the node ids of an `invalidate` delta: an id at or
+    /// past every cached topology's node count cannot name a real link,
+    /// so the request is a client error rather than a silent no-op.
+    pub fn max_node_count(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .filter_map(|s| {
+                let shard = s.lock().expect("plan cache poisoned");
+                shard
+                    .entries
+                    .values()
+                    .map(|e| e.plan.topology().num_nodes())
+                    .max()
+            })
+            .max()
+    }
+
     /// Drops every cached plan (in-flight solves finish and re-insert).
     pub fn clear(&self) {
         for shard in &self.shards {

@@ -72,7 +72,9 @@ use crate::traffic::{BurstyOnOff, MarkovVariation, PhaseSchedule, TrafficSpec};
 use crate::Simulator;
 use bsor_cdg::{AcyclicCdg, CdgError, TurnModel};
 use bsor_flow::{FlowNetwork, FlowSet, FlowSetError};
-use bsor_routing::selectors::{DijkstraSelector, MilpSelector};
+use bsor_routing::selectors::{
+    AcObliviousSelector, DijkstraSelector, MilpSelector, RandomWalkSelector,
+};
 use bsor_routing::{deadlock, RouteError, RouteSet, SelectError};
 use bsor_topology::{TopoIndex, Topology, TopologyKind};
 use std::error::Error;
@@ -249,6 +251,43 @@ impl RouteAlgorithm for DijkstraSelector {
 
     /// Routes every flow inside `ctx.cdg` with the weighted
     /// shortest-path heuristic (paper §3.6).
+    fn routes(&self, ctx: &ScenarioCtx<'_>) -> Result<RouteSet, AlgorithmError> {
+        let net = FlowNetwork::new(ctx.topo, ctx.cdg);
+        self.select(&net, ctx.flows).map_err(AlgorithmError::from)
+    }
+}
+
+impl RouteAlgorithm for AcObliviousSelector {
+    fn name(&self) -> &str {
+        "ac-oblivious"
+    }
+
+    /// Includes the randomized-rounding seed and the link budget:
+    /// different seeds round the splittable LP optimum into different
+    /// route sets.
+    fn cache_key(&self) -> String {
+        format!("ac-oblivious:{self:?}")
+    }
+
+    /// Solves the Applegate–Cohen worst-case-optimal LP over the flow
+    /// set's commodities and rounds it to CDG-conforming routes.
+    fn routes(&self, ctx: &ScenarioCtx<'_>) -> Result<RouteSet, AlgorithmError> {
+        let net = FlowNetwork::new(ctx.topo, ctx.cdg);
+        self.select(&net, ctx.flows).map_err(AlgorithmError::from)
+    }
+}
+
+impl RouteAlgorithm for RandomWalkSelector {
+    fn name(&self) -> &str {
+        "random-walk"
+    }
+
+    /// Includes the walk seed and detour probability.
+    fn cache_key(&self) -> String {
+        format!("random-walk:{self:?}")
+    }
+
+    /// Seeded oblivious walks towards each sink inside `ctx.cdg`.
     fn routes(&self, ctx: &ScenarioCtx<'_>) -> Result<RouteSet, AlgorithmError> {
         let net = FlowNetwork::new(ctx.topo, ctx.cdg);
         self.select(&net, ctx.flows).map_err(AlgorithmError::from)

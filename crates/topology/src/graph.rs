@@ -405,6 +405,44 @@ pub fn full_mesh(n: u16) -> Result<Topology, TopologyError> {
     Ok(topo)
 }
 
+/// Builds an arbitrary-kind topology from `n` nodes and explicit
+/// directed channels, **without** the file loader's strong-connectivity
+/// validation — the one constructor in this workspace that can produce
+/// a graph `deadlock::certify_arbitrary` reports as
+/// `NotStronglyConnected`. Routing pipelines should keep loading
+/// through [`parse_topology_file`]; this is for analysis code that
+/// studies the disconnected case on purpose.
+///
+/// # Errors
+///
+/// [`TopologyError::BadSpec`] for fewer than 2 nodes, a node id at or
+/// past `n`, a self-loop, or a duplicate channel.
+pub fn directed_graph(n: u16, edges: &[(u32, u32)]) -> Result<Topology, TopologyError> {
+    let spec = format!("graph:{n}");
+    let bad = |reason: String| bad_spec(spec.clone(), reason);
+    if n < 2 {
+        return Err(bad("needs at least 2 nodes".to_owned()));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for &(s, d) in edges {
+        if s >= n as u32 || d >= n as u32 {
+            return Err(bad(format!("channel ({s}, {d}) names a node past {n}")));
+        }
+        if s == d {
+            return Err(bad(format!("self-loop on node {s}")));
+        }
+        if !seen.insert((s, d)) {
+            return Err(bad(format!("duplicate channel ({s}, {d})")));
+        }
+    }
+    let coords = (0..n).map(|i| Coord::new(i, 0)).collect();
+    let mut topo = Topology::from_parts(TopologyKind::Arbitrary, n, 1, coords);
+    for &(s, d) in edges {
+        topo.push_link(NodeId(s), NodeId(d), None);
+    }
+    Ok(topo)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,5 +608,24 @@ mod tests {
     fn load_missing_file_is_a_typed_io_error() {
         let err = load_topology_file("/nonexistent/nowhere.topo").unwrap_err();
         assert!(matches!(err, TopologyFileError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn directed_graph_builds_without_connectivity_validation() {
+        // Two components — exactly what the file loader refuses.
+        let t = directed_graph(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]).expect("valid edges");
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_links(), 4);
+        assert_eq!(t.kind(), crate::TopologyKind::Arbitrary);
+        // Structural validation still applies.
+        for (edges, fragment) in [
+            (vec![(0u32, 4u32)], "past"),
+            (vec![(1, 1)], "self-loop"),
+            (vec![(0, 1), (0, 1)], "duplicate"),
+        ] {
+            let err = directed_graph(4, &edges).unwrap_err();
+            assert!(err.to_string().contains(fragment), "{err}");
+        }
+        assert!(directed_graph(1, &[]).is_err());
     }
 }

@@ -31,7 +31,8 @@ pub mod registry;
 
 pub use geometry::{Coord, Direction};
 pub use graph::{
-    dragonfly, fat_tree, full_mesh, load_topology_file, parse_topology_file, TopologyFileError,
+    directed_graph, dragonfly, fat_tree, full_mesh, load_topology_file, parse_topology_file,
+    TopologyFileError,
 };
 pub use index::TopoIndex;
 pub use net::{Link, LinkId, NodeId, Topology, TopologyKind};

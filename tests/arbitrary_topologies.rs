@@ -8,7 +8,7 @@
 
 use bsor::{AlgorithmRegistry, BsorAlgorithm, Scenario, TopologyRegistry};
 use bsor_repro::flow::FlowSet;
-use bsor_repro::routing::deadlock;
+use bsor_repro::routing::{deadlock, SelectError};
 use bsor_repro::sim::{AlgorithmError, ExperimentError};
 use bsor_repro::topology::{NodeId, Topology};
 use proptest::prelude::*;
@@ -81,6 +81,18 @@ fn every_algorithm_on_every_graph_family_is_deadlock_free_or_typed() {
                             !algo_name.starts_with("bsor"),
                             "{algo_name} refused {spec}, which it must support"
                         );
+                    }
+                    Err(ExperimentError::Algorithm(AlgorithmError::Select(
+                        SelectError::BudgetExceeded { links, max_links },
+                    ))) => {
+                        // The AC oblivious LP refuses graphs over its
+                        // link budget — typed, and only from that
+                        // algorithm.
+                        assert_eq!(
+                            algo_name, "ac-oblivious",
+                            "only the LP selector carries a link budget"
+                        );
+                        assert!(links > max_links);
                     }
                     Err(other) => {
                         panic!("{algo_name} on {spec} at {vcs} VCs failed unexpectedly: {other}")

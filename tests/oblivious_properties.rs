@@ -1,0 +1,103 @@
+//! Properties of the oblivious-routing selectors: the Applegate–Cohen
+//! LP's competitive ratio is finite and at least 1 on every in-budget
+//! registered topology whatever the commodity set, the rounding seed is
+//! part of a selector's cache identity, and a fixed seed produces
+//! byte-identical plans with and without the plan cache.
+
+use bsor_repro::flow::FlowSet;
+use bsor_repro::routing::selectors::{AcObliviousSelector, RandomWalkSelector};
+use bsor_repro::sim::{PlanCache, Planner, RouteAlgorithm, Scenario};
+use bsor_repro::topology::{NodeId, TopologyRegistry};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Registry specs whose directed-link count fits the selector's default
+/// 16-link LP budget (the sweep below would get typed refusals, not
+/// ratios, on anything larger).
+const IN_BUDGET_SPECS: [&str; 6] = [
+    "2x2",
+    "3x2",
+    "ring:4x1",
+    "ring:6x1",
+    "hypercube:4x1",
+    "fullmesh:4",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn ratio_is_finite_and_at_least_one_within_budget(
+        spec_idx in 0usize..IN_BUDGET_SPECS.len(),
+        raw in prop::collection::vec((0u32..64, 0u32..64), 1..=3),
+    ) {
+        let topo = TopologyRegistry::standard()
+            .build_spec(IN_BUDGET_SPECS[spec_idx])
+            .expect("spec is registered");
+        let n = topo.num_nodes() as u32;
+        let commodities: Vec<(NodeId, NodeId)> = raw
+            .iter()
+            .map(|&(s, d)| (s % n, d % n))
+            .filter(|&(s, d)| s != d)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .map(|(s, d)| (NodeId(s), NodeId(d)))
+            .collect();
+        let sol = AcObliviousSelector::new()
+            .solve(&topo, &commodities)
+            .expect("within the link budget");
+        prop_assert!(sol.ratio().is_finite(), "ratio {}", sol.ratio());
+        // No routing beats the optimum: r >= 1 (1e-4 slack for the
+        // solver's anti-degeneracy rhs perturbation).
+        prop_assert!(sol.ratio() >= 1.0 - 1e-4, "ratio {}", sol.ratio());
+    }
+}
+
+#[test]
+fn rounding_seed_is_part_of_the_cache_key() {
+    let a = AcObliviousSelector::new().with_seed(1);
+    let b = AcObliviousSelector::new().with_seed(2);
+    assert_eq!(a.name(), "ac-oblivious");
+    assert_ne!(a.cache_key(), b.cache_key(), "seed must key the cache");
+    assert_eq!(
+        a.cache_key(),
+        AcObliviousSelector::new().with_seed(1).cache_key(),
+        "equal configs share a key"
+    );
+    let w = RandomWalkSelector::new().with_seed(1);
+    assert_eq!(w.name(), "random-walk");
+    assert_ne!(
+        w.cache_key(),
+        RandomWalkSelector::new().with_seed(2).cache_key()
+    );
+}
+
+#[test]
+fn fixed_seed_plans_identically_with_and_without_the_cache() {
+    let topo = TopologyRegistry::standard()
+        .build_spec("2x2")
+        .expect("registered");
+    let mut flows = FlowSet::new();
+    for s in topo.node_ids() {
+        for d in topo.node_ids() {
+            if s != d {
+                flows.push(s, d, 1.0);
+            }
+        }
+    }
+    let scenario = Scenario::builder(topo, flows)
+        .named("oblivious-determinism")
+        .vcs(2)
+        .build()
+        .expect("valid scenario");
+    let algo = AcObliviousSelector::new().with_seed(9);
+    let cached = Planner::new().with_cache(PlanCache::shared());
+    let first = cached.plan(&scenario, &algo).expect("in budget");
+    let hit = cached.plan(&scenario, &algo).expect("cache hit");
+    let uncached = Planner::new().plan(&scenario, &algo).expect("in budget");
+    // PlanId hashes the plan's serialized bytes, so equal ids mean
+    // byte-identical plans — routes, certificate and tables.
+    assert_eq!(first.id(), hit.id());
+    assert_eq!(first.id(), uncached.id());
+    assert_eq!(first.routes(), uncached.routes());
+}

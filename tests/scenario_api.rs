@@ -7,7 +7,7 @@
 
 use bsor::{AlgorithmRegistry, BsorAlgorithm, Scenario, TopologyRegistry, WorkloadRegistry};
 use bsor_repro::flow::FlowSet;
-use bsor_repro::routing::deadlock;
+use bsor_repro::routing::{deadlock, SelectError};
 use bsor_repro::sim::{AlgorithmError, Evaluator, ExperimentError, SimConfig, SimEvaluator};
 use bsor_repro::topology::{NodeId, Topology};
 
@@ -75,6 +75,17 @@ fn every_algorithm_on_every_topology_is_deadlock_free_or_typed() {
                         "{algo_name} refused {topo_name}, which it should support"
                     );
                 }
+                Err(ExperimentError::Algorithm(AlgorithmError::Select(
+                    SelectError::BudgetExceeded { links, max_links },
+                ))) => {
+                    // The AC oblivious LP refuses smoke sizes over its
+                    // link budget — typed, and only from that algorithm.
+                    assert_eq!(
+                        algo_name, "ac-oblivious",
+                        "only the LP selector carries a link budget"
+                    );
+                    assert!(links > max_links);
+                }
                 Err(other) => {
                     panic!("{algo_name} on {topo_name} failed unexpectedly: {other}")
                 }
@@ -110,9 +121,15 @@ fn algorithm_registry_round_trips_through_an_experiment() {
             .experiment(algorithm)
             .config(SimConfig::new(2).with_warmup(100).with_measurement(500))
             .rate(0.2);
-        let plan = experiment
-            .plan()
-            .unwrap_or_else(|e| panic!("{name} failed to plan: {e}"));
+        let plan = match experiment.plan() {
+            Ok(plan) => plan,
+            // The 4x4 mesh (48 directed links) is over the AC LP's
+            // default budget; the typed refusal is the contract.
+            Err(ExperimentError::Algorithm(AlgorithmError::Select(
+                SelectError::BudgetExceeded { .. },
+            ))) if name == "ac-oblivious" => continue,
+            Err(e) => panic!("{name} failed to plan: {e}"),
+        };
         let evaluation = SimEvaluator::new()
             .evaluate(&plan, &experiment.eval_point())
             .unwrap_or_else(|e| panic!("{name} failed the pipeline: {e}"));
