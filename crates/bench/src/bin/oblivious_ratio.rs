@@ -8,8 +8,14 @@
 //! `bsor-sweep` and `bsor-serve` run.
 //!
 //! ```text
-//! cargo run -p bsor_bench --release --bin oblivious_ratio [--quick] [--json]
+//! cargo run -p bsor_bench --release --bin oblivious_ratio [--quick] [--json] [--max-links N]
 //! ```
+//!
+//! `--max-links N` raises (or lowers) the `ac-oblivious` LP's
+//! directed-link budget from its 16-link default, for both the ratio
+//! solver and the registry's `ac-oblivious` column — larger topologies
+//! get real numbers instead of typed budget refusals, at dense-tableau
+//! cost.
 //!
 //! Cases: the paper's six 8x8 workloads, `fullmesh:8`, and the WAN
 //! sample (`--quick` shrinks the ratio commodity set from all ordered
@@ -17,7 +23,7 @@
 //! deterministic byte for byte — same binary, same flags, same bytes —
 //! which the `oblivious-smoke` CI job checks by running it twice.
 
-use bsor::AlgorithmRegistry;
+use bsor::{AlgorithmRegistry, RegistryConfig};
 use bsor_bench::json::Json;
 use bsor_bench::{fmt_row, run_mode, scenario_for, standard_mesh, RunMode};
 use bsor_routing::selectors::AcObliviousSelector;
@@ -99,14 +105,39 @@ impl Cell {
     }
 }
 
+/// Parses `--max-links N`, exiting 1 with a message on a malformed or
+/// zero value.
+fn max_links_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--max-links")?;
+    let parsed = args
+        .get(i + 1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    match parsed {
+        Some(n) => Some(n),
+        None => {
+            eprintln!("oblivious_ratio: --max-links needs a positive integer");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mode = run_mode();
     let json_out = std::env::args().any(|a| a == "--json");
-    let registry = AlgorithmRegistry::standard();
+    let max_links = max_links_arg();
+    let registry = match max_links {
+        Some(n) => AlgorithmRegistry::standard_with(RegistryConfig::new().with_max_links(n)),
+        None => AlgorithmRegistry::standard(),
+    };
     let planner = Planner::new();
     // The ratio solver mirrors the registry's `ac-oblivious` budget;
     // topologies it refuses get a typed cell, not a hung tableau.
-    let ratio_solver = AcObliviousSelector::new();
+    let mut ratio_solver = AcObliviousSelector::new();
+    if let Some(n) = max_links {
+        ratio_solver = ratio_solver.with_max_links(n);
+    }
 
     let widths = [16usize, 24, 16, 16, 16];
     let mut out_cases: Vec<Json> = Vec::new();

@@ -23,6 +23,8 @@
 //!   --shards N          cache shard count (default 8)
 //!   --stats-every N     log a cache-stats line to stderr every N requests
 //!   --no-timings        zero wall-clock response fields (byte-identical replays)
+//!   --compact-tables    serve interval-compressed router tables (behaviorally
+//!                       identical; per-plan table_bytes and cache bytes shrink)
 //! ```
 //!
 //! Exit codes: 0 on clean EOF, 1 on bad arguments or transport failure.
@@ -42,7 +44,7 @@ fn usage() {
     println!("bsor-serve: line-delimited JSON routing-plan service");
     println!();
     println!("options: --listen ADDR --capacity N --capacity-bytes N --shards N");
-    println!("         --stats-every N --no-timings --help");
+    println!("         --stats-every N --no-timings --compact-tables --help");
     println!("ops: plan, evaluate, invalidate, stats (one JSON object per line)");
 }
 
@@ -53,6 +55,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut shards: usize = 8;
     let mut stats_every: u64 = 0;
     let mut timings = true;
+    let mut compact_tables = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -86,6 +89,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "bad --stats-every".to_string())?;
             }
             "--no-timings" => timings = false,
+            "--compact-tables" => compact_tables = true,
             "--help" | "-h" => {
                 usage();
                 std::process::exit(0);
@@ -102,6 +106,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 .shards(shards),
             timings,
             stats_every,
+            compact_tables,
         },
     })
 }

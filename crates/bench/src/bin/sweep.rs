@@ -35,8 +35,17 @@
 //!                           dwell cycles (default: flat Bernoulli)
 //!   --saturation            per-case saturation-point search (bisect the
 //!                           rate to the latency knee)
-//!   --sat-range LO,HI       saturation search rate bounds  (default 0.05,4)
+//!   --sat-range LO,HI       saturation search rate bounds  (default 0.05,4;
+//!                           both finite, 0 < LO < HI, or exit 1)
 //!   --sat-iters N           bisection steps                (default 10)
+//!   --compact-tables        compile router tables into the interval-
+//!                           compressed representation (behaviorally
+//!                           identical; per-case table_bytes shrinks)
+//!   --max-links N           directed-link budget for ac-oblivious
+//!                           (default: the selector's 16)
+//!   --max-hops N            hop budget for bsor-dijkstra / bsor-milp /
+//!                           random-walk; over-budget routes become typed
+//!                           per-case errors
 //!   --threads N             sweep worker threads           (default: available cores)
 //!   --engine-threads N      engine threads per simulation run; 0 = one per
 //!                           available core (default 1). Byte-identical output
@@ -63,6 +72,7 @@
 //! when the sweep completed but one or more cases failed (the failures
 //! are recorded in the JSON's per-case `error` fields).
 
+use bsor::{AlgorithmRegistry, RegistryConfig};
 use bsor_bench::sweep::{
     expand, plan_cache_enabled_from_env, run_grid_stats, sweep_json, GridSpec, SaturationSpec,
     SweepRegistries, TopoSpec,
@@ -159,7 +169,8 @@ fn usage(regs: &SweepRegistries) {
     println!("         --algos a,b|all --vcs n,.. --rates r,.. --warmup N");
     println!("         --measurement N --packet-len N --seed N --burst ON,OFF");
     println!("         --saturation --sat-range LO,HI --sat-iters N --threads N");
-    println!("         --engine-threads N --no-fast-forward");
+    println!("         --engine-threads N --no-fast-forward --compact-tables");
+    println!("         --max-links N --max-hops N");
     println!("         --out PATH --no-timings --list --list-topologies");
     println!("         --list-workloads --list-algorithms --help");
     println!(
@@ -196,7 +207,7 @@ enum ListMode {
 fn parse_args(
     args: &[String],
     regs: &SweepRegistries,
-) -> Result<(GridSpec, Option<usize>, String, ListMode), String> {
+) -> Result<(GridSpec, Option<usize>, String, ListMode, RegistryConfig), String> {
     // `--quick` selects the base grid and is order-independent: flags
     // before or after it override the smoke defaults either way.
     let mut spec = if args.iter().any(|a| a == "--quick") {
@@ -207,6 +218,7 @@ fn parse_args(
     let mut threads: Option<usize> = None;
     let mut out = "BENCH_sweep.json".to_string();
     let mut list = ListMode::None;
+    let mut budgets = RegistryConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -310,12 +322,18 @@ fn parse_args(
                     .ok_or_else(|| format!("--sat-range '{raw}' is not LO,HI"))?;
                 let lo: f64 = lo.parse().map_err(|_| format!("bad sat lo '{lo}'"))?;
                 let hi: f64 = hi.parse().map_err(|_| format!("bad sat hi '{hi}'"))?;
-                if !(lo > 0.0 && hi > lo) {
-                    return Err(format!("--sat-range '{raw}' needs 0 < LO < HI"));
-                }
-                let sat = spec.saturation.get_or_insert_with(SaturationSpec::default);
-                sat.lo = lo;
-                sat.hi = hi;
+                // The sweep JSON echoes these bounds verbatim; validate
+                // them here (finiteness included — "inf" parses as a
+                // perfectly ordered f64) so a degenerate range exits 1
+                // instead of contaminating the artifact.
+                let sat = SaturationSpec {
+                    lo,
+                    hi,
+                    ..spec.saturation.unwrap_or_default()
+                };
+                sat.validate()
+                    .map_err(|e| format!("--sat-range '{raw}': {e}"))?;
+                spec.saturation = Some(sat);
             }
             "--sat-iters" => {
                 let iters = value("--sat-iters")?
@@ -346,6 +364,25 @@ fn parse_args(
                 };
             }
             "--no-fast-forward" => spec.fast_forward = false,
+            "--compact-tables" => spec.compact_tables = true,
+            "--max-links" => {
+                let n: usize = value("--max-links")?
+                    .parse()
+                    .map_err(|_| "bad --max-links".to_string())?;
+                if n == 0 {
+                    return Err("--max-links needs at least one link".to_string());
+                }
+                budgets = budgets.with_max_links(n);
+            }
+            "--max-hops" => {
+                let n: usize = value("--max-hops")?
+                    .parse()
+                    .map_err(|_| "bad --max-hops".to_string())?;
+                if n == 0 {
+                    return Err("--max-hops needs at least one hop".to_string());
+                }
+                budgets = budgets.with_max_hops(n);
+            }
             "--out" => out = value("--out")?,
             "--no-timings" => spec.record_timings = false,
             "--list" => list = ListMode::Grid,
@@ -359,19 +396,25 @@ fn parse_args(
             other => return Err(format!("unknown option '{other}' (try --help)")),
         }
     }
-    Ok((spec, threads, out, list))
+    Ok((spec, threads, out, list, budgets))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let regs = SweepRegistries::standard();
-    let (spec, threads, out, list) = match parse_args(&args, &regs) {
+    let mut regs = SweepRegistries::standard();
+    let (spec, threads, out, list, budgets) = match parse_args(&args, &regs) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("bsor-sweep: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if budgets != RegistryConfig::default() {
+        // Rebuild the algorithm axis with the CLI budgets; the budgets
+        // fold into every cache key, so plans never alias across runs
+        // with different limits.
+        regs.algorithms = AlgorithmRegistry::standard_with(budgets);
+    }
     match list {
         ListMode::Topologies => {
             for name in regs.topologies.names() {

@@ -80,6 +80,11 @@ pub struct ServeConfig {
     /// Log a one-line cache/stats summary to stderr every N requests
     /// (`0` disables the periodic line).
     pub stats_every: u64,
+    /// Compile served plans' router tables into the interval-compressed
+    /// representation (`bsor_routing::CompactTables`). Responses are
+    /// behaviorally identical either way; the per-plan `table_bytes`
+    /// figure (and the cache's byte accounting) shrinks.
+    pub compact_tables: bool,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +93,7 @@ impl Default for ServeConfig {
             cache: PlanCacheConfig::new(),
             timings: true,
             stats_every: 0,
+            compact_tables: false,
         }
     }
 }
@@ -211,7 +217,9 @@ impl PlanService {
         let cache = PlanCache::shared_with(config.cache);
         PlanService {
             regs,
-            planner: Planner::new().with_cache(cache.clone()),
+            planner: Planner::new()
+                .with_cache(cache.clone())
+                .with_compact_tables(config.compact_tables),
             cache,
             timings: config.timings,
             stats_every: config.stats_every,
@@ -367,6 +375,7 @@ impl PlanService {
             ("flows", Json::from(plan.flows().len())),
             ("links", Json::from(plan.topology().num_links())),
             ("vcs", Json::from(u64::from(plan.vcs()))),
+            ("table_bytes", Json::from(plan.table_bytes() as u64)),
             ("certified", Json::Bool(true)),
             ("elapsed_ms", self.elapsed_ms(started)),
         ]))
@@ -496,6 +505,7 @@ impl PlanService {
             ("solves", Json::from(s.solves)),
             ("plans", Json::from(s.plans)),
             ("bytes", Json::from(s.bytes)),
+            ("table_bytes", Json::from(s.table_bytes)),
             ("solve_ms_total", ms(s.solve_ns_total)),
             ("solve_ms_max", ms(s.solve_ns_max)),
         ])
@@ -742,6 +752,51 @@ mod tests {
         assert_eq!(result.get("requests").and_then(Json::as_u64), Some(3));
         assert_eq!(result.get("solve_ms_total"), Some(&Json::Float(0.0)));
         assert_eq!(result.get("solve_ms_max"), Some(&Json::Float(0.0)));
+    }
+
+    #[test]
+    fn compact_service_shrinks_table_bytes_without_changing_answers() {
+        let dense = service();
+        let compact = PlanService::new(ServeConfig {
+            timings: false,
+            compact_tables: true,
+            ..ServeConfig::default()
+        });
+        let plan_req =
+            r#"{"op":"plan","workload":"transpose","algorithm":"xy","width":4,"height":4}"#;
+        let d = Json::parse(&dense.handle_line(plan_req)).expect("valid");
+        let c = Json::parse(&compact.handle_line(plan_req)).expect("valid");
+        let bytes = |r: &Json| {
+            r.get("result")
+                .and_then(|res| res.get("table_bytes"))
+                .and_then(Json::as_u64)
+                .expect("plan result carries table_bytes")
+        };
+        assert!(
+            bytes(&c) < bytes(&d),
+            "compact {} vs dense {}",
+            bytes(&c),
+            bytes(&d)
+        );
+        // Representation never enters the plan identity: both services
+        // hand back the same content address.
+        assert_eq!(
+            d.get("result").unwrap().get("plan"),
+            c.get("result").unwrap().get("plan")
+        );
+        // Evaluation through the compact tables is byte-identical.
+        let eval_req = r#"{"op":"evaluate","workload":"transpose","algorithm":"xy","width":4,"height":4,"rate":0.2,"backend":"sim","warmup":100,"measurement":500}"#;
+        assert_eq!(dense.handle_line(eval_req), compact.handle_line(eval_req));
+        // And the cache's measured footprint reflects the compression.
+        let stats = |svc: &PlanService| {
+            Json::parse(&svc.handle_line(r#"{"op":"stats"}"#))
+                .expect("valid")
+                .get("result")
+                .and_then(|r| r.get("table_bytes"))
+                .and_then(Json::as_u64)
+                .expect("stats carry table_bytes")
+        };
+        assert!(stats(&compact) < stats(&dense));
     }
 
     #[test]

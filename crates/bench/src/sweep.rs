@@ -166,6 +166,22 @@ impl Default for SaturationSpec {
     }
 }
 
+impl SaturationSpec {
+    /// Rejects degenerate search ranges: both bounds must be finite and
+    /// `0 < lo < hi`. The sweep JSON echoes the bounds verbatim, so an
+    /// inverted or non-finite range would otherwise flow into the
+    /// artifact (and into every bisection) unchallenged.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.lo.is_finite() && self.hi.is_finite() && self.lo > 0.0 && self.hi > self.lo) {
+            return Err(format!(
+                "saturation range must satisfy 0 < lo < hi with finite bounds, got lo={} hi={}",
+                self.lo, self.hi
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Minimum delivered/generated ratio below which a saturation-search
 /// probe counts as saturated regardless of its (survivor-biased)
 /// latency.
@@ -211,6 +227,12 @@ pub struct GridSpec {
     pub burst: Option<BurstyOnOff>,
     /// Optional saturation-point search appended to every case.
     pub saturation: Option<SaturationSpec>,
+    /// Compile each case's router tables into the interval-compressed
+    /// representation (see `bsor_routing::CompactTables`). Routing
+    /// behavior — and therefore every measurement — is byte-identical
+    /// either way; only the per-case `table_bytes` figure (and the
+    /// echoed knob) changes.
+    pub compact_tables: bool,
 }
 
 impl GridSpec {
@@ -253,6 +275,7 @@ impl GridSpec {
             fast_forward: true,
             burst: None,
             saturation: None,
+            compact_tables: false,
         }
     }
 
@@ -274,6 +297,7 @@ impl GridSpec {
             fast_forward: true,
             burst: None,
             saturation: None,
+            compact_tables: false,
         }
     }
 
@@ -451,6 +475,10 @@ pub struct CaseResult {
     /// never saturated) are classified via
     /// [`SaturationResult::outcome`], not dropped.
     pub saturation: Option<SaturationResult>,
+    /// Measured size of the case's compiled routing tables in bytes —
+    /// dense or interval-compressed per [`GridSpec::compact_tables`] —
+    /// when routing succeeded.
+    pub table_bytes: Option<u64>,
     /// Wall-clock milliseconds for the whole case (0 when timings off).
     pub wall_ms: f64,
 }
@@ -462,6 +490,7 @@ fn failed_case(case: &Case, error: String) -> CaseResult {
         error: Some(error),
         points: Vec::new(),
         saturation: None,
+        table_bytes: None,
         wall_ms: 0.0,
     }
 }
@@ -502,6 +531,7 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries, planner: &Plan
         Err(e) => return failed_case(case, ExperimentError::from(e).to_string()),
     };
     let mcl = plan.predicted_mcl();
+    let table_bytes = plan.table_bytes() as u64;
     let sim_config = |vcs: u8| {
         SimConfig::new(vcs)
             .with_warmup(spec.warmup)
@@ -572,6 +602,7 @@ fn run_case(spec: &GridSpec, case: &Case, regs: &SweepRegistries, planner: &Plan
         error: None,
         points,
         saturation,
+        table_bytes: Some(table_bytes),
         wall_ms: if spec.record_timings {
             started.elapsed().as_secs_f64() * 1e3
         } else {
@@ -748,6 +779,7 @@ pub fn run_grid_stats(
     } else {
         Planner::new()
     };
+    let planner = planner.with_compact_tables(spec.compact_tables);
     let cases = expand(spec);
     let threads = threads.max(1).min(cases.len().max(1));
     let next = AtomicUsize::new(0);
@@ -807,7 +839,11 @@ pub fn run_grid_stats(
 /// label (`knee` / `censored` / `baseline-saturated`, see
 /// [`SaturationOutcome`]) — additive again, and `engine_threads` /
 /// `fast_forward` are deliberately absent from the document so runs at
-/// any engine configuration diff byte-identically.
+/// any engine configuration diff byte-identically. Each case further
+/// carries the measured `table_bytes` of its compiled routing tables
+/// and the grid echoes the `compact_tables` knob — the only two keys
+/// that differ between a compact and a dense sweep of the same grid,
+/// since compression never changes routing behavior.
 ///
 /// The `meshes`/`mesh` keys predate the topology axis and are kept for
 /// schema stability; non-mesh entries carry `name:WxH` labels in the
@@ -881,6 +917,7 @@ pub fn sweep_json(
                 ]),
             },
         ),
+        ("compact_tables", Json::from(spec.compact_tables)),
     ]);
     let cases = results
         .iter()
@@ -931,6 +968,7 @@ pub fn sweep_json(
                 ("error", Json::from(r.error.clone())),
                 ("points", Json::Array(points)),
                 ("saturation", saturation),
+                ("table_bytes", Json::from(r.table_bytes)),
                 ("wall_ms", Json::from(r.wall_ms)),
             ])
         })
@@ -969,6 +1007,7 @@ mod tests {
             fast_forward: true,
             burst: None,
             saturation: None,
+            compact_tables: false,
         }
     }
 
@@ -1244,6 +1283,62 @@ mod tests {
             tuned, reference,
             "engine knobs must never leak into the document"
         );
+    }
+
+    #[test]
+    fn compact_tables_change_bytes_not_behavior() {
+        let mut spec = tiny_spec();
+        let dense = run_grid(&spec, 1);
+        spec.compact_tables = true;
+        let compact = run_grid(&spec, 1);
+        for (d, c) in dense.iter().zip(&compact) {
+            let db = d.table_bytes.expect("dense case routed");
+            let cb = c.table_bytes.expect("compact case routed");
+            assert!(
+                cb < db,
+                "{}: compact tables must shrink ({cb} vs {db} bytes)",
+                d.case.algorithm
+            );
+        }
+        // Outside the two table-representation keys, the documents are
+        // byte-identical: compression changes memory, never routing.
+        let strip = |doc: String| -> String {
+            doc.lines()
+                .filter(|l| !l.contains("\"table_bytes\"") && !l.contains("\"compact_tables\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let mut dense_spec = tiny_spec();
+        let a = strip(sweep_json(&dense_spec, &dense, 1, 0.0).pretty());
+        dense_spec.compact_tables = true;
+        let b = strip(sweep_json(&dense_spec, &compact, 1, 0.0).pretty());
+        assert_eq!(a, b);
+        // And the keys really are in the document.
+        let doc = sweep_json(&dense_spec, &compact, 1, 0.0).pretty();
+        assert!(doc.contains("\"compact_tables\": true"));
+        assert!(doc.contains("\"table_bytes\""));
+    }
+
+    #[test]
+    fn saturation_ranges_are_validated() {
+        let ok = SaturationSpec::default();
+        assert!(ok.validate().is_ok());
+        for (lo, hi) in [
+            (2.0, 1.0),
+            (0.0, 1.0),
+            (-1.0, 1.0),
+            (f64::NAN, 1.0),
+            (0.1, f64::INFINITY),
+            (0.1, 0.1),
+        ] {
+            let bad = SaturationSpec {
+                lo,
+                hi,
+                ..SaturationSpec::default()
+            };
+            let err = bad.validate().expect_err("degenerate range rejected");
+            assert!(err.contains("lo < hi"), "typed message: {err}");
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   load, burst/saturation knobs) after verifying field-by-field that
 //!   every v1 key and value — every case, every point — was unchanged,
 //!   so the underlying simulation results still match the pre-refactor
-//!   engine bit-for-bit.
+//!   engine bit-for-bit. Re-captured again when the compact-tables
+//!   subsystem added the `grid.compact_tables` and per-case
+//!   `table_bytes` keys, after the same structural check: stripping the
+//!   two new keys from the fresh output reproduces the previous golden
+//!   exactly, so every simulation number is still bit-for-bit.
 //! * `fig_6_7_quick.csv` — `fig_6_7 --quick --csv`, captured from the
 //!   pre-refactor per-binary plumbing.
 //!

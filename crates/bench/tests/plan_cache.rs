@@ -33,6 +33,7 @@ fn sat_spec() -> GridSpec {
             iterations: 4,
             knee: 4.0,
         }),
+        compact_tables: false,
     }
 }
 

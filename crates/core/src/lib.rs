@@ -53,7 +53,7 @@ pub use bsor_sim::{
 };
 pub use bsor_topology::{TopologyError, TopologyRegistry};
 pub use bsor_workloads::{workload_by_name, WorkloadRegistry};
-pub use registry::{AlgorithmRegistry, BsorAlgorithm};
+pub use registry::{AlgorithmRegistry, BsorAlgorithm, RegistryConfig};
 
 use bsor_cdg::{AcyclicCdg, CdgError, LayerRecipe, TurnModel};
 use bsor_flow::{FlowNetwork, FlowSet, FlowSetError};
@@ -181,11 +181,20 @@ impl fmt::Display for BsorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BsorError::InvalidFlows(e) => write!(f, "invalid flow set: {e}"),
-            BsorError::NoUsableCdg(records) => write!(
-                f,
-                "no usable acyclic CDG among the {} explored",
-                records.len()
-            ),
+            BsorError::NoUsableCdg(records) => {
+                write!(
+                    f,
+                    "no usable acyclic CDG among the {} explored",
+                    records.len()
+                )?;
+                // Surface one concrete reason so blanket failures (every
+                // CDG refused by e.g. a hop budget) stay diagnosable from
+                // the one-line error.
+                if let Some(reason) = records.iter().find_map(|r| r.outcome.as_ref().err()) {
+                    write!(f, " (first failure: {reason})")?;
+                }
+                Ok(())
+            }
         }
     }
 }

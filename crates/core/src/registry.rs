@@ -130,6 +130,43 @@ impl RouteAlgorithm for BsorAlgorithm {
     }
 }
 
+/// Per-run budget overrides for [`AlgorithmRegistry::standard_with`].
+///
+/// `Default` leaves every budget at its selector default, making
+/// `standard_with(RegistryConfig::default())` identical to
+/// [`AlgorithmRegistry::standard`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Directed-link budget for `ac-oblivious` (`None` keeps the
+    /// selector's 16-directed-link default).
+    pub max_links: Option<usize>,
+    /// Hop budget applied to the BSOR selector family (`bsor-dijkstra`,
+    /// `bsor-milp`) and `random-walk`; routes over the budget surface as
+    /// typed `HopBudgetExceeded` refusals instead of silently shipping.
+    pub max_hops: Option<usize>,
+}
+
+impl RegistryConfig {
+    /// A config with every budget at its selector default.
+    pub fn new() -> RegistryConfig {
+        RegistryConfig::default()
+    }
+
+    /// Sets the `ac-oblivious` directed-link budget.
+    #[must_use]
+    pub fn with_max_links(mut self, max_links: usize) -> RegistryConfig {
+        self.max_links = Some(max_links);
+        self
+    }
+
+    /// Sets the hop budget for the BSOR selectors and `random-walk`.
+    #[must_use]
+    pub fn with_max_hops(mut self, max_hops: usize) -> RegistryConfig {
+        self.max_hops = Some(max_hops);
+        self
+    }
+}
+
 /// The deterministic MILP configuration the sweep harness uses for
 /// `bsor-milp`: node budget only — a wall-clock limit would make the
 /// chosen routes depend on machine speed and break reproducibility.
@@ -181,6 +218,28 @@ impl AlgorithmRegistry {
     /// `o1turn`, `bsor-dijkstra`, `bsor-milp`, plus the demand-oblivious
     /// counterpoints `ac-oblivious` and `random-walk`.
     pub fn standard() -> AlgorithmRegistry {
+        AlgorithmRegistry::standard_with(RegistryConfig::default())
+    }
+
+    /// [`AlgorithmRegistry::standard`] with per-run budget overrides:
+    /// `config.max_links` raises the `ac-oblivious` LP's directed-link
+    /// budget, `config.max_hops` caps route length on the BSOR selector
+    /// family and `random-walk`. Budgets flow into each algorithm's
+    /// `cache_key`, so differently-budgeted plans never alias in a
+    /// shared [`bsor_sim::PlanCache`].
+    pub fn standard_with(config: RegistryConfig) -> AlgorithmRegistry {
+        let mut dijkstra = DijkstraSelector::new();
+        let mut milp = sweep_milp();
+        let mut ac = AcObliviousSelector::new().with_seed(BASELINE_SEED);
+        let mut walk = RandomWalkSelector::new().with_seed(BASELINE_SEED);
+        if let Some(max_hops) = config.max_hops {
+            dijkstra = dijkstra.with_max_hops(max_hops);
+            milp = milp.with_max_hops(max_hops);
+            walk = walk.with_max_hops(max_hops);
+        }
+        if let Some(max_links) = config.max_links {
+            ac = ac.with_max_links(max_links);
+        }
         let mut r = AlgorithmRegistry::new();
         r.register("xy", Baseline::XY);
         r.register("yx", Baseline::YX);
@@ -202,16 +261,13 @@ impl AlgorithmRegistry {
                 seed: BASELINE_SEED,
             },
         );
-        r.register("bsor-dijkstra", BsorAlgorithm::dijkstra());
-        r.register("bsor-milp", BsorAlgorithm::milp("bsor-milp", sweep_milp()));
         r.register(
-            "ac-oblivious",
-            AcObliviousSelector::new().with_seed(BASELINE_SEED),
+            "bsor-dijkstra",
+            BsorAlgorithm::with_selector("bsor-dijkstra", SelectorKind::Dijkstra(dijkstra)),
         );
-        r.register(
-            "random-walk",
-            RandomWalkSelector::new().with_seed(BASELINE_SEED),
-        );
+        r.register("bsor-milp", BsorAlgorithm::milp("bsor-milp", milp));
+        r.register("ac-oblivious", ac);
+        r.register("random-walk", walk);
         r
     }
 
@@ -322,6 +378,47 @@ mod tests {
                 .expect("up*/down* exploration routes it");
             assert!(deadlock::is_deadlock_free(scenario.topology(), &routes, 1));
         }
+    }
+
+    #[test]
+    fn configured_registry_applies_budgets_and_changes_cache_keys() {
+        let plain = AlgorithmRegistry::standard();
+        let tight = AlgorithmRegistry::standard_with(
+            RegistryConfig::new().with_max_links(40).with_max_hops(2),
+        );
+        // Budgets are part of the selector state, so cache keys diverge
+        // and a shared PlanCache cannot alias budgeted plans onto
+        // unbudgeted ones.
+        for name in ["bsor-dijkstra", "bsor-milp", "random-walk", "ac-oblivious"] {
+            assert_ne!(
+                plain.get(name).expect("registered").cache_key(),
+                tight.get(name).expect("registered").cache_key(),
+                "{name} cache key must fold the budget in"
+            );
+        }
+        // Baselines carry no budget; their keys are untouched.
+        assert_eq!(
+            plain.get("xy").expect("registered").cache_key(),
+            tight.get("xy").expect("registered").cache_key()
+        );
+        // A default config is exactly the standard registry.
+        let default = AlgorithmRegistry::standard_with(RegistryConfig::default());
+        for name in plain.names() {
+            assert_eq!(
+                plain.get(name).expect("registered").cache_key(),
+                default.get(name).expect("registered").cache_key()
+            );
+        }
+
+        // A 2-hop budget refuses the 4x4 transpose (corner flows need
+        // up to 6 hops), surfacing as a typed failure through the trait.
+        let topo = Topology::mesh2d(4, 4);
+        let w = transpose(&topo).expect("square");
+        let scenario = Scenario::builder(topo, w.flows).vcs(2).build().expect("ok");
+        let err = scenario
+            .select_routes(tight.get("bsor-dijkstra").expect("registered"))
+            .expect_err("2-hop budget cannot route the transpose");
+        assert!(err.to_string().contains("hop"), "typed refusal: {err}");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod baselines;
+pub mod compact;
 pub mod deadlock;
 pub mod route;
 pub mod selector;
@@ -57,5 +58,7 @@ pub mod selectors {
 pub mod tables;
 
 pub use baselines::Baseline;
+pub use compact::{AnyTables, CompactTables};
 pub use route::{Route, RouteError, RouteHop, RouteSet, VcMask};
 pub use selector::{FlowOrder, SelectError};
+pub use tables::{NodeTables, RouteTables, SourceRouteTable, TableEntry};

@@ -1,5 +1,6 @@
 //! Shared types for route selectors.
 
+use crate::route::RouteSet;
 use bsor_flow::FlowId;
 use bsor_lp::LpError;
 use std::error::Error;
@@ -49,6 +50,17 @@ pub enum SelectError {
         /// The configured budget.
         max_links: usize,
     },
+    /// A selected route is longer than the configured hop budget
+    /// (`with_max_hops`): the selection is rejected rather than silently
+    /// shipping a route whose tail latency the budget was meant to cap.
+    HopBudgetExceeded {
+        /// The flow whose route broke the budget.
+        flow: FlowId,
+        /// Hops of the offending route.
+        hops: usize,
+        /// The configured budget.
+        max_hops: usize,
+    },
 }
 
 impl fmt::Display for SelectError {
@@ -70,8 +82,42 @@ impl fmt::Display for SelectError {
                 "topology has {links} directed links, over the selector's {max_links}-link \
                  LP budget (raise it with with_max_links to solve anyway)"
             ),
+            SelectError::HopBudgetExceeded {
+                flow,
+                hops,
+                max_hops,
+            } => write!(
+                f,
+                "route for flow {flow} takes {hops} hops, over the selector's {max_hops}-hop \
+                 budget (raise it with with_max_hops or drop the budget)"
+            ),
         }
     }
+}
+
+/// Enforces a selector's hop budget on its final route set: every route
+/// must take at most `max_hops` hops. `None` means unbounded.
+///
+/// # Errors
+///
+/// [`SelectError::HopBudgetExceeded`] naming the first offending flow.
+pub(crate) fn check_hop_budget(
+    routes: &RouteSet,
+    max_hops: Option<usize>,
+) -> Result<(), SelectError> {
+    let Some(max_hops) = max_hops else {
+        return Ok(());
+    };
+    for route in routes.iter() {
+        if route.hops.len() > max_hops {
+            return Err(SelectError::HopBudgetExceeded {
+                flow: route.flow,
+                hops: route.hops.len(),
+                max_hops,
+            });
+        }
+    }
+    Ok(())
 }
 
 impl Error for SelectError {
@@ -104,5 +150,12 @@ mod tests {
         assert!(e.to_string().contains('2'));
         let e: SelectError = LpError::Infeasible.into();
         assert!(Error::source(&e).is_some());
+        let e = SelectError::HopBudgetExceeded {
+            flow: FlowId(7),
+            hops: 12,
+            max_hops: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("f7") && msg.contains("12") && msg.contains("8-hop"));
     }
 }

@@ -28,6 +28,10 @@ pub struct DijkstraSelector {
     /// against the remaining load. 0 reproduces the paper's single
     /// sequential pass.
     pub refinement_passes: usize,
+    /// Hop budget: selections containing a route longer than this are
+    /// rejected with [`SelectError::HopBudgetExceeded`]. `None` (the
+    /// default) leaves route length unconstrained.
+    pub max_hops: Option<usize>,
 }
 
 impl Default for DijkstraSelector {
@@ -36,6 +40,7 @@ impl Default for DijkstraSelector {
             weights: None,
             order: FlowOrder::DemandDescending,
             refinement_passes: 0,
+            max_hops: None,
         }
     }
 }
@@ -67,6 +72,14 @@ impl DijkstraSelector {
         self
     }
 
+    /// Caps route length: any selection containing a route longer than
+    /// `max_hops` is refused with [`SelectError::HopBudgetExceeded`].
+    #[must_use]
+    pub fn with_max_hops(mut self, max_hops: usize) -> Self {
+        self.max_hops = Some(max_hops);
+        self
+    }
+
     /// Chooses one deadlock-free route per flow.
     ///
     /// **Deprecation note:** this flow-network signature is the legacy
@@ -82,7 +95,7 @@ impl DijkstraSelector {
     /// flow's source from its sink.
     pub fn select(&self, net: &FlowNetwork<'_>, flows: &FlowSet) -> Result<RouteSet, SelectError> {
         let paths = self.select_paths(net, flows)?;
-        Ok(RouteSet::from_routes(
+        let routes = RouteSet::from_routes(
             flows
                 .iter()
                 .zip(&paths)
@@ -100,7 +113,9 @@ impl DijkstraSelector {
                         .collect(),
                 })
                 .collect(),
-        ))
+        );
+        crate::selector::check_hop_budget(&routes, self.max_hops)?;
+        Ok(routes)
     }
 
     /// Like [`DijkstraSelector::select`] but returns raw CDG vertex
@@ -351,6 +366,32 @@ mod tests {
             large_m.mean_hops(),
             small_m.mean_hops()
         );
+    }
+
+    #[test]
+    fn hop_budget_is_enforced_and_typed() {
+        let topo = Topology::mesh2d(4, 4);
+        let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let flows = transpose_flows(&topo, 25.0);
+        // A 4x4 transpose needs up to 6 hops; a 2-hop budget must refuse.
+        let err = DijkstraSelector::new()
+            .with_max_hops(2)
+            .select(&net, &flows)
+            .expect_err("2 hops cannot cover transpose");
+        assert!(matches!(
+            err,
+            crate::selector::SelectError::HopBudgetExceeded { max_hops: 2, .. }
+        ));
+        // A generous budget changes nothing.
+        let capped = DijkstraSelector::new()
+            .with_max_hops(64)
+            .select(&net, &flows)
+            .expect("routable");
+        let free = DijkstraSelector::new()
+            .select(&net, &flows)
+            .expect("routable");
+        assert_eq!(capped.mcl(&topo, &flows), free.mcl(&topo, &flows));
     }
 
     #[test]

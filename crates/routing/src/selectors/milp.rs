@@ -56,6 +56,10 @@ pub struct MilpSelector {
     pub randomized_rounds: usize,
     /// Seed for the randomized candidate rounds.
     pub seed: u64,
+    /// Hop budget: selections containing a route longer than this are
+    /// rejected with [`SelectError::HopBudgetExceeded`]. `None` (the
+    /// default) leaves route length to the `hop_slack` bound alone.
+    pub max_hops: Option<usize>,
 }
 
 impl Default for MilpSelector {
@@ -68,6 +72,7 @@ impl Default for MilpSelector {
             options: MilpOptions::default(),
             randomized_rounds: 24,
             seed: 0x51_AC,
+            max_hops: None,
         }
     }
 }
@@ -128,6 +133,14 @@ impl MilpSelector {
     #[must_use]
     pub fn with_options(mut self, options: MilpOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Caps route length: any selection containing a route longer than
+    /// `max_hops` is refused with [`SelectError::HopBudgetExceeded`].
+    #[must_use]
+    pub fn with_max_hops(mut self, max_hops: usize) -> Self {
+        self.max_hops = Some(max_hops);
         self
     }
 
@@ -392,7 +405,9 @@ impl MilpSelector {
             stats,
             objective: solution.objective(),
         };
-        Ok((RouteSet::from_routes(routes), report))
+        let routes = RouteSet::from_routes(routes);
+        crate::selector::check_hop_budget(&routes, self.max_hops)?;
+        Ok((routes, report))
     }
 }
 

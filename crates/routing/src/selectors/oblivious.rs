@@ -321,6 +321,10 @@ pub struct RandomWalkSelector {
     /// instead of a greedy one. 0 degenerates to randomized-tie-break
     /// BFS; 1 is a uniform random walk on the reachable DAG.
     pub detour_prob: f64,
+    /// Hop budget: walks producing a route longer than this are rejected
+    /// with [`SelectError::HopBudgetExceeded`] (walks can detour far past
+    /// minimal length, which this bounds). `None` is unbounded.
+    pub max_hops: Option<usize>,
 }
 
 impl Default for RandomWalkSelector {
@@ -328,6 +332,7 @@ impl Default for RandomWalkSelector {
         RandomWalkSelector {
             seed: 9,
             detour_prob: 0.15,
+            max_hops: None,
         }
     }
 }
@@ -360,6 +365,14 @@ impl RandomWalkSelector {
         self
     }
 
+    /// Caps route length: any walk producing a route longer than
+    /// `max_hops` is refused with [`SelectError::HopBudgetExceeded`].
+    #[must_use]
+    pub fn with_max_hops(mut self, max_hops: usize) -> Self {
+        self.max_hops = Some(max_hops);
+        self
+    }
+
     /// Walks one CDG-conforming route per commodity (repeated pairs
     /// share a route), ignoring all demands.
     ///
@@ -377,12 +390,9 @@ impl RandomWalkSelector {
                 .ok_or_else(|| unroutable(flows, src, dst))?;
             paths.push(path);
         }
-        Ok(routes_from_commodity_paths(
-            net,
-            flows,
-            &commodities,
-            &paths,
-        ))
+        let routes = routes_from_commodity_paths(net, flows, &commodities, &paths);
+        crate::selector::check_hop_budget(&routes, self.max_hops)?;
+        Ok(routes)
     }
 }
 
@@ -758,6 +768,29 @@ mod tests {
         // transposed-halves flow set two seeds routing identically would
         // indicate the rng is ignored.
         assert_ne!(a, c, "different seeds should explore different walks");
+    }
+
+    #[test]
+    fn random_walk_hop_budget_refuses_long_walks() {
+        let topo = Topology::mesh2d(4, 4);
+        let acyclic = AcyclicCdg::turn_model(&topo, 2, &TurnModel::west_first()).expect("valid");
+        let net = FlowNetwork::new(&topo, &acyclic);
+        let flows = mesh_flows(&topo, 10.0);
+        let err = RandomWalkSelector::new()
+            .with_max_hops(1)
+            .select(&net, &flows)
+            .expect_err("corner-to-corner cannot fit in 1 hop");
+        assert!(matches!(
+            err,
+            crate::selector::SelectError::HopBudgetExceeded { max_hops: 1, .. }
+        ));
+        // An ample budget reproduces the unbudgeted selection exactly.
+        let free = RandomWalkSelector::new().select(&net, &flows).expect("ok");
+        let capped = RandomWalkSelector::new()
+            .with_max_hops(1000)
+            .select(&net, &flows)
+            .expect("ok");
+        assert_eq!(free, capped);
     }
 
     #[test]

@@ -12,6 +12,46 @@ use crate::route::{RouteSet, VcMask};
 use bsor_flow::FlowId;
 use bsor_topology::{LinkId, NodeId, Topology};
 
+/// The interface the simulator's per-hop lookup needs from a routing
+/// table, abstracting over the dense [`NodeTables`] arena and the
+/// compressed [`crate::compact::CompactTables`] representation.
+///
+/// A packet carries an opaque `u32` *cursor*. What the cursor means is
+/// representation-private (a chained per-node index for `NodeTables`, a
+/// destination or flow key for compact tables); the contract is only
+/// that starting from [`RouteTables::initial_cursor`] and following
+/// each [`TableEntry::next_index`] yields the flow's hop sequence with
+/// identical `(out_link, vcs)` at every hop, ending on `None` at the
+/// ejection hop.
+pub trait RouteTables {
+    /// The cursor a packet of `flow` carries when injected.
+    fn initial_cursor(&self, flow: FlowId) -> u32;
+
+    /// Resolves the cursor at `node` into the hop's table entry (output
+    /// link, VC mask, and the cursor for the next router).
+    fn entry(&self, node: NodeId, cursor: u32) -> TableEntry;
+
+    /// Measured heap footprint of the representation in bytes (arena
+    /// payloads, offsets and initial cursors — the figure reported as
+    /// `table_bytes` in plans, sweeps and `bsor-serve`).
+    fn table_bytes(&self) -> usize;
+
+    /// Follows the tables from a flow's source, reconstructing the hop
+    /// list (used to verify table programming round-trips).
+    fn walk_route(&self, topo: &Topology, flow: FlowId, src: NodeId) -> Vec<LinkId> {
+        let mut hops = Vec::new();
+        let mut node = src;
+        let mut cursor = Some(self.initial_cursor(flow));
+        while let Some(c) = cursor {
+            let entry = self.entry(node, c);
+            hops.push(entry.out_link);
+            node = topo.link(entry.out_link).dst;
+            cursor = entry.next_index;
+        }
+        hops
+    }
+}
+
 /// Source-routing tables: one pre-computed hop list per flow.
 #[derive(Clone, Debug, Default)]
 pub struct SourceRouteTable {
@@ -62,9 +102,9 @@ pub struct TableEntry {
     pub out_link: LinkId,
     /// Virtual channels allowed on that channel.
     pub vcs: VcMask,
-    /// Table index at the next hop (`None` at the last hop: the packet
-    /// ejects at the destination).
-    pub next_index: Option<u16>,
+    /// Cursor the packet carries into the next router's table (`None`
+    /// at the last hop: the packet ejects at the destination).
+    pub next_index: Option<u32>,
 }
 
 /// Per-node routing tables with index chaining (paper Figure 4-2(b)).
@@ -81,7 +121,7 @@ pub struct NodeTables {
     /// CSR offsets into `entries`, one slot per node plus a sentinel.
     offsets: Vec<u32>,
     entries: Vec<TableEntry>,
-    initial: Vec<u16>,
+    initial: Vec<u32>,
 }
 
 impl NodeTables {
@@ -89,8 +129,8 @@ impl NodeTables {
     ///
     /// # Panics
     ///
-    /// Panics if any table would exceed `u16` indices (65536 flows through
-    /// one node — far beyond the paper's 256-entry discussion).
+    /// Panics if any table would exceed `u32` indices (4 billion flows
+    /// through one node — far beyond the paper's 256-entry discussion).
     pub fn build(topo: &Topology, routes: &RouteSet) -> NodeTables {
         // Pass 1: size each node's table so entries can live in one arena.
         let mut counts = vec![0u32; topo.num_nodes()];
@@ -116,10 +156,10 @@ impl NodeTables {
         let mut initial = Vec::with_capacity(routes.len());
         for route in routes.iter() {
             // Walk hops backwards so each entry knows its successor index.
-            let mut next_index: Option<u16> = None;
+            let mut next_index: Option<u32> = None;
             for hop in route.hops.iter().rev() {
                 let node = topo.link(hop.link).src.index();
-                let idx = u16::try_from(filled[node]).expect("node table exceeds u16 indices");
+                let idx = filled[node];
                 entries[(offsets[node] + filled[node]) as usize] = TableEntry {
                     out_link: hop.link,
                     vcs: hop.vcs,
@@ -142,7 +182,7 @@ impl NodeTables {
     /// # Panics
     ///
     /// Panics if `flow` is out of range.
-    pub fn initial_index(&self, flow: FlowId) -> u16 {
+    pub fn initial_index(&self, flow: FlowId) -> u32 {
         self.initial[flow.index()]
     }
 
@@ -151,7 +191,7 @@ impl NodeTables {
     /// # Panics
     ///
     /// Panics if the node or index is out of range.
-    pub fn lookup(&self, node: NodeId, index: u16) -> &TableEntry {
+    pub fn lookup(&self, node: NodeId, index: u32) -> &TableEntry {
         let n = node.index();
         let slot = self.offsets[n] as usize + index as usize;
         debug_assert!(slot < self.offsets[n + 1] as usize, "index past node table");
@@ -189,6 +229,22 @@ impl NodeTables {
             index = entry.next_index;
         }
         hops
+    }
+}
+
+impl RouteTables for NodeTables {
+    fn initial_cursor(&self, flow: FlowId) -> u32 {
+        self.initial_index(flow)
+    }
+
+    fn entry(&self, node: NodeId, cursor: u32) -> TableEntry {
+        *self.lookup(node, cursor)
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.entries.len() * std::mem::size_of::<TableEntry>()
+            + self.initial.len() * std::mem::size_of::<u32>()
     }
 }
 

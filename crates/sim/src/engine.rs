@@ -59,7 +59,7 @@ use crate::config::{SimConfig, SimError};
 use crate::stats::{FlowStats, RunTiming, SimReport};
 use crate::traffic::{BurstState, InjectionProcess, TrafficSpec, VariationState};
 use bsor_flow::{FlowId, FlowSet};
-use bsor_routing::tables::NodeTables;
+use bsor_routing::tables::{NodeTables, RouteTables};
 use bsor_routing::RouteSet;
 use bsor_topology::{LinkId, NodeId, TopoIndex, Topology, TopologyKind};
 use rand::rngs::StdRng;
@@ -78,9 +78,9 @@ struct Flit {
     flow: FlowId,
     is_head: bool,
     is_tail: bool,
-    /// Node-table index for the next lookup; `None` on a head means
+    /// Routing-table cursor for the next lookup; `None` on a head means
     /// "eject at the next router". Only meaningful on head flits.
-    cursor: Option<u16>,
+    cursor: Option<u32>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,13 +97,13 @@ enum PortState {
     Routed {
         out: LinkId,
         mask: u8,
-        next_cursor: Option<u16>,
+        next_cursor: Option<u32>,
     },
     /// Output VC allocated; body flits follow the head.
     Active {
         out: OutKind,
         out_vc: u8,
-        next_cursor: Option<u16>,
+        next_cursor: Option<u32>,
     },
 }
 
@@ -554,7 +554,7 @@ impl Shared {
     /// Route-phase ownership: the caller must be the unique worker
     /// processing node `n` this phase, with no concurrent switch or
     /// serial-window activity.
-    unsafe fn route_node(&self, n: usize, tables: &NodeTables) {
+    unsafe fn route_node<T: RouteTables>(&self, n: usize, tables: &T) {
         let node = NodeId(n as u32);
         let start = self.node_input_off[n] as usize;
         let end = self.node_input_off[n + 1] as usize;
@@ -574,7 +574,7 @@ impl Shared {
                         next_cursor: None,
                     },
                     Some(idx) => {
-                        let entry = *tables.lookup(node, idx);
+                        let entry = tables.entry(node, idx);
                         PortState::Routed {
                             out: entry.out_link,
                             mask: entry.vcs.0,
@@ -904,12 +904,12 @@ impl SerState {
     /// # Safety
     ///
     /// Serial window: all workers parked at a barrier (or serial run).
-    unsafe fn generate(
+    unsafe fn generate<T: RouteTables>(
         &mut self,
         sh: &Shared,
         flows: &FlowSet,
         traffic: &TrafficSpec,
-        tables: &NodeTables,
+        tables: &T,
         config: &SimConfig,
     ) {
         let measuring = self.measuring(config);
@@ -948,7 +948,7 @@ impl SerState {
                         None => sh.slots.push(slot),
                     };
                     let len = config.packet_len;
-                    let cursor = Some(tables.initial_index(flow.id));
+                    let cursor = Some(tables.initial_cursor(flow.id));
                     let queue = sh.src_queues.get_mut(flow.src.index());
                     for k in 0..len {
                         queue.push_back(Flit {
@@ -1030,11 +1030,11 @@ impl SerState {
 // ---------------------------------------------------------------------------
 
 /// Everything the band workers share by reference for the whole run.
-struct ParCtx<'e> {
+struct ParCtx<'e, T: RouteTables> {
     sh: &'e Shared,
     boxes: &'e ShardVec<WorkerBox>,
     index: &'e TopoIndex,
-    tables: &'e NodeTables,
+    tables: &'e T,
     bands: &'e [Band],
     /// Wavefront row counters, one per band: `row_base + row + 1` once
     /// the band finished switching that row this cycle (monotone, never
@@ -1054,7 +1054,7 @@ struct ParCtx<'e> {
 ///
 /// `b` must be this caller's unique band index and the cycle protocol
 /// (barrier A passed, `ctl` published) must be in force.
-unsafe fn band_cycle(pc: &ParCtx<'_>, b: usize, ctx: CycleCtx, row_base: u64) {
+unsafe fn band_cycle<T: RouteTables>(pc: &ParCtx<'_, T>, b: usize, ctx: CycleCtx, row_base: u64) {
     let band = pc.bands[b];
     let sh = pc.sh;
     let wb = pc.boxes.get_mut(b);
@@ -1100,7 +1100,7 @@ unsafe fn band_cycle(pc: &ParCtx<'_>, b: usize, ctx: CycleCtx, row_base: u64) {
 
 /// A band worker: wait for the cycle to be published, run the band,
 /// wait out the merge window; exit when `done` is published.
-fn worker_loop(pc: &ParCtx<'_>, b: usize) {
+fn worker_loop<T: RouteTables>(pc: &ParCtx<'_, T>, b: usize) {
     loop {
         pc.barrier.wait(); // barrier A: cycle published
                            // SAFETY: barrier A orders this read after the main thread's
@@ -1168,14 +1168,14 @@ fn make_bands(topo: &Topology, threads: usize) -> Vec<Band> {
 /// with `engine_threads > 1`) splits the mesh into column bands run by
 /// scoped worker threads — all with byte-identical reports for a fixed
 /// seed (see the module docs for the determinism argument).
-pub struct Simulator<'a> {
+pub struct Simulator<'a, T: RouteTables + Clone = NodeTables> {
     topo: &'a Topology,
     flows: &'a FlowSet,
     config: SimConfig,
     /// Borrowed when a caller (a `RoutePlan` evaluation) already holds
     /// compiled tables; owned when built here. The hot path reads
     /// through `Deref` either way.
-    tables: std::borrow::Cow<'a, NodeTables>,
+    tables: std::borrow::Cow<'a, T>,
     traffic: TrafficSpec,
     index: TopoIndex,
     /// Column bands of the parallel schedule; a single band runs serial.
@@ -1209,14 +1209,18 @@ impl<'a> Simulator<'a> {
             config,
         )
     }
+}
 
+impl<'a, T: RouteTables + Clone + Sync> Simulator<'a, T> {
     /// Like [`Simulator::new`], but borrows `tables` already compiled
-    /// from `routes` (e.g. the ones a `RoutePlan` carries) instead of
-    /// rebuilding them — no per-run recompilation *or* copy.
+    /// from `routes` (e.g. the ones a `RoutePlan` carries, in either the
+    /// dense or the compact representation) instead of rebuilding them —
+    /// no per-run recompilation *or* copy.
     ///
-    /// The caller is responsible for `tables` matching `routes`;
-    /// `NodeTables::build` is deterministic, so a plan's compiled tables
-    /// reproduce `Simulator::new` behavior bit for bit.
+    /// The caller is responsible for `tables` matching `routes`; table
+    /// builds are deterministic and every [`RouteTables`] realization
+    /// resolves the same `(out_link, vcs)` per hop, so a plan's compiled
+    /// tables reproduce `Simulator::new` behavior bit for bit.
     ///
     /// # Errors
     ///
@@ -1226,10 +1230,10 @@ impl<'a> Simulator<'a> {
         topo: &'a Topology,
         flows: &'a FlowSet,
         routes: &RouteSet,
-        tables: &'a NodeTables,
+        tables: &'a T,
         traffic: TrafficSpec,
         config: SimConfig,
-    ) -> Result<Simulator<'a>, SimError> {
+    ) -> Result<Simulator<'a, T>, SimError> {
         Simulator::assemble(
             topo,
             flows,
@@ -1244,10 +1248,10 @@ impl<'a> Simulator<'a> {
         topo: &'a Topology,
         flows: &'a FlowSet,
         routes: &RouteSet,
-        tables: std::borrow::Cow<'a, NodeTables>,
+        tables: std::borrow::Cow<'a, T>,
         traffic: TrafficSpec,
         config: SimConfig,
-    ) -> Result<Simulator<'a>, SimError> {
+    ) -> Result<Simulator<'a, T>, SimError> {
         if routes.len() != flows.len() {
             return Err(SimError::RouteCountMismatch {
                 flows: flows.len(),
@@ -1431,7 +1435,7 @@ impl<'a> Simulator<'a> {
         let sh = &self.sh;
         let boxes = &self.boxes;
         let index = &self.index;
-        let tables: &NodeTables = self.tables.as_ref();
+        let tables: &T = self.tables.as_ref();
         let flows = self.flows;
         let traffic = &self.traffic;
         let ser = &mut self.ser;
@@ -1487,7 +1491,7 @@ impl<'a> Simulator<'a> {
         let sh = &self.sh;
         let boxes = &self.boxes;
         let index = &self.index;
-        let tables: &NodeTables = self.tables.as_ref();
+        let tables: &T = self.tables.as_ref();
         let flows = self.flows;
         let traffic = &self.traffic;
         let bands = self.bands.as_slice();
@@ -1574,7 +1578,7 @@ impl<'a> Simulator<'a> {
     }
 }
 
-impl Drop for Simulator<'_> {
+impl<T: RouteTables + Clone> Drop for Simulator<'_, T> {
     /// Returns the flit-queue allocations to the thread-local arena so
     /// the next simulator on this thread (the common sweep-worker case)
     /// skips reallocating them.

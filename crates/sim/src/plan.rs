@@ -10,7 +10,8 @@
 //!   [`Scenario`] plus a [`RouteAlgorithm`] — into an immutable,
 //!   content-addressed [`RoutePlan`] artifact: the scenario's CDG,
 //!   validated routes, a checkable Lemma-1
-//!   [`DeadlockCertificate`], compiled [`NodeTables`], the static
+//!   [`DeadlockCertificate`], compiled routing tables ([`AnyTables`],
+//!   dense or interval-compressed), the static
 //!   per-channel loads and the predicted MCL;
 //! * an [`Evaluator`] judges a plan at an [`EvalPoint`] and returns a
 //!   common typed [`Evaluation`] report. Two backends ship:
@@ -60,8 +61,8 @@ use crate::Simulator;
 use bsor_cdg::AcyclicCdg;
 use bsor_flow::FlowSet;
 use bsor_routing::deadlock::{self, DeadlockCertificate};
-use bsor_routing::tables::NodeTables;
-use bsor_routing::{RouteError, RouteSet};
+use bsor_routing::tables::RouteTables;
+use bsor_routing::{AnyTables, RouteError, RouteSet};
 use bsor_topology::Topology;
 use std::collections::HashMap;
 use std::error::Error;
@@ -167,7 +168,7 @@ impl fmt::Display for PlanId {
 ///
 /// A plan bundles the scenario it was planned on (topology, flows, VCs,
 /// CDG) with the validated [`RouteSet`], a checkable Lemma-1
-/// [`DeadlockCertificate`], the compiled [`NodeTables`] the router
+/// [`DeadlockCertificate`], the compiled routing tables the router
 /// hardware would be programmed with, the static per-channel bandwidth
 /// loads and their maximum (the paper's MCL metric, what the MILP
 /// objective minimizes).
@@ -201,7 +202,7 @@ pub struct RoutePlan {
     scenario: Scenario,
     routes: RouteSet,
     certificate: DeadlockCertificate,
-    tables: NodeTables,
+    tables: AnyTables,
     link_demands: Vec<f64>,
     predicted_mcl: f64,
 }
@@ -257,9 +258,19 @@ impl RoutePlan {
         &self.certificate
     }
 
-    /// The compiled node tables (paper §4.2.1) the routes program.
-    pub fn tables(&self) -> &NodeTables {
+    /// The compiled routing tables (paper §4.2.1) the routes program —
+    /// dense [`bsor_routing::NodeTables`] by default, or the interval-
+    /// compressed representation under [`Planner::with_compact_tables`].
+    pub fn tables(&self) -> &AnyTables {
         &self.tables
+    }
+
+    /// Measured heap footprint of the compiled tables in bytes (the
+    /// representation actually stored, so compact plans report their
+    /// compressed size). This is the `table_bytes` figure surfaced by
+    /// sweeps and `bsor-serve`.
+    pub fn table_bytes(&self) -> usize {
+        self.tables.table_bytes()
     }
 
     /// Static bandwidth load per channel in MB/s: each flow's demand
@@ -278,8 +289,11 @@ impl RoutePlan {
     /// A deliberately rough estimate of the plan's heap footprint, used
     /// by the [`PlanCache`] byte budget. It counts the dominant
     /// variable-size pieces (route hops, per-channel demand and
-    /// certificate ranks, node-table entries, flows) at fixed per-item
-    /// costs plus a flat overhead — stable across platforms, not exact.
+    /// certificate ranks, flows) at fixed per-item costs plus a flat
+    /// overhead — stable across platforms, not exact — except for the
+    /// routing tables, which are **measured** from the representation
+    /// the plan actually holds, so a compact plan's LRU charge matches
+    /// its compressed footprint instead of the dense estimate.
     pub fn approx_bytes(&self) -> usize {
         let topo = self.topology();
         let hop_bytes: usize = self.routes.iter().map(|r| 48 + r.len() * 16).sum();
@@ -287,7 +301,7 @@ impl RoutePlan {
         hop_bytes
             + self.link_demands.len() * 8
             + channel_slots * 8 // certificate ranks
-            + topo.num_nodes() * self.flows().len() * 4 // node tables
+            + self.tables.table_bytes() // measured, dense or compact
             + self.flows().len() * 32
             + self.cdg().graph().edge_count() * 16
             + 1024
@@ -491,6 +505,10 @@ pub struct CacheStats {
     pub plans: u64,
     /// Approximate bytes currently cached ([`RoutePlan::approx_bytes`]).
     pub bytes: u64,
+    /// Measured routing-table bytes across the cached plans
+    /// ([`RoutePlan::table_bytes`] — the representation each plan
+    /// actually holds, compact or dense).
+    pub table_bytes: u64,
 }
 
 /// What a [`PlanCache::invalidate`] delta did
@@ -544,9 +562,14 @@ impl Flight {
 
 #[derive(Debug, Default)]
 struct Shard {
-    entries: HashMap<PlanKey, CacheEntry>,
+    /// Keys are shared with [`Shard::link_index`] via `Arc`: a
+    /// [`PlanKey`] is O(links + flows) bytes, so cloning it per indexed
+    /// link would make one insert quadratic in topology size (at 64x64
+    /// that is gigabytes of key copies per plan — the scale sweep's
+    /// first finding).
+    entries: HashMap<Arc<PlanKey>, CacheEntry>,
     flights: HashMap<PlanKey, Arc<Flight>>,
-    link_index: HashMap<(u32, u32), Vec<PlanKey>>,
+    link_index: HashMap<(u32, u32), Vec<Arc<PlanKey>>>,
     tick: u64,
     bytes: usize,
 }
@@ -562,11 +585,13 @@ impl Shard {
     }
 
     fn remove(&mut self, key: &PlanKey) -> Option<CacheEntry> {
-        let entry = self.entries.remove(key)?;
+        // remove_entry recovers the stored Arc, so the index scrub
+        // below compares pointers, not O(key-size) byte strings.
+        let (stored, entry) = self.entries.remove_entry(key)?;
         self.bytes -= entry.bytes;
         for pair in &entry.indexed {
             if let Some(keys) = self.link_index.get_mut(pair) {
-                keys.retain(|k| k != key);
+                keys.retain(|k| !Arc::ptr_eq(k, &stored));
                 if keys.is_empty() {
                     self.link_index.remove(pair);
                 }
@@ -575,7 +600,7 @@ impl Shard {
         Some(entry)
     }
 
-    fn lru_key(&self) -> Option<PlanKey> {
+    fn lru_key(&self) -> Option<Arc<PlanKey>> {
         self.entries
             .iter()
             .min_by_key(|(_, e)| e.last_used)
@@ -713,6 +738,7 @@ impl PlanCache {
 
     fn insert_locked(&self, shard: &mut Shard, key: PlanKey, plan: Arc<RoutePlan>) {
         shard.remove(&key); // replace, don't double-count bytes/index
+        let key = Arc::new(key);
         let topo = plan.topology();
         let indexed: Vec<(u32, u32)> = topo
             .link_ids()
@@ -809,12 +835,12 @@ impl PlanCache {
         let mut outcome = InvalidateOutcome::default();
         for shard in &self.shards {
             let mut shard = shard.lock().expect("plan cache poisoned");
-            let mut affected: Vec<PlanKey> = Vec::new();
+            let mut affected: Vec<Arc<PlanKey>> = Vec::new();
             for &(a, b) in links {
                 for pair in [(a, b), (b, a)] {
                     if let Some(keys) = shard.link_index.get(&pair) {
                         for key in keys {
-                            if !affected.contains(key) {
+                            if !affected.iter().any(|a| Arc::ptr_eq(a, key)) {
                                 affected.push(key.clone());
                             }
                         }
@@ -892,11 +918,16 @@ impl PlanCache {
 
     /// A snapshot of the cache's counters and occupancy.
     pub fn stats(&self) -> CacheStats {
-        let (mut plans, mut bytes) = (0u64, 0u64);
+        let (mut plans, mut bytes, mut table_bytes) = (0u64, 0u64, 0u64);
         for shard in &self.shards {
             let shard = shard.lock().expect("plan cache poisoned");
             plans += shard.entries.len() as u64;
             bytes += shard.bytes as u64;
+            table_bytes += shard
+                .entries
+                .values()
+                .map(|e| e.plan.table_bytes() as u64)
+                .sum::<u64>();
         }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -912,6 +943,7 @@ impl PlanCache {
             solve_ns_max: self.solve_ns_max.load(Ordering::Relaxed),
             plans,
             bytes,
+            table_bytes,
         }
     }
 }
@@ -941,6 +973,7 @@ pub struct PlanStats {
 #[derive(Debug, Default)]
 pub struct Planner {
     cache: Option<Arc<PlanCache>>,
+    compact_tables: bool,
     solves: AtomicU64,
     cache_hits: AtomicU64,
 }
@@ -955,6 +988,20 @@ impl Planner {
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Planner {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Compiles plans with interval-compressed routing tables
+    /// ([`bsor_routing::CompactTables`]) instead of the dense arena.
+    /// Routing behavior is hop-identical either way; only the memory
+    /// representation (and so [`RoutePlan::table_bytes`] and the cache's
+    /// LRU charge) changes. Note the [`PlanKey`] deliberately does *not*
+    /// encode the representation — it addresses plan *content* — so
+    /// planners with different settings sharing one cache may serve each
+    /// other's (behaviorally identical) plans.
+    #[must_use]
+    pub fn with_compact_tables(mut self, compact: bool) -> Planner {
+        self.compact_tables = compact;
         self
     }
 
@@ -993,7 +1040,12 @@ impl Planner {
         let key = PlanKey::new(scenario, &algorithm.cache_key());
         let Some(cache) = &self.cache else {
             self.solves.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::new(build_plan(scenario, algorithm, key.id())?));
+            return Ok(Arc::new(build_plan(
+                scenario,
+                algorithm,
+                key.id(),
+                self.compact_tables,
+            )?));
         };
         match cache.join(&key) {
             Joined::Hit(plan) => {
@@ -1010,7 +1062,8 @@ impl Planner {
             Joined::Leader(flight) => {
                 self.solves.fetch_add(1, Ordering::Relaxed);
                 let start = Instant::now();
-                let result = build_plan(scenario, algorithm, key.id()).map(Arc::new);
+                let result =
+                    build_plan(scenario, algorithm, key.id(), self.compact_tables).map(Arc::new);
                 cache.complete(&key, &flight, result.clone(), start.elapsed());
                 result
             }
@@ -1023,6 +1076,7 @@ fn build_plan(
     scenario: &Scenario,
     algorithm: &dyn RouteAlgorithm,
     id: PlanId,
+    compact_tables: bool,
 ) -> Result<RoutePlan, PlanError> {
     let routes = algorithm.routes(&scenario.ctx())?;
     routes.validate(scenario.topology(), scenario.flows(), scenario.vcs())?;
@@ -1033,7 +1087,7 @@ fn build_plan(
                 cycle_len: cycle.len(),
             }
         })?;
-    let tables = NodeTables::build(scenario.topology(), &routes);
+    let tables = AnyTables::build(scenario.topology(), &routes, compact_tables);
     let link_demands = routes.link_loads(scenario.topology(), scenario.flows());
     let predicted_mcl = link_demands.iter().copied().fold(0.0, f64::max);
     Ok(RoutePlan {
@@ -1384,8 +1438,50 @@ mod tests {
         // The tables are the ones the simulator would have compiled.
         assert_eq!(
             plan.tables(),
-            &NodeTables::build(s.topology(), plan.routes())
+            &AnyTables::build(s.topology(), plan.routes(), false)
         );
+        assert_eq!(plan.tables().mode(), "dense");
+        assert_eq!(plan.table_bytes(), plan.tables().table_bytes());
+    }
+
+    #[test]
+    fn compact_planner_is_behaviorally_identical_and_smaller() {
+        let s = scenario(2);
+        let dense = Planner::new().plan(&s, &Baseline::XY).expect("plans");
+        let compact = Planner::new()
+            .with_compact_tables(true)
+            .plan(&s, &Baseline::XY)
+            .expect("plans");
+        assert!(compact.tables().is_compact());
+        assert_eq!(compact.routes(), dense.routes());
+        assert!(
+            compact.table_bytes() < dense.table_bytes(),
+            "compact {} vs dense {}",
+            compact.table_bytes(),
+            dense.table_bytes()
+        );
+        assert!(compact.approx_bytes() < dense.approx_bytes());
+        // The cycle-accurate evaluation is byte-identical across
+        // representations at a fixed seed.
+        let config = SimConfig::new(2).with_warmup(100).with_measurement(1_000);
+        let point = EvalPoint::new(0.2, config);
+        let (dense_report, _) = SimEvaluator::new().simulate(&dense, &point).expect("sims");
+        let (compact_report, _) = SimEvaluator::new()
+            .simulate(&compact, &point)
+            .expect("sims");
+        assert_eq!(dense_report, compact_report);
+    }
+
+    #[test]
+    fn cache_stats_report_measured_table_bytes() {
+        let s = scenario(2);
+        let cache = PlanCache::shared();
+        let planner = Planner::new()
+            .with_compact_tables(true)
+            .with_cache(cache.clone());
+        let plan = planner.plan(&s, &Baseline::XY).expect("plans");
+        let stats = cache.stats();
+        assert_eq!(stats.table_bytes, plan.table_bytes() as u64);
     }
 
     #[test]

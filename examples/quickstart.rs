@@ -50,10 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. The plan already carries the programmed node-table routers
     //    (paper §4.2.1) — no recompilation per run.
+    let dense = bsor.tables().as_dense().expect("default plans are dense");
     println!(
-        "node tables: max {} entries/router, {} bits/entry",
-        bsor.tables().max_entries(),
-        bsor.tables().entry_bits()
+        "node tables: max {} entries/router, {} bits/entry, {} bytes total",
+        dense.max_entries(),
+        dense.entry_bits(),
+        bsor.table_bytes()
     );
 
     // 4. Evaluate at a moderate load — the `SimEvaluator` drives the
